@@ -1,0 +1,154 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! rate policy (§3.3 vs §5.1 alternatives), channel-control granularity
+//! (§3.3.1), and the dynamic-topology extension (§5.2).
+//!
+//! Criterion measures wall-clock; each bench also asserts the *quality*
+//! relation the ablation is about (power or delivery), so a regression
+//! in behaviour fails loudly here too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epnet::exp::{EvalScale, Experiment, WorkloadKind};
+use epnet::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scale() -> EvalScale {
+    let mut s = EvalScale::tiny();
+    s.duration = SimTime::from_ms(1);
+    s
+}
+
+fn tune(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+    g
+}
+
+/// §3.3's halve/double vs §5.1's jump-to-extremes vs hysteresis.
+fn ablation_heuristics(c: &mut Criterion) {
+    let mut g = tune(c);
+    for (name, policy) in [
+        ("halve_double", RatePolicy::HalveDouble),
+        ("jump_to_extremes", RatePolicy::JumpToExtremes),
+        ("hysteresis", RatePolicy::Hysteresis { low: 0.2, high: 0.8 }),
+        ("lane_aware", RatePolicy::LaneAware),
+    ] {
+        g.bench_function(format!("heuristic/{name}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::builder();
+                cfg.policy(policy);
+                let report = Experiment::new(scale(), WorkloadKind::Search)
+                    .with_config(cfg.build())
+                    .run_ep();
+                let p = report.relative_power(&LinkPowerProfile::Ideal);
+                assert!(p < 1.0, "{name} must save power");
+                black_box(p)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §3.3.1: paired link pairs vs independent unidirectional channels.
+fn ablation_channel_control(c: &mut Criterion) {
+    let mut g = tune(c);
+    for (name, mode) in [
+        ("paired", ControlMode::PairedLink),
+        ("independent", ControlMode::IndependentChannel),
+    ] {
+        g.bench_function(format!("channel_control/{name}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::builder();
+                cfg.control(mode);
+                let report = Experiment::new(scale(), WorkloadKind::Search)
+                    .with_config(cfg.build())
+                    .run_ep();
+                black_box(report.relative_power(&LinkPowerProfile::Ideal))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §5.2: rate tuning alone vs rate tuning + link power-off.
+fn ablation_dynamic_topology(c: &mut Criterion) {
+    let mut g = tune(c);
+    let s = scale();
+    for with_dt in [false, true] {
+        let name = if with_dt { "rate_plus_poweroff" } else { "rate_only" };
+        g.bench_function(format!("dynamic_topology/{name}"), |b| {
+            b.iter(|| {
+                let fabric = s.fabric();
+                let source =
+                    WorkloadKind::Advert.source(s.hosts() as u32, s.seed, s.duration);
+                let mut sim = Simulator::new(fabric.clone(), SimConfig::default(), source);
+                if with_dt {
+                    sim.enable_dynamic_topology(DynamicTopology::new(
+                        &fabric,
+                        DynamicTopologyConfig::default(),
+                    ));
+                }
+                let report = sim.run_until(s.duration);
+                // A 1 ms window can cut off a large in-flight chunk of
+                // the bursty trace; only guard against collapse.
+                assert!(report.delivery_ratio() > 0.6, "ratio {}", report.delivery_ratio());
+                black_box(report.relative_power(&LinkPowerProfile::Measured))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §3.2: route-around vs drain-first reactivation tolerance.
+fn ablation_reactivation_strategy(c: &mut Criterion) {
+    let mut g = tune(c);
+    for (name, strategy) in [
+        ("route_around", epnet::sim::ReactivationStrategy::RouteAround),
+        ("drain_first", epnet::sim::ReactivationStrategy::DrainFirst),
+    ] {
+        g.bench_function(format!("reactivation/{name}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::builder();
+                cfg.reactivation_strategy(strategy);
+                let report = Experiment::new(scale(), WorkloadKind::Search)
+                    .with_config(cfg.build())
+                    .run_ep();
+                assert!(report.delivery_ratio() > 0.9);
+                black_box(report.mean_packet_latency)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §2.1: minimal-adaptive vs UGAL non-minimal routing.
+fn ablation_routing(c: &mut Criterion) {
+    let mut g = tune(c);
+    for (name, ugal) in [("minimal", false), ("ugal", true)] {
+        g.bench_function(format!("routing/{name}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::builder();
+                if ugal {
+                    cfg.ugal();
+                }
+                let report = Experiment::new(scale(), WorkloadKind::Uniform)
+                    .with_config(cfg.build())
+                    .run_ep();
+                black_box(report.mean_packet_latency)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablation,
+    ablation_heuristics,
+    ablation_channel_control,
+    ablation_dynamic_topology,
+    ablation_reactivation_strategy,
+    ablation_routing
+);
+criterion_main!(ablation);

@@ -1,0 +1,102 @@
+//! Benches regenerating the simulation-backed figures (7, 8, 9) at the
+//! tiny evaluation scale — each iteration is one full event-driven
+//! simulation of a 64-host flattened butterfly.
+//!
+//! (`repro --scale quick|paper` produces the figures at evaluation
+//! scale; these benches track the simulator's end-to-end throughput on
+//! each figure's configuration.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epnet::exp::{EvalScale, Experiment, WorkloadKind};
+use epnet::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scale() -> EvalScale {
+    let mut s = EvalScale::tiny();
+    s.duration = SimTime::from_ms(1);
+    s
+}
+
+fn tune(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_secs(1))
+        .measurement_time(Duration::from_secs(5));
+    g
+}
+
+/// Figure 7: time-at-speed under Search with paired-link control.
+fn fig7_time_at_speed(c: &mut Criterion) {
+    let mut g = tune(c);
+    g.bench_function("fig7_time_at_speed", |b| {
+        b.iter(|| {
+            let report = Experiment::new(scale(), WorkloadKind::Search).run_ep();
+            let fr = report.time_at_speed_fractions();
+            assert!((fr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            black_box(fr)
+        })
+    });
+    g.finish();
+}
+
+/// Figure 8: relative network power per workload (independent channels).
+fn fig8_network_power(c: &mut Criterion) {
+    let mut g = tune(c);
+    for kind in WorkloadKind::ALL {
+        g.bench_function(format!("fig8_network_power/{}", kind.name()), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::builder();
+                cfg.control(ControlMode::IndependentChannel);
+                let report = Experiment::new(scale(), kind)
+                    .with_config(cfg.build())
+                    .run_ep();
+                let p = report.relative_power(&LinkPowerProfile::Ideal);
+                assert!(p < 1.0);
+                black_box(p)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9(a): one latency-vs-target cell (75% target, Search).
+fn fig9a_target_utilization(c: &mut Criterion) {
+    let mut g = tune(c);
+    g.bench_function("fig9a_target_utilization", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::builder();
+            cfg.target_utilization(0.75);
+            let report = Experiment::new(scale(), WorkloadKind::Search)
+                .with_config(cfg.build())
+                .run_ep();
+            black_box(report.mean_packet_latency)
+        })
+    });
+    g.finish();
+}
+
+/// Figure 9(b): one latency-vs-reactivation cell (10 µs, Search).
+fn fig9b_reactivation(c: &mut Criterion) {
+    let mut g = tune(c);
+    g.bench_function("fig9b_reactivation", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::builder();
+            cfg.reactivation(SimTime::from_us(10));
+            let report = Experiment::new(scale(), WorkloadKind::Search)
+                .with_config(cfg.build())
+                .run_ep();
+            black_box(report.mean_packet_latency)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures_sim,
+    fig7_time_at_speed,
+    fig8_network_power,
+    fig9a_target_utilization,
+    fig9b_reactivation
+);
+criterion_main!(figures_sim);

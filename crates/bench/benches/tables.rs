@@ -1,0 +1,63 @@
+//! Benches for the analytical tables and figures (Table 1, Table 2,
+//! Figure 1, Figure 5, Figure 6, and the cost model). These regenerate
+//! the paper's closed-form results; each iteration computes the full
+//! artifact from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epnet::exp::figures;
+use std::hint::black_box;
+
+fn table1_topology_power(c: &mut Criterion) {
+    c.bench_function("table1_topology_power", |b| {
+        b.iter(|| {
+            let t = figures::table1();
+            assert_eq!(t.savings_watts(), 409_600.0);
+            black_box(t)
+        })
+    });
+}
+
+fn table2_infiniband_rates(c: &mut Criterion) {
+    c.bench_function("table2_infiniband_rates", |b| {
+        b.iter(|| black_box(figures::table2()))
+    });
+}
+
+fn fig1_datacenter_power(c: &mut Criterion) {
+    c.bench_function("fig1_datacenter_power", |b| {
+        b.iter(|| {
+            let f = figures::figure1();
+            assert_eq!(f.scenarios.len(), 3);
+            black_box(f)
+        })
+    });
+}
+
+fn fig5_power_profile(c: &mut Criterion) {
+    c.bench_function("fig5_power_profile", |b| {
+        b.iter(|| black_box(figures::figure5()))
+    });
+}
+
+fn fig6_itrs_trends(c: &mut Criterion) {
+    c.bench_function("fig6_itrs_trends", |b| {
+        b.iter(|| black_box(figures::figure6()))
+    });
+}
+
+fn cost_model(c: &mut Criterion) {
+    c.bench_function("cost_model_headlines", |b| {
+        b.iter(|| black_box(figures::cost_summary()))
+    });
+}
+
+criterion_group!(
+    tables,
+    table1_topology_power,
+    table2_infiniband_rates,
+    fig1_datacenter_power,
+    fig5_power_profile,
+    fig6_itrs_trends,
+    cost_model
+);
+criterion_main!(tables);

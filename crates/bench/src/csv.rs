@@ -1,0 +1,93 @@
+//! CSV export of reproduction results, for plotting with external
+//! tools (gnuplot, matplotlib, a spreadsheet).
+
+use epnet::exp::figures::{Figure7, Figure8, Figure9aCell, Figure9bCell};
+use epnet_power::RATE_LADDER;
+use std::fmt::Write as _;
+
+/// Figure 7 as CSV: `speed_gbps,paired,independent`.
+pub fn figure7_csv(f: &Figure7) -> String {
+    let mut s = String::from("speed_gbps,paired,independent\n");
+    for rate in RATE_LADDER.iter().rev() {
+        let _ = writeln!(
+            s,
+            "{},{:.6},{:.6}",
+            rate.gbps(),
+            f.paired[rate.index()],
+            f.independent[rate.index()]
+        );
+    }
+    s
+}
+
+/// Figure 8 as CSV:
+/// `profile,workload,paired_pct,independent_pct,ideal_floor_pct`.
+pub fn figure8_csv(f: &Figure8) -> String {
+    let mut s = String::from("profile,workload,paired_pct,independent_pct,ideal_floor_pct\n");
+    for (profile, rows) in [("measured", &f.measured), ("ideal", &f.ideal)] {
+        for r in rows {
+            let _ = writeln!(
+                s,
+                "{},{},{:.3},{:.3},{:.3}",
+                profile, r.workload, r.paired_pct, r.independent_pct, r.ideal_floor_pct
+            );
+        }
+    }
+    s
+}
+
+/// Figure 9(a) as CSV: `workload,target,added_latency_us`.
+pub fn figure9a_csv(cells: &[Figure9aCell]) -> String {
+    let mut s = String::from("workload,target,added_latency_us\n");
+    for c in cells {
+        let _ = writeln!(s, "{},{},{:.3}", c.workload, c.target, c.added_latency_us);
+    }
+    s
+}
+
+/// Figure 9(b) as CSV: `workload,reactivation_ns,added_latency_us`.
+pub fn figure9b_csv(cells: &[Figure9bCell]) -> String {
+    let mut s = String::from("workload,reactivation_ns,added_latency_us\n");
+    for c in cells {
+        let _ = writeln!(
+            s,
+            "{},{},{:.3}",
+            c.workload, c.reactivation_ns, c.added_latency_us
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_csv_shape() {
+        let f = Figure7 {
+            paired: [0.5, 0.2, 0.1, 0.1, 0.1],
+            independent: [0.7, 0.1, 0.1, 0.05, 0.05],
+        };
+        let csv = figure7_csv(&f);
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.starts_with("speed_gbps,"));
+        assert!(csv.contains("40,0.1"), "{csv}");
+        assert!(csv.contains("2.5,0.5"));
+    }
+
+    #[test]
+    fn figure9_csvs() {
+        let a = vec![Figure9aCell {
+            workload: "Search".into(),
+            target: 0.5,
+            added_latency_us: 26.1,
+        }];
+        assert!(figure9a_csv(&a).contains("Search,0.5,26.100"));
+        let b = vec![Figure9bCell {
+            workload: "Advert".into(),
+            reactivation_ns: 1000,
+            added_latency_us: 26.7,
+        }];
+        assert!(figure9b_csv(&b).contains("Advert,1000,26.700"));
+    }
+}

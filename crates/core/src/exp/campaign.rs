@@ -1,0 +1,176 @@
+//! Campaigns: labeled batches of experiments run in parallel, rendered
+//! as one comparison table.
+
+use crate::exp::{run_parallel, Experiment, ExperimentOutcome};
+use epnet_power::LinkPowerProfile;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One labeled experiment inside a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignEntry {
+    /// Row label in the rendered table.
+    pub label: String,
+    /// The experiment to run.
+    pub experiment: Experiment,
+}
+
+/// A labeled batch of experiments sharing one comparison table — the
+/// ergonomic way to ask "which configuration should my cluster run?".
+///
+/// ```no_run
+/// use epnet::exp::campaign::Campaign;
+/// use epnet::prelude::*;
+///
+/// let mut campaign = Campaign::new();
+/// let base = Experiment::new(EvalScale::tiny(), WorkloadKind::Search);
+/// campaign.push("paired", base.clone());
+/// let mut cfg = SimConfig::builder();
+/// cfg.control(ControlMode::IndependentChannel);
+/// campaign.push("independent", base.with_config(cfg.build()));
+/// println!("{}", campaign.run().to_table());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Campaign {
+    entries: Vec<CampaignEntry>,
+}
+
+/// The results of a [`Campaign`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResults {
+    /// (label, outcome) per entry, in insertion order.
+    pub outcomes: Vec<(String, ExperimentOutcome)>,
+}
+
+impl Campaign {
+    /// An empty campaign.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a labeled experiment; returns `self` for chaining.
+    pub fn push(&mut self, label: impl Into<String>, experiment: Experiment) -> &mut Self {
+        self.entries.push(CampaignEntry {
+            label: label.into(),
+            experiment,
+        });
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the campaign has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Runs every entry (each with its baseline) on worker threads.
+    pub fn run(&self) -> CampaignResults {
+        let jobs: Vec<Box<dyn FnOnce() -> ExperimentOutcome + Send>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let experiment = e.experiment.clone();
+                let job: Box<dyn FnOnce() -> ExperimentOutcome + Send> =
+                    Box::new(move || experiment.run());
+                job
+            })
+            .collect();
+        let outcomes = run_parallel(jobs);
+        CampaignResults {
+            outcomes: self
+                .entries
+                .iter()
+                .map(|e| e.label.clone())
+                .zip(outcomes)
+                .collect(),
+        }
+    }
+}
+
+impl CampaignResults {
+    /// Renders the comparison table.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<24} {:>10} {:>10} {:>12} {:>10} {:>8}",
+            "Configuration", "measured", "ideal", "+latency", "reconfigs", "deliver"
+        );
+        for (label, o) in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "{:<24} {:>9.1}% {:>9.1}% {:>12} {:>10} {:>7.1}%",
+                label,
+                o.report.relative_power(&LinkPowerProfile::Measured) * 100.0,
+                o.report.relative_power(&LinkPowerProfile::Ideal) * 100.0,
+                o.added_latency().to_string(),
+                o.report.reconfigurations,
+                o.report.delivery_ratio() * 100.0,
+            );
+        }
+        s
+    }
+
+    /// The entry with the lowest ideal-channel power that still
+    /// delivered at least `min_delivery` of its offered bytes.
+    pub fn best_power(&self, min_delivery: f64) -> Option<&(String, ExperimentOutcome)> {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.report.delivery_ratio() >= min_delivery)
+            .min_by(|a, b| {
+                a.1.report
+                    .relative_power(&LinkPowerProfile::Ideal)
+                    .total_cmp(&b.1.report.relative_power(&LinkPowerProfile::Ideal))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::{EvalScale, WorkloadKind};
+    use epnet_sim::{ControlMode, SimConfig, SimTime};
+
+    fn tiny() -> EvalScale {
+        let mut s = EvalScale::tiny();
+        s.duration = SimTime::from_ms(1);
+        s
+    }
+
+    #[test]
+    fn campaign_runs_all_entries_in_order() {
+        let base = Experiment::new(tiny(), WorkloadKind::Advert);
+        let mut campaign = Campaign::new();
+        campaign.push("paired", base.clone());
+        let mut cfg = SimConfig::builder();
+        cfg.control(ControlMode::IndependentChannel);
+        campaign.push("independent", base.with_config(cfg.build()));
+        assert_eq!(campaign.len(), 2);
+        assert!(!campaign.is_empty());
+
+        let results = campaign.run();
+        assert_eq!(results.outcomes.len(), 2);
+        assert_eq!(results.outcomes[0].0, "paired");
+        assert_eq!(results.outcomes[1].0, "independent");
+        let table = results.to_table();
+        assert!(table.contains("paired"));
+        assert!(table.contains("independent"));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn best_power_respects_delivery_floor() {
+        let base = Experiment::new(tiny(), WorkloadKind::Search);
+        let mut campaign = Campaign::new();
+        campaign.push("a", base.clone()).push("b", base);
+        let results = campaign.run();
+        let best = results.best_power(0.5).expect("both entries deliver");
+        assert!(results.outcomes.iter().any(|(l, _)| l == &best.0));
+        // An impossible floor filters everything out.
+        assert!(results.best_power(1.1).is_none());
+    }
+}

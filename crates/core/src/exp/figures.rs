@@ -1,0 +1,666 @@
+//! One function per table / figure of the paper.
+//!
+//! Each returns a structured, serializable result with a `to_table()`
+//! text rendering; the `repro` binary in `epnet-bench` prints them, and
+//! EXPERIMENTS.md records paper-vs-measured values.
+
+use crate::exp::{run_parallel, EvalScale, Experiment, WorkloadKind};
+use epnet_power::{
+    DatacenterPowerModel, DatacenterScenario, EnergyCostModel, InfinibandMode, LinkPowerProfile,
+    LinkRate, TopologyPowerComparison, RATE_LADDER,
+};
+use epnet_sim::{ControlMode, SimConfig, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// **Figure 1** — server vs network power under the three scenarios.
+pub fn figure1() -> Figure1 {
+    let model = DatacenterPowerModel::paper_figure1();
+    Figure1 {
+        scenarios: model.figure1_scenarios().to_vec(),
+        savings_at_15pct_watts: model.network_ep_savings_watts(0.15),
+    }
+}
+
+/// Result of [`figure1`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure1 {
+    /// Full utilization; 15% EP servers; 15% EP servers + network.
+    pub scenarios: Vec<DatacenterScenario>,
+    /// Watts saved at 15% load by an energy-proportional network.
+    pub savings_at_15pct_watts: f64,
+}
+
+impl Figure1 {
+    /// Text rendering.
+    pub fn to_table(&self) -> String {
+        let labels = [
+            "100% utilization",
+            "15% util, EP servers",
+            "15% util, EP servers+network",
+        ];
+        let mut s = String::from(
+            "Figure 1: server vs network power (32k servers x 250 W, folded-Clos network)\n",
+        );
+        let _ = writeln!(
+            s,
+            "{:<30} {:>12} {:>12} {:>10}",
+            "Scenario", "Servers (kW)", "Network (kW)", "Net share"
+        );
+        for (label, sc) in labels.iter().zip(&self.scenarios) {
+            let _ = writeln!(
+                s,
+                "{:<30} {:>12.0} {:>12.0} {:>9.1}%",
+                label,
+                sc.server_watts / 1e3,
+                sc.network_watts / 1e3,
+                sc.network_fraction() * 100.0
+            );
+        }
+        let _ = writeln!(
+            s,
+            "EP network at 15% load saves {:.0} kW",
+            self.savings_at_15pct_watts / 1e3
+        );
+        s
+    }
+}
+
+/// **Table 1** — topology power comparison at fixed bisection bandwidth.
+pub fn table1() -> TopologyPowerComparison {
+    TopologyPowerComparison::paper_table1()
+}
+
+/// **Table 2** — InfiniBand operational data rates.
+pub fn table2() -> Vec<(String, f64)> {
+    InfinibandMode::ALL
+        .iter()
+        .map(|m| (m.name(), m.gbps()))
+        .collect()
+}
+
+/// **Figure 5** — normalized dynamic range of a real switch chip.
+pub fn figure5() -> Figure5 {
+    Figure5 {
+        idle: LinkPowerProfile::Measured.idle_relative_power(),
+        copper: LinkPowerProfile::figure5_bars(true)
+            .into_iter()
+            .map(|(m, p)| (m.name(), p))
+            .collect(),
+        optical: LinkPowerProfile::figure5_bars(false)
+            .into_iter()
+            .map(|(m, p)| (m.name(), p))
+            .collect(),
+    }
+}
+
+/// Result of [`figure5`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure5 {
+    /// Normalized power with links idled (the STATIC bar).
+    pub idle: f64,
+    /// (mode, normalized power) with copper cabling.
+    pub copper: Vec<(String, f64)>,
+    /// (mode, normalized power) with optics.
+    pub optical: Vec<(String, f64)>,
+}
+
+impl Figure5 {
+    /// Text rendering.
+    pub fn to_table(&self) -> String {
+        let mut s =
+            String::from("Figure 5: normalized power per InfiniBand mode (measured profile)\n");
+        let _ = writeln!(s, "{:<10} {:>8} {:>8}", "Mode", "Copper", "Optical");
+        let _ = writeln!(s, "{:<10} {:>8.3} {:>8.3}", "IDLE", self.idle * 0.75, self.idle);
+        for ((name, c), (_, o)) in self.copper.iter().zip(&self.optical) {
+            let _ = writeln!(s, "{:<10} {:>8.3} {:>8.3}", name, c, o);
+        }
+        s
+    }
+}
+
+/// **Figure 6** — ITRS bandwidth trends.
+pub fn figure6() -> Vec<epnet_power::trends::ItrsSample> {
+    epnet_power::trends::itrs_trends()
+}
+
+/// The paper's headline dollar figures (§1, §2.2, §4.2.2).
+pub fn cost_summary() -> CostSummary {
+    let cost = EnergyCostModel::paper_default();
+    let t1 = TopologyPowerComparison::paper_table1();
+    let fbfly_w = t1.fbfly.total_power_watts;
+    CostSummary {
+        topology_savings_dollars: cost.lifetime_cost_dollars(t1.savings_watts()),
+        baseline_fbfly_cost_dollars: cost.lifetime_cost_dollars(fbfly_w),
+        ep_network_at_15pct_dollars: cost
+            .lifetime_cost_dollars(t1.clos.total_power_watts * 0.85),
+        six_x_reduction_dollars: cost.lifetime_savings_dollars(fbfly_w, fbfly_w / 6.0),
+        six_point_six_x_reduction_dollars: cost.lifetime_savings_dollars(fbfly_w, fbfly_w / 6.6),
+    }
+}
+
+/// Result of [`cost_summary`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostSummary {
+    /// FBFLY vs Clos over four years (paper: "$1.6M").
+    pub topology_savings_dollars: f64,
+    /// Four-year cost of the always-on FBFLY (paper: "$2.89M").
+    pub baseline_fbfly_cost_dollars: f64,
+    /// Savings from an EP network at 15% load (paper: "$3.8M").
+    pub ep_network_at_15pct_dollars: f64,
+    /// Savings from the 6x power reduction (paper: "$2.4M").
+    pub six_x_reduction_dollars: f64,
+    /// Savings from the 6.6x reduction (paper: "$2.5M").
+    pub six_point_six_x_reduction_dollars: f64,
+}
+
+impl CostSummary {
+    /// Text rendering.
+    pub fn to_table(&self) -> String {
+        let mut s = String::from("Four-year cost model ($0.07/kWh, PUE 1.6)\n");
+        let rows = [
+            ("FBFLY vs folded-Clos topology savings", self.topology_savings_dollars, 1.6),
+            ("Baseline FBFLY energy cost", self.baseline_fbfly_cost_dollars, 2.89),
+            ("EP network at 15% load, savings", self.ep_network_at_15pct_dollars, 3.8),
+            ("6.0x dynamic-range reduction, savings", self.six_x_reduction_dollars, 2.4),
+            ("6.6x dynamic-range reduction, savings", self.six_point_six_x_reduction_dollars, 2.5),
+        ];
+        let _ = writeln!(s, "{:<42} {:>10} {:>10}", "Quantity", "Measured", "Paper");
+        for (label, v, paper) in rows {
+            let _ = writeln!(s, "{:<42} {:>9.2}M {:>9.1}M", label, v / 1e6, paper);
+        }
+        s
+    }
+}
+
+/// **Figure 7** — fraction of time links spend at each speed under the
+/// Search workload, with paired-link vs independent-channel control.
+pub fn figure7(scale: EvalScale) -> Figure7 {
+    let jobs: Vec<Box<dyn FnOnce() -> [f64; LinkRate::COUNT] + Send>> = vec![
+        Box::new(move || {
+            Experiment::new(scale, WorkloadKind::Search)
+                .run_ep()
+                .time_at_speed_fractions()
+        }),
+        Box::new(move || {
+            let mut cfg = SimConfig::builder();
+            cfg.control(ControlMode::IndependentChannel);
+            Experiment::new(scale, WorkloadKind::Search)
+                .with_config(cfg.build())
+                .run_ep()
+                .time_at_speed_fractions()
+        }),
+    ];
+    let mut out = run_parallel(jobs).into_iter();
+    Figure7 {
+        paired: out.next().expect("two jobs"),
+        independent: out.next().expect("two jobs"),
+    }
+}
+
+/// Result of [`figure7`]: fractions indexed slowest rate first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure7 {
+    /// Bidirectional link-pair control (Figure 7(a)).
+    pub paired: [f64; LinkRate::COUNT],
+    /// Independent channel control (Figure 7(b)).
+    pub independent: [f64; LinkRate::COUNT],
+}
+
+impl Figure7 {
+    /// Text rendering.
+    pub fn to_table(&self) -> String {
+        let mut s = String::from(
+            "Figure 7: fraction of time at each link speed (Search, 1 us reactivation,\n10 us epoch, 50% target)\n",
+        );
+        let _ = writeln!(s, "{:<10} {:>10} {:>12}", "Speed", "Paired", "Independent");
+        for rate in RATE_LADDER.iter().rev() {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>9.1}% {:>11.1}%",
+                rate.to_string(),
+                self.paired[rate.index()] * 100.0,
+                self.independent[rate.index()] * 100.0
+            );
+        }
+        s
+    }
+}
+
+/// One workload's row in **Figure 8**.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure8Row {
+    /// Workload name.
+    pub workload: String,
+    /// Percent of baseline power with paired-link control.
+    pub paired_pct: f64,
+    /// Percent of baseline power with independent channel control.
+    pub independent_pct: f64,
+    /// The ideal floor — the baseline's average channel utilization
+    /// (§4.2.1), in percent.
+    pub ideal_floor_pct: f64,
+}
+
+/// Result of [`figure8`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure8 {
+    /// Figure 8(a): measured (Figure-5) channel power.
+    pub measured: Vec<Figure8Row>,
+    /// Figure 8(b): ideally energy-proportional channels.
+    pub ideal: Vec<Figure8Row>,
+}
+
+/// **Figure 8** — network power relative to the always-full baseline,
+/// for all three workloads, both control modes, under both channel
+/// power profiles.
+pub fn figure8(scale: EvalScale) -> Figure8 {
+    #[derive(Clone, Copy)]
+    enum Run {
+        Baseline(WorkloadKind),
+        Ep(WorkloadKind, ControlMode),
+    }
+    let mut plan = Vec::new();
+    for kind in WorkloadKind::ALL {
+        plan.push(Run::Baseline(kind));
+        plan.push(Run::Ep(kind, ControlMode::PairedLink));
+        plan.push(Run::Ep(kind, ControlMode::IndependentChannel));
+    }
+    let jobs: Vec<Box<dyn FnOnce() -> epnet_sim::SimReport + Send>> = plan
+        .iter()
+        .map(|&run| {
+            let job: Box<dyn FnOnce() -> epnet_sim::SimReport + Send> = match run {
+                Run::Baseline(kind) => {
+                    Box::new(move || Experiment::new(scale, kind).run_baseline())
+                }
+                Run::Ep(kind, mode) => Box::new(move || {
+                    let mut cfg = SimConfig::builder();
+                    cfg.control(mode);
+                    Experiment::new(scale, kind)
+                        .with_config(cfg.build())
+                        .run_ep()
+                }),
+            };
+            job
+        })
+        .collect();
+    let reports = run_parallel(jobs);
+    let mut measured = Vec::new();
+    let mut ideal = Vec::new();
+    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let baseline = &reports[i * 3];
+        let paired = &reports[i * 3 + 1];
+        let independent = &reports[i * 3 + 2];
+        let floor = baseline.avg_channel_utilization * 100.0;
+        measured.push(Figure8Row {
+            workload: kind.name().to_owned(),
+            paired_pct: paired.relative_power(&LinkPowerProfile::Measured) * 100.0,
+            independent_pct: independent.relative_power(&LinkPowerProfile::Measured) * 100.0,
+            ideal_floor_pct: floor,
+        });
+        ideal.push(Figure8Row {
+            workload: kind.name().to_owned(),
+            paired_pct: paired.relative_power(&LinkPowerProfile::Ideal) * 100.0,
+            independent_pct: independent.relative_power(&LinkPowerProfile::Ideal) * 100.0,
+            ideal_floor_pct: floor,
+        });
+    }
+    Figure8 { measured, ideal }
+}
+
+impl Figure8 {
+    /// Text rendering.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        for (title, rows) in [
+            ("Figure 8(a): % of baseline power, measured channels", &self.measured),
+            ("Figure 8(b): % of baseline power, ideal channels", &self.ideal),
+        ] {
+            let _ = writeln!(s, "{title}");
+            let _ = writeln!(
+                s,
+                "{:<10} {:>8} {:>12} {:>12}",
+                "Workload", "Paired", "Independent", "Ideal floor"
+            );
+            for r in rows {
+                let _ = writeln!(
+                    s,
+                    "{:<10} {:>7.1}% {:>11.1}% {:>11.1}%",
+                    r.workload, r.paired_pct, r.independent_pct, r.ideal_floor_pct
+                );
+            }
+        }
+        s
+    }
+}
+
+/// One topology's row in the *simulated* topology comparison (an
+/// extension beyond the paper, which compares the topologies
+/// analytically in Table 1 and simulates only the butterfly).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySimRow {
+    /// Topology name.
+    pub topology: String,
+    /// Hosts simulated.
+    pub hosts: usize,
+    /// Switch chips.
+    pub chips: usize,
+    /// Baseline (always-on) network watts under the paper's per-SerDes
+    /// power.
+    pub baseline_watts: f64,
+    /// Network watts under energy-proportional control (ideal channels,
+    /// independent control).
+    pub ep_watts: f64,
+    /// Baseline mean packet latency in microseconds.
+    pub base_latency_us: f64,
+    /// Added mean latency from EP control, microseconds.
+    pub added_latency_us: f64,
+}
+
+/// Result of [`simulated_topology_comparison`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySimComparison {
+    /// FBFLY row then two-tier Clos row.
+    pub rows: Vec<TopologySimRow>,
+}
+
+impl TopologySimComparison {
+    /// Text rendering.
+    pub fn to_table(&self) -> String {
+        let mut s = String::from(
+            "Extension: simulated topology comparison (Search, ideal channels, independent control)\n",
+        );
+        let _ = writeln!(
+            s,
+            "{:<26} {:>6} {:>6} {:>11} {:>9} {:>10} {:>10}",
+            "Topology", "hosts", "chips", "base (W)", "EP (W)", "lat (us)", "+lat (us)"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<26} {:>6} {:>6} {:>11.0} {:>9.0} {:>10.1} {:>10.1}",
+                r.topology,
+                r.hosts,
+                r.chips,
+                r.baseline_watts,
+                r.ep_watts,
+                r.base_latency_us,
+                r.added_latency_us
+            );
+        }
+        s
+    }
+}
+
+/// Runs the Search workload over both a flattened butterfly and a
+/// size-matched two-tier folded Clos, under baseline and
+/// energy-proportional control, and prices both with the paper's
+/// per-SerDes power model. Extends Table 1 from analysis into
+/// simulation.
+pub fn simulated_topology_comparison(scale: EvalScale) -> TopologySimComparison {
+    use epnet_power::{NetworkEnergyModel, SwitchPowerModel};
+    use epnet_sim::Simulator;
+    use epnet_topology::{RoutingTopology, TwoTierClos};
+
+    let fbfly = scale.topology();
+    // Closest non-blocking two-tier Clos: 2c² hosts.
+    let c = ((fbfly.num_hosts() as f64 / 2.0).sqrt().round() as u16).max(2);
+    let clos = TwoTierClos::non_blocking(c).expect("derived clos is valid");
+
+    let serdes_watts = 100.0 / 144.0; // the paper's ≈0.7 W per lane
+    let fbfly_power = SwitchPowerModel::new(fbfly.ports_per_switch(), 4, serdes_watts, 10.0);
+    let clos_power = SwitchPowerModel::new(clos.ports_per_switch(), 4, serdes_watts, 10.0);
+
+    let run = move |fabric: epnet_topology::FabricGraph, ep: bool| {
+        let hosts = fabric.num_hosts() as u32;
+        let source = WorkloadKind::Search.source(hosts, scale.seed, scale.duration);
+        let config = if ep {
+            let mut b = SimConfig::builder();
+            b.control(ControlMode::IndependentChannel);
+            b.build()
+        } else {
+            SimConfig::baseline()
+        };
+        Simulator::new(fabric, config, source).run_until(scale.duration)
+    };
+
+    let jobs: Vec<Box<dyn FnOnce() -> epnet_sim::SimReport + Send>> = vec![
+        Box::new({
+            let f = fbfly;
+            move || run(f.build_fabric(), false)
+        }),
+        Box::new({
+            let f = fbfly;
+            move || run(f.build_fabric(), true)
+        }),
+        Box::new(move || run(clos.build_fabric(), false)),
+        Box::new(move || run(clos.build_fabric(), true)),
+    ];
+    let mut reports = run_parallel(jobs).into_iter();
+    let (fb_base, fb_ep) = (reports.next().expect("4 jobs"), reports.next().expect("4 jobs"));
+    let (cl_base, cl_ep) = (reports.next().expect("4 jobs"), reports.next().expect("4 jobs"));
+
+    let fb_energy = NetworkEnergyModel::for_fbfly(&fbfly, fbfly_power);
+    let cl_energy = NetworkEnergyModel::for_two_tier(&clos, clos_power);
+    let row = |name: &str,
+               hosts: usize,
+               chips: usize,
+               energy: &NetworkEnergyModel,
+               base: &epnet_sim::SimReport,
+               ep: &epnet_sim::SimReport| TopologySimRow {
+        topology: name.to_owned(),
+        hosts,
+        chips,
+        baseline_watts: energy.baseline_watts(),
+        ep_watts: energy.watts(ep.relative_power(&LinkPowerProfile::Ideal)),
+        base_latency_us: base.mean_packet_latency.as_us_f64(),
+        added_latency_us: ep.added_latency_vs(base).as_us_f64(),
+    };
+    TopologySimComparison {
+        rows: vec![
+            row(
+                &format!("FBFLY ({}-ary {}-flat)", fbfly.radix(), fbfly.flat_n()),
+                fbfly.num_hosts(),
+                fbfly.num_switches(),
+                &fb_energy,
+                &fb_base,
+                &fb_ep,
+            ),
+            row(
+                &format!("Two-tier Clos (c={c})"),
+                clos.num_hosts(),
+                clos.num_switches(),
+                &cl_energy,
+                &cl_base,
+                &cl_ep,
+            ),
+        ],
+    }
+}
+
+/// One cell of **Figure 9(a)**: added latency at a target utilization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure9aCell {
+    /// Workload name.
+    pub workload: String,
+    /// Target channel utilization (0.25 / 0.5 / 0.75).
+    pub target: f64,
+    /// Increase in mean packet latency over baseline, microseconds.
+    pub added_latency_us: f64,
+}
+
+/// **Figure 9(a)** — latency sensitivity to target channel utilization
+/// (1 µs reactivation, paired links).
+pub fn figure9a(scale: EvalScale) -> Vec<Figure9aCell> {
+    const TARGETS: [f64; 3] = [0.25, 0.50, 0.75];
+    let mut plan = Vec::new();
+    for kind in WorkloadKind::ALL {
+        plan.push((kind, None));
+        for t in TARGETS {
+            plan.push((kind, Some(t)));
+        }
+    }
+    let jobs: Vec<Box<dyn FnOnce() -> epnet_sim::SimReport + Send>> = plan
+        .iter()
+        .map(|&(kind, target)| {
+            let job: Box<dyn FnOnce() -> epnet_sim::SimReport + Send> = match target {
+                None => Box::new(move || Experiment::new(scale, kind).run_baseline()),
+                Some(t) => Box::new(move || {
+                    let mut cfg = SimConfig::builder();
+                    cfg.target_utilization(t);
+                    Experiment::new(scale, kind)
+                        .with_config(cfg.build())
+                        .run_ep()
+                }),
+            };
+            job
+        })
+        .collect();
+    let reports = run_parallel(jobs);
+    let mut cells = Vec::new();
+    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let base = &reports[i * 4];
+        for (j, t) in TARGETS.iter().enumerate() {
+            let r = &reports[i * 4 + 1 + j];
+            cells.push(Figure9aCell {
+                workload: kind.name().to_owned(),
+                target: *t,
+                added_latency_us: r.added_latency_vs(base).as_us_f64(),
+            });
+        }
+    }
+    cells
+}
+
+/// One cell of **Figure 9(b)**: added latency at a reactivation time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure9bCell {
+    /// Workload name.
+    pub workload: String,
+    /// Link reactivation latency in nanoseconds.
+    pub reactivation_ns: u64,
+    /// Increase in mean packet latency over baseline, microseconds.
+    pub added_latency_us: f64,
+}
+
+/// **Figure 9(b)** — latency sensitivity to reactivation time (50%
+/// target, paired links, epoch = 10× reactivation).
+pub fn figure9b(scale: EvalScale) -> Vec<Figure9bCell> {
+    const REACTIVATIONS_NS: [u64; 4] = [100, 1_000, 10_000, 100_000];
+    let mut plan = Vec::new();
+    for kind in WorkloadKind::ALL {
+        plan.push((kind, None));
+        for r in REACTIVATIONS_NS {
+            plan.push((kind, Some(r)));
+        }
+    }
+    let jobs: Vec<Box<dyn FnOnce() -> epnet_sim::SimReport + Send>> = plan
+        .iter()
+        .map(|&(kind, react)| {
+            let job: Box<dyn FnOnce() -> epnet_sim::SimReport + Send> = match react {
+                None => Box::new(move || Experiment::new(scale, kind).run_baseline()),
+                Some(ns) => Box::new(move || {
+                    let mut cfg = SimConfig::builder();
+                    cfg.reactivation(SimTime::from_ns(ns));
+                    Experiment::new(scale, kind)
+                        .with_config(cfg.build())
+                        .run_ep()
+                }),
+            };
+            job
+        })
+        .collect();
+    let reports = run_parallel(jobs);
+    let mut cells = Vec::new();
+    for (i, kind) in WorkloadKind::ALL.iter().enumerate() {
+        let base = &reports[i * 5];
+        for (j, ns) in REACTIVATIONS_NS.iter().enumerate() {
+            let r = &reports[i * 5 + 1 + j];
+            cells.push(Figure9bCell {
+                workload: kind.name().to_owned(),
+                reactivation_ns: *ns,
+                added_latency_us: r.added_latency_vs(base).as_us_f64(),
+            });
+        }
+    }
+    cells
+}
+
+/// Renders Figure 9 cell lists as a text matrix.
+pub fn figure9_table<'a>(
+    title: &str,
+    col_label: &str,
+    cols: impl Iterator<Item = String>,
+    cells: impl Iterator<Item = (&'a str, f64)>,
+) -> String {
+    let mut s = format!("{title}\n");
+    let cols: Vec<String> = cols.collect();
+    let _ = write!(s, "{:<10}", "Workload");
+    for c in &cols {
+        let _ = write!(s, " {c:>12}");
+    }
+    let _ = writeln!(s, "   ({col_label})");
+    let mut current: Option<&str> = None;
+    for (workload, v) in cells {
+        if current != Some(workload) {
+            if current.is_some() {
+                let _ = writeln!(s);
+            }
+            let _ = write!(s, "{workload:<10}");
+            current = Some(workload);
+        }
+        let _ = write!(s, " {v:>12.1}");
+    }
+    let _ = writeln!(s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytical_figures_match_paper() {
+        let f1 = figure1();
+        assert_eq!(f1.scenarios.len(), 3);
+        assert!((f1.savings_at_15pct_watts - 974_848.0).abs() < 1.0);
+        assert!(f1.to_table().contains("Figure 1"));
+
+        let t1 = table1();
+        assert_eq!(t1.savings_watts(), 409_600.0);
+
+        let t2 = table2();
+        assert_eq!(t2.len(), 6);
+        assert_eq!(t2[5].1, 40.0);
+
+        let f5 = figure5();
+        assert_eq!(f5.optical.last().unwrap().1, 1.0);
+        assert!(f5.to_table().contains("4x QDR"));
+
+        let f6 = figure6();
+        assert_eq!(f6.last().unwrap().io_bandwidth_tbps, 160.0);
+    }
+
+    #[test]
+    fn cost_summary_matches_paper_claims() {
+        let c = cost_summary();
+        assert!((1.55e6..1.7e6).contains(&c.topology_savings_dollars));
+        assert!((2.8e6..3.0e6).contains(&c.baseline_fbfly_cost_dollars));
+        assert!((3.7e6..3.95e6).contains(&c.ep_network_at_15pct_dollars));
+        assert!((2.3e6..2.5e6).contains(&c.six_x_reduction_dollars));
+        assert!(c.to_table().contains("Paper"));
+    }
+
+    #[test]
+    fn figure9_table_renders() {
+        let cells = vec![("Uniform", 1.0), ("Uniform", 2.0), ("Search", 3.0), ("Search", 4.0)];
+        let s = figure9_table(
+            "t",
+            "us",
+            ["a".to_owned(), "b".to_owned()].into_iter(),
+            cells.into_iter(),
+        );
+        assert!(s.contains("Uniform"));
+        assert!(s.contains("Search"));
+        assert!(s.lines().count() >= 4);
+    }
+}

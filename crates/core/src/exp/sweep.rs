@@ -1,0 +1,175 @@
+//! Parameter sweeps over the controller's two knobs: target channel
+//! utilization and reactivation latency.
+//!
+//! Covers the §4.2.2 analyses the paper *describes* but does not plot:
+//! "increasing the reactivation time (and hence utilization measurement
+//! epoch) does decrease the opportunity to save power. Especially for
+//! the Uniform workload ... the power savings completely disappear for
+//! 100 µs."
+
+use crate::exp::{run_parallel, EvalScale, Experiment, WorkloadKind};
+use epnet_power::LinkPowerProfile;
+use epnet_sim::{SimConfig, SimReport, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One grid point of a [`SensitivitySweep`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Workload name.
+    pub workload: String,
+    /// Target channel utilization.
+    pub target: f64,
+    /// Reactivation latency in nanoseconds (epoch = 10×).
+    pub reactivation_ns: u64,
+    /// Added mean packet latency over baseline, microseconds.
+    pub added_latency_us: f64,
+    /// Relative network power, ideal channels.
+    pub power_ideal: f64,
+    /// Relative network power, measured channels.
+    pub power_measured: f64,
+    /// Delivered / offered bytes.
+    pub delivery_ratio: f64,
+}
+
+/// A grid sweep of the controller's tuning knobs for one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensitivitySweep {
+    /// Fabric size and run duration.
+    pub scale: EvalScale,
+    /// Workload under test.
+    pub workload: WorkloadKind,
+    /// Target utilizations to try.
+    pub targets: Vec<f64>,
+    /// Reactivation latencies to try.
+    pub reactivations: Vec<SimTime>,
+}
+
+impl SensitivitySweep {
+    /// The paper's grid: targets {25, 50, 75}% × reactivations
+    /// {100 ns, 1 µs, 10 µs, 100 µs}.
+    pub fn paper_grid(scale: EvalScale, workload: WorkloadKind) -> Self {
+        Self {
+            scale,
+            workload,
+            targets: vec![0.25, 0.50, 0.75],
+            reactivations: vec![
+                SimTime::from_ns(100),
+                SimTime::from_us(1),
+                SimTime::from_us(10),
+                SimTime::from_us(100),
+            ],
+        }
+    }
+
+    /// Runs the grid (plus one baseline) and returns a cell per point.
+    pub fn run(&self) -> Vec<SweepCell> {
+        let scale = self.scale;
+        let workload = self.workload;
+        let mut jobs: Vec<Box<dyn FnOnce() -> SimReport + Send>> = vec![Box::new(move || {
+            Experiment::new(scale, workload).run_baseline()
+        })];
+        for &target in &self.targets {
+            for &reactivation in &self.reactivations {
+                jobs.push(Box::new(move || {
+                    let mut cfg = SimConfig::builder();
+                    cfg.reactivation(reactivation).target_utilization(target);
+                    Experiment::new(scale, workload)
+                        .with_config(cfg.build())
+                        .run_ep()
+                }));
+            }
+        }
+        let mut reports = run_parallel(jobs).into_iter();
+        let baseline = reports.next().expect("baseline job");
+        let mut cells = Vec::new();
+        for &target in &self.targets {
+            for &reactivation in &self.reactivations {
+                let r = reports.next().expect("grid job");
+                cells.push(SweepCell {
+                    workload: workload.name().to_owned(),
+                    target,
+                    reactivation_ns: reactivation.as_ns(),
+                    added_latency_us: r.added_latency_vs(&baseline).as_us_f64(),
+                    power_ideal: r.relative_power(&LinkPowerProfile::Ideal),
+                    power_measured: r.relative_power(&LinkPowerProfile::Measured),
+                    delivery_ratio: r.delivery_ratio(),
+                });
+            }
+        }
+        cells
+    }
+}
+
+/// Renders sweep cells as two matrices (latency and ideal power).
+pub fn sweep_tables(workload: &str, cells: &[SweepCell]) -> String {
+    let mut targets: Vec<f64> = cells.iter().map(|c| c.target).collect();
+    targets.dedup();
+    let mut reacts: Vec<u64> = cells.iter().map(|c| c.reactivation_ns).collect();
+    reacts.sort_unstable();
+    reacts.dedup();
+
+    let mut s = format!("Sensitivity sweep ({workload}): added latency (us)\n");
+    for (title, pick) in [
+        ("", 0usize),
+        ("Sensitivity sweep: relative power, ideal channels (%)\n", 1),
+    ] {
+        s.push_str(title);
+        let _ = write!(s, "{:<8}", "target");
+        for r in &reacts {
+            let _ = write!(s, " {:>10}", format!("{}ns", r));
+        }
+        let _ = writeln!(s);
+        for t in &targets {
+            let _ = write!(s, "{:<8}", format!("{:.0}%", t * 100.0));
+            for r in &reacts {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.target == *t && c.reactivation_ns == *r)
+                    .expect("full grid");
+                let v = if pick == 0 {
+                    cell.added_latency_us
+                } else {
+                    cell.power_ideal * 100.0
+                };
+                let _ = write!(s, " {v:>10.1}");
+            }
+            let _ = writeln!(s);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_full_grid() {
+        let mut scale = EvalScale::tiny();
+        scale.duration = SimTime::from_ms(1);
+        let sweep = SensitivitySweep {
+            scale,
+            workload: WorkloadKind::Search,
+            targets: vec![0.25, 0.75],
+            reactivations: vec![SimTime::from_us(1), SimTime::from_us(10)],
+        };
+        let cells = sweep.run();
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert!(c.power_ideal > 0.0 && c.power_ideal <= 1.0);
+            assert!(c.power_measured >= c.power_ideal);
+            assert!(c.delivery_ratio > 0.5);
+        }
+        let table = sweep_tables("Search", &cells);
+        assert!(table.contains("25%"));
+        assert!(table.contains("75%"));
+    }
+
+    #[test]
+    fn paper_grid_shape() {
+        let sweep = SensitivitySweep::paper_grid(EvalScale::tiny(), WorkloadKind::Advert);
+        assert_eq!(sweep.targets.len(), 3);
+        assert_eq!(sweep.reactivations.len(), 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! # epnet — energy-proportional datacenter networks
+//!
+//! A faithful, from-scratch reproduction of Abts, Marty, Wells,
+//! Klausler & Liu, **"Energy Proportional Datacenter Networks"**
+//! (ISCA 2010), as a reusable Rust library:
+//!
+//! * [`topology`] — flattened-butterfly and folded-Clos models with part
+//!   counts and a port-level fabric graph,
+//! * [`power`] — link power profiles, the Table-1 topology comparison,
+//!   the Figure-1 datacenter model and the electricity cost model,
+//! * [`sim`] — the event-driven simulator with per-epoch link-rate
+//!   control (paired or independent channels) and the dynamic-topology
+//!   extension,
+//! * [`workloads`] — the Uniform workload and the synthetic
+//!   `Advert`/`Search` trace generators,
+//! * [`exp`] — ready-made experiment presets that regenerate every table
+//!   and figure of the paper (see EXPERIMENTS.md for paper-vs-measured).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use epnet::prelude::*;
+//!
+//! // A small energy-proportional fabric under a search-like workload.
+//! let scale = EvalScale::tiny();
+//! let experiment = Experiment::new(scale, WorkloadKind::Search);
+//! let outcome = experiment.run();
+//! // Energy proportionality works: relative power tracks utilization
+//! // far below the always-on baseline's 1.0.
+//! assert!(outcome.report.relative_power(&LinkPowerProfile::Ideal) < 0.7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub use epnet_power as power;
+pub use epnet_sim as sim;
+pub use epnet_topology as topology;
+pub use epnet_workloads as workloads;
+
+pub mod exp;
+pub mod prelude;
+
+pub use exp::{EvalScale, Experiment, ExperimentOutcome, WorkloadKind};

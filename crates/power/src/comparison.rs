@@ -1,0 +1,271 @@
+//! Topology power comparison — **Table 1** of the paper.
+
+use crate::SwitchPowerModel;
+use epnet_topology::{FlattenedButterfly, FoldedClos, Medium};
+use serde::{Deserialize, Serialize};
+
+/// One column of Table 1: the part counts and power of a topology at a
+/// fixed bisection bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyPowerRow {
+    /// Topology name as printed in the table header.
+    pub name: String,
+    /// Number of hosts `N`.
+    pub hosts: u64,
+    /// Bisection bandwidth in Gb/s (40 Gb/s links).
+    pub bisection_gbps: f64,
+    /// Electrical (copper / backplane) links.
+    pub electrical_links: u64,
+    /// Optical links.
+    pub optical_links: u64,
+    /// Switch chips (powered; for the Clos this is the fractional used
+    /// count per the paper's footnote 5).
+    pub switch_chips: f64,
+    /// Total network power in watts.
+    pub total_power_watts: f64,
+}
+
+impl TopologyPowerRow {
+    /// Power per unit of bisection bandwidth, W/(Gb/s) — the last row of
+    /// Table 1.
+    pub fn watts_per_gbps(&self) -> f64 {
+        self.total_power_watts / self.bisection_gbps
+    }
+
+    /// Network power refined with the electrical-port discount the
+    /// paper's Table 1 deliberately leaves out: "the profile of an
+    /// existing switch chip uses 25% less power to drive an electrical
+    /// link compared to an optical link. This represents a second-order
+    /// effect ... and is actually disadvantageous for the flattened
+    /// butterfly" (§2.2). Switch-port power splits across the topology's
+    /// link media; the discount applies to the electrical share.
+    pub fn media_aware_power_watts(&self, model: &SwitchPowerModel) -> f64 {
+        let nic_watts = self.hosts as f64 * model.nic_watts();
+        let switch_watts = self.total_power_watts - nic_watts;
+        let total_ports = 2.0 * (self.electrical_links + self.optical_links) as f64;
+        if total_ports == 0.0 {
+            return self.total_power_watts;
+        }
+        let electrical_share = 2.0 * self.electrical_links as f64 / total_ports;
+        let discount = electrical_share * (1.0 - crate::profiles::COPPER_DISCOUNT);
+        switch_watts * (1.0 - discount) + nic_watts
+    }
+
+    /// Builds the row for a flattened butterfly.
+    pub fn from_fbfly(f: &FlattenedButterfly, model: &SwitchPowerModel, link_gbps: f64) -> Self {
+        Self {
+            name: format!(
+                "FBFLY ({}-ary {}-flat)",
+                f.radix(),
+                f.flat_n()
+            ),
+            hosts: f.num_hosts() as u64,
+            bisection_gbps: f.bisection_gbps(link_gbps),
+            electrical_links: f.link_count(Medium::Electrical) as u64,
+            optical_links: f.link_count(Medium::Optical) as u64,
+            switch_chips: f.num_switches() as f64,
+            total_power_watts: model.network_watts(f.num_switches() as f64, f.num_hosts() as u64),
+        }
+    }
+
+    /// Builds the row for a folded Clos.
+    pub fn from_clos(c: &FoldedClos, model: &SwitchPowerModel, link_gbps: f64) -> Self {
+        Self {
+            name: "Folded Clos".to_owned(),
+            hosts: c.num_hosts(),
+            bisection_gbps: c.bisection_gbps(link_gbps),
+            electrical_links: c.link_count(Medium::Electrical),
+            optical_links: c.link_count(Medium::Optical),
+            switch_chips: c.chips_powered(),
+            total_power_watts: model.network_watts(c.chips_powered(), c.num_hosts()),
+        }
+    }
+}
+
+/// A side-by-side comparison of a folded-Clos and a flattened butterfly
+/// at equal host count and bisection bandwidth — **Table 1**.
+///
+/// ```
+/// use epnet_power::TopologyPowerComparison;
+/// let t = TopologyPowerComparison::paper_table1();
+/// assert!((t.clos.watts_per_gbps() - 1.75).abs() < 0.005);
+/// assert!((t.fbfly.watts_per_gbps() - 1.13).abs() < 0.005);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyPowerComparison {
+    /// The folded-Clos column.
+    pub clos: TopologyPowerRow,
+    /// The flattened-butterfly column.
+    pub fbfly: TopologyPowerRow,
+}
+
+impl TopologyPowerComparison {
+    /// Builds the comparison for arbitrary same-size networks.
+    pub fn new(
+        clos: &FoldedClos,
+        fbfly: &FlattenedButterfly,
+        model: &SwitchPowerModel,
+        link_gbps: f64,
+    ) -> Self {
+        Self {
+            clos: TopologyPowerRow::from_clos(clos, model, link_gbps),
+            fbfly: TopologyPowerRow::from_fbfly(fbfly, model, link_gbps),
+        }
+    }
+
+    /// The paper's exact Table 1: 32k hosts, 40 Gb/s links, 100 W chips,
+    /// 10 W NICs.
+    pub fn paper_table1() -> Self {
+        Self::new(
+            &FoldedClos::paper_comparison_32k(),
+            &FlattenedButterfly::paper_comparison_32k(),
+            &SwitchPowerModel::paper_default(),
+            40.0,
+        )
+    }
+
+    /// Power saved by choosing the flattened butterfly, in watts
+    /// (the paper: "the cluster with the flattened butterfly interconnect
+    /// uses 409,600 fewer watts").
+    pub fn savings_watts(&self) -> f64 {
+        self.clos.total_power_watts - self.fbfly.total_power_watts
+    }
+
+    /// Renders the comparison as an aligned text table matching the
+    /// paper's rows.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let rows: [(&str, String, String); 7] = [
+            (
+                "Number of hosts (N)",
+                self.clos.hosts.to_string(),
+                self.fbfly.hosts.to_string(),
+            ),
+            (
+                "Bisection B/W (Tb/s)",
+                format!("{:.0}", self.clos.bisection_gbps / 1000.0),
+                format!("{:.0}", self.fbfly.bisection_gbps / 1000.0),
+            ),
+            (
+                "Electrical links",
+                self.clos.electrical_links.to_string(),
+                self.fbfly.electrical_links.to_string(),
+            ),
+            (
+                "Optical links",
+                self.clos.optical_links.to_string(),
+                self.fbfly.optical_links.to_string(),
+            ),
+            (
+                "Switch chips",
+                format!("{:.0}", self.clos.switch_chips),
+                format!("{:.0}", self.fbfly.switch_chips),
+            ),
+            (
+                "Total power (W)",
+                format!("{:.0}", self.clos.total_power_watts),
+                format!("{:.0}", self.fbfly.total_power_watts),
+            ),
+            (
+                "Power per bisection B/W (W/Gb/s)",
+                format!("{:.2}", self.clos.watts_per_gbps()),
+                format!("{:.2}", self.fbfly.watts_per_gbps()),
+            ),
+        ];
+        s.push_str(&format!(
+            "{:<34} {:>14} {:>20}\n",
+            "Parameter", "Folded Clos", &self.fbfly.name
+        ));
+        for (label, clos, fbfly) in rows {
+            s.push_str(&format!("{label:<34} {clos:>14} {fbfly:>20}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_exact_values() {
+        let t = TopologyPowerComparison::paper_table1();
+        // Folded-Clos column.
+        assert_eq!(t.clos.hosts, 32_768);
+        assert_eq!(t.clos.bisection_gbps, 655_360.0);
+        assert_eq!(t.clos.electrical_links, 49_152);
+        assert_eq!(t.clos.optical_links, 65_536);
+        assert_eq!(t.clos.switch_chips, 8_192.0);
+        assert_eq!(t.clos.total_power_watts, 1_146_880.0);
+        assert!((t.clos.watts_per_gbps() - 1.75).abs() < 1e-9);
+        // FBFLY column.
+        assert_eq!(t.fbfly.hosts, 32_768);
+        assert_eq!(t.fbfly.bisection_gbps, 655_360.0);
+        assert_eq!(t.fbfly.electrical_links, 47_104);
+        assert_eq!(t.fbfly.optical_links, 43_008);
+        assert_eq!(t.fbfly.switch_chips, 4_096.0);
+        assert_eq!(t.fbfly.total_power_watts, 737_280.0);
+        assert!((t.fbfly.watts_per_gbps() - 1.125).abs() < 1e-9);
+        // Headline: 409,600 fewer watts.
+        assert_eq!(t.savings_watts(), 409_600.0);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = TopologyPowerComparison::paper_table1();
+        let text = t.to_table();
+        assert!(text.contains("32768"));
+        assert!(text.contains("1146880"));
+        assert!(text.contains("737280"));
+        assert!(text.contains("1.75"));
+        assert!(text.contains("1.13") || text.contains("1.12"));
+        assert_eq!(text.lines().count(), 8);
+    }
+
+    #[test]
+    fn media_aware_power_favors_fbfly_even_more() {
+        // §2.2 says ignoring the electrical discount "does not favor the
+        // FBFLY topology": with the discount applied, the butterfly's
+        // larger electrical share must widen its advantage.
+        let t = TopologyPowerComparison::paper_table1();
+        let model = SwitchPowerModel::paper_default();
+        let clos = t.clos.media_aware_power_watts(&model);
+        let fbfly = t.fbfly.media_aware_power_watts(&model);
+        assert!(clos < t.clos.total_power_watts);
+        assert!(fbfly < t.fbfly.total_power_watts);
+        let naive_gap = t.clos.total_power_watts - t.fbfly.total_power_watts;
+        let refined_gap = clos - fbfly;
+        assert!(
+            refined_gap > naive_gap * 0.85,
+            "discount should not erase the advantage: {refined_gap} vs {naive_gap}"
+        );
+        // The FBFLY's packaging locality gives it the larger electrical
+        // share, so its *switch* power drops by a larger fraction
+        // (52.3% of its ports are electrical vs the Clos's 42.9%).
+        let nic = |row: &TopologyPowerRow| row.hosts as f64 * model.nic_watts();
+        let fbfly_drop =
+            1.0 - (fbfly - nic(&t.fbfly)) / (t.fbfly.total_power_watts - nic(&t.fbfly));
+        let clos_drop = 1.0 - (clos - nic(&t.clos)) / (t.clos.total_power_watts - nic(&t.clos));
+        assert!(
+            fbfly_drop > clos_drop,
+            "fbfly switch-power drop {fbfly_drop:.4} vs clos {clos_drop:.4}"
+        );
+    }
+
+    #[test]
+    fn smaller_network_keeps_fbfly_advantage() {
+        // §2.2: "the trends shown in Table 1 continue to hold for this
+        // scale of cluster."
+        use epnet_topology::{ChassisSpec, FoldedClos};
+        let fbfly = FlattenedButterfly::new(8, 8, 4).unwrap(); // 4096 hosts
+        let clos = FoldedClos::new(4_096, ChassisSpec::paper_324_port()).unwrap();
+        let t = TopologyPowerComparison::new(
+            &clos,
+            &fbfly,
+            &SwitchPowerModel::paper_default(),
+            40.0,
+        );
+        assert!(t.savings_watts() > 0.0);
+        assert!(t.fbfly.watts_per_gbps() < t.clos.watts_per_gbps());
+    }
+}

@@ -1,0 +1,154 @@
+//! Electricity cost model (§1, §2.2, §4.2.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Converts watts of IT load into operating expenditure, following the
+/// paper's assumptions: "an average industrial electricity rate of $0.07
+/// per kilowatt-hour and a datacenter PUE of 1.6" over a four-year
+/// service life.
+///
+/// ```
+/// use epnet_power::EnergyCostModel;
+/// let m = EnergyCostModel::paper_default();
+/// // §2.2: the FBFLY saves 409,600 W over the Clos → "over $1.6M of
+/// // energy savings over a four-year lifetime".
+/// let dollars = m.cost_dollars(409_600.0, m.service_life_hours());
+/// assert!((1.55e6..1.65e6).contains(&dollars));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyCostModel {
+    dollars_per_kwh: f64,
+    pue: f64,
+    service_life_years: f64,
+}
+
+/// Mean hours per year including leap years.
+const HOURS_PER_YEAR: f64 = 8_766.0;
+
+impl EnergyCostModel {
+    /// Builds a cost model.
+    pub fn new(dollars_per_kwh: f64, pue: f64, service_life_years: f64) -> Self {
+        Self {
+            dollars_per_kwh,
+            pue,
+            service_life_years,
+        }
+    }
+
+    /// The paper's parameters: $0.07/kWh, PUE 1.6 ("the middle-point
+    /// between industry-leading datacenters (1.2) and the EPA's 2007
+    /// survey (2.0)"), four-year service life.
+    pub fn paper_default() -> Self {
+        Self::new(0.07, 1.6, 4.0)
+    }
+
+    /// Electricity price in $/kWh.
+    #[inline]
+    pub fn dollars_per_kwh(&self) -> f64 {
+        self.dollars_per_kwh
+    }
+
+    /// Power usage effectiveness multiplier.
+    #[inline]
+    pub fn pue(&self) -> f64 {
+        self.pue
+    }
+
+    /// Service life in years.
+    #[inline]
+    pub fn service_life_years(&self) -> f64 {
+        self.service_life_years
+    }
+
+    /// Hours in the configured service life.
+    pub fn service_life_hours(&self) -> f64 {
+        self.service_life_years * HOURS_PER_YEAR
+    }
+
+    /// Cost in dollars of drawing `watts` of IT load for `hours`,
+    /// including the PUE overhead for delivery and cooling.
+    pub fn cost_dollars(&self, watts: f64, hours: f64) -> f64 {
+        watts / 1_000.0 * hours * self.dollars_per_kwh * self.pue
+    }
+
+    /// Cost over the full service life.
+    pub fn lifetime_cost_dollars(&self, watts: f64) -> f64 {
+        self.cost_dollars(watts, self.service_life_hours())
+    }
+
+    /// Lifetime savings from reducing power `from_watts → to_watts`.
+    pub fn lifetime_savings_dollars(&self, from_watts: f64, to_watts: f64) -> f64 {
+        self.lifetime_cost_dollars(from_watts - to_watts)
+    }
+}
+
+impl Default for EnergyCostModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyCostModel {
+        EnergyCostModel::paper_default()
+    }
+
+    #[test]
+    fn topology_savings_match_paper_1_6m() {
+        // §2.2: 409,600 W → "over $1.6M".
+        let d = model().lifetime_cost_dollars(409_600.0);
+        assert!((1.6e6..1.7e6).contains(&d), "got ${d:.0}");
+    }
+
+    #[test]
+    fn baseline_fbfly_lifetime_cost_matches_paper_2_89m() {
+        // §2.2: "the baseline FBFLY network consumes 737,280 watts
+        // resulting in a four year power cost of $2.89M".
+        let d = model().lifetime_cost_dollars(737_280.0);
+        assert!((2.85e6..2.95e6).contains(&d), "got ${d:.0}");
+    }
+
+    #[test]
+    fn ep_network_at_15pct_saves_3_8m() {
+        // §1: at 15% load an energy proportional network saves 975 kW
+        // and "approximately $3.8M".
+        let saved_watts = 1_146_880.0 * 0.85;
+        assert!((974_000.0..976_000.0).contains(&saved_watts));
+        let d = model().lifetime_cost_dollars(saved_watts);
+        assert!((3.75e6..3.9e6).contains(&d), "got ${d:.0}");
+    }
+
+    #[test]
+    fn six_x_reduction_saves_2_4m() {
+        // §1/§4.2.2: a 6× power reduction on the 737 kW FBFLY saves
+        // "an additional $2.4M"; 6.6× saves "$2.5M".
+        let m = model();
+        let six = m.lifetime_savings_dollars(737_280.0, 737_280.0 / 6.0);
+        assert!((2.35e6..2.45e6).contains(&six), "got ${six:.0}");
+        let six_six = m.lifetime_savings_dollars(737_280.0, 737_280.0 / 6.6);
+        assert!((2.4e6..2.55e6).contains(&six_six), "got ${six_six:.0}");
+    }
+
+    #[test]
+    fn pue_multiplies_cost() {
+        let lean = EnergyCostModel::new(0.07, 1.2, 4.0);
+        let epa = EnergyCostModel::new(0.07, 2.0, 4.0);
+        let w = 100_000.0;
+        assert!(lean.lifetime_cost_dollars(w) < model().lifetime_cost_dollars(w));
+        assert!(model().lifetime_cost_dollars(w) < epa.lifetime_cost_dollars(w));
+        assert!((epa.lifetime_cost_dollars(w) / lean.lifetime_cost_dollars(w) - 2.0 / 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors_expose_parameters() {
+        let m = model();
+        assert_eq!(m.dollars_per_kwh(), 0.07);
+        assert_eq!(m.pue(), 1.6);
+        assert_eq!(m.service_life_years(), 4.0);
+        assert_eq!(m.service_life_hours(), 4.0 * 8_766.0);
+        assert_eq!(EnergyCostModel::default(), m);
+    }
+}

@@ -1,0 +1,174 @@
+//! Whole-datacenter power model — **Figure 1** of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// Server + network power of a cluster under different energy
+/// proportionality assumptions, reproducing Figure 1.
+///
+/// The paper's target system: "each of 32k servers consumes 250 watts at
+/// peak load" next to the folded-Clos network of Table 1 (1,146,880 W),
+/// so "the network consumes only 12% of overall power at full
+/// utilization" but "nearly 50%" at 15% utilization with
+/// energy-proportional servers.
+///
+/// ```
+/// use epnet_power::DatacenterPowerModel;
+/// let m = DatacenterPowerModel::paper_figure1();
+/// let full = m.scenario(1.0, true, false);
+/// assert!((full.network_fraction() - 0.123).abs() < 0.005);
+/// let idleish = m.scenario(0.15, true, false);
+/// assert!((idleish.network_fraction() - 0.48).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatacenterPowerModel {
+    servers: u64,
+    server_peak_watts: f64,
+    network_peak_watts: f64,
+}
+
+/// The power breakdown of one utilization scenario (one bar group of
+/// Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatacenterScenario {
+    /// Utilization this scenario assumes (0.0–1.0).
+    pub utilization: f64,
+    /// Aggregate server power in watts.
+    pub server_watts: f64,
+    /// Network power in watts.
+    pub network_watts: f64,
+}
+
+impl DatacenterScenario {
+    /// Total cluster IT power.
+    pub fn total_watts(&self) -> f64 {
+        self.server_watts + self.network_watts
+    }
+
+    /// Fraction of total power consumed by the network.
+    pub fn network_fraction(&self) -> f64 {
+        self.network_watts / self.total_watts()
+    }
+}
+
+impl DatacenterPowerModel {
+    /// Builds a model from server count, per-server peak watts, and the
+    /// network's full-utilization power.
+    pub fn new(servers: u64, server_peak_watts: f64, network_peak_watts: f64) -> Self {
+        Self {
+            servers,
+            server_peak_watts,
+            network_peak_watts,
+        }
+    }
+
+    /// The paper's Figure-1 system: 32k servers at 250 W and the
+    /// folded-Clos network of Table 1.
+    pub fn paper_figure1() -> Self {
+        Self::new(32_768, 250.0, 1_146_880.0)
+    }
+
+    /// Peak server fleet power in watts.
+    pub fn server_peak_watts(&self) -> f64 {
+        self.servers as f64 * self.server_peak_watts
+    }
+
+    /// Network power at full utilization in watts.
+    #[inline]
+    pub fn network_peak_watts(&self) -> f64 {
+        self.network_peak_watts
+    }
+
+    /// Computes one scenario. Energy-proportional components scale
+    /// linearly with `utilization`; non-proportional ones stay at peak
+    /// (the paper's "always on" network).
+    pub fn scenario(
+        &self,
+        utilization: f64,
+        servers_proportional: bool,
+        network_proportional: bool,
+    ) -> DatacenterScenario {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be within [0, 1]"
+        );
+        let server_scale = if servers_proportional { utilization } else { 1.0 };
+        let network_scale = if network_proportional { utilization } else { 1.0 };
+        DatacenterScenario {
+            utilization,
+            server_watts: self.server_peak_watts() * server_scale,
+            network_watts: self.network_peak_watts * network_scale,
+        }
+    }
+
+    /// The three bar groups of Figure 1: full utilization; 15% with
+    /// energy-proportional servers; 15% with energy-proportional servers
+    /// *and* network.
+    pub fn figure1_scenarios(&self) -> [DatacenterScenario; 3] {
+        [
+            self.scenario(1.0, true, false),
+            self.scenario(0.15, true, false),
+            self.scenario(0.15, true, true),
+        ]
+    }
+
+    /// Watts saved at `utilization` by making the network energy
+    /// proportional — "at 15% load, making the network energy
+    /// proportional results in a savings of 975,000 watts regardless of
+    /// whether servers are energy proportional" (§1).
+    pub fn network_ep_savings_watts(&self, utilization: f64) -> f64 {
+        self.network_peak_watts * (1.0 - utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DatacenterPowerModel {
+        DatacenterPowerModel::paper_figure1()
+    }
+
+    #[test]
+    fn network_is_12_percent_at_full_utilization() {
+        let s = model().scenario(1.0, true, false);
+        assert!((s.network_fraction() - 0.1228).abs() < 0.001);
+        assert_eq!(s.server_watts, 8_192_000.0);
+    }
+
+    #[test]
+    fn network_is_nearly_half_at_15_percent() {
+        // §1: "if the system is 15% utilized ... the network will then
+        // consume nearly 50% of overall power."
+        let s = model().scenario(0.15, true, false);
+        assert!(s.network_fraction() > 0.47 && s.network_fraction() < 0.50);
+    }
+
+    #[test]
+    fn ep_network_saves_975_kw_at_15_percent() {
+        let w = model().network_ep_savings_watts(0.15);
+        assert!((w - 974_848.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn figure1_scenarios_ordering() {
+        let [full, ep_servers, ep_both] = model().figure1_scenarios();
+        assert!(full.total_watts() > ep_servers.total_watts());
+        assert!(ep_servers.total_watts() > ep_both.total_watts());
+        // With both proportional at equal utilization, the network share
+        // returns to its full-utilization share.
+        assert!((ep_both.network_fraction() - full.network_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn utilization_out_of_range_panics() {
+        let _ = model().scenario(1.5, true, true);
+    }
+
+    #[test]
+    fn non_proportional_servers_stay_at_peak() {
+        let s = model().scenario(0.15, false, false);
+        assert_eq!(s.server_watts, model().server_peak_watts());
+        assert_eq!(s.network_watts, model().network_peak_watts());
+    }
+}

@@ -1,0 +1,132 @@
+//! Converting simulated *relative* power into absolute watts and
+//! dollars for a concrete network build.
+
+use crate::{EnergyCostModel, SwitchPowerModel};
+use epnet_topology::{FlattenedButterfly, FoldedClos, TwoTierClos};
+use serde::{Deserialize, Serialize};
+
+/// Absolute energy model of one concrete network: its chip and NIC
+/// counts under a [`SwitchPowerModel`]. Feed it the relative power from
+/// a simulation report to get watts, and a cost model to get dollars —
+/// the chain behind the paper's "$2.4M additional savings" claims
+/// (§4.2.2: "If we extrapolate this reduction to our full-scale
+/// network...").
+///
+/// ```
+/// use epnet_power::{EnergyCostModel, NetworkEnergyModel, SwitchPowerModel};
+/// use epnet_topology::FlattenedButterfly;
+///
+/// let fbfly = FlattenedButterfly::paper_comparison_32k();
+/// let model = NetworkEnergyModel::for_fbfly(&fbfly, SwitchPowerModel::paper_default());
+/// assert_eq!(model.baseline_watts(), 737_280.0);
+/// // A simulated 6x reduction (relative power 1/6):
+/// let cost = EnergyCostModel::paper_default();
+/// let saved = model.lifetime_savings_dollars(1.0 / 6.0, &cost);
+/// assert!((2.3e6..2.5e6).contains(&saved));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkEnergyModel {
+    switch_chips: f64,
+    hosts: u64,
+    power: SwitchPowerModel,
+}
+
+impl NetworkEnergyModel {
+    /// Builds the model from raw part counts.
+    pub fn new(switch_chips: f64, hosts: u64, power: SwitchPowerModel) -> Self {
+        Self {
+            switch_chips,
+            hosts,
+            power,
+        }
+    }
+
+    /// Model for a flattened butterfly build.
+    pub fn for_fbfly(f: &FlattenedButterfly, power: SwitchPowerModel) -> Self {
+        Self::new(f.num_switches() as f64, f.num_hosts() as u64, power)
+    }
+
+    /// Model for the paper's chassis-based folded Clos (powered chips
+    /// per its footnote 5).
+    pub fn for_clos(c: &FoldedClos, power: SwitchPowerModel) -> Self {
+        Self::new(c.chips_powered(), c.num_hosts(), power)
+    }
+
+    /// Model for a simulatable two-tier Clos.
+    pub fn for_two_tier(c: &TwoTierClos, power: SwitchPowerModel) -> Self {
+        Self::new(c.num_switches() as f64, c.num_hosts() as u64, power)
+    }
+
+    /// Network power with every link at full rate, in watts.
+    pub fn baseline_watts(&self) -> f64 {
+        self.power.network_watts(self.switch_chips, self.hosts)
+    }
+
+    /// Network power at a simulated relative power (switch SerDes scale
+    /// with the relative figure; NICs scale with it too, since the host
+    /// link's SerDes dominate NIC power at these rates).
+    pub fn watts(&self, relative_power: f64) -> f64 {
+        self.baseline_watts() * relative_power
+    }
+
+    /// Watts per host at the given relative power.
+    pub fn watts_per_host(&self, relative_power: f64) -> f64 {
+        self.watts(relative_power) / self.hosts as f64
+    }
+
+    /// Lifetime dollars saved by running at `relative_power` instead of
+    /// full power.
+    pub fn lifetime_savings_dollars(&self, relative_power: f64, cost: &EnergyCostModel) -> f64 {
+        cost.lifetime_savings_dollars(self.baseline_watts(), self.watts(relative_power))
+    }
+
+    /// Lifetime dollars to run at `relative_power`.
+    pub fn lifetime_cost_dollars(&self, relative_power: f64, cost: &EnergyCostModel) -> f64 {
+        cost.lifetime_cost_dollars(self.watts(relative_power))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_fbfly() -> NetworkEnergyModel {
+        NetworkEnergyModel::for_fbfly(
+            &FlattenedButterfly::paper_comparison_32k(),
+            SwitchPowerModel::paper_default(),
+        )
+    }
+
+    #[test]
+    fn baselines_match_table1() {
+        assert_eq!(paper_fbfly().baseline_watts(), 737_280.0);
+        let clos = NetworkEnergyModel::for_clos(
+            &FoldedClos::paper_comparison_32k(),
+            SwitchPowerModel::paper_default(),
+        );
+        assert_eq!(clos.baseline_watts(), 1_146_880.0);
+    }
+
+    #[test]
+    fn six_x_reduction_reproduces_2_4m() {
+        let cost = EnergyCostModel::paper_default();
+        let saved = paper_fbfly().lifetime_savings_dollars(1.0 / 6.0, &cost);
+        assert!((2.35e6..2.45e6).contains(&saved), "${saved:.0}");
+    }
+
+    #[test]
+    fn watts_scale_linearly() {
+        let m = paper_fbfly();
+        assert_eq!(m.watts(1.0), m.baseline_watts());
+        assert_eq!(m.watts(0.5), m.baseline_watts() / 2.0);
+        assert!((m.watts_per_host(1.0) - 737_280.0 / 32_768.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_tier_model() {
+        let clos = TwoTierClos::non_blocking(16).unwrap();
+        let m = NetworkEnergyModel::for_two_tier(&clos, SwitchPowerModel::paper_default());
+        // 48 chips x 100 W + 512 NICs x 10 W.
+        assert_eq!(m.baseline_watts(), 4_800.0 + 5_120.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Power, energy, and cost models for energy-proportional datacenter
+//! networks (Abts et&nbsp;al., ISCA 2010).
+//!
+//! The crate covers the analytical half of the paper:
+//!
+//! * [`LinkRate`] and [`LinkPowerProfile`] — the multi-rate plesiochronous
+//!   channel model (§3.1, Table 2, Figure 5), including the measured
+//!   InfiniBand-switch profile and the *ideal* energy-proportional channel.
+//! * [`SwitchPowerModel`] — per-chip and per-NIC power (§2.2's 100 W
+//!   switches and 10 W NICs).
+//! * [`TopologyPowerComparison`] — reproduces **Table 1** (folded-Clos vs
+//!   flattened butterfly at fixed bisection bandwidth).
+//! * [`DatacenterPowerModel`] — reproduces **Figure 1** (server vs network
+//!   power as servers become energy proportional).
+//! * [`EnergyCostModel`] — electricity + PUE cost model behind the paper's
+//!   $1.6 M / $2.4 M / $3.8 M savings claims.
+//! * [`itrs_trends`](trends::itrs_trends) — the ITRS bandwidth trend data
+//!   of **Figure 6**.
+//!
+//! # Example: Table 1 in four lines
+//!
+//! ```
+//! use epnet_power::TopologyPowerComparison;
+//! let table1 = TopologyPowerComparison::paper_table1();
+//! assert_eq!(table1.fbfly.total_power_watts, 737_280.0);
+//! assert_eq!(table1.clos.total_power_watts, 1_146_880.0);
+//! assert_eq!(table1.savings_watts(), 409_600.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod comparison;
+mod cost;
+mod datacenter;
+mod energy;
+mod profiles;
+mod switch;
+pub mod trends;
+
+pub use comparison::{TopologyPowerComparison, TopologyPowerRow};
+pub use cost::EnergyCostModel;
+pub use datacenter::{DatacenterPowerModel, DatacenterScenario};
+pub use energy::NetworkEnergyModel;
+pub use profiles::{
+    InfinibandMode, LaneWidth, LinkPowerProfile, LinkRate, SignalingRate, RATE_LADDER,
+};
+pub use switch::SwitchPowerModel;

@@ -1,0 +1,495 @@
+//! Multi-rate link model and channel power profiles (§3.1, Table 2,
+//! Figure 5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The data rates a channel can be configured for, matching the paper's
+/// evaluation ladder: "Links have a maximum bandwidth of 40 Gb/s, and can
+/// be detuned to 20, 10, 5 and 2.5 Gb/s, similar to the InfiniBand switch
+/// in Figure 5" (§4.1).
+///
+/// Rates are stored exactly in Mb/s so serialization times in the
+/// simulator are exact integer picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LinkRate {
+    /// 2.5 Gb/s — one lane at single data rate (1× SDR).
+    R2_5,
+    /// 5 Gb/s — one lane at double data rate (1× DDR).
+    R5,
+    /// 10 Gb/s — one lane at quad data rate or four lanes at SDR.
+    R10,
+    /// 20 Gb/s — four lanes at double data rate (4× DDR).
+    R20,
+    /// 40 Gb/s — four lanes at quad data rate (4× QDR): full speed.
+    R40,
+}
+
+/// The detune ladder from fastest to slowest.
+pub const RATE_LADDER: [LinkRate; 5] = [
+    LinkRate::R40,
+    LinkRate::R20,
+    LinkRate::R10,
+    LinkRate::R5,
+    LinkRate::R2_5,
+];
+
+impl LinkRate {
+    /// The rate in Mb/s (exact).
+    #[inline]
+    pub const fn mbps(self) -> u64 {
+        match self {
+            Self::R2_5 => 2_500,
+            Self::R5 => 5_000,
+            Self::R10 => 10_000,
+            Self::R20 => 20_000,
+            Self::R40 => 40_000,
+        }
+    }
+
+    /// The rate in Gb/s.
+    #[inline]
+    pub fn gbps(self) -> f64 {
+        self.mbps() as f64 / 1_000.0
+    }
+
+    /// Dense index into [`RATE_LADDER`]-sized tables (0 = slowest).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::R2_5 => 0,
+            Self::R5 => 1,
+            Self::R10 => 2,
+            Self::R20 => 3,
+            Self::R40 => 4,
+        }
+    }
+
+    /// Number of distinct rates.
+    pub const COUNT: usize = 5;
+
+    /// The next rate down the ladder ("detune the speed of the link to
+    /// half the current rate, down to the minimum", §3.3), saturating at
+    /// the slowest rate.
+    #[inline]
+    pub const fn halved(self) -> Self {
+        match self {
+            Self::R40 => Self::R20,
+            Self::R20 => Self::R10,
+            Self::R10 => Self::R5,
+            Self::R5 | Self::R2_5 => Self::R2_5,
+        }
+    }
+
+    /// The next rate up the ladder ("the link rate is doubled up to the
+    /// maximum", §3.3), saturating at full speed.
+    #[inline]
+    pub const fn doubled(self) -> Self {
+        match self {
+            Self::R2_5 => Self::R5,
+            Self::R5 => Self::R10,
+            Self::R10 => Self::R20,
+            Self::R20 | Self::R40 => Self::R40,
+        }
+    }
+
+    /// Slowest configurable rate.
+    pub const MIN: Self = Self::R2_5;
+    /// Fastest configurable rate.
+    pub const MAX: Self = Self::R40;
+
+    /// The canonical InfiniBand mode realising this ladder rate, fixing
+    /// the lane count the detune ladder uses: 40/20/10 Gb/s run all
+    /// four lanes (QDR/DDR/SDR), 5/2.5 Gb/s drop to one lane (DDR/SDR).
+    /// Two rates differing in lane count need the slower lane-alignment
+    /// resynchronization; same-width transitions only relock the CDR
+    /// (§3.1).
+    pub const fn canonical_mode(self) -> InfinibandMode {
+        match self {
+            Self::R40 => InfinibandMode {
+                width: LaneWidth::X4,
+                signaling: SignalingRate::Qdr,
+            },
+            Self::R20 => InfinibandMode {
+                width: LaneWidth::X4,
+                signaling: SignalingRate::Ddr,
+            },
+            Self::R10 => InfinibandMode {
+                width: LaneWidth::X4,
+                signaling: SignalingRate::Sdr,
+            },
+            Self::R5 => InfinibandMode {
+                width: LaneWidth::X1,
+                signaling: SignalingRate::Ddr,
+            },
+            Self::R2_5 => InfinibandMode {
+                width: LaneWidth::X1,
+                signaling: SignalingRate::Sdr,
+            },
+        }
+    }
+
+    /// Whether retuning from `self` to `other` changes the active lane
+    /// count (the slow kind of reactivation, §3.1).
+    pub fn transition_changes_lanes(self, other: Self) -> bool {
+        self.canonical_mode().lanes() != other.canonical_mode().lanes()
+    }
+
+    /// Picoseconds to serialize `bytes` at this rate (exact integer for
+    /// every ladder rate).
+    #[inline]
+    pub const fn serialize_ps(self, bytes: u64) -> u64 {
+        // bytes · 8 bits · 1e6 ps-per-μs / rate_mbps; 8e6 is divisible by
+        // every ladder rate in Mb/s.
+        bytes * (8_000_000 / self.mbps())
+    }
+
+    /// Fraction of full (40 Gb/s) speed.
+    #[inline]
+    pub fn speed_fraction(self) -> f64 {
+        self.mbps() as f64 / Self::MAX.mbps() as f64
+    }
+}
+
+impl fmt::Display for LinkRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::R2_5 => write!(f, "2.5 Gb/s"),
+            Self::R5 => write!(f, "5 Gb/s"),
+            Self::R10 => write!(f, "10 Gb/s"),
+            Self::R20 => write!(f, "20 Gb/s"),
+            Self::R40 => write!(f, "40 Gb/s"),
+        }
+    }
+}
+
+/// Lane width of an InfiniBand-style link (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LaneWidth {
+    /// A single serial lane.
+    X1,
+    /// Four bonded lanes.
+    X4,
+}
+
+/// Per-lane signaling rate of an InfiniBand-style link (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalingRate {
+    /// Single data rate: 2.5 Gb/s per lane.
+    Sdr,
+    /// Double data rate: 5 Gb/s per lane.
+    Ddr,
+    /// Quad data rate: 10 Gb/s per lane.
+    Qdr,
+}
+
+/// One row of the paper's Table 2: an InfiniBand operational mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InfinibandMode {
+    /// Lane count.
+    pub width: LaneWidth,
+    /// Per-lane signaling rate.
+    pub signaling: SignalingRate,
+}
+
+impl InfinibandMode {
+    /// All six modes of Table 2, slowest first.
+    pub const ALL: [Self; 6] = [
+        Self {
+            width: LaneWidth::X1,
+            signaling: SignalingRate::Sdr,
+        },
+        Self {
+            width: LaneWidth::X1,
+            signaling: SignalingRate::Ddr,
+        },
+        Self {
+            width: LaneWidth::X1,
+            signaling: SignalingRate::Qdr,
+        },
+        Self {
+            width: LaneWidth::X4,
+            signaling: SignalingRate::Sdr,
+        },
+        Self {
+            width: LaneWidth::X4,
+            signaling: SignalingRate::Ddr,
+        },
+        Self {
+            width: LaneWidth::X4,
+            signaling: SignalingRate::Qdr,
+        },
+    ];
+
+    /// Aggregate data rate in Gb/s (Table 2's "Data rate" column).
+    pub fn gbps(self) -> f64 {
+        let lanes = match self.width {
+            LaneWidth::X1 => 1.0,
+            LaneWidth::X4 => 4.0,
+        };
+        let per_lane = match self.signaling {
+            SignalingRate::Sdr => 2.5,
+            SignalingRate::Ddr => 5.0,
+            SignalingRate::Qdr => 10.0,
+        };
+        lanes * per_lane
+    }
+
+    /// The [`LinkRate`] ladder entry this mode realises, if any
+    /// (1×QDR and 4×SDR both realise 10 Gb/s).
+    pub fn link_rate(self) -> LinkRate {
+        match self.gbps() as u32 {
+            2 => LinkRate::R2_5,
+            5 => LinkRate::R5,
+            10 => LinkRate::R10,
+            20 => LinkRate::R20,
+            _ => LinkRate::R40,
+        }
+    }
+
+    /// Lane count as a number.
+    pub fn lanes(self) -> u8 {
+        match self.width {
+            LaneWidth::X1 => 1,
+            LaneWidth::X4 => 4,
+        }
+    }
+
+    /// Table-2 style name, e.g. `"4x QDR"`.
+    pub fn name(self) -> String {
+        let w = match self.width {
+            LaneWidth::X1 => "1x",
+            LaneWidth::X4 => "4x",
+        };
+        let s = match self.signaling {
+            SignalingRate::Sdr => "SDR",
+            SignalingRate::Ddr => "DDR",
+            SignalingRate::Qdr => "QDR",
+        };
+        format!("{w} {s}")
+    }
+}
+
+/// Normalized power of a channel as a function of its configured rate.
+///
+/// Two built-in profiles bracket the design space the paper explores:
+///
+/// * [`LinkPowerProfile::Measured`] — derived from the off-the-shelf
+///   InfiniBand switch of Figure 5. The anchor points come from the text:
+///   the slowest mode consumes **42%** of full power (§4.2.1: "a network
+///   that always operated in the slowest and lowest power mode would
+///   consume 42% of the baseline power"; §5.3: "a switch chip today still
+///   consumes 42% the power when in the lower performance mode").
+///   Intermediate modes are interpolated from the Figure 5 bar heights.
+/// * [`LinkPowerProfile::Ideal`] — a perfectly energy-proportional
+///   channel: power scales linearly with rate, so 2.5 Gb/s costs
+///   2.5/40 = 6.25% of full power (§5.3 rounds this to "6.25%"; §4.2
+///   quotes "6.125%"/"6.1%" — we use the exact ratio and record the
+///   half-percent discrepancy in EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkPowerProfile {
+    /// Figure-5-derived profile of a real switch chip (optical mode).
+    Measured,
+    /// Perfectly energy-proportional channel: `P(r) = r / 40 Gb/s`.
+    Ideal,
+    /// Custom normalized power per ladder rate, slowest first
+    /// (index with [`LinkRate::index`]).
+    Custom([f64; LinkRate::COUNT]),
+}
+
+/// Figure-5-derived normalized power (optical mode), indexed slowest
+/// rate first. End points are the paper's 42% and 100%; interior points
+/// estimated from the bar chart.
+const MEASURED_OPTICAL: [f64; LinkRate::COUNT] = [0.42, 0.46, 0.55, 0.72, 1.0];
+
+/// Electrical ports draw about 25% less than optical ones (§2.2: the
+/// switch "uses 25% less power to drive an electrical link compared to an
+/// optical link").
+pub(crate) const COPPER_DISCOUNT: f64 = 0.75;
+
+/// Normalized power of the chip with links idled (Figure 5's
+/// "IDLE Mode" / STATIC bar): close to the slowest active mode, which is
+/// why the paper finds "very little additional power savings in shutting
+/// off a link entirely" (§5.2).
+pub(crate) const MEASURED_IDLE: f64 = 0.36;
+
+impl LinkPowerProfile {
+    /// Normalized power (fraction of full-speed power) at `rate`.
+    ///
+    /// ```
+    /// use epnet_power::{LinkPowerProfile, LinkRate};
+    /// assert_eq!(LinkPowerProfile::Measured.relative_power(LinkRate::R40), 1.0);
+    /// assert_eq!(LinkPowerProfile::Measured.relative_power(LinkRate::R2_5), 0.42);
+    /// assert_eq!(LinkPowerProfile::Ideal.relative_power(LinkRate::R2_5), 0.0625);
+    /// ```
+    pub fn relative_power(&self, rate: LinkRate) -> f64 {
+        match self {
+            Self::Measured => MEASURED_OPTICAL[rate.index()],
+            Self::Ideal => rate.speed_fraction(),
+            Self::Custom(table) => table[rate.index()],
+        }
+    }
+
+    /// Normalized power of a powered-off / idle link, for the dynamic
+    /// topology extension (§5.2). The measured chip barely drops below
+    /// its slowest active mode; an ideal channel drops to zero.
+    pub fn idle_relative_power(&self) -> f64 {
+        match self {
+            Self::Measured => MEASURED_IDLE,
+            Self::Ideal => 0.0,
+            Self::Custom(table) => table[0].min(MEASURED_IDLE),
+        }
+    }
+
+    /// The paper's Figure-5 bar heights for one link medium: pairs of
+    /// (mode, normalized power). `copper` applies the 25% electrical
+    /// discount.
+    pub fn figure5_bars(copper: bool) -> Vec<(InfinibandMode, f64)> {
+        let scale = if copper { COPPER_DISCOUNT } else { 1.0 };
+        InfinibandMode::ALL
+            .iter()
+            .map(|&mode| {
+                let p = MEASURED_OPTICAL[mode.link_rate().index()];
+                (mode, p * scale)
+            })
+            .collect()
+    }
+
+    /// Dynamic range in power: `1 − P(min)/P(max)`.
+    pub fn power_dynamic_range(&self) -> f64 {
+        1.0 - self.relative_power(LinkRate::MIN) / self.relative_power(LinkRate::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_halving() {
+        for w in RATE_LADDER.windows(2) {
+            assert_eq!(w[0].mbps(), 2 * w[1].mbps());
+            assert_eq!(w[0].halved(), w[1]);
+            assert_eq!(w[1].doubled(), w[0]);
+        }
+        assert_eq!(LinkRate::MIN.halved(), LinkRate::MIN);
+        assert_eq!(LinkRate::MAX.doubled(), LinkRate::MAX);
+    }
+
+    #[test]
+    fn serialize_times_are_exact() {
+        // 1500 B at 40 Gb/s = 300 ns.
+        assert_eq!(LinkRate::R40.serialize_ps(1500), 300_000);
+        // 16x slower at 2.5 Gb/s.
+        assert_eq!(LinkRate::R2_5.serialize_ps(1500), 4_800_000);
+        for r in RATE_LADDER {
+            assert_eq!(8_000_000 % r.mbps(), 0, "{r} must divide evenly");
+        }
+    }
+
+    #[test]
+    fn table2_rates() {
+        // Table 2 of the paper.
+        let gbps: Vec<f64> = InfinibandMode::ALL.iter().map(|m| m.gbps()).collect();
+        assert_eq!(gbps, vec![2.5, 5.0, 10.0, 10.0, 20.0, 40.0]);
+        assert_eq!(InfinibandMode::ALL[0].name(), "1x SDR");
+        assert_eq!(InfinibandMode::ALL[5].name(), "4x QDR");
+    }
+
+    #[test]
+    fn performance_dynamic_range_is_16x() {
+        // §3.1: "16X in terms of performance".
+        assert_eq!(
+            LinkRate::MAX.mbps() / LinkRate::MIN.mbps(),
+            16,
+        );
+    }
+
+    #[test]
+    fn measured_profile_anchors() {
+        let p = LinkPowerProfile::Measured;
+        assert_eq!(p.relative_power(LinkRate::R40), 1.0);
+        assert_eq!(p.relative_power(LinkRate::R2_5), 0.42);
+        // §7: "nearly 60% power savings compared to full utilization".
+        assert!((p.power_dynamic_range() - 0.58).abs() < 1e-12);
+        // Idle barely below slowest active mode (§5.2).
+        assert!(p.idle_relative_power() < p.relative_power(LinkRate::R2_5));
+        assert!(p.idle_relative_power() > 0.3);
+    }
+
+    #[test]
+    fn ideal_profile_is_linear() {
+        let p = LinkPowerProfile::Ideal;
+        for r in RATE_LADDER {
+            assert!((p.relative_power(r) - r.gbps() / 40.0).abs() < 1e-12);
+        }
+        assert_eq!(p.relative_power(LinkRate::R2_5), 0.0625);
+        assert_eq!(p.idle_relative_power(), 0.0);
+    }
+
+    #[test]
+    fn measured_profile_is_monotone() {
+        let p = LinkPowerProfile::Measured;
+        for w in RATE_LADDER.windows(2) {
+            assert!(p.relative_power(w[0]) > p.relative_power(w[1]));
+        }
+    }
+
+    #[test]
+    fn custom_profile_is_used_verbatim() {
+        let p = LinkPowerProfile::Custom([0.1, 0.2, 0.3, 0.4, 1.0]);
+        assert_eq!(p.relative_power(LinkRate::R5), 0.2);
+        assert_eq!(p.idle_relative_power(), 0.1);
+    }
+
+    #[test]
+    fn figure5_copper_discount() {
+        let optical = LinkPowerProfile::figure5_bars(false);
+        let copper = LinkPowerProfile::figure5_bars(true);
+        assert_eq!(optical.len(), 6);
+        for (o, c) in optical.iter().zip(&copper) {
+            assert!((c.1 - 0.75 * o.1).abs() < 1e-12);
+        }
+        // Full-speed optical bar is the normalization point.
+        assert_eq!(optical[5].1, 1.0);
+    }
+
+    #[test]
+    fn rate_display_and_index() {
+        assert_eq!(LinkRate::R2_5.to_string(), "2.5 Gb/s");
+        assert_eq!(LinkRate::R40.to_string(), "40 Gb/s");
+        for (i, r) in [
+            LinkRate::R2_5,
+            LinkRate::R5,
+            LinkRate::R10,
+            LinkRate::R20,
+            LinkRate::R40,
+        ]
+        .iter()
+        .enumerate()
+        {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn canonical_modes_round_trip() {
+        for r in RATE_LADDER {
+            assert_eq!(r.canonical_mode().link_rate(), r);
+        }
+        // Lane changes happen exactly when crossing the 10 / 5 Gb/s
+        // boundary of the ladder.
+        assert!(!LinkRate::R40.transition_changes_lanes(LinkRate::R20));
+        assert!(!LinkRate::R20.transition_changes_lanes(LinkRate::R10));
+        assert!(LinkRate::R10.transition_changes_lanes(LinkRate::R5));
+        assert!(!LinkRate::R5.transition_changes_lanes(LinkRate::R2_5));
+        assert!(LinkRate::R40.transition_changes_lanes(LinkRate::R2_5));
+    }
+
+    #[test]
+    fn infiniband_modes_map_to_ladder() {
+        use LinkRate::*;
+        let rates: Vec<LinkRate> = InfinibandMode::ALL.iter().map(|m| m.link_rate()).collect();
+        assert_eq!(rates, vec![R2_5, R5, R10, R10, R20, R40]);
+    }
+}

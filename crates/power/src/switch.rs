@@ -1,0 +1,117 @@
+//! Switch-chip and NIC power model (§2.2).
+
+use serde::{Deserialize, Serialize};
+
+/// First-order power model of the network's building blocks, following
+/// the paper's assumptions in §2.2:
+///
+/// * a 36-port switch chip consumes 100 W regardless of which "always on"
+///   links it drives ("we arrive at 100 Watts by assuming each of 144
+///   SerDes (one per lane per port) consume ≈0.7 Watts"),
+/// * a host NIC consumes 10 W at full utilization,
+/// * the same switch chips are used throughout the interconnect.
+///
+/// ```
+/// use epnet_power::SwitchPowerModel;
+/// let m = SwitchPowerModel::paper_default();
+/// assert_eq!(m.switch_watts(), 100.0);
+/// assert!((m.serdes_watts() - 0.694).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchPowerModel {
+    ports: u16,
+    lanes_per_port: u16,
+    watts_per_serdes: f64,
+    nic_watts: f64,
+}
+
+impl SwitchPowerModel {
+    /// Builds a model for chips with `ports` ports of `lanes_per_port`
+    /// lanes, each lane's SerDes drawing `watts_per_serdes`, and NICs
+    /// drawing `nic_watts`.
+    pub fn new(ports: u16, lanes_per_port: u16, watts_per_serdes: f64, nic_watts: f64) -> Self {
+        Self {
+            ports,
+            lanes_per_port,
+            watts_per_serdes,
+            nic_watts,
+        }
+    }
+
+    /// The paper's configuration: 36 ports × 4 lanes at ≈0.694 W per
+    /// SerDes so the chip totals exactly 100 W, and 10 W NICs.
+    pub fn paper_default() -> Self {
+        Self {
+            ports: 36,
+            lanes_per_port: 4,
+            watts_per_serdes: 100.0 / 144.0,
+            nic_watts: 10.0,
+        }
+    }
+
+    /// Ports per chip.
+    #[inline]
+    pub fn ports(&self) -> u16 {
+        self.ports
+    }
+
+    /// SerDes (lanes) per chip.
+    pub fn serdes_per_chip(&self) -> u32 {
+        u32::from(self.ports) * u32::from(self.lanes_per_port)
+    }
+
+    /// Power of one SerDes in watts.
+    #[inline]
+    pub fn serdes_watts(&self) -> f64 {
+        self.watts_per_serdes
+    }
+
+    /// Full power of one switch chip in watts.
+    pub fn switch_watts(&self) -> f64 {
+        f64::from(self.serdes_per_chip()) * self.watts_per_serdes
+    }
+
+    /// Power of one host NIC at full utilization in watts.
+    #[inline]
+    pub fn nic_watts(&self) -> f64 {
+        self.nic_watts
+    }
+
+    /// Total network power for `chips` switch chips and `hosts` NICs, the
+    /// quantity tabulated in Table 1.
+    pub fn network_watts(&self, chips: f64, hosts: u64) -> f64 {
+        chips * self.switch_watts() + hosts as f64 * self.nic_watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_is_100_watts() {
+        let m = SwitchPowerModel::paper_default();
+        assert_eq!(m.serdes_per_chip(), 144);
+        assert!((m.switch_watts() - 100.0).abs() < 1e-9);
+        assert_eq!(m.nic_watts(), 10.0);
+    }
+
+    #[test]
+    fn network_power_scales_linearly() {
+        let m = SwitchPowerModel::paper_default();
+        // FBFLY row of Table 1: 4,096 chips + 32k NICs = 737,280 W.
+        assert!((m.network_watts(4_096.0, 32_768) - 737_280.0).abs() < 1e-6);
+        // Clos row: 8,192 powered chips + 32k NICs = 1,146,880 W.
+        assert!((m.network_watts(8_192.0, 32_768) - 1_146_880.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn custom_chip_configuration() {
+        // A 64-port YARC-like chip with 3 lanes per port.
+        let m = SwitchPowerModel::new(64, 3, 0.5, 8.0);
+        assert_eq!(m.serdes_per_chip(), 192);
+        assert_eq!(m.switch_watts(), 96.0);
+        assert_eq!(m.network_watts(10.0, 100), 960.0 + 800.0);
+        assert_eq!(m.ports(), 64);
+    }
+}

@@ -1,0 +1,99 @@
+//! ITRS bandwidth trend data — **Figure 6** of the paper.
+//!
+//! "Bandwidth trends from International Roadmap for Semiconductors
+//! (ITRS)": aggregate switch-package I/O bandwidth grows toward
+//! 160 Tb/s and off-chip signaling toward 70 Gb/s by 2023, while package
+//! pin counts grow only slowly — the motivation for the paper's warning
+//! that "going forward we expect more I/Os per switch package, operating
+//! at higher data rates, further increasing chip power consumption"
+//! (§3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of the ITRS roadmap series plotted in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItrsSample {
+    /// Roadmap year.
+    pub year: u16,
+    /// Aggregate package I/O bandwidth in Tb/s.
+    pub io_bandwidth_tbps: f64,
+    /// Off-chip signaling rate in Gb/s.
+    pub offchip_clock_gbps: f64,
+    /// Package pin count in thousands.
+    pub package_pins_thousands: f64,
+}
+
+/// The Figure-6 series, reconstructed from the chart's anchor labels
+/// (1 Tb/s-class I/O in 2008 rising to "160 Tb/s" by 2023; off-chip
+/// signaling reaching "70 Gb/s"; pin counts growing ~10%/year from ~1k).
+/// Intermediate years follow the roadmap's exponential cadence.
+pub fn itrs_trends() -> Vec<ItrsSample> {
+    const YEARS: [u16; 4] = [2008, 2013, 2018, 2023];
+    // Geometric interpolation between the chart's end points.
+    const IO_TBPS: [f64; 4] = [1.0, 5.5, 30.0, 160.0];
+    const CLOCK_GBPS: [f64; 4] = [10.0, 19.0, 37.0, 70.0];
+    const PINS_K: [f64; 4] = [1.0, 1.6, 2.6, 4.2];
+    YEARS
+        .iter()
+        .enumerate()
+        .map(|(i, &year)| ItrsSample {
+            year,
+            io_bandwidth_tbps: IO_TBPS[i],
+            offchip_clock_gbps: CLOCK_GBPS[i],
+            package_pins_thousands: PINS_K[i],
+        })
+        .collect()
+}
+
+/// Compound annual growth rate between the first and last samples of a
+/// series, used to sanity-check the reconstruction: I/O bandwidth grows
+/// much faster than pins, implying per-pin rates (and power) must climb.
+pub fn cagr(first: f64, last: f64, years: f64) -> f64 {
+    (last / first).powf(1.0 / years) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_figure6_labels() {
+        let t = itrs_trends();
+        assert_eq!(t.first().unwrap().year, 2008);
+        let last = t.last().unwrap();
+        assert_eq!(last.year, 2023);
+        assert_eq!(last.io_bandwidth_tbps, 160.0);
+        assert_eq!(last.offchip_clock_gbps, 70.0);
+    }
+
+    #[test]
+    fn series_is_monotone_increasing() {
+        let t = itrs_trends();
+        for w in t.windows(2) {
+            assert!(w[1].io_bandwidth_tbps > w[0].io_bandwidth_tbps);
+            assert!(w[1].offchip_clock_gbps > w[0].offchip_clock_gbps);
+            assert!(w[1].package_pins_thousands > w[0].package_pins_thousands);
+        }
+    }
+
+    #[test]
+    fn bandwidth_outpaces_pins() {
+        // The core Figure-6 message: I/O bandwidth grows far faster than
+        // pin counts, so per-pin signaling (and power) must rise.
+        let t = itrs_trends();
+        let years = f64::from(t.last().unwrap().year - t[0].year);
+        let bw = cagr(t[0].io_bandwidth_tbps, t.last().unwrap().io_bandwidth_tbps, years);
+        let pins = cagr(
+            t[0].package_pins_thousands,
+            t.last().unwrap().package_pins_thousands,
+            years,
+        );
+        assert!(bw > 3.0 * pins);
+    }
+
+    #[test]
+    fn cagr_examples() {
+        assert!((cagr(1.0, 2.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((cagr(100.0, 100.0, 5.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Renders `repro --json` output into SVG figures.
+//!
+//! ```text
+//! render RESULTS.json OUT_DIR
+//! ```
+//!
+//! Emits `figure7.svg`, `figure8a.svg`, `figure8b.svg`, `figure9a.svg`,
+//! and `figure9b.svg` for whichever figures are present in the JSON.
+
+use epnet::exp::figures::{Figure7, Figure8, Figure9aCell, Figure9bCell};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [input, out_dir] = args.as_slice() else {
+        eprintln!("usage: render RESULTS.json OUT_DIR");
+        return ExitCode::FAILURE;
+    };
+    let raw = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json: serde_json::Value = match serde_json::from_str(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot parse {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut rendered = 0usize;
+    let mut write = |name: &str, svg: String| {
+        let path = Path::new(out_dir).join(name);
+        match std::fs::write(&path, svg) {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                rendered += 1;
+            }
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    };
+
+    if let Some(v) = json.get("figure7") {
+        match serde_json::from_value::<Figure7>(v.clone()) {
+            Ok(f) => write("figure7.svg", epnet_report::render_figure7(&f)),
+            Err(e) => eprintln!("figure7 present but unreadable: {e}"),
+        }
+    }
+    if let Some(v) = json.get("figure8") {
+        match serde_json::from_value::<Figure8>(v.clone()) {
+            Ok(f) => {
+                let (a, b) = epnet_report::render_figure8(&f);
+                write("figure8a.svg", a);
+                write("figure8b.svg", b);
+            }
+            Err(e) => eprintln!("figure8 present but unreadable: {e}"),
+        }
+    }
+    if let Some(v) = json.get("figure9a") {
+        match serde_json::from_value::<Vec<Figure9aCell>>(v.clone()) {
+            Ok(cells) => write("figure9a.svg", epnet_report::render_figure9a(&cells)),
+            Err(e) => eprintln!("figure9a present but unreadable: {e}"),
+        }
+    }
+    if let Some(v) = json.get("figure9b") {
+        match serde_json::from_value::<Vec<Figure9bCell>>(v.clone()) {
+            Ok(cells) => write("figure9b.svg", epnet_report::render_figure9b(&cells)),
+            Err(e) => eprintln!("figure9b present but unreadable: {e}"),
+        }
+    }
+
+    if rendered == 0 {
+        eprintln!("no renderable figures found in {input} (run repro with figure7/8/9 targets)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

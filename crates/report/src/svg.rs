@@ -1,0 +1,133 @@
+//! A tiny dependency-free SVG document builder — just enough for bar
+//! and line charts.
+
+use std::fmt::Write as _;
+
+/// Text anchoring for [`Svg::text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned at the given x.
+    Start,
+    /// Centered on the given x.
+    Middle,
+    /// Right-aligned at the given x.
+    End,
+}
+
+impl Anchor {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Start => "start",
+            Self::Middle => "middle",
+            Self::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Svg {
+    /// Starts a document of the given pixel size with a white
+    /// background.
+    pub fn new(width: f64, height: f64) -> Self {
+        let mut this = Self {
+            width,
+            height,
+            body: String::new(),
+        };
+        this.rect(0.0, 0.0, width, height, "#ffffff");
+        this
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}"/>"#
+        );
+    }
+
+    /// A stroked line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width:.1}"/>"#
+        );
+    }
+
+    /// A polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.1}"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// A small filled circle (line-chart marker).
+    pub fn circle(&mut self, x: f64, y: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="{fill}"/>"#
+        );
+    }
+
+    /// A text label (11-px sans by default; `size` overrides).
+    pub fn text(&mut self, x: f64, y: f64, anchor: Anchor, size: f64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" text-anchor="{}" font-family="sans-serif" font-size="{size:.0}">{escaped}</text>"#,
+            anchor.as_str()
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// The categorical palette used across charts (color-blind friendly).
+pub const PALETTE: [&str; 5] = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#aa3377"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut svg = Svg::new(100.0, 50.0);
+        svg.rect(1.0, 2.0, 3.0, 4.0, "#000");
+        svg.line(0.0, 0.0, 10.0, 10.0, "#111", 1.5);
+        svg.polyline(&[(0.0, 0.0), (5.0, 5.0)], "#222", 2.0);
+        svg.circle(3.0, 3.0, 2.0, "#333");
+        svg.text(5.0, 5.0, Anchor::Middle, 11.0, "a<b&c");
+        let out = svg.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains("polyline"));
+        assert!(out.contains("a&lt;b&amp;c"), "text is escaped");
+        assert_eq!(out.matches("<rect").count(), 2, "background + one rect");
+    }
+
+    #[test]
+    fn palette_is_hex() {
+        for c in PALETTE {
+            assert!(c.starts_with('#') && c.len() == 7);
+        }
+    }
+}

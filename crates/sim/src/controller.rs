@@ -1,0 +1,223 @@
+//! The per-epoch link-rate decision policies (§3.3, §5.1).
+
+use crate::config::RatePolicy;
+use epnet_power::LinkRate;
+
+/// Computes the rate a channel should run at for the next epoch, given
+/// its measured utilization over the previous epoch.
+///
+/// The paper's heuristic uses utilization as the *only* input: "if we
+/// have data to send, and credits to send it, then the utilization will
+/// go up, and we should upgrade the speed of the link. If we either
+/// don't have data or don't have enough credits, utilization will fall,
+/// and there is no reason to keep the link at high speed" (§3.3).
+pub(crate) fn desired_rate(
+    policy: RatePolicy,
+    current: LinkRate,
+    utilization: f64,
+    target: f64,
+    min: LinkRate,
+    max: LinkRate,
+) -> LinkRate {
+    let clamp = |r: LinkRate| {
+        if r < min {
+            min
+        } else if r > max {
+            max
+        } else {
+            r
+        }
+    };
+    match policy {
+        RatePolicy::HalveDouble => {
+            if utilization < target {
+                clamp(current.halved())
+            } else if utilization > target {
+                clamp(current.doubled())
+            } else {
+                current
+            }
+        }
+        RatePolicy::JumpToExtremes => {
+            if utilization < target {
+                min
+            } else if utilization > target {
+                max
+            } else {
+                current
+            }
+        }
+        RatePolicy::Hysteresis { low, high } => {
+            if utilization < low {
+                clamp(current.halved())
+            } else if utilization > high {
+                clamp(current.doubled())
+            } else {
+                current
+            }
+        }
+        RatePolicy::LaneAware => {
+            if utilization < target {
+                let next = current.halved();
+                if current.transition_changes_lanes(next) && utilization < target / 4.0 {
+                    // Crossing the lane boundary: only do it decisively,
+                    // and land at the floor so the expensive transition
+                    // buys the full saving.
+                    clamp(LinkRate::MIN)
+                } else if current.transition_changes_lanes(next) {
+                    current // not idle enough to pay a lane realignment
+                } else {
+                    clamp(next)
+                }
+            } else if utilization > target {
+                let next = current.doubled();
+                if current.transition_changes_lanes(next) {
+                    // Climbing out of the 1-lane modes: go straight to
+                    // full speed for one realignment.
+                    clamp(LinkRate::MAX)
+                } else {
+                    clamp(next)
+                }
+            } else {
+                current
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LinkRate::*;
+
+    const MIN: LinkRate = R2_5;
+    const MAX: LinkRate = R40;
+
+    #[test]
+    fn halve_double_follows_paper() {
+        let p = RatePolicy::HalveDouble;
+        // Below target: detune to half the current rate.
+        assert_eq!(desired_rate(p, R40, 0.1, 0.5, MIN, MAX), R20);
+        assert_eq!(desired_rate(p, R20, 0.1, 0.5, MIN, MAX), R10);
+        // Down to the minimum.
+        assert_eq!(desired_rate(p, R2_5, 0.0, 0.5, MIN, MAX), R2_5);
+        // Above target: double up to the maximum.
+        assert_eq!(desired_rate(p, R10, 0.9, 0.5, MIN, MAX), R20);
+        assert_eq!(desired_rate(p, R40, 0.9, 0.5, MIN, MAX), R40);
+        // Exactly at target: hold.
+        assert_eq!(desired_rate(p, R10, 0.5, 0.5, MIN, MAX), R10);
+    }
+
+    #[test]
+    fn jump_to_extremes_skips_intermediate_steps() {
+        let p = RatePolicy::JumpToExtremes;
+        assert_eq!(desired_rate(p, R40, 0.1, 0.5, MIN, MAX), R2_5);
+        assert_eq!(desired_rate(p, R2_5, 0.9, 0.5, MIN, MAX), R40);
+        assert_eq!(desired_rate(p, R10, 0.5, 0.5, MIN, MAX), R10);
+    }
+
+    #[test]
+    fn hysteresis_holds_in_the_dead_band() {
+        let p = RatePolicy::Hysteresis { low: 0.25, high: 0.75 };
+        assert_eq!(desired_rate(p, R20, 0.5, 0.5, MIN, MAX), R20);
+        assert_eq!(desired_rate(p, R20, 0.1, 0.5, MIN, MAX), R10);
+        assert_eq!(desired_rate(p, R20, 0.9, 0.5, MIN, MAX), R40);
+    }
+
+    #[test]
+    fn lane_aware_crosses_the_boundary_decisively() {
+        let p = RatePolicy::LaneAware;
+        // Cheap relocks inside the 4-lane family behave like
+        // halve/double.
+        assert_eq!(desired_rate(p, R40, 0.1, 0.5, MIN, MAX), R20);
+        assert_eq!(desired_rate(p, R20, 0.1, 0.5, MIN, MAX), R10);
+        // At R10, mildly idle: hold rather than pay a lane change.
+        assert_eq!(desired_rate(p, R10, 0.2, 0.5, MIN, MAX), R10);
+        // At R10, nearly idle: jump all the way to the floor.
+        assert_eq!(desired_rate(p, R10, 0.05, 0.5, MIN, MAX), R2_5);
+        // Within the 1-lane family, cheap steps again.
+        assert_eq!(desired_rate(p, R5, 0.05, 0.5, MIN, MAX), R2_5);
+        // Upshifts: cheap inside a family, decisive across the boundary.
+        assert_eq!(desired_rate(p, R20, 0.9, 0.5, MIN, MAX), R40);
+        assert_eq!(desired_rate(p, R2_5, 0.9, 0.5, MIN, MAX), R5);
+        assert_eq!(desired_rate(p, R5, 0.9, 0.5, MIN, MAX), R40);
+    }
+
+    #[test]
+    fn custom_floor_is_respected() {
+        // A deployment may forbid the slowest mode.
+        let p = RatePolicy::HalveDouble;
+        assert_eq!(desired_rate(p, R5, 0.0, 0.5, R5, MAX), R5);
+        assert_eq!(desired_rate(p, R10, 0.0, 0.5, R5, MAX), R5);
+        // And JumpToExtremes lands on the floor, not on R2_5.
+        let j = RatePolicy::JumpToExtremes;
+        assert_eq!(desired_rate(j, R40, 0.0, 0.5, R5, MAX), R5);
+    }
+
+    #[test]
+    fn custom_ceiling_is_respected() {
+        let p = RatePolicy::HalveDouble;
+        assert_eq!(desired_rate(p, R20, 1.0, 0.5, MIN, R20), R20);
+        assert_eq!(desired_rate(p, R10, 1.0, 0.5, MIN, R20), R20);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn any_rate() -> impl Strategy<Value = LinkRate> {
+            prop_oneof![
+                Just(R2_5),
+                Just(R5),
+                Just(R10),
+                Just(R20),
+                Just(R40),
+            ]
+        }
+
+        fn any_policy() -> impl Strategy<Value = RatePolicy> {
+            prop_oneof![
+                Just(RatePolicy::HalveDouble),
+                Just(RatePolicy::JumpToExtremes),
+                Just(RatePolicy::LaneAware),
+                (0.01f64..0.49, 0.51f64..0.99)
+                    .prop_map(|(low, high)| RatePolicy::Hysteresis { low, high }),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn decision_stays_within_bounds(
+                policy in any_policy(),
+                current in any_rate(),
+                util in 0.0f64..=1.0,
+            ) {
+                let r = desired_rate(policy, current, util, 0.5, MIN, MAX);
+                prop_assert!(r >= MIN && r <= MAX);
+            }
+
+            #[test]
+            fn decision_is_monotone_in_utilization(
+                policy in any_policy(),
+                current in any_rate(),
+                lo in 0.0f64..=1.0,
+                hi in 0.0f64..=1.0,
+            ) {
+                let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                let r_lo = desired_rate(policy, current, lo, 0.5, MIN, MAX);
+                let r_hi = desired_rate(policy, current, hi, 0.5, MIN, MAX);
+                prop_assert!(r_lo <= r_hi, "more load must never pick a slower rate");
+            }
+
+            #[test]
+            fn at_target_every_policy_holds(
+                policy in any_policy(),
+                current in any_rate(),
+            ) {
+                // Exactly on target, no policy moves (hysteresis bands
+                // straddle 0.5 by construction above).
+                prop_assert_eq!(desired_rate(policy, current, 0.5, 0.5, MIN, MAX), current);
+            }
+        }
+    }
+}

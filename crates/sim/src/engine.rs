@@ -1,0 +1,792 @@
+//! The event-driven simulator engine.
+//!
+//! # Modelling notes (see DESIGN.md for the full rationale)
+//!
+//! * Packet granularity with virtual cut-through approximated by a fixed
+//!   per-hop router latency. All headline results of the paper are
+//!   *deltas* against a baseline run using the identical forwarding
+//!   model.
+//! * Credit-based link-level flow control: a channel may only start
+//!   serializing a packet when the downstream input buffer has space;
+//!   credits return after a propagation delay once the packet moves on.
+//!   Output queues are unbounded (switches are "both input and output
+//!   buffered", §4.1 — we give the output side elastic depth, which keeps
+//!   the fabric deadlock-free without virtual channels while preserving
+//!   the congestion signal adaptive routing needs).
+//! * Adaptive routing: at each hop the packet picks, among the minimal
+//!   candidate ports, the one with the smallest output-queue occupancy
+//!   ("adaptively route on each hop based solely on the output queue
+//!   depth", §4.1), with a deterministic rotating tie-break.
+//! * Link-rate control runs at the end of every epoch (§3.3). A rate
+//!   change makes the channel unavailable for the reactivation latency;
+//!   traffic routed toward it queues up and adaptive routing steers
+//!   around the congestion, exactly the second tolerance strategy of
+//!   §3.2.
+
+use crate::config::{ControlMode, RoutingPolicy, SimConfig};
+use crate::controller::desired_rate;
+use crate::dyntopo::DynamicTopology;
+use crate::event::{Event, EventQueue};
+use crate::packet::{MessageId, Packet, PacketArena, PacketId};
+use crate::stats::{RateResidency, SimReport, Stats};
+use crate::traffic::{Message, TrafficSource};
+use crate::SimTime;
+use epnet_power::{LinkRate, RATE_LADDER};
+use epnet_topology::{
+    ChannelId, FabricGraph, LinkMask, Medium, PortIndex, PortTarget, RoutingTopology, SwitchId,
+};
+use std::collections::VecDeque;
+
+/// Per-channel runtime state.
+#[derive(Debug)]
+pub(crate) struct Channel {
+    /// Output queue feeding this channel (elastic).
+    queue: VecDeque<PacketId>,
+    /// Bytes in `queue` (including the packet being serialized).
+    pub(crate) occupancy: u64,
+    /// Whether a packet is currently being serialized.
+    pub(crate) busy: bool,
+    /// Remaining downstream buffer credits, in bytes.
+    credits: u32,
+    /// Configured rate.
+    pub(crate) rate: LinkRate,
+    /// Channel unusable until this time (reactivation after a rate
+    /// change, §3.1).
+    available_at: SimTime,
+    /// A `Retry` event is already pending.
+    retry_scheduled: bool,
+    /// Busy picoseconds accumulated this epoch (the controller's
+    /// utilization input).
+    busy_ps_epoch: u64,
+    /// End of the in-progress transmission, if any — lets epoch
+    /// accounting split a serialization that spans epoch boundaries.
+    busy_until: SimTime,
+    /// Residency accounting: time at each rate since the run started.
+    time_at_rate_ps: [u64; LinkRate::COUNT],
+    /// Time powered off (dynamic topologies, §5.2).
+    off_ps: u64,
+    /// When the current rate/off interval began.
+    rate_since: SimTime,
+    /// Whether the channel is powered off.
+    pub(crate) off: bool,
+    /// Rate change waiting for the queue to drain (§3.2's first
+    /// tolerance option); while set, the channel is removed from the
+    /// legal adaptive routes.
+    pending_rate: Option<LinkRate>,
+    /// Whether the controller may retune this channel.
+    tunable: bool,
+    /// Propagation delay of the physical medium.
+    prop: SimTime,
+}
+
+impl Channel {
+    fn new(rate: LinkRate, credits: u32, tunable: bool, prop: SimTime) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            occupancy: 0,
+            busy: false,
+            credits,
+            rate,
+            available_at: SimTime::ZERO,
+            retry_scheduled: false,
+            busy_ps_epoch: 0,
+            busy_until: SimTime::ZERO,
+            time_at_rate_ps: [0; LinkRate::COUNT],
+            off_ps: 0,
+            rate_since: SimTime::ZERO,
+            off: false,
+            pending_rate: None,
+            tunable,
+            prop,
+        }
+    }
+
+    /// Closes the current residency interval at `now`.
+    fn note_interval(&mut self, now: SimTime) {
+        let span = (now - self.rate_since).as_ps();
+        if self.off {
+            self.off_ps += span;
+        } else {
+            self.time_at_rate_ps[self.rate.index()] += span;
+        }
+        self.rate_since = now;
+    }
+
+    /// Utilization over the epoch that just ended.
+    fn epoch_utilization(&self, epoch: SimTime) -> f64 {
+        (self.busy_ps_epoch as f64 / epoch.as_ps() as f64).min(1.0)
+    }
+
+    pub(crate) fn queue_is_idle(&self) -> bool {
+        self.queue.is_empty() && !self.busy
+    }
+
+    /// Busy picoseconds accumulated this epoch.
+    pub(crate) fn busy_ps_epoch(&self) -> u64 {
+        self.busy_ps_epoch
+    }
+
+    /// Transitions the channel's powered state, closing the residency
+    /// interval (dynamic topologies, §5.2).
+    pub(crate) fn set_off(&mut self, now: SimTime, off: bool) {
+        debug_assert!(!off || self.queue_is_idle(), "powering off a busy channel");
+        self.note_interval(now);
+        self.off = off;
+    }
+
+    /// Brings the channel up at `rate`, unusable until the reactivation
+    /// completes.
+    pub(crate) fn reactivate(&mut self, now: SimTime, reactivation: SimTime, rate: LinkRate) {
+        self.note_interval(now);
+        self.rate = rate;
+        self.available_at = now + reactivation;
+    }
+}
+
+/// Record of an in-flight message for completion tracking.
+#[derive(Debug, Clone, Copy)]
+struct MessageRec {
+    remaining: u32,
+    offered_at: SimTime,
+}
+
+/// The event-driven network simulator (§4.1: "an in-house event-driven
+/// network simulator, which has been heavily modified to support future
+/// high-performance networks").
+///
+/// Build one per run: [`Simulator::run_until`] consumes the simulator and
+/// returns a [`SimReport`].
+///
+/// ```
+/// use epnet_sim::{Message, ReplaySource, SimConfig, SimTime, Simulator};
+/// use epnet_topology::{FlattenedButterfly, HostId};
+///
+/// let fabric = FlattenedButterfly::new(2, 4, 2)?.build_fabric();
+/// let traffic = ReplaySource::new(vec![Message {
+///     at: SimTime::from_us(1),
+///     src: HostId::new(0),
+///     dst: HostId::new(7),
+///     bytes: 64 * 1024,
+/// }]);
+/// let report = Simulator::new(fabric, SimConfig::baseline(), traffic)
+///     .run_until(SimTime::from_ms(1));
+/// assert_eq!(report.delivered_bytes, 64 * 1024);
+/// # Ok::<(), epnet_topology::TopologyError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<S> {
+    fabric: FabricGraph,
+    config: SimConfig,
+    source: S,
+    pending: Option<Message>,
+    queue: EventQueue,
+    now: SimTime,
+    end: SimTime,
+    channels: Vec<Channel>,
+    arena: PacketArena,
+    messages: Vec<MessageRec>,
+    stats: Stats,
+    mask: Option<LinkMask>,
+    dyntopo: Option<DynamicTopology>,
+    candidates: Vec<PortIndex>,
+    last_offered_at: SimTime,
+    /// End of the current utilization-measurement epoch.
+    epoch_end: SimTime,
+}
+
+impl<S: TrafficSource> Simulator<S> {
+    /// Creates a simulator over `fabric` driven by `source`.
+    pub fn new(fabric: FabricGraph, config: SimConfig, source: S) -> Self {
+        config.validate();
+        let mut channels = Vec::with_capacity(fabric.num_channels());
+        for ch in 0..fabric.num_channels() {
+            let id = ChannelId::new(ch as u32);
+            let tunable = config.tune_host_links || !fabric.is_host_channel(id);
+            let prop = match fabric.channel_medium(id) {
+                Medium::Electrical => config.electrical_propagation,
+                Medium::Optical => config.optical_propagation,
+            };
+            channels.push(Channel::new(
+                config.max_rate,
+                config.input_buffer_bytes,
+                tunable,
+                prop,
+            ));
+        }
+        let warmup = config.warmup;
+        let first_epoch_end = config.epoch;
+        Self {
+            fabric,
+            config,
+            source,
+            pending: None,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            end: SimTime::ZERO,
+            channels,
+            arena: PacketArena::new(),
+            messages: Vec::new(),
+            stats: Stats::new(warmup),
+            mask: None,
+            dyntopo: None,
+            candidates: Vec::new(),
+            last_offered_at: SimTime::ZERO,
+            epoch_end: first_epoch_end,
+        }
+    }
+
+    /// Enables the dynamic-topology extension (§5.2): links beyond the
+    /// mesh tier may be powered off entirely under low load and
+    /// re-enabled as demand grows.
+    pub fn enable_dynamic_topology(&mut self, dt: DynamicTopology) {
+        self.mask = Some(LinkMask::all_enabled(&self.fabric));
+        self.dyntopo = Some(dt);
+    }
+
+    /// The fabric being simulated.
+    pub fn fabric(&self) -> &FabricGraph {
+        &self.fabric
+    }
+
+    /// Runs the simulation until simulated time `end` and reports.
+    pub fn run_until(mut self, end: SimTime) -> SimReport {
+        self.end = end;
+        self.stats.timeline_channels = self
+            .config
+            .timeline_channels
+            .min(self.channels.len() as u32);
+        for ch in 0..self.stats.timeline_channels {
+            let rate = self.channels[ch as usize].rate;
+            self.stats.record_rate(SimTime::ZERO, ch, Some(rate));
+        }
+        self.pending = self.source.next_message();
+        if let Some(m) = self.pending {
+            self.queue.schedule(m.at, Event::Workload);
+        }
+        let controller_active =
+            self.config.control != ControlMode::AlwaysFull || self.dyntopo.is_some();
+        if controller_active {
+            self.queue.schedule(self.config.epoch, Event::EpochTick);
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            if t > self.end {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            match ev {
+                Event::Workload => self.on_workload(),
+                Event::TxDone { channel } => self.on_tx_done(channel),
+                Event::Arrive { channel, packet } => self.on_arrive(channel, packet),
+                Event::CreditReturn { channel, bytes } => self.on_credit(channel, bytes),
+                Event::Retry { channel } => {
+                    self.channels[channel.index()].retry_scheduled = false;
+                    self.try_tx(channel);
+                }
+                Event::EpochTick => self.on_epoch(),
+            }
+        }
+        self.now = end;
+        self.finish()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_workload(&mut self) {
+        while let Some(m) = self.pending {
+            if m.at > self.now {
+                break;
+            }
+            self.inject(m);
+            self.pending = self.source.next_message();
+            if let Some(next) = self.pending {
+                debug_assert!(next.at >= m.at, "traffic source went backwards in time");
+            }
+        }
+        if let Some(m) = self.pending {
+            if m.at <= self.end {
+                self.queue.schedule(m.at, Event::Workload);
+            }
+        }
+    }
+
+    fn inject(&mut self, m: Message) {
+        assert!(
+            m.src.index() < self.fabric.num_hosts() && m.dst.index() < self.fabric.num_hosts(),
+            "message endpoints outside the fabric"
+        );
+        debug_assert_ne!(m.src, m.dst, "self-sends are not meaningful");
+        self.stats.offered_bytes += m.bytes;
+        self.last_offered_at = m.at;
+        let message = MessageId(self.messages.len() as u32);
+        let pkt_size = u64::from(self.config.packet_bytes);
+        let full = (m.bytes / pkt_size) as u32;
+        let tail = (m.bytes % pkt_size) as u32;
+        let count = full + u32::from(tail > 0);
+        self.messages.push(MessageRec {
+            remaining: count.max(1),
+            offered_at: m.at,
+        });
+        let inj = self.fabric.injection_channel(m.src);
+        let budget = match self.config.routing {
+            RoutingPolicy::MinimalAdaptive => 0,
+            RoutingPolicy::Ugal { misroute_budget, .. } => misroute_budget,
+        };
+        for i in 0..count {
+            let bytes = if i < full { pkt_size as u32 } else { tail };
+            let id = self.arena.alloc(Packet {
+                dst: m.dst,
+                bytes,
+                created: m.at,
+                message,
+                hops: 0,
+                misroutes_left: budget,
+            });
+            self.enqueue(inj, id);
+        }
+        if count == 0 {
+            // Zero-byte message: treat as a single minimal packet.
+            let id = self.arena.alloc(Packet {
+                dst: m.dst,
+                bytes: 1,
+                created: m.at,
+                message,
+                hops: 0,
+                misroutes_left: budget,
+            });
+            self.enqueue(inj, id);
+        }
+        self.try_tx(inj);
+    }
+
+    fn enqueue(&mut self, ch: ChannelId, pkt: PacketId) {
+        let bytes = u64::from(self.arena.get(pkt).bytes);
+        let c = &mut self.channels[ch.index()];
+        c.queue.push_back(pkt);
+        c.occupancy += bytes;
+        if c.occupancy > self.stats.peak_queue_bytes {
+            self.stats.peak_queue_bytes = c.occupancy;
+        }
+    }
+
+    /// Attempts to start serializing the head packet of `ch`.
+    fn try_tx(&mut self, ch: ChannelId) {
+        let now = self.now;
+        let c = &mut self.channels[ch.index()];
+        if c.busy || c.off {
+            return;
+        }
+        let Some(&head) = c.queue.front() else {
+            return;
+        };
+        if now < c.available_at {
+            if !c.retry_scheduled {
+                c.retry_scheduled = true;
+                let at = c.available_at;
+                self.queue.schedule(at, Event::Retry { channel: ch });
+            }
+            return;
+        }
+        let bytes = self.arena.get(head).bytes;
+        if c.credits < bytes {
+            return; // Woken by CreditReturn.
+        }
+        c.credits -= bytes;
+        c.busy = true;
+        let ser = SimTime::from_ps(c.rate.serialize_ps(u64::from(bytes)));
+        let tx_done = now + ser;
+        // Charge this epoch only for the busy time that falls inside it;
+        // the remainder is pre-charged to later epochs at the tick (a
+        // 2 KiB packet at 2.5 Gb/s outlasts a 1 µs epoch, and without the
+        // split the controller would see a busy link as idle).
+        c.busy_until = tx_done;
+        let in_epoch = if tx_done <= self.epoch_end {
+            ser
+        } else {
+            self.epoch_end.saturating_sub(now)
+        };
+        c.busy_ps_epoch += in_epoch.as_ps();
+        self.stats.busy_ps_total += u128::from(ser.as_ps());
+        let prop = c.prop;
+        self.queue.schedule(tx_done, Event::TxDone { channel: ch });
+        // Tail arrival plus the router pipeline when the far end is a
+        // switch (hosts consume directly).
+        let router = match self.fabric.channel_target(ch) {
+            PortTarget::Host(_) => SimTime::ZERO,
+            PortTarget::Switch { .. } => self.config.router_latency,
+        };
+        self.queue.schedule(
+            tx_done + prop + router,
+            Event::Arrive {
+                channel: ch,
+                packet: head,
+            },
+        );
+    }
+
+    fn on_tx_done(&mut self, ch: ChannelId) {
+        let c = &mut self.channels[ch.index()];
+        let head = c.queue.pop_front().expect("TxDone with empty queue");
+        let bytes = u64::from(self.arena.get(head).bytes);
+        c.occupancy -= bytes;
+        c.busy = false;
+        if c.queue.is_empty() && c.pending_rate.is_some() {
+            self.finish_pending_rate(ch);
+            return;
+        }
+        self.try_tx(ch);
+    }
+
+    fn on_arrive(&mut self, ch: ChannelId, pkt: PacketId) {
+        // Credits travel back once the packet has cleared the input
+        // buffer; charging the propagation delay models the return trip.
+        let bytes = self.arena.get(pkt).bytes;
+        let prop = self.channels[ch.index()].prop;
+        self.queue.schedule(
+            self.now + prop,
+            Event::CreditReturn {
+                channel: ch,
+                bytes,
+            },
+        );
+        match self.fabric.channel_target(ch) {
+            PortTarget::Host(h) => {
+                debug_assert_eq!(self.arena.get(pkt).dst, h, "misrouted packet");
+                let packet = self.arena.free(pkt);
+                self.stats
+                    .record_packet(packet.created, self.now, packet.bytes);
+                let rec = &mut self.messages[packet.message.index()];
+                rec.remaining -= 1;
+                if rec.remaining == 0 {
+                    self.stats.record_message(rec.offered_at, self.now);
+                }
+            }
+            PortTarget::Switch { switch, .. } => self.route(switch, pkt),
+        }
+    }
+
+    /// Picks the minimal-candidate output with the smallest queue
+    /// occupancy and forwards the packet onto it; under
+    /// [`RoutingPolicy::Ugal`] a congested minimal set may instead yield
+    /// a detour through an intermediate switch.
+    fn route(&mut self, at: SwitchId, pkt: PacketId) {
+        let (dst, hops, misroutes_left) = {
+            let p = self.arena.get(pkt);
+            (p.dst, p.hops, p.misroutes_left)
+        };
+        let mut candidates = std::mem::take(&mut self.candidates);
+        self.fabric
+            .candidate_ports_masked(at, dst, self.mask.as_ref(), &mut candidates);
+        assert!(
+            !candidates.is_empty(),
+            "no route from {at} toward {dst}: fabric partitioned by link mask"
+        );
+        // Rotating start index de-correlates tie-breaks between switches
+        // and packets while staying deterministic.
+        let start = (usize::from(hops) + at.index() + pkt.index()) % candidates.len();
+        let mut best: Option<(PortIndex, u64)> = None;
+        let mut best_draining: Option<(PortIndex, u64)> = None;
+        for i in 0..candidates.len() {
+            let cand = candidates[(start + i) % candidates.len()];
+            let c = &self.channels[self.fabric.output_channel(at, cand).index()];
+            // Channels draining toward a rate change are "removed from
+            // the list of legal adaptive routes" (§3.2) when any
+            // alternative exists.
+            let slot = if c.pending_rate.is_some() {
+                &mut best_draining
+            } else {
+                &mut best
+            };
+            if slot.map_or(true, |(_, o)| c.occupancy < o) {
+                *slot = Some((cand, c.occupancy));
+            }
+        }
+        let (mut best, best_occ) = best
+            .or(best_draining)
+            .expect("candidate list is non-empty");
+        candidates.clear();
+        self.candidates = candidates;
+
+        let mut misrouted = false;
+        if let RoutingPolicy::Ugal { bias_bytes, .. } = self.config.routing {
+            if misroutes_left > 0 && at != self.fabric.host_switch(dst) {
+                if let Some((detour, occ)) = self.best_detour(at, dst) {
+                    // UGAL: take the detour only when it looks at least
+                    // twice as cheap (the detour path is two hops long).
+                    if 2 * occ + u64::from(bias_bytes) < best_occ {
+                        best = detour;
+                        misrouted = true;
+                    }
+                }
+            }
+        }
+
+        let p = self.arena.get_mut(pkt);
+        p.hops = hops.saturating_add(1);
+        if misrouted {
+            p.misroutes_left -= 1;
+        }
+        let out = self.fabric.output_channel(at, best);
+        self.enqueue(out, pkt);
+        self.try_tx(out);
+    }
+
+    /// The least-occupied non-minimal port: any intermediate digit in a
+    /// dimension still needing correction.
+    fn best_detour(&self, at: SwitchId, dst: epnet_topology::HostId) -> Option<(PortIndex, u64)> {
+        let here = self.fabric.switch_coord(at);
+        let there = self.fabric.switch_coord(self.fabric.host_switch(dst));
+        let mut best: Option<(PortIndex, u64)> = None;
+        for dim in 0..self.fabric.switch_dims() {
+            let a = here.digit(dim);
+            let b = there.digit(dim);
+            if a == b {
+                continue;
+            }
+            for digit in 0..self.fabric.radix() {
+                if digit == a || digit == b {
+                    continue;
+                }
+                let port = self.fabric.port_toward(at, dim, digit);
+                if let Some(mask) = &self.mask {
+                    if !mask.is_enabled(self.fabric.link_of(self.fabric.output_channel(at, port)))
+                    {
+                        continue;
+                    }
+                }
+                let occ = self.channels[self.fabric.output_channel(at, port).index()].occupancy;
+                if best.map_or(true, |(_, o)| occ < o) {
+                    best = Some((port, occ));
+                }
+            }
+        }
+        best
+    }
+
+    fn on_credit(&mut self, ch: ChannelId, bytes: u32) {
+        let c = &mut self.channels[ch.index()];
+        c.credits += bytes;
+        debug_assert!(
+            c.credits <= self.config.input_buffer_bytes,
+            "credit overflow on {ch}"
+        );
+        self.try_tx(ch);
+    }
+
+    // ------------------------------------------------------------------
+    // The per-epoch controller (§3.3)
+    // ------------------------------------------------------------------
+
+    fn on_epoch(&mut self) {
+        match self.config.control {
+            ControlMode::AlwaysFull => {}
+            ControlMode::IndependentChannel => self.retune_independent(),
+            ControlMode::PairedLink => self.retune_paired(),
+        }
+        // Sample link asymmetry: how often do a link's two channels sit
+        // at different speeds (§3.3.1)?
+        if self.config.control != ControlMode::AlwaysFull {
+            for link in 0..self.fabric.num_links() {
+                let (a, b) = self
+                    .fabric
+                    .link_channels(epnet_topology::LinkId::new(link as u32));
+                self.stats.link_samples += 1;
+                let (ca, cb) = (&self.channels[a.index()], &self.channels[b.index()]);
+                if ca.rate != cb.rate || ca.off != cb.off {
+                    self.stats.asymmetric_link_samples += 1;
+                }
+            }
+        }
+        if let Some(mut dt) = self.dyntopo.take() {
+            let mask = self.mask.as_mut().expect("dyntopo requires a mask");
+            dt.on_epoch(
+                self.now,
+                &self.fabric,
+                &mut self.channels,
+                mask,
+                &self.config,
+                &mut self.stats,
+            );
+            self.dyntopo = Some(dt);
+        }
+        let epoch = self.config.epoch;
+        for c in &mut self.channels {
+            // Pre-charge the next epoch with the in-flight transmission's
+            // overhang.
+            let overhang = c.busy_until.saturating_sub(self.now);
+            c.busy_ps_epoch = overhang.as_ps().min(epoch.as_ps());
+        }
+        let next = self.now + epoch;
+        self.epoch_end = next;
+        if next <= self.end {
+            self.queue.schedule(next, Event::EpochTick);
+        }
+    }
+
+    fn retune_independent(&mut self) {
+        for ch in 0..self.channels.len() {
+            let id = ChannelId::new(ch as u32);
+            let desired = self.channel_desired_rate(id);
+            if let Some(rate) = desired {
+                self.apply_rate(id, rate);
+            }
+        }
+    }
+
+    fn retune_paired(&mut self) {
+        // "The link pair must be reconfigured together to match the
+        // requirements of the channel with the highest load" (§3.3.1).
+        for link in 0..self.fabric.num_links() {
+            let (a, b) = self.fabric.link_channels(epnet_topology::LinkId::new(link as u32));
+            let (da, db) = (self.channel_desired_rate(a), self.channel_desired_rate(b));
+            let rate = match (da, db) {
+                (Some(ra), Some(rb)) => ra.max(rb),
+                _ => continue,
+            };
+            self.apply_rate(a, rate);
+            self.apply_rate(b, rate);
+        }
+    }
+
+    /// The rate the policy wants for this channel, or `None` when the
+    /// channel is exempt from tuning (host link with tuning disabled, or
+    /// powered off).
+    fn channel_desired_rate(&self, ch: ChannelId) -> Option<LinkRate> {
+        let c = &self.channels[ch.index()];
+        if !c.tunable || c.off {
+            return None;
+        }
+        let util = c.epoch_utilization(self.config.epoch);
+        Some(desired_rate(
+            self.config.policy,
+            c.rate,
+            util,
+            self.config.target_utilization,
+            self.config.min_rate,
+            self.config.max_rate,
+        ))
+    }
+
+    /// Applies a rate decision; a change costs the reactivation latency
+    /// (§3.1). Under [`ReactivationStrategy::DrainFirst`] a busy channel
+    /// is first removed from the legal routes and drained (§3.2's first
+    /// option).
+    fn apply_rate(&mut self, ch: ChannelId, rate: LinkRate) {
+        let now = self.now;
+        let model = self.config.reactivation;
+        let strategy = self.config.reactivation_strategy;
+        let c = &mut self.channels[ch.index()];
+        if c.pending_rate.take().is_some() && c.rate == rate {
+            // The controller changed its mind back before the drain
+            // finished; cancel the pending change.
+            return;
+        }
+        if c.rate == rate {
+            return;
+        }
+        // Drain-first only defers *downshifts*: an upshift is what a
+        // congested queue needs, and deferring it until the queue
+        // empties could wait forever.
+        if strategy == crate::config::ReactivationStrategy::DrainFirst
+            && rate < c.rate
+            && !c.queue_is_idle()
+        {
+            c.pending_rate = Some(rate);
+            return;
+        }
+        let latency = model.latency(c.rate, rate);
+        c.note_interval(now);
+        c.rate = rate;
+        c.available_at = now + latency;
+        self.stats.reconfigurations += 1;
+        self.stats.record_rate(now, ch.raw(), Some(rate));
+        // If traffic is waiting, make sure it resumes once the channel
+        // relocks (the serializing packet, if any, completes at the old
+        // timing — the change takes effect for subsequent packets).
+        self.try_tx(ch);
+    }
+
+    /// Completes a drain-first rate change once the queue has emptied.
+    fn finish_pending_rate(&mut self, ch: ChannelId) {
+        let now = self.now;
+        let model = self.config.reactivation;
+        let c = &mut self.channels[ch.index()];
+        let Some(rate) = c.pending_rate.take() else {
+            return;
+        };
+        if !c.queue_is_idle() {
+            // New traffic slipped in before the drain completed (only
+            // possible when this channel was the sole route); keep
+            // waiting.
+            c.pending_rate = Some(rate);
+            return;
+        }
+        let latency = model.latency(c.rate, rate);
+        c.note_interval(now);
+        c.rate = rate;
+        c.available_at = now + latency;
+        self.stats.reconfigurations += 1;
+        self.stats.record_rate(now, ch.raw(), Some(rate));
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn finish(mut self) -> SimReport {
+        let end = self.now;
+        let mut residency = RateResidency {
+            at_rate_ps: [0; LinkRate::COUNT],
+            off_ps: 0,
+        };
+        for c in &mut self.channels {
+            c.note_interval(end);
+            for r in RATE_LADDER {
+                residency.at_rate_ps[r.index()] += u128::from(c.time_at_rate_ps[r.index()]);
+            }
+            residency.off_ps += u128::from(c.off_ps);
+        }
+        let s = &self.stats;
+        let mean_packet_latency = if s.packets > 0 {
+            SimTime::from_ps((s.packet_latency_sum_ps / u128::from(s.packets)) as u64)
+        } else {
+            SimTime::ZERO
+        };
+        let mean_message_latency = if s.messages > 0 {
+            SimTime::from_ps((s.message_latency_sum_ps / u128::from(s.messages)) as u64)
+        } else {
+            SimTime::ZERO
+        };
+        let channel_time = u128::from(end.as_ps()) * self.channels.len() as u128;
+        let avg_channel_utilization = if channel_time > 0 {
+            (s.busy_ps_total as f64 / channel_time as f64).min(1.0)
+        } else {
+            0.0
+        };
+        SimReport {
+            duration: end,
+            num_channels: self.channels.len(),
+            packets_delivered: s.packets,
+            messages_delivered: s.messages,
+            mean_packet_latency,
+            packet_latency_hist: s.packet_hist.clone(),
+            mean_message_latency,
+            offered_bytes: s.offered_bytes,
+            delivered_bytes: s.delivered_bytes,
+            avg_channel_utilization,
+            residency,
+            reconfigurations: s.reconfigurations,
+            peak_live_packets: self.arena.capacity(),
+            asymmetric_link_fraction: if s.link_samples > 0 {
+                s.asymmetric_link_samples as f64 / s.link_samples as f64
+            } else {
+                0.0
+            },
+            peak_queue_bytes: s.peak_queue_bytes,
+            timeline: s.timeline.clone(),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The discrete-event core: a time-ordered queue with deterministic
+//! FIFO tie-breaking.
+
+use crate::packet::PacketId;
+use crate::SimTime;
+use epnet_topology::ChannelId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events processed by the simulator engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// Pull the next message(s) from the traffic source.
+    Workload,
+    /// A channel finished serializing its current packet.
+    TxDone { channel: ChannelId },
+    /// A packet's tail reached the far end of a channel.
+    Arrive { channel: ChannelId, packet: PacketId },
+    /// Flow-control credits returned to a channel.
+    CreditReturn { channel: ChannelId, bytes: u32 },
+    /// Retry transmission (scheduled when a channel was reconfiguring).
+    Retry { channel: ChannelId },
+    /// End-of-epoch: run the link-rate controller (§3.3).
+    EpochTick,
+}
+
+/// A scheduled event. Ordered by time, then by insertion sequence so
+/// simultaneous events run in deterministic FIFO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Earliest scheduled time, if any.
+    #[allow(dead_code)] // diagnostic surface, exercised in tests
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    #[allow(dead_code)] // diagnostic surface, exercised in tests
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[allow(dead_code)] // diagnostic surface, exercised in tests
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), Event::EpochTick);
+        q.schedule(SimTime::from_ns(10), Event::Workload);
+        q.schedule(SimTime::from_ns(20), Event::EpochTick);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ns()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        q.schedule(t, Event::TxDone { channel: ChannelId::new(1) });
+        q.schedule(t, Event::TxDone { channel: ChannelId::new(2) });
+        q.schedule(t, Event::TxDone { channel: ChannelId::new(3) });
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TxDone { channel } => channel.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_ns(7), Event::Workload);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

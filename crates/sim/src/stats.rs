@@ -1,0 +1,455 @@
+//! Measurement collection and the end-of-run report.
+
+use crate::SimTime;
+use epnet_power::{LinkPowerProfile, LinkRate};
+use serde::{Deserialize, Serialize};
+
+/// Log₂-bucketed latency histogram (nanosecond buckets), good enough for
+/// the factor-of-two latency comparisons of Figure 9.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+
+    fn record_ns(&mut self, ns: u64) {
+        let idx = 64 - u64::leading_zeros(ns.max(1)) as usize;
+        self.buckets[idx.min(63)] += 1;
+        self.count += 1;
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) in nanoseconds: the upper edge
+    /// of the bucket containing the q-th sample.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << 63
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Running measurement state inside the engine.
+#[derive(Debug)]
+pub(crate) struct Stats {
+    pub warmup: SimTime,
+    pub packets: u64,
+    pub packet_latency_sum_ps: u128,
+    pub packet_hist: LatencyHistogram,
+    pub messages: u64,
+    pub message_latency_sum_ps: u128,
+    pub offered_bytes: u64,
+    pub delivered_bytes: u64,
+    pub measured_delivered_bytes: u64,
+    pub busy_ps_total: u128,
+    pub reconfigurations: u64,
+    pub dropped_for_warmup: u64,
+    /// Link-epoch samples where the two channels of a link sat at
+    /// different rates (§3.3.1's asymmetry evidence).
+    pub asymmetric_link_samples: u64,
+    /// Total link-epoch samples taken.
+    pub link_samples: u64,
+    /// Largest output-queue occupancy observed, in bytes.
+    pub peak_queue_bytes: u64,
+    /// Rate timeline of recorded channels.
+    pub timeline: Vec<TimelineEvent>,
+    /// Channels `0..timeline_channels` are recorded.
+    pub timeline_channels: u32,
+}
+
+impl Stats {
+    pub fn new(warmup: SimTime) -> Self {
+        Self {
+            warmup,
+            packets: 0,
+            packet_latency_sum_ps: 0,
+            packet_hist: LatencyHistogram::new(),
+            messages: 0,
+            message_latency_sum_ps: 0,
+            offered_bytes: 0,
+            delivered_bytes: 0,
+            measured_delivered_bytes: 0,
+            busy_ps_total: 0,
+            reconfigurations: 0,
+            dropped_for_warmup: 0,
+            asymmetric_link_samples: 0,
+            link_samples: 0,
+            peak_queue_bytes: 0,
+            timeline: Vec::new(),
+            timeline_channels: 0,
+        }
+    }
+
+    /// Records a rate transition for channels under the timeline limit.
+    pub fn record_rate(&mut self, at: SimTime, channel: u32, rate: Option<LinkRate>) {
+        if channel < self.timeline_channels {
+            self.timeline.push(TimelineEvent { at, channel, rate });
+        }
+    }
+
+    pub fn record_packet(&mut self, created: SimTime, delivered: SimTime, bytes: u32) {
+        self.delivered_bytes += u64::from(bytes);
+        if created < self.warmup {
+            self.dropped_for_warmup += 1;
+            return;
+        }
+        self.measured_delivered_bytes += u64::from(bytes);
+        let lat = delivered - created;
+        self.packets += 1;
+        self.packet_latency_sum_ps += u128::from(lat.as_ps());
+        self.packet_hist.record_ns(lat.as_ns());
+    }
+
+    pub fn record_message(&mut self, created: SimTime, completed: SimTime) {
+        if created < self.warmup {
+            return;
+        }
+        self.messages += 1;
+        self.message_latency_sum_ps += u128::from((completed - created).as_ps());
+    }
+}
+
+/// One rate-timeline sample: channel `channel` switched to `rate`
+/// (`None` = powered off) at time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEvent {
+    /// When the transition took effect.
+    pub at: SimTime,
+    /// Channel index (dense id).
+    pub channel: u32,
+    /// New rate, or `None` for powered off.
+    pub rate: Option<LinkRate>,
+}
+
+/// Aggregated per-rate residency of every channel over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateResidency {
+    /// Picoseconds of channel-time at each ladder rate, slowest first
+    /// (index with [`LinkRate::index`]).
+    pub at_rate_ps: [u128; LinkRate::COUNT],
+    /// Picoseconds of channel-time powered off (dynamic topologies).
+    pub off_ps: u128,
+}
+
+impl RateResidency {
+    /// Total channel-time covered.
+    pub fn total_ps(&self) -> u128 {
+        self.at_rate_ps.iter().sum::<u128>() + self.off_ps
+    }
+
+    /// Fraction of channel-time at `rate`.
+    pub fn fraction_at(&self, rate: LinkRate) -> f64 {
+        let t = self.total_ps();
+        if t == 0 {
+            0.0
+        } else {
+            self.at_rate_ps[rate.index()] as f64 / t as f64
+        }
+    }
+
+    /// Fraction of channel-time powered off.
+    pub fn off_fraction(&self) -> f64 {
+        let t = self.total_ps();
+        if t == 0 {
+            0.0
+        } else {
+            self.off_ps as f64 / t as f64
+        }
+    }
+}
+
+/// The result of a simulation run: everything needed to regenerate the
+/// paper's Figures 7–9 for one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Unidirectional channels in the fabric.
+    pub num_channels: usize,
+    /// Packets delivered inside the measurement window.
+    pub packets_delivered: u64,
+    /// Messages fully delivered inside the measurement window.
+    pub messages_delivered: u64,
+    /// Mean packet latency.
+    pub mean_packet_latency: SimTime,
+    /// Packet latency histogram.
+    pub packet_latency_hist: LatencyHistogram,
+    /// Mean message (last-packet) latency.
+    pub mean_message_latency: SimTime,
+    /// Total bytes offered by the workload over the run.
+    pub offered_bytes: u64,
+    /// Total bytes delivered over the run (including warm-up).
+    pub delivered_bytes: u64,
+    /// Average utilization across every channel — this *is* the power of
+    /// an ideally energy-proportional network relative to baseline
+    /// (§4.2.1: "the energy consumed by the network would exactly equal
+    /// the average utilization of all links in the network").
+    pub avg_channel_utilization: f64,
+    /// Channel-time per rate (Figure 7's raw data).
+    pub residency: RateResidency,
+    /// Number of rate reconfigurations performed.
+    pub reconfigurations: u64,
+    /// High-water mark of packets in flight.
+    pub peak_live_packets: usize,
+    /// Fraction of link-epoch samples in which a link's two opposing
+    /// channels sat at *different* rates — direct evidence for the
+    /// paper's §3.3.1 claim that "the load on the link may be
+    /// asymmetric". Always 0 under [`ControlMode::PairedLink`]
+    /// (the pair is tuned together) and for the baseline.
+    ///
+    /// [`ControlMode::PairedLink`]: crate::ControlMode::PairedLink
+    pub asymmetric_link_fraction: f64,
+    /// Largest output-queue occupancy observed, in bytes.
+    pub peak_queue_bytes: u64,
+    /// Rate timeline of the first `timeline_channels` channels
+    /// (empty unless enabled in the configuration).
+    pub timeline: Vec<TimelineEvent>,
+}
+
+impl SimReport {
+    /// Network power relative to the all-links-full-rate baseline, under
+    /// a given channel power profile — the quantity plotted in
+    /// Figure 8(a) (measured channels) and 8(b) (ideal channels).
+    pub fn relative_power(&self, profile: &LinkPowerProfile) -> f64 {
+        let total = self.residency.total_ps();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut power = self.residency.off_ps as f64 * profile.idle_relative_power();
+        for rate in epnet_power::RATE_LADDER {
+            power += self.residency.at_rate_ps[rate.index()] as f64 * profile.relative_power(rate);
+        }
+        power / total as f64 / profile.relative_power(LinkRate::MAX)
+    }
+
+    /// Mean packet latency increase relative to a baseline run — the
+    /// y-axis of Figure 9.
+    pub fn added_latency_vs(&self, baseline: &SimReport) -> SimTime {
+        self.mean_packet_latency
+            .saturating_sub(baseline.mean_packet_latency)
+    }
+
+    /// Median packet latency (bucketed; see [`LatencyHistogram`]).
+    pub fn p50_packet_latency(&self) -> SimTime {
+        SimTime::from_ns(self.packet_latency_hist.quantile_ns(0.50))
+    }
+
+    /// 99th-percentile packet latency (bucketed).
+    pub fn p99_packet_latency(&self) -> SimTime {
+        SimTime::from_ns(self.packet_latency_hist.quantile_ns(0.99))
+    }
+
+    /// Delivered divided by offered bytes; below ~1.0 the network is not
+    /// keeping up with the offered load.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            1.0
+        } else {
+            self.delivered_bytes as f64 / self.offered_bytes as f64
+        }
+    }
+
+    /// Fraction of channel-time at each ladder rate, slowest first —
+    /// the bars of Figure 7.
+    pub fn time_at_speed_fractions(&self) -> [f64; LinkRate::COUNT] {
+        let mut out = [0.0; LinkRate::COUNT];
+        for rate in epnet_power::RATE_LADDER {
+            out[rate.index()] = self.residency.fraction_at(rate);
+        }
+        out
+    }
+
+    /// A multi-line human-readable summary of the run.
+    pub fn to_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "simulated {}: {} packets / {} messages delivered ({:.1} MB, {:.1}% of offered)",
+            self.duration,
+            self.packets_delivered,
+            self.messages_delivered,
+            self.delivered_bytes as f64 / 1e6,
+            self.delivery_ratio() * 100.0,
+        );
+        let _ = writeln!(
+            s,
+            "latency: mean {} / p50 {} / p99 {}",
+            self.mean_packet_latency,
+            self.p50_packet_latency(),
+            self.p99_packet_latency(),
+        );
+        let _ = writeln!(
+            s,
+            "power vs baseline: {:.1}% measured / {:.1}% ideal channels (utilization floor {:.1}%)",
+            self.relative_power(&LinkPowerProfile::Measured) * 100.0,
+            self.relative_power(&LinkPowerProfile::Ideal) * 100.0,
+            self.avg_channel_utilization * 100.0,
+        );
+        let fr = self.time_at_speed_fractions();
+        let _ = write!(s, "time at speed:");
+        for rate in epnet_power::RATE_LADDER {
+            let _ = write!(s, " {}={:.1}%", rate, fr[rate.index()] * 100.0);
+        }
+        if self.residency.off_ps > 0 {
+            let _ = write!(s, " off={:.1}%", self.residency.off_fraction() * 100.0);
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(
+            s,
+            "{} reconfigurations; {:.1}% of link samples rate-asymmetric",
+            self.reconfigurations,
+            self.asymmetric_link_fraction * 100.0,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 400, 800, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        // Median falls in the bucket containing 400 ns.
+        let q50 = h.quantile_ns(0.5);
+        assert!((256..=512).contains(&q50), "got {q50}");
+        // Tail reflects the 100 µs outlier.
+        assert!(h.quantile_ns(1.0) >= 65_536);
+        assert_eq!(LatencyHistogram::new().quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn stats_window_excludes_warmup() {
+        let mut s = Stats::new(SimTime::from_us(10));
+        s.record_packet(SimTime::from_us(5), SimTime::from_us(6), 1000);
+        s.record_packet(SimTime::from_us(15), SimTime::from_us(17), 1000);
+        assert_eq!(s.packets, 1);
+        assert_eq!(s.dropped_for_warmup, 1);
+        assert_eq!(s.delivered_bytes, 2000);
+        assert_eq!(s.measured_delivered_bytes, 1000);
+        assert_eq!(s.packet_latency_sum_ps, 2_000_000);
+        s.record_message(SimTime::from_us(5), SimTime::from_us(20));
+        assert_eq!(s.messages, 0);
+        s.record_message(SimTime::from_us(15), SimTime::from_us(20));
+        assert_eq!(s.messages, 1);
+    }
+
+    fn report_with(residency: RateResidency) -> SimReport {
+        SimReport {
+            duration: SimTime::from_ms(1),
+            num_channels: 10,
+            packets_delivered: 0,
+            messages_delivered: 0,
+            mean_packet_latency: SimTime::ZERO,
+            packet_latency_hist: LatencyHistogram::new(),
+            mean_message_latency: SimTime::ZERO,
+            offered_bytes: 0,
+            delivered_bytes: 0,
+            avg_channel_utilization: 0.0,
+            residency,
+            reconfigurations: 0,
+            peak_live_packets: 0,
+            asymmetric_link_fraction: 0.0,
+            peak_queue_bytes: 0,
+            timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn relative_power_all_full_is_one() {
+        let mut at = [0u128; LinkRate::COUNT];
+        at[LinkRate::R40.index()] = 1_000;
+        let r = report_with(RateResidency { at_rate_ps: at, off_ps: 0 });
+        assert!((r.relative_power(&LinkPowerProfile::Measured) - 1.0).abs() < 1e-12);
+        assert!((r.relative_power(&LinkPowerProfile::Ideal) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_power_all_slow_matches_profiles() {
+        let mut at = [0u128; LinkRate::COUNT];
+        at[LinkRate::R2_5.index()] = 1_000;
+        let r = report_with(RateResidency { at_rate_ps: at, off_ps: 0 });
+        // §4.2.1: all-slowest consumes 42% (measured) or 6.25% (ideal).
+        assert!((r.relative_power(&LinkPowerProfile::Measured) - 0.42).abs() < 1e-12);
+        assert!((r.relative_power(&LinkPowerProfile::Ideal) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_time_uses_idle_power() {
+        let r = report_with(RateResidency {
+            at_rate_ps: [0; LinkRate::COUNT],
+            off_ps: 1_000,
+        });
+        assert!((r.relative_power(&LinkPowerProfile::Ideal) - 0.0).abs() < 1e-12);
+        assert!((r.relative_power(&LinkPowerProfile::Measured) - 0.36).abs() < 1e-12);
+        assert_eq!(r.residency.off_fraction(), 1.0);
+    }
+
+    #[test]
+    fn time_at_speed_fractions_sum_to_one() {
+        let r = report_with(RateResidency {
+            at_rate_ps: [100, 200, 300, 150, 250],
+            off_ps: 0,
+        });
+        let sum: f64 = r.time_at_speed_fractions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_key_quantities() {
+        let mut at = [0u128; LinkRate::COUNT];
+        at[LinkRate::R2_5.index()] = 750;
+        at[LinkRate::R40.index()] = 250;
+        let mut r = report_with(RateResidency { at_rate_ps: at, off_ps: 0 });
+        r.packets_delivered = 42;
+        r.offered_bytes = 1000;
+        r.delivered_bytes = 1000;
+        let s = r.to_summary();
+        assert!(s.contains("42 packets"));
+        assert!(s.contains("100.0% of offered"));
+        assert!(s.contains("2.5 Gb/s=75.0%"));
+        assert!(s.contains("reconfigurations"));
+    }
+
+    #[test]
+    fn delivery_ratio_and_added_latency() {
+        let mut a = report_with(RateResidency {
+            at_rate_ps: [0; LinkRate::COUNT],
+            off_ps: 0,
+        });
+        a.offered_bytes = 1000;
+        a.delivered_bytes = 900;
+        assert!((a.delivery_ratio() - 0.9).abs() < 1e-12);
+        let mut b = a.clone();
+        a.mean_packet_latency = SimTime::from_us(12);
+        b.mean_packet_latency = SimTime::from_us(10);
+        assert_eq!(a.added_latency_vs(&b), SimTime::from_us(2));
+        assert_eq!(b.added_latency_vs(&a), SimTime::ZERO);
+    }
+}

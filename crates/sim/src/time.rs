@@ -1,0 +1,170 @@
+//! Simulation time in integer picoseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in picoseconds since the start of the run.
+///
+/// Picosecond resolution keeps every serialization time on the
+/// [`LinkRate`](epnet_power::LinkRate) ladder an exact integer (one byte
+/// at 2.5 Gb/s is 3,200 ps) while still covering ~5 hours of simulated
+/// time in a `u64`.
+///
+/// ```
+/// use epnet_sim::SimTime;
+/// let t = SimTime::ZERO + SimTime::from_us(10);
+/// assert_eq!(t.as_ns(), 10_000);
+/// assert_eq!(t - SimTime::from_ns(1), SimTime::from_ps(9_999_000));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a time from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Self(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Self(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Self(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Self(ms * 1_000_000_000)
+    }
+
+    /// The raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds, truncating.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Microseconds as a float.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds as a float.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `self` scaled by an integer factor.
+    #[inline]
+    pub const fn scaled(self, factor: u64) -> Self {
+        Self(self.0 * factor)
+    }
+}
+
+impl Add for SimTime {
+    type Output = Self;
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Self;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative.
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.0 as f64 / 1e9)
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_exact() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimTime::from_ms(20).as_ns(), 20_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(5);
+        let b = SimTime::from_ns(3);
+        assert_eq!(a + b, SimTime::from_ns(8));
+        assert_eq!(a - b, SimTime::from_ns(2));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ns(8));
+        assert_eq!(SimTime::from_us(10).scaled(10), SimTime::from_us(100));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_ps(5).to_string(), "5 ps");
+        assert_eq!(SimTime::from_ns(5).to_string(), "5.000 ns");
+        assert_eq!(SimTime::from_us(5).to_string(), "5.000 us");
+        assert_eq!(SimTime::from_ms(5).to_string(), "5.000 ms");
+    }
+
+    #[test]
+    fn float_views() {
+        assert_eq!(SimTime::from_us(3).as_us_f64(), 3.0);
+        assert_eq!(SimTime::from_ms(1500).as_secs_f64(), 1.5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Channel-asymmetry measurements (§3.3.1): one-directional traffic
+//! should drive a link's two channels to different rates under
+//! independent control, never under paired control.
+
+use epnet_sim::{ControlMode, Message, ReplaySource, SimConfig, SimTime, Simulator};
+use epnet_topology::{FlattenedButterfly, HostId};
+
+fn one_way_traffic() -> Vec<Message> {
+    // File-server reads: hosts 0..4 stream to hosts 12..16, nothing
+    // flows back.
+    let mut v = Vec::new();
+    for r in 0..100u64 {
+        for src in 0..4u32 {
+            v.push(Message {
+                at: SimTime::from_us(1 + r * 40),
+                src: HostId::new(src),
+                dst: HostId::new(src + 12),
+                bytes: 128 * 1024,
+            });
+        }
+    }
+    v
+}
+
+fn run(mode: ControlMode) -> epnet_sim::SimReport {
+    let fabric = FlattenedButterfly::new(2, 8, 2).unwrap().build_fabric();
+    let mut cfg = SimConfig::builder();
+    cfg.control(mode);
+    Simulator::new(fabric, cfg.build(), ReplaySource::new(one_way_traffic()))
+        .run_until(SimTime::from_ms(6))
+}
+
+#[test]
+fn independent_control_exposes_asymmetry() {
+    let report = run(ControlMode::IndependentChannel);
+    assert!(
+        report.asymmetric_link_fraction > 0.05,
+        "one-way traffic must split link rates, got {:.4}",
+        report.asymmetric_link_fraction
+    );
+}
+
+#[test]
+fn paired_control_never_splits_a_link() {
+    let report = run(ControlMode::PairedLink);
+    assert_eq!(
+        report.asymmetric_link_fraction, 0.0,
+        "paired links are tuned together by definition"
+    );
+    assert!(report.reconfigurations > 0, "tuning still happens");
+}
+
+#[test]
+fn baseline_reports_no_asymmetry_samples() {
+    let report = run(ControlMode::AlwaysFull);
+    assert_eq!(report.asymmetric_link_fraction, 0.0);
+}
+
+#[test]
+fn peak_queue_depth_is_reported() {
+    let report = run(ControlMode::PairedLink);
+    assert!(
+        report.peak_queue_bytes >= 128 * 1024,
+        "a 128 KiB message must queue at least once, got {}",
+        report.peak_queue_bytes
+    );
+}

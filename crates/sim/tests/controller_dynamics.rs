@@ -1,0 +1,184 @@
+//! Controller dynamics at epoch granularity: utilization attribution,
+//! the paired-link max rule, and reactivation bookkeeping.
+
+use epnet_power::{LinkPowerProfile, LinkRate};
+use epnet_sim::{ControlMode, Message, ReplaySource, SimConfig, SimTime, Simulator};
+use epnet_topology::{FlattenedButterfly, HostId};
+
+fn pair_fabric() -> epnet_topology::FabricGraph {
+    FlattenedButterfly::new(2, 2, 2).unwrap().build_fabric()
+}
+
+/// Regression for a subtle bug: a transmission that outlasts the
+/// measurement epoch must charge each epoch its share of busy time. At
+/// 2.5 Gb/s a 2 KiB packet serializes for 6.55 µs — most of a 10 µs
+/// epoch — so with broken attribution a steadily loaded slow link looks
+/// idle every other epoch and the controller never upgrades it.
+#[test]
+fn multi_epoch_transmissions_keep_utilization_visible() {
+    // Steady 12 Gb/s stream: must drive the link back toward a fast
+    // rate and keep delivering.
+    let mut msgs = Vec::new();
+    let mut t = SimTime::from_us(1);
+    while t < SimTime::from_ms(4) {
+        msgs.push(Message {
+            at: t,
+            src: HostId::new(0),
+            dst: HostId::new(2),
+            bytes: 64 * 1024,
+        });
+        t += SimTime::from_us(43); // ~12.2 Gb/s
+    }
+    let report = Simulator::new(pair_fabric(), SimConfig::default(), ReplaySource::new(msgs))
+        .run_until(SimTime::from_ms(5));
+    assert!(
+        report.delivery_ratio() > 0.98,
+        "sustained stream must not collapse, got {}",
+        report.delivery_ratio()
+    );
+    // 12 Gb/s needs at least the 20 Gb/s mode on the loaded path; the
+    // loaded channels show up as fast residency.
+    let fr = report.time_at_speed_fractions();
+    assert!(
+        fr[LinkRate::R20.index()] + fr[LinkRate::R40.index()] > 0.05,
+        "loaded channels should ride fast modes: {fr:?}"
+    );
+}
+
+/// The §3.3 heuristic walks one ladder step per epoch, so a freshly
+/// idle network takes four epochs to reach the floor.
+#[test]
+fn rate_descends_one_step_per_epoch() {
+    // Epoch 10 µs: after ~45 µs of silence every link is at 2.5 Gb/s.
+    // Residency over a 55 µs run must show every intermediate rate.
+    let mut cfg = SimConfig::builder();
+    cfg.warmup(SimTime::ZERO);
+    let report = Simulator::new(
+        pair_fabric(),
+        cfg.build(),
+        ReplaySource::new(vec![Message {
+            at: SimTime::from_us(1),
+            src: HostId::new(0),
+            dst: HostId::new(3),
+            bytes: 1024,
+        }]),
+    )
+    .run_until(SimTime::from_us(55));
+    let fr = report.time_at_speed_fractions();
+    for rate in epnet_power::RATE_LADDER {
+        assert!(
+            fr[rate.index()] > 0.0,
+            "rate {rate} skipped on the way down: {fr:?}"
+        );
+    }
+    // Roughly one epoch (10 of 55 µs) per intermediate step.
+    assert!((fr[LinkRate::R20.index()] - 10.0 / 55.0).abs() < 0.05);
+}
+
+/// Paired control obeys the max rule: a hot forward channel keeps the
+/// idle reverse channel fast too.
+#[test]
+fn paired_max_rule_holds_both_directions_up() {
+    let mut msgs = Vec::new();
+    let mut t = SimTime::from_us(1);
+    while t < SimTime::from_ms(3) {
+        msgs.push(Message {
+            at: t,
+            src: HostId::new(0),
+            dst: HostId::new(2),
+            bytes: 128 * 1024,
+        });
+        t += SimTime::from_us(38); // ~27.6 Gb/s forward, nothing back
+    }
+    let run = |mode: ControlMode| {
+        let mut cfg = SimConfig::builder();
+        cfg.control(mode).tune_host_links(false);
+        Simulator::new(pair_fabric(), cfg.build(), ReplaySource::new(msgs.clone()))
+            .run_until(SimTime::from_ms(3))
+    };
+    let paired = run(ControlMode::PairedLink);
+    let independent = run(ControlMode::IndependentChannel);
+    // Between the two switches there is exactly one link (two
+    // channels). Paired: both ride fast -> high fast-residency.
+    // Independent: the reverse channel sinks to 2.5.
+    let fast = |r: &epnet_sim::SimReport| {
+        let fr = r.time_at_speed_fractions();
+        fr[LinkRate::R40.index()] + fr[LinkRate::R20.index()]
+    };
+    assert!(
+        fast(&paired) > fast(&independent) + 0.05,
+        "paired {:.3} vs independent {:.3}",
+        fast(&paired),
+        fast(&independent)
+    );
+    // Only 1 of the fabric's 5 links is inter-switch (host links are
+    // exempted above), so the asymmetric fraction tops out at 0.2.
+    assert!(
+        independent.asymmetric_link_fraction > 0.1,
+        "got {}",
+        independent.asymmetric_link_fraction
+    );
+    assert_eq!(paired.asymmetric_link_fraction, 0.0);
+}
+
+/// Reconfigurations are counted once per channel rate change.
+#[test]
+fn quiet_network_reconfiguration_count_is_exact() {
+    // One packet wakes the fabric; afterwards every tunable channel
+    // steps down 4 times (40 -> 2.5). With no further traffic no other
+    // reconfigurations can occur, except the loaded channels stepping
+    // back up briefly.
+    let g = pair_fabric();
+    // 4 host links (8 channels) + 1 inter-switch link (2 channels).
+    let channels = 10;
+    assert_eq!(g.num_channels(), channels);
+    let report = Simulator::new(
+        g,
+        SimConfig::default(),
+        ReplaySource::new(vec![Message {
+            at: SimTime::from_us(1),
+            src: HostId::new(0),
+            dst: HostId::new(3),
+            bytes: 1024,
+        }]),
+    )
+    .run_until(SimTime::from_ms(2));
+    // Descent alone accounts for 4 changes per channel; brief upshifts
+    // on the loaded path add a few.
+    assert!(
+        report.reconfigurations >= 4 * channels as u64,
+        "expected at least the full descent, got {}",
+        report.reconfigurations
+    );
+    assert!(
+        report.reconfigurations <= 6 * channels as u64,
+        "suspiciously many reconfigurations: {}",
+        report.reconfigurations
+    );
+}
+
+/// The measured-profile power of a long-idle network converges to the
+/// 42% floor from above, never below.
+#[test]
+fn power_converges_to_floor_from_above() {
+    let horizons = [SimTime::from_us(200), SimTime::from_ms(1), SimTime::from_ms(5)];
+    let mut last = f64::MAX;
+    for h in horizons {
+        let report = Simulator::new(
+            pair_fabric(),
+            SimConfig::default(),
+            ReplaySource::new(vec![Message {
+                at: SimTime::from_us(1),
+                src: HostId::new(0),
+                dst: HostId::new(3),
+                bytes: 1024,
+            }]),
+        )
+        .run_until(h);
+        let p = report.relative_power(&LinkPowerProfile::Measured);
+        assert!(p >= 0.42 - 1e-9, "below floor at {h}: {p}");
+        assert!(p <= last, "power must fall with horizon: {p} after {last}");
+        last = p;
+    }
+    assert!(last < 0.45, "long horizon approaches the floor: {last}");
+}

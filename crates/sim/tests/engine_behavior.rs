@@ -1,0 +1,318 @@
+//! Behavioural tests of the simulation engine: conservation, energy
+//! proportionality mechanics, paired vs independent control, and
+//! reactivation-latency effects.
+
+use epnet_power::{LinkPowerProfile, LinkRate};
+use epnet_sim::{
+    ControlMode, Message, RatePolicy, ReplaySource, SimConfig, SimTime, Simulator,
+};
+use epnet_topology::{FlattenedButterfly, HostId, RoutingTopology};
+
+fn fabric(c: u16, k: u16, n: usize) -> epnet_topology::FabricGraph {
+    FlattenedButterfly::new(c, k, n).unwrap().build_fabric()
+}
+
+fn msg(at_us: u64, src: u32, dst: u32, bytes: u64) -> Message {
+    Message {
+        at: SimTime::from_us(at_us),
+        src: HostId::new(src),
+        dst: HostId::new(dst),
+        bytes,
+    }
+}
+
+/// A steady all-pairs shuffle at a given per-host message cadence.
+fn shuffle_traffic(hosts: u32, messages_per_host: u64, gap_us: u64, bytes: u64) -> Vec<Message> {
+    let mut v = Vec::new();
+    for m in 0..messages_per_host {
+        for h in 0..hosts {
+            let dst = (h + 1 + (m as u32 % (hosts - 1))) % hosts;
+            v.push(msg(1 + m * gap_us, h, dst, bytes));
+        }
+    }
+    v
+}
+
+#[test]
+fn every_offered_byte_is_delivered() {
+    let traffic = shuffle_traffic(32, 20, 50, 16 * 1024);
+    let offered: u64 = traffic.iter().map(|m| m.bytes).sum();
+    let report = Simulator::new(
+        fabric(2, 4, 3),
+        SimConfig::baseline(),
+        ReplaySource::new(traffic),
+    )
+    .run_until(SimTime::from_ms(10));
+    assert_eq!(report.delivered_bytes, offered);
+    assert_eq!(report.offered_bytes, offered);
+    assert!((report.delivery_ratio() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn baseline_power_is_exactly_one() {
+    let report = Simulator::new(
+        fabric(2, 4, 2),
+        SimConfig::baseline(),
+        ReplaySource::new(shuffle_traffic(8, 5, 100, 8192)),
+    )
+    .run_until(SimTime::from_ms(2));
+    assert_eq!(report.reconfigurations, 0);
+    for profile in [LinkPowerProfile::Measured, LinkPowerProfile::Ideal] {
+        assert!((report.relative_power(&profile) - 1.0).abs() < 1e-12);
+    }
+    let fr = report.time_at_speed_fractions();
+    assert!((fr[LinkRate::R40.index()] - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn idle_network_detunes_to_the_floor() {
+    // One early message, then silence: every link should walk down the
+    // ladder and spend almost all time at 2.5 Gb/s.
+    let report = Simulator::new(
+        fabric(2, 4, 2),
+        SimConfig::default(),
+        ReplaySource::new(vec![msg(1, 0, 7, 4096)]),
+    )
+    .run_until(SimTime::from_ms(5));
+    let fr = report.time_at_speed_fractions();
+    assert!(
+        fr[LinkRate::R2_5.index()] > 0.95,
+        "slow fraction {fr:?}"
+    );
+    // Measured profile approaches the paper's 42% floor (§4.2.1).
+    let p = report.relative_power(&LinkPowerProfile::Measured);
+    assert!((0.42..0.45).contains(&p), "measured power {p}");
+    // Ideal profile approaches 6.25%.
+    let pi = report.relative_power(&LinkPowerProfile::Ideal);
+    assert!((0.0625..0.075).contains(&pi), "ideal power {pi}");
+}
+
+#[test]
+fn busy_network_stays_fast() {
+    // Saturating traffic between neighbours keeps utilization above any
+    // target, so links must hold (or return to) full rate.
+    let mut traffic = Vec::new();
+    for m in 0..200u64 {
+        // Hosts 0..8, each sending 64 KiB every 40 µs = ~13 Gb/s, so a
+        // switch's two senders put ~26 Gb/s on one 40 Gb/s link: above
+        // the 50% target but below saturation.
+        for h in 0..8u32 {
+            traffic.push(msg(1 + m * 40, h, (h + 8) % 16, 64 * 1024));
+        }
+    }
+    let report = Simulator::new(
+        fabric(2, 8, 2),
+        SimConfig::default(),
+        ReplaySource::new(traffic),
+    )
+    .run_until(SimTime::from_ms(8));
+    let fr = report.time_at_speed_fractions();
+    // The loaded path's channels stay fast; idle ones sink. At minimum,
+    // delivery must keep up.
+    assert!(report.delivery_ratio() > 0.95, "ratio {}", report.delivery_ratio());
+    assert!(fr[LinkRate::R40.index()] > 0.05);
+}
+
+#[test]
+fn independent_control_beats_paired_on_asymmetric_traffic() {
+    // One-directional flows (reads from a file server, §4.2.1): the
+    // reverse channels are idle, so independent control can sink them to
+    // 2.5 Gb/s while paired control must keep both directions fast.
+    let mut traffic = Vec::new();
+    for m in 0..200u64 {
+        for src in 0..4u32 {
+            traffic.push(msg(1 + m * 30, src, src + 12, 128 * 1024));
+        }
+    }
+    let run = |mode: ControlMode| {
+        let mut cfg = SimConfig::builder();
+        cfg.control(mode);
+        Simulator::new(
+            fabric(2, 8, 2),
+            cfg.build(),
+            ReplaySource::new(traffic.clone()),
+        )
+        .run_until(SimTime::from_ms(7))
+    };
+    let paired = run(ControlMode::PairedLink);
+    let independent = run(ControlMode::IndependentChannel);
+    let pp = paired.relative_power(&LinkPowerProfile::Ideal);
+    let ip = independent.relative_power(&LinkPowerProfile::Ideal);
+    assert!(
+        ip < pp,
+        "independent ({ip:.4}) should consume less than paired ({pp:.4})"
+    );
+}
+
+#[test]
+fn longer_reactivation_increases_latency() {
+    // Bursty traffic (the regime of Figure 9(b)): a burst every 500 µs
+    // finds the links parked at a low rate and pays the reactivation
+    // ramp, so the penalty grows with the reactivation latency.
+    let mut traffic = Vec::new();
+    for p in 0..10u64 {
+        for h in 0..16u32 {
+            for b in 0..6u64 {
+                let dst = (h + 1 + (p as u32 % 15)) % 16;
+                traffic.push(msg(10 + p * 500 + b * 15, h, dst, 64 * 1024));
+            }
+        }
+    }
+    let run = |reactivation: SimTime| {
+        let mut cfg = SimConfig::builder();
+        cfg.reactivation(reactivation);
+        Simulator::new(
+            fabric(2, 8, 2),
+            cfg.build(),
+            ReplaySource::new(traffic.clone()),
+        )
+        .run_until(SimTime::from_ms(6))
+    };
+    let baseline = Simulator::new(
+        fabric(2, 8, 2),
+        SimConfig::baseline(),
+        ReplaySource::new(traffic.clone()),
+    )
+    .run_until(SimTime::from_ms(6));
+    let fast = run(SimTime::from_ns(100));
+    let slow = run(SimTime::from_us(100));
+    let d_fast = fast.added_latency_vs(&baseline);
+    let d_slow = slow.added_latency_vs(&baseline);
+    assert!(
+        d_slow > d_fast,
+        "100 µs reactivation ({d_slow}) must cost more than 100 ns ({d_fast})"
+    );
+}
+
+#[test]
+fn jump_to_extremes_reaches_floor_faster() {
+    // After a single burst, JumpToExtremes needs one epoch to hit the
+    // floor; HalveDouble needs four.
+    let traffic = vec![msg(1, 0, 7, 4096)];
+    let run = |policy: RatePolicy| {
+        let mut cfg = SimConfig::builder();
+        cfg.policy(policy);
+        Simulator::new(fabric(2, 4, 2), cfg.build(), ReplaySource::new(traffic.clone()))
+            .run_until(SimTime::from_us(200))
+    };
+    let hd = run(RatePolicy::HalveDouble);
+    let jte = run(RatePolicy::JumpToExtremes);
+    let hd_slow = hd.time_at_speed_fractions()[LinkRate::R2_5.index()];
+    let jte_slow = jte.time_at_speed_fractions()[LinkRate::R2_5.index()];
+    assert!(
+        jte_slow > hd_slow,
+        "jump ({jte_slow:.3}) should exceed halve/double ({hd_slow:.3}) early on"
+    );
+}
+
+#[test]
+fn hysteresis_reconfigures_less_than_halve_double() {
+    let traffic = shuffle_traffic(16, 40, 60, 32 * 1024);
+    let run = |policy: RatePolicy| {
+        let mut cfg = SimConfig::builder();
+        cfg.policy(policy);
+        Simulator::new(fabric(2, 8, 2), cfg.build(), ReplaySource::new(traffic.clone()))
+            .run_until(SimTime::from_ms(5))
+    };
+    let hd = run(RatePolicy::HalveDouble);
+    let hy = run(RatePolicy::Hysteresis { low: 0.15, high: 0.75 });
+    assert!(
+        hy.reconfigurations < hd.reconfigurations,
+        "hysteresis ({}) should reconfigure less than halve/double ({})",
+        hy.reconfigurations,
+        hd.reconfigurations
+    );
+}
+
+#[test]
+fn host_link_tuning_can_be_disabled() {
+    let traffic = vec![msg(1, 0, 7, 4096)];
+    let mut cfg = SimConfig::builder();
+    cfg.tune_host_links(false);
+    let report = Simulator::new(fabric(2, 4, 2), cfg.build(), ReplaySource::new(traffic))
+        .run_until(SimTime::from_ms(2));
+    // Host channels (half of a c=k/2 fabric's links... here 16 of 28
+    // links) stay at 40 Gb/s, so the fast fraction stays substantial.
+    let fr = report.time_at_speed_fractions();
+    let g = fabric(2, 4, 2);
+    let host_channels = 2 * g.num_hosts();
+    let expected_fast = host_channels as f64 / g.num_channels() as f64;
+    assert!(
+        fr[LinkRate::R40.index()] >= expected_fast * 0.99,
+        "fast fraction {:.3} below host-channel share {:.3}",
+        fr[LinkRate::R40.index()],
+        expected_fast
+    );
+}
+
+#[test]
+fn mean_latency_reflects_hop_count() {
+    // A same-switch message beats a two-dimension-away message.
+    // Messages are sent after the 50 µs warm-up so they are measured.
+    let local = Simulator::new(
+        fabric(2, 4, 3),
+        SimConfig::baseline(),
+        ReplaySource::new(vec![msg(60, 0, 1, 2048)]),
+    )
+    .run_until(SimTime::from_ms(1));
+    let remote = Simulator::new(
+        fabric(2, 4, 3),
+        SimConfig::baseline(),
+        ReplaySource::new(vec![msg(60, 0, 31, 2048)]),
+    )
+    .run_until(SimTime::from_ms(1));
+    assert_eq!(local.packets_delivered, 1);
+    assert_eq!(remote.packets_delivered, 1);
+    assert!(local.mean_packet_latency < remote.mean_packet_latency);
+}
+
+#[test]
+fn message_latency_covers_all_packets() {
+    // An 8 KiB message at 2 KiB packets: message latency is the last
+    // packet's delivery, so it exceeds the mean packet latency.
+    let report = Simulator::new(
+        fabric(2, 4, 2),
+        SimConfig::baseline(),
+        ReplaySource::new(vec![msg(60, 0, 7, 8 * 2048)]),
+    )
+    .run_until(SimTime::from_ms(1));
+    assert_eq!(report.packets_delivered, 8);
+    assert_eq!(report.messages_delivered, 1);
+    assert!(report.mean_message_latency > report.mean_packet_latency);
+}
+
+#[test]
+fn warmup_excludes_early_packets_from_latency() {
+    let traffic = vec![msg(1, 0, 7, 2048), msg(200, 0, 7, 2048)];
+    let mut cfg = SimConfig::builder();
+    cfg.warmup(SimTime::from_us(100));
+    let report = Simulator::new(
+        fabric(2, 4, 2),
+        cfg.control(ControlMode::AlwaysFull).build(),
+        ReplaySource::new(traffic),
+    )
+    .run_until(SimTime::from_ms(1));
+    assert_eq!(report.packets_delivered, 1, "warm-up packet excluded");
+    assert_eq!(report.delivered_bytes, 4096, "but still counted as delivered");
+}
+
+#[test]
+fn overload_shows_up_in_delivery_ratio() {
+    // Two hosts on the same switch blast a third at 2× line rate.
+    let mut traffic = Vec::new();
+    for m in 0..100u64 {
+        traffic.push(msg(1 + m * 110, 0, 3, 512 * 1024)); // ~38 Gb/s
+        traffic.push(msg(1 + m * 110, 1, 3, 512 * 1024)); // another ~38 Gb/s
+    }
+    let report = Simulator::new(
+        fabric(2, 4, 2),
+        SimConfig::baseline(),
+        ReplaySource::new(traffic),
+    )
+    .run_until(SimTime::from_ms(11));
+    assert!(
+        report.delivery_ratio() < 0.8,
+        "a 2x-overloaded ejection port cannot keep up, got {}",
+        report.delivery_ratio()
+    );
+}

@@ -1,0 +1,77 @@
+//! §3.2's two tolerance strategies for non-instantaneous reactivation:
+//! route-around (evaluated by the paper) vs drain-first.
+
+use epnet_sim::{
+    Message, ReactivationStrategy, ReplaySource, SimConfig, SimReport, SimTime, Simulator,
+};
+use epnet_topology::{FlattenedButterfly, HostId};
+
+/// Bursts against a long reactivation: the regime where strategy
+/// matters.
+fn bursty() -> Vec<Message> {
+    let mut v = Vec::new();
+    for p in 0..8u64 {
+        for h in 0..16u32 {
+            for b in 0..4u64 {
+                v.push(Message {
+                    at: SimTime::from_us(10 + p * 600 + b * 20),
+                    src: HostId::new(h),
+                    dst: HostId::new((h + 1 + (p as u32 % 15)) % 16),
+                    bytes: 64 * 1024,
+                });
+            }
+        }
+    }
+    v
+}
+
+fn run(strategy: ReactivationStrategy) -> SimReport {
+    let fabric = FlattenedButterfly::new(2, 8, 2).unwrap().build_fabric();
+    let mut cfg = SimConfig::builder();
+    cfg.reactivation(SimTime::from_us(50))
+        .reactivation_strategy(strategy);
+    Simulator::new(fabric, cfg.build(), ReplaySource::new(bursty()))
+        .run_until(SimTime::from_ms(7))
+}
+
+#[test]
+fn both_strategies_deliver_everything() {
+    for strategy in [ReactivationStrategy::RouteAround, ReactivationStrategy::DrainFirst] {
+        let r = run(strategy);
+        assert!(
+            r.delivery_ratio() > 0.999,
+            "{strategy:?} lost traffic: {}",
+            r.delivery_ratio()
+        );
+        assert!(r.reconfigurations > 0, "{strategy:?} never retuned");
+    }
+}
+
+#[test]
+fn drain_first_shields_queued_packets_from_reactivation() {
+    // With a 50 µs reactivation, route-around makes queued packets wait
+    // out the retrain; drain-first never does, so its worst-case packet
+    // latency is lower.
+    let around = run(ReactivationStrategy::RouteAround);
+    let drain = run(ReactivationStrategy::DrainFirst);
+    let p99_around = around.packet_latency_hist.quantile_ns(0.99);
+    let p99_drain = drain.packet_latency_hist.quantile_ns(0.99);
+    assert!(
+        p99_drain <= p99_around,
+        "drain-first p99 {p99_drain} ns should not exceed route-around {p99_around} ns"
+    );
+}
+
+#[test]
+fn drain_first_trades_power_for_latency() {
+    // Delaying the downshift until queues empty keeps links fast
+    // longer, so drain-first saves no more (usually less) power.
+    let around = run(ReactivationStrategy::RouteAround);
+    let drain = run(ReactivationStrategy::DrainFirst);
+    let p_around = around.relative_power(&epnet_power::LinkPowerProfile::Ideal);
+    let p_drain = drain.relative_power(&epnet_power::LinkPowerProfile::Ideal);
+    assert!(
+        p_drain >= p_around * 0.95,
+        "drain-first ({p_drain:.4}) should not magically beat route-around ({p_around:.4})"
+    );
+}

@@ -1,0 +1,142 @@
+//! The §3.1 transition-aware reactivation model: same-width rate
+//! changes relock the CDR in ~100 ns, lane-count changes take
+//! microseconds — and §5.1 suggests heuristics could "take into account
+//! the difference in link resynchronization latency".
+
+use epnet_power::LinkRate;
+use epnet_sim::{
+    Message, ReactivationModel, ReplaySource, SimConfig, SimTime, Simulator,
+};
+use epnet_topology::{FlattenedButterfly, HostId};
+
+#[test]
+fn model_charges_by_transition_kind() {
+    let m = ReactivationModel::TransitionAware {
+        cdr_relock: SimTime::from_ns(100),
+        lane_change: SimTime::from_us(3),
+    };
+    // Within the 4-lane family: fast.
+    assert_eq!(m.latency(LinkRate::R40, LinkRate::R20), SimTime::from_ns(100));
+    assert_eq!(m.latency(LinkRate::R20, LinkRate::R10), SimTime::from_ns(100));
+    // Crossing into the 1-lane family: slow.
+    assert_eq!(m.latency(LinkRate::R10, LinkRate::R5), SimTime::from_us(3));
+    assert_eq!(m.latency(LinkRate::R5, LinkRate::R10), SimTime::from_us(3));
+    // Within the 1-lane family: fast again.
+    assert_eq!(m.latency(LinkRate::R5, LinkRate::R2_5), SimTime::from_ns(100));
+    assert_eq!(m.worst_case(), SimTime::from_us(3));
+    assert_eq!(
+        ReactivationModel::Uniform(SimTime::from_us(1)).worst_case(),
+        SimTime::from_us(1)
+    );
+}
+
+fn bursty() -> Vec<Message> {
+    let mut v = Vec::new();
+    for p in 0..10u64 {
+        for h in 0..16u32 {
+            for b in 0..4u64 {
+                v.push(Message {
+                    at: SimTime::from_us(10 + p * 500 + b * 20),
+                    src: HostId::new(h),
+                    dst: HostId::new((h + 1 + (p as u32 % 15)) % 16),
+                    bytes: 64 * 1024,
+                });
+            }
+        }
+    }
+    v
+}
+
+#[test]
+fn transition_aware_beats_uniform_worst_case_latency() {
+    // Uniform at the slow (lane-change) value vs transition-aware with
+    // the same slow value but fast CDR relocks: most ladder steps are
+    // same-width, so the aware model pays far less reactivation.
+    let fabric = || FlattenedButterfly::new(2, 8, 2).unwrap().build_fabric();
+    let baseline = Simulator::new(
+        fabric(),
+        SimConfig::baseline(),
+        ReplaySource::new(bursty()),
+    )
+    .run_until(SimTime::from_ms(7));
+
+    let mut uni = SimConfig::builder();
+    uni.reactivation(SimTime::from_us(5));
+    let uniform = Simulator::new(fabric(), uni.build(), ReplaySource::new(bursty()))
+        .run_until(SimTime::from_ms(7));
+
+    let mut aware = SimConfig::builder();
+    aware.transition_aware_reactivation(SimTime::from_ns(100), SimTime::from_us(5));
+    let cfg = aware.build();
+    assert_eq!(cfg.epoch, SimTime::from_us(50), "epoch sized by worst case");
+    let transition = Simulator::new(fabric(), cfg, ReplaySource::new(bursty()))
+        .run_until(SimTime::from_ms(7));
+
+    let d_uniform = uniform.added_latency_vs(&baseline);
+    let d_aware = transition.added_latency_vs(&baseline);
+    assert!(
+        d_aware < d_uniform,
+        "transition-aware ({d_aware}) should cost less than uniform worst-case ({d_uniform})"
+    );
+    assert!(uniform.delivery_ratio() > 0.99);
+    assert!(transition.delivery_ratio() > 0.99);
+}
+
+#[test]
+fn lane_aware_policy_pays_fewer_lane_changes_than_halve_double() {
+    // Under the transition-aware model, count how much reactivation
+    // stall each policy induces: the lane-aware policy should cut added
+    // latency on bursty traffic by avoiding repeated boundary
+    // crossings.
+    let fabric = || FlattenedButterfly::new(2, 8, 2).unwrap().build_fabric();
+    let baseline = Simulator::new(
+        fabric(),
+        SimConfig::baseline(),
+        ReplaySource::new(bursty()),
+    )
+    .run_until(SimTime::from_ms(7));
+    let run = |policy: epnet_sim::RatePolicy| {
+        let mut cfg = SimConfig::builder();
+        cfg.transition_aware_reactivation(SimTime::from_ns(100), SimTime::from_us(5))
+            .policy(policy);
+        Simulator::new(fabric(), cfg.build(), ReplaySource::new(bursty()))
+            .run_until(SimTime::from_ms(7))
+    };
+    let hd = run(epnet_sim::RatePolicy::HalveDouble);
+    let la = run(epnet_sim::RatePolicy::LaneAware);
+    let d_hd = hd.added_latency_vs(&baseline);
+    let d_la = la.added_latency_vs(&baseline);
+    assert!(
+        d_la <= d_hd + SimTime::from_us(2),
+        "lane-aware ({d_la}) should not pay more stall than halve/double ({d_hd})"
+    );
+    assert!(la.delivery_ratio() > 0.99);
+    // And it still saves real power.
+    assert!(la.relative_power(&epnet_power::LinkPowerProfile::Ideal) < 0.5);
+}
+
+#[test]
+fn jump_to_extremes_pays_one_lane_change_per_swing() {
+    // 40 <-> 2.5 is a single lane-change transition; the stepwise
+    // ladder pays the lane change once (10 -> 5) plus three relocks.
+    // Either way the simulation stays consistent — this is a smoke
+    // check that policies compose with the model.
+    let fabric = FlattenedButterfly::new(2, 4, 2).unwrap().build_fabric();
+    let mut cfg = SimConfig::builder();
+    cfg.transition_aware_reactivation(SimTime::from_ns(100), SimTime::from_us(3))
+        .policy(epnet_sim::RatePolicy::JumpToExtremes);
+    let report = Simulator::new(
+        fabric,
+        cfg.build(),
+        ReplaySource::new(vec![Message {
+            at: SimTime::from_us(1),
+            src: HostId::new(0),
+            dst: HostId::new(7),
+            bytes: 4096,
+        }]),
+    )
+    .run_until(SimTime::from_ms(2));
+    assert_eq!(report.delivery_ratio(), 1.0);
+    let fr = report.time_at_speed_fractions();
+    assert!(fr[LinkRate::R2_5.index()] > 0.9);
+}

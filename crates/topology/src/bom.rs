@@ -1,0 +1,124 @@
+//! Bill of materials: the part counts behind the paper's capital- and
+//! operational-expenditure arguments (§2.1–2.2: optical transceivers
+//! "tend to dominate the capital expenditure of the interconnect").
+
+use crate::{FlattenedButterfly, FoldedClos, Medium, TwoTierClos};
+use serde::{Deserialize, Serialize};
+
+/// First-order part counts of a network build.
+///
+/// ```
+/// use epnet_topology::{BillOfMaterials, FlattenedButterfly};
+/// let bom = BillOfMaterials::for_fbfly(&FlattenedButterfly::paper_comparison_32k());
+/// // Each optical link needs a transceiver at both ends.
+/// assert_eq!(bom.optical_transceivers, 2 * 43_008);
+/// assert_eq!(bom.switch_chips, 4_096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BillOfMaterials {
+    /// Switch chips to purchase.
+    pub switch_chips: u64,
+    /// Host NICs.
+    pub nics: u64,
+    /// Passive copper cables (one per electrical link).
+    pub copper_cables: u64,
+    /// Optical cables (one per optical link).
+    pub optical_cables: u64,
+    /// Optical transceivers (two per optical link).
+    pub optical_transceivers: u64,
+}
+
+impl BillOfMaterials {
+    /// Parts for a flattened butterfly.
+    pub fn for_fbfly(f: &FlattenedButterfly) -> Self {
+        let optical = f.link_count(Medium::Optical) as u64;
+        Self {
+            switch_chips: f.num_switches() as u64,
+            nics: f.num_hosts() as u64,
+            copper_cables: f.link_count(Medium::Electrical) as u64,
+            optical_cables: optical,
+            optical_transceivers: 2 * optical,
+        }
+    }
+
+    /// Parts for the paper's chassis-based folded Clos (purchased, not
+    /// fractional-powered, chip count).
+    pub fn for_clos(c: &FoldedClos) -> Self {
+        let optical = c.link_count(Medium::Optical);
+        Self {
+            switch_chips: c.chips_purchased(),
+            nics: c.num_hosts(),
+            copper_cables: c.link_count(Medium::Electrical),
+            optical_cables: optical,
+            optical_transceivers: 2 * optical,
+        }
+    }
+
+    /// Parts for a two-tier Clos.
+    pub fn for_two_tier(c: &TwoTierClos) -> Self {
+        let optical = c.link_count(Medium::Optical) as u64;
+        Self {
+            switch_chips: c.num_switches() as u64,
+            nics: c.num_hosts() as u64,
+            copper_cables: c.link_count(Medium::Electrical) as u64,
+            optical_cables: optical,
+            optical_transceivers: 2 * optical,
+        }
+    }
+
+    /// Total cable count.
+    pub fn total_cables(&self) -> u64 {
+        self.copper_cables + self.optical_cables
+    }
+
+    /// Component-wise difference (`self − other`), saturating at zero —
+    /// "how much less hardware does this build need?"
+    pub fn savings_vs(&self, other: &Self) -> Self {
+        Self {
+            switch_chips: other.switch_chips.saturating_sub(self.switch_chips),
+            nics: other.nics.saturating_sub(self.nics),
+            copper_cables: other.copper_cables.saturating_sub(self.copper_cables),
+            optical_cables: other.optical_cables.saturating_sub(self.optical_cables),
+            optical_transceivers: other
+                .optical_transceivers
+                .saturating_sub(self.optical_transceivers),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_32k_comparison() {
+        let fbfly = BillOfMaterials::for_fbfly(&FlattenedButterfly::paper_comparison_32k());
+        let clos = BillOfMaterials::for_clos(&FoldedClos::paper_comparison_32k());
+        // §2.2: "it uses fewer optical transceivers and fewer switching
+        // chips than a comparable folded-Clos".
+        let saved = fbfly.savings_vs(&clos);
+        assert_eq!(saved.switch_chips, 8_235 - 4_096);
+        assert_eq!(saved.optical_transceivers, 2 * (65_536 - 43_008));
+        assert_eq!(fbfly.nics, clos.nics);
+        assert_eq!(fbfly.total_cables(), 47_104 + 43_008);
+    }
+
+    #[test]
+    fn two_tier_parts() {
+        let c = TwoTierClos::non_blocking(8).unwrap();
+        let bom = BillOfMaterials::for_two_tier(&c);
+        assert_eq!(bom.switch_chips, 24);
+        assert_eq!(bom.nics, 128);
+        assert_eq!(bom.copper_cables, 128);
+        assert_eq!(bom.optical_cables, 128);
+        assert_eq!(bom.optical_transceivers, 256);
+    }
+
+    #[test]
+    fn savings_saturate() {
+        let small = BillOfMaterials::for_fbfly(&FlattenedButterfly::new(2, 4, 2).unwrap());
+        let big = BillOfMaterials::for_fbfly(&FlattenedButterfly::new(8, 8, 3).unwrap());
+        let s = big.savings_vs(&small);
+        assert_eq!(s.switch_chips, 0, "bigger build saves nothing");
+    }
+}

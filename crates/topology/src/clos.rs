@@ -1,0 +1,246 @@
+//! The folded-Clos (fat tree) baseline topology (§2.2).
+
+use crate::{Medium, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// A multi-port, non-blocking router chassis assembled internally from
+/// smaller switch chips, as the paper does: "we use 27 36-port switches to
+/// build a 324-port non-blocking router chassis" (§2.2).
+///
+/// A `P`-port chassis built from radix-`r` chips uses `2P/r` leaf chips
+/// (half their ports external, half toward the spine) and `P/r` spine
+/// chips — `3P/r` chips total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChassisSpec {
+    chip_radix: u16,
+    chassis_ports: u32,
+}
+
+impl ChassisSpec {
+    /// Builds a chassis spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidChassis`] unless `chip_radix` is
+    /// even and `chassis_ports` is a positive multiple of
+    /// `chip_radix / 2`.
+    pub fn new(chip_radix: u16, chassis_ports: u32) -> Result<Self, TopologyError> {
+        let invalid = chip_radix < 2
+            || chip_radix % 2 != 0
+            || chassis_ports == 0
+            || chassis_ports % u32::from(chip_radix / 2) != 0
+            || (2 * chassis_ports) % u32::from(chip_radix) != 0;
+        if invalid {
+            return Err(TopologyError::InvalidChassis {
+                chip_radix,
+                chassis_ports,
+            });
+        }
+        Ok(Self {
+            chip_radix,
+            chassis_ports,
+        })
+    }
+
+    /// The paper's chassis: 324 external ports from 27 radix-36 chips.
+    pub fn paper_324_port() -> Self {
+        Self::new(36, 324).expect("paper chassis spec is valid")
+    }
+
+    /// Radix of the constituent switch chips.
+    #[inline]
+    pub fn chip_radix(&self) -> u16 {
+        self.chip_radix
+    }
+
+    /// External ports per chassis.
+    #[inline]
+    pub fn chassis_ports(&self) -> u32 {
+        self.chassis_ports
+    }
+
+    /// Leaf chips per chassis (`2P/r`).
+    pub fn leaf_chips(&self) -> u32 {
+        2 * self.chassis_ports / u32::from(self.chip_radix)
+    }
+
+    /// Spine chips per chassis (`P/r`).
+    pub fn spine_chips(&self) -> u32 {
+        self.chassis_ports / u32::from(self.chip_radix)
+    }
+
+    /// Total chips per chassis (`3P/r`).
+    pub fn chips(&self) -> u32 {
+        self.leaf_chips() + self.spine_chips()
+    }
+}
+
+/// The paper's folded-Clos comparison network: hosts hang off *stage-2*
+/// chassis (half their ports down, half up), which connect to *stage-3*
+/// (core) chassis for a fully non-blocking fabric (§2.2).
+///
+/// All part-count accounting follows the paper exactly, including its two
+/// subtleties:
+///
+/// * chips *purchased* use rounded-up chassis counts
+///   (`⌈N/324⌉ = 102` stage-3 and `⌈N/162⌉ = 203` stage-2 → 8,235 chips),
+/// * chips *powered* use the exact fractional port demand (footnote 5:
+///   "there are some unused ports which we do not count in the power
+///   analysis") — `27·(N/162 + N/324) = 9N/r = 8,192` chips.
+///
+/// # Example
+///
+/// ```
+/// use epnet_topology::FoldedClos;
+/// let clos = FoldedClos::paper_comparison_32k();
+/// assert_eq!(clos.chips_purchased(), 8_235);
+/// assert_eq!(clos.chips_powered(), 8_192.0);
+/// # Ok::<(), epnet_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FoldedClos {
+    hosts: u64,
+    chassis: ChassisSpec,
+}
+
+impl FoldedClos {
+    /// Builds a folded-Clos for `hosts` terminals over the given chassis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoHosts`] if `hosts == 0`.
+    pub fn new(hosts: u64, chassis: ChassisSpec) -> Result<Self, TopologyError> {
+        if hosts == 0 {
+            return Err(TopologyError::NoHosts);
+        }
+        Ok(Self { hosts, chassis })
+    }
+
+    /// The paper's Table-1 configuration: 32,768 hosts on 324-port
+    /// chassis of radix-36 chips.
+    pub fn paper_comparison_32k() -> Self {
+        Self::new(32_768, ChassisSpec::paper_324_port()).expect("paper config is valid")
+    }
+
+    /// Number of hosts.
+    #[inline]
+    pub fn num_hosts(&self) -> u64 {
+        self.hosts
+    }
+
+    /// The chassis building block.
+    #[inline]
+    pub fn chassis(&self) -> ChassisSpec {
+        self.chassis
+    }
+
+    /// Stage-2 (edge) chassis count: each serves `P/2` hosts downward.
+    pub fn stage2_chassis(&self) -> u64 {
+        self.hosts.div_ceil(u64::from(self.chassis.chassis_ports) / 2)
+    }
+
+    /// Stage-3 (core) chassis count: `⌈N/P⌉`.
+    pub fn stage3_chassis(&self) -> u64 {
+        self.hosts.div_ceil(u64::from(self.chassis.chassis_ports))
+    }
+
+    /// Switch chips purchased: whole chassis times chips per chassis.
+    pub fn chips_purchased(&self) -> u64 {
+        (self.stage2_chassis() + self.stage3_chassis()) * u64::from(self.chassis.chips())
+    }
+
+    /// Switch chips actually powered, using the paper's exact fractional
+    /// accounting (`9N/r` for this chassis construction — unused ports are
+    /// free).
+    pub fn chips_powered(&self) -> f64 {
+        9.0 * self.hosts as f64 / f64::from(self.chassis.chip_radix)
+    }
+
+    /// Bidirectional link count by medium, per the paper's accounting:
+    ///
+    /// * *Electrical* — used chassis-backplane links. A chassis traversal
+    ///   consumes one leaf↔spine backplane link per two used external
+    ///   ports: stage-2 chassis contribute `N`, stage-3 contribute `N/2`.
+    /// * *Optical* — host↔stage-2 links (`N`, hosts sit across the machine
+    ///   room from the chassis) plus stage-2↔stage-3 links (`N`).
+    pub fn link_count(&self, medium: Medium) -> u64 {
+        match medium {
+            Medium::Electrical => self.hosts + self.hosts / 2,
+            Medium::Optical => 2 * self.hosts,
+        }
+    }
+
+    /// Total counted links.
+    pub fn total_links(&self) -> u64 {
+        self.link_count(Medium::Electrical) + self.link_count(Medium::Optical)
+    }
+
+    /// Bisection bandwidth in Gb/s at the given per-channel rate. The
+    /// fabric is non-blocking, so the bisection equals half the hosts'
+    /// injection bandwidth — the convention under which Table 1 reports
+    /// 655 Tb/s.
+    pub fn bisection_gbps(&self, link_gbps: f64) -> f64 {
+        self.hosts as f64 / 2.0 * link_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chassis_is_27_chips() {
+        let c = ChassisSpec::paper_324_port();
+        assert_eq!(c.leaf_chips(), 18);
+        assert_eq!(c.spine_chips(), 9);
+        assert_eq!(c.chips(), 27);
+    }
+
+    #[test]
+    fn paper_table1_clos_part_counts() {
+        let clos = FoldedClos::paper_comparison_32k();
+        // §2.2: "S_stage3 = ⌈32k/324⌉ = 102, S_stage2 = ⌈32k/(324/2)⌉ = 203".
+        assert_eq!(clos.stage3_chassis(), 102);
+        assert_eq!(clos.stage2_chassis(), 203);
+        // "S_Clos = 27 × 305 = 8,235".
+        assert_eq!(clos.chips_purchased(), 8_235);
+        // Footnote 5 / Table 1 power row implies 8,192 powered chips.
+        assert_eq!(clos.chips_powered(), 8_192.0);
+        // Table 1 link rows.
+        assert_eq!(clos.link_count(Medium::Electrical), 49_152);
+        assert_eq!(clos.link_count(Medium::Optical), 65_536);
+        // Table 1 bisection row: 655 Tb/s.
+        assert_eq!(clos.bisection_gbps(40.0), 655_360.0);
+    }
+
+    #[test]
+    fn invalid_chassis_rejected() {
+        assert!(ChassisSpec::new(0, 324).is_err());
+        assert!(ChassisSpec::new(35, 324).is_err()); // odd radix
+        assert!(ChassisSpec::new(36, 0).is_err());
+        assert!(ChassisSpec::new(36, 100).is_err()); // not multiple of 18
+    }
+
+    #[test]
+    fn no_hosts_rejected() {
+        assert!(matches!(
+            FoldedClos::new(0, ChassisSpec::paper_324_port()),
+            Err(TopologyError::NoHosts)
+        ));
+    }
+
+    #[test]
+    fn scaling_preserves_chip_ratio() {
+        // The powered-chip formula 9N/r is scale-free: doubling hosts
+        // doubles powered chips.
+        let a = FoldedClos::new(16_384, ChassisSpec::paper_324_port()).unwrap();
+        let b = FoldedClos::new(32_768, ChassisSpec::paper_324_port()).unwrap();
+        assert_eq!(b.chips_powered(), 2.0 * a.chips_powered());
+    }
+
+    #[test]
+    fn total_links_sum() {
+        let clos = FoldedClos::paper_comparison_32k();
+        assert_eq!(clos.total_links(), 49_152 + 65_536);
+    }
+}

@@ -1,0 +1,214 @@
+//! Multi-dimensional switch coordinates.
+
+use crate::{SwitchId, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of switch dimensions supported (a *k*-ary *n*-flat has
+/// `n - 1` switch dimensions; `n ≤ 9` covers every practical build — the
+/// paper's largest example is an 8-ary 5-flat).
+pub const MAX_DIMS: usize = 8;
+
+/// The position of a switch in the `n - 1` dimensional grid of a flattened
+/// butterfly (or mesh/torus view of it).
+///
+/// Digit `0` is the *lowest* (intra-group, electrically cabled) dimension.
+/// Coordinates convert to and from dense [`SwitchId`]s in mixed-radix
+/// little-endian order: `id = Σ digits[d] · k^d`.
+///
+/// ```
+/// use epnet_topology::Coord;
+/// let c = Coord::from_switch_index(27, 8, 2);
+/// assert_eq!(c.digits(), &[3, 3]);
+/// assert_eq!(c.to_switch_index(8), 27);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    digits: [u16; MAX_DIMS],
+    len: u8,
+}
+
+impl Coord {
+    /// Builds a coordinate from explicit digits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::TooManyDimensions`] if more than
+    /// `MAX_DIMS` (8) digits are supplied.
+    pub fn new(digits: &[u16]) -> Result<Self, TopologyError> {
+        if digits.len() > MAX_DIMS {
+            return Err(TopologyError::TooManyDimensions {
+                dims: digits.len(),
+                max: MAX_DIMS,
+            });
+        }
+        let mut buf = [0u16; MAX_DIMS];
+        buf[..digits.len()].copy_from_slice(digits);
+        Ok(Self {
+            digits: buf,
+            len: digits.len() as u8,
+        })
+    }
+
+    /// Decomposes a dense switch index into a base-`radix` coordinate with
+    /// `dims` digits (little-endian: digit 0 varies fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims > MAX_DIMS` or `radix == 0`; use
+    /// [`FlattenedButterfly::new`](crate::FlattenedButterfly::new) for
+    /// validated construction.
+    pub fn from_switch_index(index: usize, radix: u16, dims: usize) -> Self {
+        assert!(dims <= MAX_DIMS, "dims {dims} exceeds MAX_DIMS {MAX_DIMS}");
+        assert!(radix > 0, "radix must be positive");
+        let mut digits = [0u16; MAX_DIMS];
+        let mut rest = index;
+        for d in digits.iter_mut().take(dims) {
+            *d = (rest % radix as usize) as u16;
+            rest /= radix as usize;
+        }
+        debug_assert_eq!(rest, 0, "switch index {index} out of range");
+        Self {
+            digits,
+            len: dims as u8,
+        }
+    }
+
+    /// Recomposes the dense switch index for the given radix.
+    pub fn to_switch_index(self, radix: u16) -> usize {
+        self.digits()
+            .iter()
+            .rev()
+            .fold(0usize, |acc, &d| acc * radix as usize + d as usize)
+    }
+
+    /// Convenience wrapper returning a typed [`SwitchId`].
+    pub fn to_switch_id(self, radix: u16) -> SwitchId {
+        SwitchId::new(self.to_switch_index(radix) as u32)
+    }
+
+    /// The digits of the coordinate, lowest dimension first.
+    #[inline]
+    pub fn digits(&self) -> &[u16] {
+        &self.digits[..self.len as usize]
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.len as usize
+    }
+
+    /// The digit in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.dims()`.
+    #[inline]
+    pub fn digit(&self, dim: usize) -> u16 {
+        self.digits()[dim]
+    }
+
+    /// Returns a copy with dimension `dim` replaced by `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.dims()`.
+    pub fn with_digit(mut self, dim: usize, value: u16) -> Self {
+        assert!(dim < self.dims(), "dimension {dim} out of range");
+        self.digits[dim] = value;
+        self
+    }
+
+    /// Number of dimensions in which `self` and `other` differ — the
+    /// minimal inter-switch hop count in a flattened butterfly (the
+    /// "rook moves" of the paper's chessboard metaphor, §2.1).
+    pub fn hop_distance(&self, other: &Coord) -> usize {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.digits()
+            .iter()
+            .zip(other.digits())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Coord{:?}", self.digits())
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.digits().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_switches() {
+        for radix in [2u16, 3, 8, 15] {
+            for dims in 1..=3usize {
+                let count = (radix as usize).pow(dims as u32);
+                for idx in 0..count {
+                    let c = Coord::from_switch_index(idx, radix, dims);
+                    assert_eq!(c.to_switch_index(radix), idx);
+                    assert_eq!(c.dims(), dims);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hop_distance_counts_differing_dims() {
+        let a = Coord::new(&[1, 2, 3]).unwrap();
+        let b = Coord::new(&[1, 5, 4]).unwrap();
+        assert_eq!(a.hop_distance(&b), 2);
+        assert_eq!(a.hop_distance(&a), 0);
+    }
+
+    #[test]
+    fn with_digit_replaces_one_dimension() {
+        let a = Coord::new(&[7, 0]).unwrap();
+        let b = a.with_digit(1, 4);
+        assert_eq!(b.digits(), &[7, 4]);
+        assert_eq!(a.digits(), &[7, 0], "original is unchanged");
+    }
+
+    #[test]
+    fn too_many_dims_is_an_error() {
+        let digits = [0u16; MAX_DIMS + 1];
+        assert!(matches!(
+            Coord::new(&digits),
+            Err(TopologyError::TooManyDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats_digits() {
+        let c = Coord::new(&[3, 1]).unwrap();
+        assert_eq!(c.to_string(), "(3,1)");
+        assert_eq!(format!("{c:?}"), "Coord[3, 1]");
+    }
+
+    #[test]
+    fn little_endian_digit_order() {
+        // Switch 27 in an 8-ary grid: 27 = 3 + 3*8.
+        let c = Coord::from_switch_index(27, 8, 2);
+        assert_eq!(c.digit(0), 3);
+        assert_eq!(c.digit(1), 3);
+        let c = Coord::from_switch_index(17, 15, 2);
+        assert_eq!(c.digits(), &[2, 1]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising when constructing or validating a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The switch radix `k` must be at least 2 so each dimension is a
+    /// non-trivial fully-connected group.
+    RadixTooSmall {
+        /// The offending radix.
+        k: u16,
+    },
+    /// A *k*-ary *n*-flat needs `n ≥ 2` (one host dimension plus at least
+    /// one switch dimension).
+    TooFewDimensions {
+        /// The offending `n`.
+        n: usize,
+    },
+    /// More dimensions were requested than the implementation supports.
+    TooManyDimensions {
+        /// Requested dimensions.
+        dims: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// The concentration `c` must be at least 1 (at least one host per
+    /// switch).
+    ZeroConcentration,
+    /// The topology would exceed the addressable size (`u32` entity ids).
+    TooLarge {
+        /// Human-readable description of the quantity that overflowed.
+        what: &'static str,
+    },
+    /// A chassis cannot be assembled from the given chip radix and port
+    /// count (ports must be divisible by `radix / 2` with an even radix).
+    InvalidChassis {
+        /// Chip radix.
+        chip_radix: u16,
+        /// Requested external chassis ports.
+        chassis_ports: u32,
+    },
+    /// The folded-Clos model requires at least one host.
+    NoHosts,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::RadixTooSmall { k } => write!(f, "switch radix k={k} is below the minimum of 2"),
+            Self::TooFewDimensions { n } => {
+                write!(f, "a k-ary n-flat requires n >= 2, got n={n}")
+            }
+            Self::TooManyDimensions { dims, max } => {
+                write!(f, "{dims} dimensions requested but at most {max} are supported")
+            }
+            Self::ZeroConcentration => write!(f, "concentration c must be at least 1"),
+            Self::TooLarge { what } => write!(f, "topology too large: {what} exceeds u32 range"),
+            Self::InvalidChassis {
+                chip_radix,
+                chassis_ports,
+            } => write!(
+                f,
+                "cannot build a {chassis_ports}-port chassis from radix-{chip_radix} chips"
+            ),
+            Self::NoHosts => write!(f, "at least one host is required"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TopologyError::RadixTooSmall { k: 1 },
+            TopologyError::TooFewDimensions { n: 1 },
+            TopologyError::TooManyDimensions { dims: 10, max: 8 },
+            TopologyError::ZeroConcentration,
+            TopologyError::TooLarge { what: "hosts" },
+            TopologyError::InvalidChassis {
+                chip_radix: 36,
+                chassis_ports: 100,
+            },
+            TopologyError::NoHosts,
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(!first.is_uppercase(), "message starts uppercase: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

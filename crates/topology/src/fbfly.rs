@@ -1,0 +1,433 @@
+//! The flattened butterfly (FBFLY) *k*-ary *n*-flat topology (§2.1).
+
+use crate::{
+    Coord, FabricGraph, HostId, Medium, PortIndex, SwitchId, TopologyError,
+};
+use serde::{Deserialize, Serialize};
+
+/// A flattened butterfly *k*-ary *n*-flat with concentration *c*, written
+/// `(c, k, n)` as in §2.1.1 of the paper.
+///
+/// * `k` — radix of each dimension: within a dimension all `k` switches are
+///   fully connected ("packets traverse the flattened butterfly in the same
+///   manner that a rook moves on a chessboard").
+/// * `n` — the *flat* dimension count; the switches form an
+///   `(n - 1)`-dimensional grid of `k^(n-1)` switches.
+/// * `c` — concentration: hosts attached to each switch. `c = k` yields no
+///   over-subscription; `c > k` over-subscribes the network `c : k`
+///   (the paper's example: `(12, 8, 4)` is over-subscribed 3:2).
+///
+/// Each switch needs `p = c + (k − 1)(n − 1)` ports.
+///
+/// # Example
+///
+/// ```
+/// use epnet_topology::FlattenedButterfly;
+///
+/// // Paper §2.1.1: a (12, 8, 4) scales to 12 · 8^3 = 6144 hosts on
+/// // 33-port routers.
+/// let f = FlattenedButterfly::new(12, 8, 4)?;
+/// assert_eq!(f.num_hosts(), 6144);
+/// assert_eq!(f.ports_per_switch(), 33);
+/// assert_eq!(f.oversubscription(), 1.5);
+/// # Ok::<(), epnet_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlattenedButterfly {
+    concentration: u16,
+    radix: u16,
+    flat_n: usize,
+}
+
+impl FlattenedButterfly {
+    /// Builds a `(c, k, n)` flattened butterfly.
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::ZeroConcentration`] if `c == 0`.
+    /// * [`TopologyError::RadixTooSmall`] if `k < 2`.
+    /// * [`TopologyError::TooFewDimensions`] if `n < 2`.
+    /// * [`TopologyError::TooManyDimensions`] if `n - 1` exceeds the
+    ///   supported coordinate width.
+    /// * [`TopologyError::TooLarge`] if entity counts overflow `u32`.
+    pub fn new(concentration: u16, radix: u16, flat_n: usize) -> Result<Self, TopologyError> {
+        if concentration == 0 {
+            return Err(TopologyError::ZeroConcentration);
+        }
+        if radix < 2 {
+            return Err(TopologyError::RadixTooSmall { k: radix });
+        }
+        if flat_n < 2 {
+            return Err(TopologyError::TooFewDimensions { n: flat_n });
+        }
+        if flat_n - 1 > crate::coord::MAX_DIMS {
+            return Err(TopologyError::TooManyDimensions {
+                dims: flat_n - 1,
+                max: crate::coord::MAX_DIMS,
+            });
+        }
+        let switches = (radix as u128).pow((flat_n - 1) as u32);
+        let hosts = switches * concentration as u128;
+        if hosts > u32::MAX as u128 || switches > u32::MAX as u128 {
+            return Err(TopologyError::TooLarge { what: "hosts" });
+        }
+        let this = Self {
+            concentration,
+            radix,
+            flat_n,
+        };
+        // Channel ids must also stay dense in u32.
+        let channels = hosts + switches * this.ports_per_switch() as u128;
+        if channels > u32::MAX as u128 {
+            return Err(TopologyError::TooLarge { what: "channels" });
+        }
+        Ok(this)
+    }
+
+    /// The paper's evaluation network: a 15-ary 3-flat with `c = 15`
+    /// (3,375 hosts on 225 switches, §4.1).
+    pub fn paper_evaluation() -> Self {
+        Self::new(15, 15, 3).expect("paper evaluation config is valid")
+    }
+
+    /// The paper's 32k-host comparison network: an 8-ary 5-flat with
+    /// `c = 8` (Table 1).
+    pub fn paper_comparison_32k() -> Self {
+        Self::new(8, 8, 5).expect("paper comparison config is valid")
+    }
+
+    /// Concentration `c`: hosts per switch.
+    #[inline]
+    pub fn concentration(&self) -> u16 {
+        self.concentration
+    }
+
+    /// Radix `k` of each dimension.
+    #[inline]
+    pub fn radix(&self) -> u16 {
+        self.radix
+    }
+
+    /// The flat dimension count `n` (so there are `n − 1` switch
+    /// dimensions).
+    #[inline]
+    pub fn flat_n(&self) -> usize {
+        self.flat_n
+    }
+
+    /// Number of switch dimensions, `n − 1`.
+    #[inline]
+    pub fn switch_dims(&self) -> usize {
+        self.flat_n - 1
+    }
+
+    /// Number of switch chips, `k^(n−1)`.
+    pub fn num_switches(&self) -> usize {
+        (self.radix as usize).pow(self.switch_dims() as u32)
+    }
+
+    /// Number of hosts, `c · k^(n−1)`.
+    pub fn num_hosts(&self) -> usize {
+        self.concentration as usize * self.num_switches()
+    }
+
+    /// Ports per switch, `p = c + (k − 1)(n − 1)` (§2.2).
+    pub fn ports_per_switch(&self) -> u16 {
+        self.concentration + (self.radix - 1) * self.switch_dims() as u16
+    }
+
+    /// Over-subscription ratio `c / k` (1.0 means full bisection).
+    pub fn oversubscription(&self) -> f64 {
+        f64::from(self.concentration) / f64::from(self.radix)
+    }
+
+    /// Fraction of links that can be electrical thanks to packaging
+    /// locality: `f_e = ((k − 1) + c) / (c + (k − 1)(n − 1))` (§2.2).
+    pub fn electrical_link_fraction(&self) -> f64 {
+        f64::from(self.radix - 1 + self.concentration) / f64::from(self.ports_per_switch())
+    }
+
+    /// Total number of bidirectional inter-switch links.
+    pub fn inter_switch_links(&self) -> usize {
+        // Each of the n−1 dimensions contributes k^(n−2) fully-connected
+        // groups of C(k, 2) links.
+        self.switch_dims() * self.num_switches() * (self.radix as usize - 1) / 2
+    }
+
+    /// Number of bidirectional links of the given medium.
+    ///
+    /// Host links and the lowest (intra-group) dimension use inexpensive
+    /// electrical cabling; all higher dimensions require optics (§2.2:
+    /// "the first dimension, which interconnects all the switches within a
+    /// local domain, can use short (<1m) electrical links").
+    pub fn link_count(&self, medium: Medium) -> usize {
+        let per_dim = self.num_switches() * (self.radix as usize - 1) / 2;
+        match medium {
+            Medium::Electrical => self.num_hosts() + per_dim,
+            Medium::Optical => (self.switch_dims() - 1) * per_dim,
+        }
+    }
+
+    /// Total bidirectional links including host links.
+    pub fn total_links(&self) -> usize {
+        self.num_hosts() + self.inter_switch_links()
+    }
+
+    /// Bisection bandwidth in Gb/s for the given per-channel rate,
+    /// counting both directions of the cut (the convention under which
+    /// Table 1 reports 655 Tb/s for the 32k networks).
+    ///
+    /// The minimum cut splits one dimension into ⌊k/2⌋ and ⌈k/2⌉ digits;
+    /// each of the `k^(n−2)` groups contributes ⌊k/2⌋·⌈k/2⌉ crossing links.
+    pub fn bisection_gbps(&self, link_gbps: f64) -> f64 {
+        let k = self.radix as usize;
+        let groups = self.num_switches() / k;
+        let crossing = groups * (k / 2) * k.div_ceil(2);
+        2.0 * crossing as f64 * link_gbps
+    }
+
+    /// Coordinate of a switch in the `(n−1)`-dimensional grid.
+    pub fn switch_coord(&self, switch: SwitchId) -> Coord {
+        Coord::from_switch_index(switch.index(), self.radix, self.switch_dims())
+    }
+
+    /// The switch a host attaches to (hosts are distributed round-robin in
+    /// blocks of `c`).
+    pub fn host_switch(&self, host: HostId) -> SwitchId {
+        SwitchId::new((host.index() / self.concentration as usize) as u32)
+    }
+
+    /// The port on [`Self::host_switch`] that `host` occupies
+    /// (ports `0..c` are host ports).
+    pub fn host_port(&self, host: HostId) -> PortIndex {
+        PortIndex::new((host.index() % self.concentration as usize) as u16)
+    }
+
+    /// The host attached to `(switch, port)`, if `port` is a host port.
+    pub fn port_host(&self, switch: SwitchId, port: PortIndex) -> Option<HostId> {
+        (port.index() < self.concentration as usize).then(|| {
+            HostId::new((switch.index() * self.concentration as usize + port.index()) as u32)
+        })
+    }
+
+    /// The output port on `switch` leading to the peer with digit
+    /// `peer_digit` in dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range, `peer_digit >= k`, or `peer_digit`
+    /// equals the switch's own digit (there is no self-link).
+    pub fn port_toward(&self, switch: SwitchId, dim: usize, peer_digit: u16) -> PortIndex {
+        assert!(dim < self.switch_dims(), "dimension {dim} out of range");
+        assert!(peer_digit < self.radix, "peer digit out of range");
+        let own = self.switch_coord(switch).digit(dim);
+        assert_ne!(own, peer_digit, "no self-link within a dimension");
+        let off = if peer_digit < own {
+            peer_digit
+        } else {
+            peer_digit - 1
+        };
+        PortIndex::new(self.concentration + dim as u16 * (self.radix - 1) + off)
+    }
+
+    /// Decodes an inter-switch port into `(dim, peer_digit)` — the inverse
+    /// of [`Self::port_toward`]. Returns `None` for host ports.
+    pub fn port_peer_digit(&self, switch: SwitchId, port: PortIndex) -> Option<(usize, u16)> {
+        let p = port.raw().checked_sub(self.concentration)?;
+        let dim = (p / (self.radix - 1)) as usize;
+        if dim >= self.switch_dims() {
+            return None;
+        }
+        let off = p % (self.radix - 1);
+        let own = self.switch_coord(switch).digit(dim);
+        let digit = if off < own { off } else { off + 1 };
+        Some((dim, digit))
+    }
+
+    /// The switch and input port on the far side of inter-switch port
+    /// `(switch, port)`. Returns `None` for host ports.
+    ///
+    /// Links are symmetric: the peer's return port is
+    /// `port_toward(peer, dim, own_digit)`.
+    pub fn port_peer(&self, switch: SwitchId, port: PortIndex) -> Option<(SwitchId, PortIndex)> {
+        let (dim, digit) = self.port_peer_digit(switch, port)?;
+        let coord = self.switch_coord(switch);
+        let peer = coord.with_digit(dim, digit).to_switch_id(self.radix);
+        let back = self.port_toward(peer, dim, coord.digit(dim));
+        Some((peer, back))
+    }
+
+    /// Minimal inter-switch hop count between two switches.
+    pub fn hop_distance(&self, a: SwitchId, b: SwitchId) -> usize {
+        self.switch_coord(a).hop_distance(&self.switch_coord(b))
+    }
+
+    /// Lowers the analytical model into the port-level [`FabricGraph`]
+    /// consumed by the simulator.
+    pub fn build_fabric(&self) -> FabricGraph {
+        FabricGraph::from_fbfly(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_fbfly_part_counts() {
+        let f = FlattenedButterfly::paper_comparison_32k();
+        assert_eq!(f.num_hosts(), 32_768);
+        assert_eq!(f.num_switches(), 4_096);
+        assert_eq!(f.ports_per_switch(), 36);
+        assert_eq!(f.link_count(Medium::Electrical), 47_104);
+        assert_eq!(f.link_count(Medium::Optical), 43_008);
+        assert_eq!(f.bisection_gbps(40.0), 655_360.0);
+    }
+
+    #[test]
+    fn paper_evaluation_network() {
+        let f = FlattenedButterfly::paper_evaluation();
+        assert_eq!(f.num_hosts(), 3_375);
+        assert_eq!(f.num_switches(), 225);
+        assert_eq!(f.ports_per_switch(), 43);
+        assert_eq!(f.oversubscription(), 1.0);
+    }
+
+    #[test]
+    fn electrical_fraction_matches_paper() {
+        // §2.2: "In this case 15/36 ≈ 42% of the FBFLY links are
+        // inexpensive, lower-power, electrical links."
+        let f = FlattenedButterfly::paper_comparison_32k();
+        let fe = f.electrical_link_fraction();
+        assert!((fe - 15.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscribed_example_from_paper() {
+        // §2.1.1 / Figure 3: (12, 8, 4) needs a 33-port router and scales
+        // to 6144 nodes with 3:2 over-subscription.
+        let f = FlattenedButterfly::new(12, 8, 4).unwrap();
+        assert_eq!(f.ports_per_switch(), 33);
+        assert_eq!(f.num_hosts(), 6_144);
+        assert!((f.oversubscription() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eight_ary_two_flat_is_figure_2() {
+        // Figure 2: 8-ary 2-flat, 64 nodes, eight 15-port switches.
+        let f = FlattenedButterfly::new(8, 8, 2).unwrap();
+        assert_eq!(f.num_hosts(), 64);
+        assert_eq!(f.num_switches(), 8);
+        assert_eq!(f.ports_per_switch(), 15);
+        // §2.1: scaling to an 8-ary 3-flat gives 512 nodes on 64 switches
+        // with 22 ports each.
+        let f3 = FlattenedButterfly::new(8, 8, 3).unwrap();
+        assert_eq!(f3.num_hosts(), 512);
+        assert_eq!(f3.num_switches(), 64);
+        assert_eq!(f3.ports_per_switch(), 22);
+    }
+
+    #[test]
+    fn port_round_trips() {
+        let f = FlattenedButterfly::new(4, 4, 3).unwrap();
+        for s in 0..f.num_switches() {
+            let s = SwitchId::new(s as u32);
+            for dim in 0..f.switch_dims() {
+                let own = f.switch_coord(s).digit(dim);
+                for digit in 0..f.radix() {
+                    if digit == own {
+                        continue;
+                    }
+                    let port = f.port_toward(s, dim, digit);
+                    assert_eq!(f.port_peer_digit(s, port), Some((dim, digit)));
+                    let (peer, back) = f.port_peer(s, port).unwrap();
+                    // Links are symmetric.
+                    let (peer2, back2) = f.port_peer(peer, back).unwrap();
+                    assert_eq!(peer2, s);
+                    assert_eq!(back2, port);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_ports_have_no_peer_switch() {
+        let f = FlattenedButterfly::new(4, 4, 2).unwrap();
+        assert_eq!(f.port_peer(SwitchId::new(0), PortIndex::new(0)), None);
+        assert_eq!(
+            f.port_host(SwitchId::new(1), PortIndex::new(2)),
+            Some(HostId::new(6))
+        );
+        assert_eq!(f.port_host(SwitchId::new(1), PortIndex::new(4)), None);
+    }
+
+    #[test]
+    fn host_switch_assignment_is_blocked() {
+        let f = FlattenedButterfly::new(3, 4, 2).unwrap();
+        assert_eq!(f.host_switch(HostId::new(0)).index(), 0);
+        assert_eq!(f.host_switch(HostId::new(2)).index(), 0);
+        assert_eq!(f.host_switch(HostId::new(3)).index(), 1);
+        assert_eq!(f.host_port(HostId::new(4)).index(), 1);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(matches!(
+            FlattenedButterfly::new(0, 8, 3),
+            Err(TopologyError::ZeroConcentration)
+        ));
+        assert!(matches!(
+            FlattenedButterfly::new(8, 1, 3),
+            Err(TopologyError::RadixTooSmall { k: 1 })
+        ));
+        assert!(matches!(
+            FlattenedButterfly::new(8, 8, 1),
+            Err(TopologyError::TooFewDimensions { n: 1 })
+        ));
+        assert!(matches!(
+            FlattenedButterfly::new(8, 8, 12),
+            Err(TopologyError::TooManyDimensions { .. })
+        ));
+        assert!(matches!(
+            FlattenedButterfly::new(1000, 1000, 5),
+            Err(TopologyError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn hop_distance_bounded_by_dims() {
+        let f = FlattenedButterfly::new(2, 3, 4).unwrap();
+        for a in 0..f.num_switches() {
+            for b in 0..f.num_switches() {
+                let d = f.hop_distance(SwitchId::new(a as u32), SwitchId::new(b as u32));
+                assert!(d <= f.switch_dims());
+                if a == b {
+                    assert_eq!(d, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_with_odd_radix() {
+        // 15-ary: cut splits 7 vs 8 digits -> 7·8 crossing links per group.
+        let f = FlattenedButterfly::paper_evaluation();
+        let groups = 225 / 15;
+        let expect = 2.0 * (groups * 7 * 8) as f64 * 40.0;
+        assert_eq!(f.bisection_gbps(40.0), expect);
+    }
+
+    #[test]
+    fn total_links_is_consistent() {
+        let f = FlattenedButterfly::paper_comparison_32k();
+        assert_eq!(
+            f.total_links(),
+            f.link_count(Medium::Electrical) + f.link_count(Medium::Optical)
+        );
+        // Every port is used exactly once: 2·links = ports·switches + hosts.
+        assert_eq!(
+            2 * f.inter_switch_links() + 2 * f.num_hosts(),
+            f.num_switches() * f.ports_per_switch() as usize + f.num_hosts()
+        );
+    }
+}

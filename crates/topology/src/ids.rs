@@ -1,0 +1,156 @@
+//! Strongly-typed identifiers for fabric entities.
+//!
+//! The simulator indexes hosts, switches, ports, and channels with dense
+//! integers; these newtypes keep the different index spaces from being
+//! confused (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a host (terminal node / server NIC), dense in
+/// `0..num_hosts`.
+///
+/// ```
+/// use epnet_topology::HostId;
+/// let h = HostId::new(42);
+/// assert_eq!(h.index(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(u32);
+
+/// Identifier of a switch chip, dense in `0..num_switches`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchId(u32);
+
+/// A port position on a particular switch (`0..ports_per_switch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortIndex(u16);
+
+/// Identifier of a *unidirectional* channel, dense in `0..num_channels`.
+///
+/// The paper distinguishes the *link* (a bidirectional pair of channels)
+/// from the *channel* (one direction): "the routing algorithm views each
+/// unidirectional channel in the network as a routing resource" (§3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(u32);
+
+/// Identifier of a *bidirectional* link (a pair of opposing channels),
+/// dense in `0..num_links`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $label:expr) => {
+        impl $ty {
+            /// Creates the identifier from its dense index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the dense index as a `usize`, suitable for array
+            /// indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "{}"), self.0)
+            }
+        }
+
+        impl From<$ty> for usize {
+            #[inline]
+            fn from(id: $ty) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+impl_id!(HostId, "h");
+impl_id!(SwitchId, "s");
+impl_id!(ChannelId, "ch");
+impl_id!(LinkId, "ln");
+
+impl PortIndex {
+    /// Creates a port index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the port position as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u16` index.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for PortIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<PortIndex> for usize {
+    #[inline]
+    fn from(p: PortIndex) -> usize {
+        p.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(HostId::new(7).index(), 7);
+        assert_eq!(SwitchId::new(9).raw(), 9);
+        assert_eq!(PortIndex::new(3).index(), 3);
+        assert_eq!(ChannelId::new(11).index(), 11);
+        assert_eq!(LinkId::new(12).index(), 12);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(HostId::new(1).to_string(), "h1");
+        assert_eq!(SwitchId::new(2).to_string(), "s2");
+        assert_eq!(PortIndex::new(3).to_string(), "p3");
+        assert_eq!(ChannelId::new(4).to_string(), "ch4");
+        assert_eq!(LinkId::new(5).to_string(), "ln5");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(HostId::new(1));
+        set.insert(HostId::new(1));
+        assert_eq!(set.len(), 1);
+        assert!(SwitchId::new(1) < SwitchId::new(2));
+    }
+
+    #[test]
+    fn ids_into_usize() {
+        let v = [10u8, 20, 30];
+        assert_eq!(v[usize::from(PortIndex::new(1))], 20);
+        assert_eq!(v[usize::from(HostId::new(2))], 30);
+    }
+}

@@ -1,0 +1,182 @@
+//! Path analytics over the flattened butterfly: minimal path counts,
+//! hop distributions, and diversity — the quantities behind the paper's
+//! claims that the topology has enough path diversity for traffic to
+//! "be redirected to other paths" during reactivation (§3.2).
+
+use crate::{FlattenedButterfly, HostId, SwitchId};
+
+/// Distribution of minimal inter-switch hop counts over all host pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopHistogram {
+    /// `counts[h]` = ordered host pairs whose minimal route takes `h`
+    /// inter-switch hops.
+    pub counts: Vec<u64>,
+}
+
+impl HopHistogram {
+    /// Mean inter-switch hops over all ordered host pairs.
+    pub fn mean(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| h as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Network diameter in inter-switch hops.
+    pub fn diameter(&self) -> usize {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0)
+    }
+}
+
+impl FlattenedButterfly {
+    /// Hop histogram over all ordered host pairs (excluding self-pairs),
+    /// computed analytically: the probability that a dimension differs
+    /// is `(k−1)/k` per dimension.
+    pub fn hop_histogram(&self) -> HopHistogram {
+        let dims = self.switch_dims();
+        let k = self.radix() as u64;
+        let switches = self.num_switches() as u64;
+        let c = u64::from(self.concentration());
+        // Ordered switch pairs at hop distance h: C(dims, h)·(k−1)^h per
+        // source switch; weight by host pairs (c² between distinct
+        // switches, c·(c−1) within one).
+        let mut counts = vec![0u64; dims + 1];
+        for (h, count) in counts.iter_mut().enumerate() {
+            let ways = binomial(dims as u64, h as u64) * (k - 1).pow(h as u32);
+            *count = if h == 0 {
+                switches * c * (c - 1)
+            } else {
+                switches * ways * c * c
+            };
+        }
+        HopHistogram { counts }
+    }
+
+    /// Number of distinct minimal switch paths between two hosts:
+    /// `d!` orderings of the `d` differing dimensions.
+    pub fn minimal_path_count(&self, src: HostId, dst: HostId) -> u64 {
+        let d = self.hop_distance(self.host_switch(src), self.host_switch(dst)) as u64;
+        factorial(d)
+    }
+
+    /// Edge-disjoint path diversity between two *switches*: the number
+    /// of alternatives the adaptive router can spread across when one
+    /// link deactivates. For switches differing in `d ≥ 1` dimensions
+    /// this is `d` at the first hop; with one allowed detour
+    /// (UGAL-style) it grows to `d + (k − 2)·d`.
+    pub fn first_hop_choices(&self, a: SwitchId, b: SwitchId, with_detours: bool) -> u64 {
+        let d = self.hop_distance(a, b) as u64;
+        if d == 0 {
+            return 0;
+        }
+        if with_detours {
+            d + u64::from(self.radix() - 2) * d
+        } else {
+            d
+        }
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+fn factorial(n: u64) -> u64 {
+    (1..=n).product::<u64>().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingTopology;
+
+    #[test]
+    fn histogram_totals_match_pair_count() {
+        for (c, k, n) in [(2u16, 4u16, 3usize), (15, 15, 3), (8, 8, 5)] {
+            let f = FlattenedButterfly::new(c, k, n).unwrap();
+            let h = f.hop_histogram();
+            let total: u64 = h.counts.iter().sum();
+            let hosts = f.num_hosts() as u64;
+            assert_eq!(total, hosts * (hosts - 1), "({c},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn histogram_matches_exhaustive_enumeration() {
+        let f = FlattenedButterfly::new(2, 3, 3).unwrap();
+        let g = f.build_fabric();
+        let mut counts = vec![0u64; f.switch_dims() + 1];
+        for a in 0..g.num_hosts() as u32 {
+            for b in 0..g.num_hosts() as u32 {
+                if a == b {
+                    continue;
+                }
+                let d = f.hop_distance(
+                    g.host_switch(HostId::new(a)),
+                    g.host_switch(HostId::new(b)),
+                );
+                counts[d] += 1;
+            }
+        }
+        assert_eq!(f.hop_histogram().counts, counts);
+    }
+
+    #[test]
+    fn paper_evaluation_mean_hops() {
+        // 15-ary 3-flat: 2 dims, each differs w.p. 14/15 over uniform
+        // pairs between distinct switches; host concentration shifts it
+        // slightly. Mean must sit a bit below 2·14/15 ≈ 1.867.
+        let f = FlattenedButterfly::paper_evaluation();
+        let mean = f.hop_histogram().mean();
+        assert!((1.8..1.87).contains(&mean), "mean hops {mean}");
+        assert_eq!(f.hop_histogram().diameter(), 2);
+    }
+
+    #[test]
+    fn minimal_paths_are_permutations_of_dimensions() {
+        let f = FlattenedButterfly::new(2, 4, 4).unwrap();
+        // Hosts on switches differing in all 3 dimensions: 3! = 6 paths.
+        let src = HostId::new(0); // switch 0 = (0,0,0)
+        let dst = HostId::new((f.num_hosts() - 1) as u32); // switch 63 = (3,3,3)
+        assert_eq!(f.minimal_path_count(src, dst), 6);
+        // Same switch: single (zero-hop) path.
+        assert_eq!(f.minimal_path_count(HostId::new(0), HostId::new(1)), 1);
+    }
+
+    #[test]
+    fn detours_multiply_first_hop_choices() {
+        let f = FlattenedButterfly::paper_evaluation(); // k = 15
+        let a = SwitchId::new(0);
+        let b = SwitchId::new(224); // differs in both dimensions
+        assert_eq!(f.first_hop_choices(a, b, false), 2);
+        assert_eq!(f.first_hop_choices(a, b, true), 2 + 13 * 2);
+        assert_eq!(f.first_hop_choices(a, a, true), 0);
+    }
+
+    #[test]
+    fn binomial_and_factorial() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(4), 24);
+    }
+}

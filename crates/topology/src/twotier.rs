@@ -1,0 +1,263 @@
+//! A simulatable two-tier (leaf/spine) folded Clos.
+//!
+//! The paper's Table-1 folded Clos is an analytical chassis model
+//! ([`FoldedClos`](crate::FoldedClos)); this type is its *simulatable*
+//! counterpart: a flat leaf/spine fabric built from single chips that
+//! lowers into a [`FabricGraph`] just like the flattened butterfly, so
+//! the two topologies can be compared under the event-driven simulator
+//! as well as on paper.
+
+use crate::{FabricGraph, Medium, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// A two-tier folded Clos: `leaves` leaf switches with `concentration`
+/// hosts each, fully meshed to `spines` spine switches.
+///
+/// For the dense channel indexing the simulator relies on, every switch
+/// must have the same radix, i.e. `leaves == concentration + spines`.
+/// The non-blocking family satisfying that is `leaves = 2c, spines = c`
+/// — use [`TwoTierClos::non_blocking`].
+///
+/// ```
+/// use epnet_topology::TwoTierClos;
+/// let clos = TwoTierClos::non_blocking(16)?; // 32 leaves x 16 hosts
+/// assert_eq!(clos.num_hosts(), 512);
+/// assert_eq!(clos.num_switches(), 48);
+/// assert_eq!(clos.ports_per_switch(), 32);
+/// # Ok::<(), epnet_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TwoTierClos {
+    concentration: u16,
+    spines: u32,
+    leaves: u32,
+}
+
+impl TwoTierClos {
+    /// Builds a two-tier Clos with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidChassis`] unless
+    /// `leaves == concentration + spines` (the uniform-radix constraint)
+    /// with at least one host and one spine, or
+    /// [`TopologyError::TooLarge`] if entity counts overflow `u32`.
+    pub fn new(concentration: u16, spines: u32, leaves: u32) -> Result<Self, TopologyError> {
+        if concentration == 0 {
+            return Err(TopologyError::ZeroConcentration);
+        }
+        if spines == 0 || u64::from(leaves) != u64::from(concentration) + u64::from(spines) {
+            return Err(TopologyError::InvalidChassis {
+                chip_radix: concentration,
+                chassis_ports: leaves,
+            });
+        }
+        let hosts = u64::from(leaves) * u64::from(concentration);
+        let channels = hosts
+            + (u64::from(leaves) + u64::from(spines)) * u64::from(leaves);
+        if hosts > u32::MAX as u64 || channels > u32::MAX as u64 {
+            return Err(TopologyError::TooLarge { what: "hosts" });
+        }
+        Ok(Self {
+            concentration,
+            spines,
+            leaves,
+        })
+    }
+
+    /// The non-blocking configuration for `concentration` hosts per
+    /// leaf: `2c` leaves and `c` spines, `2c²` hosts on radix-`2c`
+    /// chips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation of [`TwoTierClos::new`].
+    pub fn non_blocking(concentration: u16) -> Result<Self, TopologyError> {
+        Self::new(
+            concentration,
+            u32::from(concentration),
+            2 * u32::from(concentration),
+        )
+    }
+
+    /// Hosts per leaf.
+    #[inline]
+    pub fn concentration(&self) -> u16 {
+        self.concentration
+    }
+
+    /// Spine switch count.
+    #[inline]
+    pub fn spines(&self) -> u32 {
+        self.spines
+    }
+
+    /// Leaf switch count.
+    #[inline]
+    pub fn leaves(&self) -> u32 {
+        self.leaves
+    }
+
+    /// Total hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.leaves as usize * self.concentration as usize
+    }
+
+    /// Total switch chips (leaves + spines).
+    pub fn num_switches(&self) -> usize {
+        (self.leaves + self.spines) as usize
+    }
+
+    /// Ports per switch (uniform by construction).
+    pub fn ports_per_switch(&self) -> u16 {
+        self.leaves as u16
+    }
+
+    /// Over-subscription ratio `c / spines` (1.0 = non-blocking).
+    pub fn oversubscription(&self) -> f64 {
+        f64::from(self.concentration) / self.spines as f64
+    }
+
+    /// Bidirectional link count by medium: host links are electrical,
+    /// leaf↔spine links optical.
+    pub fn link_count(&self, medium: Medium) -> usize {
+        match medium {
+            Medium::Electrical => self.num_hosts(),
+            Medium::Optical => self.leaves as usize * self.spines as usize,
+        }
+    }
+
+    /// Total bidirectional links.
+    pub fn total_links(&self) -> usize {
+        self.link_count(Medium::Electrical) + self.link_count(Medium::Optical)
+    }
+
+    /// Bisection bandwidth in Gb/s at the given per-channel rate
+    /// (both directions of the leaf-half cut through the spines).
+    pub fn bisection_gbps(&self, link_gbps: f64) -> f64 {
+        // Half the leaves' uplinks cross the cut in each direction.
+        f64::from(self.leaves / 2) * self.spines as f64 * link_gbps * 2.0
+    }
+
+    /// Lowers into the simulator's port-level graph.
+    pub fn build_fabric(&self) -> FabricGraph {
+        FabricGraph::from_two_tier_clos(self.leaves, self.spines, self.concentration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FabricKind, HostId, PortTarget, RoutingTopology, SwitchId};
+
+    #[test]
+    fn non_blocking_shape() {
+        let c = TwoTierClos::non_blocking(8).unwrap();
+        assert_eq!(c.num_hosts(), 128);
+        assert_eq!(c.leaves(), 16);
+        assert_eq!(c.spines(), 8);
+        assert_eq!(c.num_switches(), 24);
+        assert_eq!(c.ports_per_switch(), 16);
+        assert_eq!(c.oversubscription(), 1.0);
+        assert_eq!(c.total_links(), 128 + 128);
+        // 8 leaves' uplinks cross: 8 x 8 links x 40 x 2.
+        assert_eq!(c.bisection_gbps(40.0), 8.0 * 8.0 * 40.0 * 2.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(TwoTierClos::new(0, 8, 8).is_err());
+        assert!(TwoTierClos::new(8, 0, 8).is_err());
+        assert!(TwoTierClos::new(8, 8, 17).is_err()); // leaves != c + spines
+    }
+
+    #[test]
+    fn fabric_counts_match() {
+        let c = TwoTierClos::non_blocking(4).unwrap();
+        let g = c.build_fabric();
+        assert_eq!(g.kind(), FabricKind::TwoTierClos { leaves: 8, spines: 4 });
+        assert_eq!(g.num_hosts(), c.num_hosts());
+        assert_eq!(g.num_switches(), c.num_switches());
+        assert_eq!(g.num_links(), c.total_links());
+        assert_eq!(g.num_channels(), 2 * g.num_links());
+    }
+
+    #[test]
+    fn leaf_spine_wiring_is_symmetric() {
+        let g = TwoTierClos::non_blocking(4).unwrap().build_fabric();
+        // Leaf 3's uplink port to spine 1 must point back.
+        let leaf = SwitchId::new(3);
+        let up = crate::PortIndex::new(4 + 1);
+        let PortTarget::Switch { switch: spine, port: down } = g.port_target(leaf, up) else {
+            panic!("expected spine");
+        };
+        assert_eq!(spine, SwitchId::new(8 + 1));
+        let PortTarget::Switch { switch: back, port: back_port } = g.port_target(spine, down)
+        else {
+            panic!("expected leaf");
+        };
+        assert_eq!(back, leaf);
+        assert_eq!(back_port, up);
+    }
+
+    #[test]
+    fn routing_is_up_then_down() {
+        let g = TwoTierClos::non_blocking(4).unwrap().build_fabric();
+        let mut out = Vec::new();
+        // Host 30 lives on leaf 7; from leaf 0 every spine is a
+        // candidate.
+        let dest = HostId::new(30);
+        g.candidate_ports(SwitchId::new(0), dest, &mut out);
+        assert_eq!(out.len(), 4, "all spines are legal up-ports");
+        // From a spine there is exactly one way down.
+        g.candidate_ports(SwitchId::new(9), dest, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index(), 7);
+        // Local delivery.
+        g.candidate_ports(SwitchId::new(7), dest, &mut out);
+        assert_eq!(out, vec![g.host_port(dest)]);
+    }
+
+    #[test]
+    fn greedy_walk_reaches_every_destination() {
+        let g = TwoTierClos::non_blocking(4).unwrap().build_fabric();
+        let mut out = Vec::new();
+        for h in 0..g.num_hosts() as u32 {
+            let dest = HostId::new(h);
+            for s in 0..8u32 {
+                let mut at = SwitchId::new(s);
+                let mut hops = 0;
+                loop {
+                    g.candidate_ports(at, dest, &mut out);
+                    assert!(!out.is_empty());
+                    match g.port_target(at, out[0]) {
+                        PortTarget::Host(got) => {
+                            assert_eq!(got, dest);
+                            break;
+                        }
+                        PortTarget::Switch { switch, .. } => at = switch,
+                    }
+                    hops += 1;
+                    assert!(hops <= 2, "clos diameter is two switch hops");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn media_split() {
+        let c = TwoTierClos::non_blocking(4).unwrap();
+        let g = c.build_fabric();
+        let mut electrical = 0;
+        let mut optical = 0;
+        for l in 0..g.num_links() {
+            let (a, _) = g.link_channels(crate::LinkId::new(l as u32));
+            match g.channel_medium(a) {
+                Medium::Electrical => electrical += 1,
+                Medium::Optical => optical += 1,
+            }
+        }
+        assert_eq!(electrical, c.link_count(Medium::Electrical));
+        assert_eq!(optical, c.link_count(Medium::Optical));
+    }
+}

@@ -1,0 +1,272 @@
+//! Workload analysis: offered load, burstiness across timescales, and
+//! per-host asymmetry — the three trace properties the paper's results
+//! hinge on (§4.1, §4.2.1).
+
+use crate::LINE_RATE_GBPS;
+use epnet_sim::{Message, SimTime, TrafficSource};
+use epnet_topology::HostId;
+use serde::{Deserialize, Serialize};
+
+/// Streaming analyzer: feed it messages (or a whole source), then
+/// [`TraceAnalyzer::finish`] to get a [`TraceAnalysis`].
+#[derive(Debug)]
+pub struct TraceAnalyzer {
+    horizon: SimTime,
+    timescales: Vec<SimTime>,
+    bins: Vec<Vec<u64>>,
+    injected: Vec<u64>,
+    received: Vec<u64>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl TraceAnalyzer {
+    /// Default burstiness timescales: 10 µs (the controller's epoch),
+    /// 100 µs, and 1 ms.
+    pub fn default_timescales() -> Vec<SimTime> {
+        vec![
+            SimTime::from_us(10),
+            SimTime::from_us(100),
+            SimTime::from_ms(1),
+        ]
+    }
+
+    /// Creates an analyzer for `hosts` hosts over `[0, horizon)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is zero.
+    pub fn new(hosts: u32, horizon: SimTime) -> Self {
+        assert!(horizon > SimTime::ZERO, "horizon must be positive");
+        let timescales = Self::default_timescales();
+        let bins = timescales
+            .iter()
+            .map(|t| vec![0u64; (horizon.as_ps() / t.as_ps()).max(1) as usize])
+            .collect();
+        Self {
+            horizon,
+            timescales,
+            bins,
+            injected: vec![0; hosts as usize],
+            received: vec![0; hosts as usize],
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Records one message (those at or past the horizon are ignored).
+    pub fn observe(&mut self, m: &Message) {
+        if m.at >= self.horizon {
+            return;
+        }
+        self.messages += 1;
+        self.bytes += m.bytes;
+        self.injected[m.src.index()] += m.bytes;
+        self.received[m.dst.index()] += m.bytes;
+        for (scale, bins) in self.timescales.iter().zip(&mut self.bins) {
+            let idx = (m.at.as_ps() / scale.as_ps()) as usize;
+            if idx < bins.len() {
+                bins[idx] += m.bytes;
+            }
+        }
+    }
+
+    /// Drains `source` up to the horizon and finishes.
+    pub fn analyze<S: TrafficSource>(mut source: S, hosts: u32, horizon: SimTime) -> TraceAnalysis {
+        let mut this = Self::new(hosts, horizon);
+        while let Some(m) = source.next_message() {
+            if m.at >= horizon {
+                break;
+            }
+            this.observe(&m);
+        }
+        this.finish()
+    }
+
+    /// Produces the analysis.
+    pub fn finish(self) -> TraceAnalysis {
+        let cov = |bins: &[u64]| -> f64 {
+            let n = bins.len() as f64;
+            let mean = bins.iter().map(|&b| b as f64).sum::<f64>() / n;
+            if mean == 0.0 {
+                return 0.0;
+            }
+            let var = bins
+                .iter()
+                .map(|&b| (b as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n;
+            var.sqrt() / mean
+        };
+        let burstiness = self
+            .timescales
+            .iter()
+            .zip(&self.bins)
+            .map(|(t, b)| (*t, cov(b)))
+            .collect();
+        let hosts = self.injected.len() as f64;
+        let offered = self.bytes as f64 * 8.0
+            / self.horizon.as_secs_f64()
+            / (hosts * LINE_RATE_GBPS * 1e9);
+        TraceAnalysis {
+            messages: self.messages,
+            bytes: self.bytes,
+            horizon: self.horizon,
+            offered_load_fraction: offered,
+            burstiness,
+            injected_by_host: self.injected,
+            received_by_host: self.received,
+        }
+    }
+}
+
+/// Aggregate statistics of a message stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceAnalysis {
+    /// Messages observed before the horizon.
+    pub messages: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Analysis window.
+    pub horizon: SimTime,
+    /// Average offered load as a fraction of aggregate host line rate.
+    pub offered_load_fraction: f64,
+    /// Coefficient of variation of per-bin bytes at each timescale —
+    /// "bursty at a variety of timescales" shows up as values well
+    /// above a Poisson stream's.
+    pub burstiness: Vec<(SimTime, f64)>,
+    /// Bytes injected per source host.
+    pub injected_by_host: Vec<u64>,
+    /// Bytes received per destination host.
+    pub received_by_host: Vec<u64>,
+}
+
+impl TraceAnalysis {
+    /// Injection-to-reception ratio of one host: ≫1 for a read-mostly
+    /// file server, ≪1 for a sink (§4.2.1's channel-asymmetry driver).
+    pub fn asymmetry_ratio(&self, host: HostId) -> f64 {
+        let rx = self.received_by_host[host.index()].max(1);
+        self.injected_by_host[host.index()] as f64 / rx as f64
+    }
+
+    /// The `n` hosts injecting the most bytes, descending.
+    pub fn top_talkers(&self, n: usize) -> Vec<(HostId, u64)> {
+        let mut v: Vec<(HostId, u64)> = self
+            .injected_by_host
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (HostId::new(i as u32), b))
+            .collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
+        v.truncate(n);
+        v
+    }
+
+    /// Fraction of hosts whose injected-vs-received traffic differs by
+    /// at least `factor` in either direction — how much of the fleet
+    /// would benefit from independent channel control.
+    pub fn asymmetric_host_fraction(&self, factor: f64) -> f64 {
+        let hosts = self.injected_by_host.len();
+        if hosts == 0 {
+            return 0.0;
+        }
+        let skewed = (0..hosts)
+            .filter(|&i| {
+                let r = self.asymmetry_ratio(HostId::new(i as u32));
+                r >= factor || r <= 1.0 / factor
+            })
+            .count();
+        skewed as f64 / hosts as f64
+    }
+
+    /// Burstiness at the timescale closest to `t`.
+    pub fn burstiness_at(&self, t: SimTime) -> f64 {
+        self.burstiness
+            .iter()
+            .min_by_key(|(scale, _)| scale.as_ps().abs_diff(t.as_ps()))
+            .map(|&(_, cov)| cov)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServiceTrace, ServiceTraceConfig, UniformRandom};
+
+    #[test]
+    fn offered_load_matches_generator_target() {
+        let horizon = SimTime::from_ms(50);
+        let w = UniformRandom::builder(64).offered_load(0.25).seed(3).build();
+        let a = TraceAnalyzer::analyze(w, 64, horizon);
+        assert!(
+            (a.offered_load_fraction - 0.25).abs() < 0.05,
+            "got {}",
+            a.offered_load_fraction
+        );
+        assert!(a.messages > 0);
+        assert_eq!(a.bytes, a.messages * 512 * 1024);
+    }
+
+    #[test]
+    fn service_trace_shows_storage_asymmetry() {
+        let horizon = SimTime::from_ms(60);
+        let trace = ServiceTrace::builder(64, ServiceTraceConfig::search_like())
+            .seed(7)
+            .build();
+        let servers: Vec<HostId> = trace.servers().to_vec();
+        let a = TraceAnalyzer::analyze(trace, 64, horizon);
+        // Read-heavy servers inject more than they receive.
+        let mean_server_ratio: f64 = servers
+            .iter()
+            .map(|&s| a.asymmetry_ratio(s))
+            .sum::<f64>()
+            / servers.len() as f64;
+        assert!(mean_server_ratio > 1.5, "ratio {mean_server_ratio}");
+        // And a visible slice of the fleet is skewed 2x either way.
+        assert!(a.asymmetric_host_fraction(2.0) > 0.1);
+        // Storage servers dominate the top talkers.
+        let top = a.top_talkers(4);
+        let server_set: std::collections::HashSet<HostId> = servers.into_iter().collect();
+        let hits = top.iter().filter(|(h, _)| server_set.contains(h)).count();
+        assert!(hits >= 2, "top talkers {top:?}");
+    }
+
+    #[test]
+    fn burstiness_decreases_with_timescale_for_service_traces() {
+        let horizon = SimTime::from_ms(80);
+        let trace = ServiceTrace::builder(64, ServiceTraceConfig::advert_like())
+            .seed(9)
+            .build();
+        let a = TraceAnalyzer::analyze(trace, 64, horizon);
+        let fine = a.burstiness_at(SimTime::from_us(10));
+        let coarse = a.burstiness_at(SimTime::from_ms(1));
+        assert!(fine > coarse, "fine {fine:.2} vs coarse {coarse:.2}");
+        assert!(fine > 1.0, "10 us bins must look bursty, got {fine:.2}");
+        assert!(coarse > 0.2, "1 ms bins still bursty, got {coarse:.2}");
+    }
+
+    #[test]
+    fn horizon_cuts_off_observation() {
+        let mut an = TraceAnalyzer::new(4, SimTime::from_us(100));
+        let m = |at_us: u64| Message {
+            at: SimTime::from_us(at_us),
+            src: HostId::new(0),
+            dst: HostId::new(1),
+            bytes: 100,
+        };
+        an.observe(&m(50));
+        an.observe(&m(150)); // ignored
+        let a = an.finish();
+        assert_eq!(a.messages, 1);
+        assert_eq!(a.bytes, 100);
+        assert_eq!(a.injected_by_host[0], 100);
+        assert_eq!(a.received_by_host[1], 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        let _ = TraceAnalyzer::new(4, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,60 @@
+//! Workload generators for energy-proportional datacenter network
+//! studies (Abts et&nbsp;al., ISCA 2010, §4.1).
+//!
+//! The paper evaluates with three workloads:
+//!
+//! * **Uniform** — "a uniform random workload, where each host repeatedly
+//!   sends a 512k message to a new random destination" →
+//!   [`UniformRandom`].
+//! * **Advert** and **Search** — traces from production Google
+//!   advertising and web-search services, scaled up, with placement
+//!   randomized across the cluster. The traces themselves are not
+//!   public, so this crate provides [`ServiceTrace`], a synthetic
+//!   generator calibrated to the published trace *properties*: low
+//!   average utilization (5% Advert, 6% Search), burstiness "at a
+//!   variety of timescales", and the distributed-file-system
+//!   read/write asymmetry that drives §3.3.1's independent channel
+//!   tuning (see DESIGN.md for the substitution rationale).
+//!
+//! All generators are deterministic given a seed, produce messages
+//! lazily in time order, and implement
+//! [`TrafficSource`](epnet_sim::TrafficSource).
+//!
+//! # Example
+//!
+//! ```
+//! use epnet_sim::TrafficSource;
+//! use epnet_workloads::UniformRandom;
+//!
+//! let mut workload = UniformRandom::builder(64)
+//!     .offered_load(0.25)
+//!     .seed(7)
+//!     .build();
+//! let first = workload.next_message().expect("generator is infinite");
+//! assert_eq!(first.bytes, 512 * 1024);
+//! assert_ne!(first.src, first.dst);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod analysis;
+mod patterns;
+mod scheduler;
+mod service;
+mod trace_io;
+mod uniform;
+
+pub use analysis::{TraceAnalysis, TraceAnalyzer};
+pub use patterns::{Incast, Permutation};
+pub use service::{ServiceTrace, ServiceTraceBuilder, ServiceTraceConfig};
+pub use trace_io::{read_trace, record_trace, write_trace, TraceError};
+pub use uniform::{UniformRandom, UniformRandomBuilder};
+
+/// Full-speed line rate of a host channel, Gb/s (the paper's 40 Gb/s).
+pub const LINE_RATE_GBPS: f64 = 40.0;
+
+/// Converts a fraction of host line rate into bytes per second.
+pub(crate) fn load_to_bytes_per_sec(load: f64) -> f64 {
+    load * LINE_RATE_GBPS * 1e9 / 8.0
+}

@@ -1,0 +1,258 @@
+//! Structured traffic patterns: fixed permutations, incast, and
+//! hotspots.
+//!
+//! These are the classic stress patterns of the interconnection-network
+//! literature (the paper's §2.1 notes the flattened butterfly needs
+//! "adaptive routing to load balance arbitrary traffic patterns" — a
+//! fixed permutation is exactly the arbitrary pattern that punishes
+//! minimal routing, and incast is the datacenter storage pathology).
+
+use crate::load_to_bytes_per_sec;
+use crate::scheduler::exp_ps;
+use epnet_sim::{Message, SimTime, TrafficSource};
+use epnet_topology::HostId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Traffic following a fixed permutation: host `i` only ever sends to
+/// `perm(i)`.
+#[derive(Debug)]
+pub struct Permutation {
+    dest: Vec<HostId>,
+    message_bytes: u64,
+    gap: SimTime,
+    next: Vec<SimTime>,
+    horizon: Option<SimTime>,
+    cursor: usize,
+}
+
+impl Permutation {
+    /// A shift permutation: `i → (i + shift) mod hosts`, offered at
+    /// `load` of line rate with fixed message cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hosts ≥ 2`, `0 < load ≤ 1`, and
+    /// `shift % hosts != 0`.
+    pub fn shift(hosts: u32, shift: u32, message_bytes: u64, load: f64) -> Self {
+        assert!(hosts >= 2, "need at least two hosts");
+        assert!(shift % hosts != 0, "shift must move every host");
+        let dest = (0..hosts).map(|i| HostId::new((i + shift) % hosts)).collect();
+        Self::from_destinations(dest, message_bytes, load)
+    }
+
+    /// A random permutation drawn from `seed` (guaranteed derangement-
+    /// free only in the sense that self-sends are repaired).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hosts ≥ 2` and `0 < load ≤ 1`.
+    pub fn random(hosts: u32, seed: u64, message_bytes: u64, load: f64) -> Self {
+        assert!(hosts >= 2, "need at least two hosts");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut ids: Vec<u32> = (0..hosts).collect();
+        ids.shuffle(&mut rng);
+        // Repair self-sends by rotating them with a neighbour.
+        for i in 0..hosts as usize {
+            if ids[i] == i as u32 {
+                let j = (i + 1) % hosts as usize;
+                ids.swap(i, j);
+            }
+        }
+        let dest = ids.into_iter().map(HostId::new).collect();
+        Self::from_destinations(dest, message_bytes, load)
+    }
+
+    fn from_destinations(dest: Vec<HostId>, message_bytes: u64, load: f64) -> Self {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+        let gap_ps = message_bytes as f64 / load_to_bytes_per_sec(load) * 1e12;
+        let hosts = dest.len();
+        Self {
+            dest,
+            message_bytes,
+            gap: SimTime::from_ps(gap_ps.round().max(1.0) as u64),
+            next: vec![SimTime::from_us(1); hosts],
+            horizon: None,
+            cursor: 0,
+        }
+    }
+
+    /// Stop generating after this time.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// The destination of a host under this permutation.
+    pub fn destination(&self, src: HostId) -> HostId {
+        self.dest[src.index()]
+    }
+}
+
+impl TrafficSource for Permutation {
+    fn next_message(&mut self) -> Option<Message> {
+        // Hosts emit in lockstep at a fixed cadence: walk the host list
+        // round-robin, advancing the round when the cursor wraps.
+        let hosts = self.dest.len();
+        let src = self.cursor;
+        let at = self.next[src];
+        if let Some(h) = self.horizon {
+            if at > h {
+                return None;
+            }
+        }
+        self.next[src] = at + self.gap;
+        self.cursor = (self.cursor + 1) % hosts;
+        Some(Message {
+            at,
+            src: HostId::new(src as u32),
+            dst: self.dest[src],
+            bytes: self.message_bytes,
+        })
+    }
+}
+
+/// Synchronized incast: every `period`, all `sources` send `bytes` to
+/// the single `sink` at once — the storage-fan-in pathology.
+#[derive(Debug)]
+pub struct Incast {
+    sources: Vec<HostId>,
+    sink: HostId,
+    bytes: u64,
+    period: SimTime,
+    jitter_ps: f64,
+    rng: SmallRng,
+    round_start: SimTime,
+    emitted_in_round: usize,
+    last_at: SimTime,
+    horizon: Option<SimTime>,
+}
+
+impl Incast {
+    /// Builds an incast of `fan_in` sources (hosts `sink+1 ..`) into
+    /// `sink`, repeating every `period` with a little per-source jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fan_in ≥ 1` and all hosts fit in `hosts`.
+    pub fn new(hosts: u32, sink: HostId, fan_in: u32, bytes: u64, period: SimTime) -> Self {
+        assert!(fan_in >= 1, "need at least one source");
+        assert!(
+            u64::from(sink.raw()) + u64::from(fan_in) < u64::from(hosts),
+            "fan-in exceeds host count"
+        );
+        let sources = (1..=fan_in).map(|i| HostId::new(sink.raw() + i)).collect();
+        Self {
+            sources,
+            sink,
+            bytes,
+            period,
+            jitter_ps: period.as_ps() as f64 * 0.01,
+            rng: SmallRng::seed_from_u64(0x1CA57 ^ u64::from(sink.raw())),
+            round_start: SimTime::from_us(1),
+            emitted_in_round: 0,
+            last_at: SimTime::ZERO,
+            horizon: None,
+        }
+    }
+
+    /// Stop generating after this time.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+}
+
+impl TrafficSource for Incast {
+    fn next_message(&mut self) -> Option<Message> {
+        if self.emitted_in_round == self.sources.len() {
+            self.round_start += self.period;
+            self.emitted_in_round = 0;
+        }
+        let jittered = self.round_start
+            + SimTime::from_ps(exp_ps(&mut self.rng, self.jitter_ps.max(1.0)));
+        // Keep the stream monotone even though jitter is random.
+        let at = jittered.max(self.last_at);
+        self.last_at = at;
+        if let Some(h) = self.horizon {
+            if at > h {
+                return None;
+            }
+        }
+        let src = self.sources[self.emitted_in_round];
+        self.emitted_in_round += 1;
+        Some(Message {
+            at,
+            src,
+            dst: self.sink,
+            bytes: self.bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_permutation_is_fixed() {
+        let mut p = Permutation::shift(8, 3, 4096, 0.5).with_horizon(SimTime::from_ms(1));
+        let mut seen = std::collections::HashMap::new();
+        while let Some(m) = p.next_message() {
+            let prev = seen.insert(m.src, m.dst);
+            if let Some(prev) = prev {
+                assert_eq!(prev, m.dst, "destination must never change");
+            }
+            assert_eq!(m.dst.raw(), (m.src.raw() + 3) % 8);
+        }
+        assert_eq!(seen.len(), 8, "every host sends");
+    }
+
+    #[test]
+    fn random_permutation_has_no_self_sends_and_is_a_bijection() {
+        for seed in 0..20u64 {
+            let p = Permutation::random(16, seed, 4096, 0.5);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..16u32 {
+                let d = p.destination(HostId::new(i));
+                assert_ne!(d.raw(), i, "seed {seed}");
+                assert!(seen.insert(d), "duplicate destination, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_load_is_calibrated() {
+        let mut p = Permutation::shift(4, 1, 64 * 1024, 0.25).with_horizon(SimTime::from_ms(20));
+        let bytes: u64 = std::iter::from_fn(|| p.next_message()).map(|m| m.bytes).sum();
+        let load = bytes as f64 * 8.0 / 0.02 / (4.0 * 40e9);
+        assert!((load - 0.25).abs() < 0.03, "load {load}");
+    }
+
+    #[test]
+    fn messages_are_time_ordered() {
+        let mut p = Permutation::random(8, 1, 4096, 0.3).with_horizon(SimTime::from_ms(2));
+        let msgs: Vec<Message> = std::iter::from_fn(|| p.next_message()).collect();
+        assert!(msgs.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn incast_converges_on_the_sink() {
+        let mut inc = Incast::new(64, HostId::new(5), 8, 128 * 1024, SimTime::from_us(500))
+            .with_horizon(SimTime::from_ms(3));
+        let msgs: Vec<Message> = std::iter::from_fn(|| inc.next_message()).collect();
+        assert!(!msgs.is_empty());
+        assert!(msgs.iter().all(|m| m.dst == HostId::new(5)));
+        assert!(msgs.iter().all(|m| m.src != m.dst));
+        // ~6 rounds of 8 sources.
+        assert!(msgs.len() >= 40, "got {}", msgs.len());
+        assert!(msgs.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in")]
+    fn incast_bounds_checked() {
+        let _ = Incast::new(8, HostId::new(5), 8, 1024, SimTime::from_us(100));
+    }
+}

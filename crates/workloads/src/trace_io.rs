@@ -1,0 +1,201 @@
+//! Trace record / replay in a newline-delimited JSON format.
+//!
+//! Recording a generator's output lets an experiment be re-run bit-for-bit
+//! (or inspected offline) without re-seeding the generator — the same
+//! role the paper's captured production traces played.
+
+use epnet_sim::{Message, ReplaySource, TrafficSource};
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A line failed to parse, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        source: serde_json::Error,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace i/o failed: {e}"),
+            Self::Parse { line, source } => {
+                write!(f, "trace parse failed at line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Drains `source` up to `limit` messages and writes them as JSON lines.
+///
+/// Returns the number of messages written.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on filesystem failure.
+pub fn record_trace<S: TrafficSource>(
+    path: &Path,
+    mut source: S,
+    limit: usize,
+) -> Result<usize, TraceError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let mut n = 0;
+    while n < limit {
+        let Some(m) = source.next_message() else {
+            break;
+        };
+        serde_json::to_writer(&mut out, &m).map_err(|e| TraceError::Io(e.into()))?;
+        out.write_all(b"\n")?;
+        n += 1;
+    }
+    out.flush()?;
+    Ok(n)
+}
+
+/// Writes an in-memory message list as JSON lines.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on filesystem failure.
+pub fn write_trace(path: &Path, messages: &[Message]) -> Result<(), TraceError> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for m in messages {
+        serde_json::to_writer(&mut out, m).map_err(|e| TraceError::Io(e.into()))?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a JSON-lines trace back into a [`ReplaySource`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on filesystem failure and
+/// [`TraceError::Parse`] on malformed lines.
+pub fn read_trace(path: &Path) -> Result<ReplaySource, TraceError> {
+    let input = BufReader::new(File::open(path)?);
+    let mut messages = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let m: Message =
+            serde_json::from_str(&line).map_err(|source| TraceError::Parse { line: i + 1, source })?;
+        messages.push(m);
+    }
+    Ok(ReplaySource::new(messages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformRandom;
+    use epnet_sim::SimTime;
+    use epnet_topology::HostId;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("epnet-trace-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_messages() {
+        let path = tmp("roundtrip.jsonl");
+        let msgs = vec![
+            Message {
+                at: SimTime::from_us(3),
+                src: HostId::new(1),
+                dst: HostId::new(2),
+                bytes: 1000,
+            },
+            Message {
+                at: SimTime::from_us(7),
+                src: HostId::new(2),
+                dst: HostId::new(0),
+                bytes: 2000,
+            },
+        ];
+        write_trace(&path, &msgs).unwrap();
+        let mut replay = read_trace(&path).unwrap();
+        let got: Vec<Message> = std::iter::from_fn(|| replay.next_message()).collect();
+        assert_eq!(got, msgs);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_caps_at_limit() {
+        let path = tmp("capped.jsonl");
+        let w = UniformRandom::builder(8).seed(1).build();
+        let n = record_trace(&path, w, 100).unwrap();
+        assert_eq!(n, 100);
+        let mut replay = read_trace(&path).unwrap();
+        let got: Vec<Message> = std::iter::from_fn(|| replay.next_message()).collect();
+        assert_eq!(got.len(), 100);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let path = tmp("bad.jsonl");
+        std::fs::write(&path, "{\"not\": \"a message\"}\n").unwrap();
+        match read_trace(&path) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match read_trace(Path::new("/definitely/not/here.jsonl")) {
+            Err(TraceError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = tmp("blank.jsonl");
+        let m = Message {
+            at: SimTime::from_us(1),
+            src: HostId::new(0),
+            dst: HostId::new(1),
+            bytes: 10,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        std::fs::write(&path, format!("\n{json}\n\n")).unwrap();
+        let mut replay = read_trace(&path).unwrap();
+        assert_eq!(replay.next_message(), Some(m));
+        assert_eq!(replay.next_message(), None);
+        std::fs::remove_file(&path).ok();
+    }
+}

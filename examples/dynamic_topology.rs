@@ -1,0 +1,93 @@
+//! Dynamic topologies (paper §5.2): power entire links off to morph the
+//! flattened butterfly into a torus or mesh under low load, then
+//! re-enable them as demand grows.
+//!
+//! The example runs the same low-utilization workload twice — once with
+//! plain link-rate tuning, once with dynamic topology on top. A fifth of
+//! the fabric's channel-time ends up fully powered off, yet total power
+//! barely moves: rerouted traffic takes longer mesh paths, and a parked
+//! 2.5 Gb/s link was already cheap. This reproduces the paper's own
+//! reasoning for not chasing power-off ("very little additional power
+//! savings in shutting off a link entirely", §5.2) — the win would come
+//! from future chips whose idle state is far below the slowest active
+//! mode.
+//!
+//! ```text
+//! cargo run --release -p epnet-examples --bin dynamic_topology
+//! ```
+
+use epnet::prelude::*;
+use epnet::workloads::ServiceTrace;
+
+fn source(scale: EvalScale) -> Box<dyn TrafficSource> {
+    // A very low-load advert-like service: prime territory for powering
+    // off wraparound and chord links.
+    Box::new(
+        ServiceTrace::builder(scale.hosts() as u32, {
+            let mut c = ServiceTraceConfig::advert_like();
+            c.target_utilization = 0.02;
+            c
+        })
+        .seed(scale.seed)
+        .horizon(scale.duration)
+        .build(),
+    )
+}
+
+fn main() {
+    let mut scale = EvalScale::tiny();
+    scale.duration = SimTime::from_ms(4);
+    let fabric = scale.fabric();
+    println!(
+        "fabric: {} hosts, {} bidirectional links",
+        fabric.num_hosts(),
+        fabric.num_links()
+    );
+
+    // Run 1: the paper's link-rate tuning only.
+    let rate_only = Simulator::new(fabric.clone(), SimConfig::default(), source(scale))
+        .run_until(scale.duration);
+
+    // Run 2: rate tuning + dynamic topology (power-off state).
+    let mut sim = Simulator::new(fabric.clone(), SimConfig::default(), source(scale));
+    sim.enable_dynamic_topology(DynamicTopology::new(
+        &fabric,
+        DynamicTopologyConfig::default(),
+    ));
+    let dynamic = sim.run_until(scale.duration);
+
+    println!("\n                          rate-tuning    +dynamic topology");
+    println!(
+        "power vs baseline (ideal)    {:>6.1}%            {:>6.1}%",
+        rate_only.relative_power(&LinkPowerProfile::Ideal) * 100.0,
+        dynamic.relative_power(&LinkPowerProfile::Ideal) * 100.0
+    );
+    println!(
+        "power vs baseline (measured) {:>6.1}%            {:>6.1}%",
+        rate_only.relative_power(&LinkPowerProfile::Measured) * 100.0,
+        dynamic.relative_power(&LinkPowerProfile::Measured) * 100.0
+    );
+    println!(
+        "channel-time powered off     {:>6.1}%            {:>6.1}%",
+        rate_only.residency.off_fraction() * 100.0,
+        dynamic.residency.off_fraction() * 100.0
+    );
+    println!(
+        "mean packet latency          {:>8}          {:>8}",
+        rate_only.mean_packet_latency, dynamic.mean_packet_latency
+    );
+
+    // The static subtopologies the controller is moving between:
+    let mesh = LinkMask::subtopology(&fabric, SubtopologyKind::Mesh);
+    let torus = LinkMask::subtopology(&fabric, SubtopologyKind::Torus);
+    println!(
+        "\nstatic reference points: mesh keeps {}/{} links, torus {}/{}",
+        mesh.enabled_links(),
+        fabric.num_links(),
+        torus.enabled_links(),
+        fabric.num_links()
+    );
+    println!(
+        "(\"we can disable links in the flattened butterfly topology to make it\n appear as a multidimensional mesh\" — §5.2)"
+    );
+}

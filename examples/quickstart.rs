@@ -1,0 +1,59 @@
+//! Quickstart: build an energy-proportional flattened-butterfly fabric,
+//! drive it with a search-like workload, and compare its power and
+//! latency against the always-on baseline.
+//!
+//! ```text
+//! cargo run --release -p epnet-examples --bin quickstart
+//! ```
+
+use epnet::prelude::*;
+
+fn main() {
+    // 1. A fabric: 64 hosts in a 4-ary 3-flat flattened butterfly
+    //    (16 switches, fully connected in each of 2 dimensions).
+    let scale = EvalScale::tiny();
+    let topo = scale.topology();
+    println!(
+        "fabric: {} hosts on {} switches, {} ports each",
+        topo.num_hosts(),
+        topo.num_switches(),
+        topo.ports_per_switch()
+    );
+
+    // 2. A workload: the paper's web-search-like trace (~6% average
+    //    utilization, bursty at many timescales).
+    // 3. The paper's controller: every 10 us, each link's utilization is
+    //    compared against a 50% target; the link rate halves or doubles
+    //    (40 <-> 2.5 Gb/s ladder), paying 1 us of reactivation per change.
+    let outcome = Experiment::new(scale, WorkloadKind::Search).run();
+
+    let report = &outcome.report;
+    println!(
+        "delivered {:.1} MB in {} ({} packets)",
+        report.delivered_bytes as f64 / 1e6,
+        report.duration,
+        report.packets_delivered
+    );
+    println!(
+        "average channel utilization (ideal EP power): {:.1}%",
+        outcome.ideal_power_floor() * 100.0
+    );
+    println!(
+        "network power vs baseline: {:.1}% (measured channels), {:.1}% (ideal channels)",
+        report.relative_power(&LinkPowerProfile::Measured) * 100.0,
+        report.relative_power(&LinkPowerProfile::Ideal) * 100.0
+    );
+    println!(
+        "latency cost: +{} mean packet latency ({} -> {})",
+        outcome.added_latency(),
+        outcome.baseline.mean_packet_latency,
+        report.mean_packet_latency
+    );
+    println!("link-rate reconfigurations: {}", report.reconfigurations);
+
+    let fr = report.time_at_speed_fractions();
+    println!("time at each link speed:");
+    for rate in RATE_LADDER {
+        println!("  {:>9}: {:>5.1}%", rate.to_string(), fr[rate.index()] * 100.0);
+    }
+}

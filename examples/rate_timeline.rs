@@ -1,0 +1,42 @@
+//! Watch energy proportionality happen: record every rate change of the
+//! first links of a fabric under a bursty search-like workload and
+//! render them as an SVG timeline (darker = faster, grey = off).
+//!
+//! ```text
+//! cargo run --release -p epnet-examples --bin rate_timeline [OUT.svg]
+//! ```
+
+use epnet::prelude::*;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "rate_timeline.svg".to_owned());
+    let scale = EvalScale::tiny();
+    let fabric = scale.fabric();
+
+    let mut cfg = SimConfig::builder();
+    cfg.timeline_channels(24); // record the first 24 channels
+    let source = ServiceTrace::builder(scale.hosts() as u32, ServiceTraceConfig::search_like())
+        .seed(scale.seed)
+        .horizon(scale.duration)
+        .build();
+    let report =
+        Simulator::new(fabric, cfg.build(), source).run_until(scale.duration);
+
+    println!(
+        "{} rate changes across {} recorded channels in {}",
+        report.timeline.len(),
+        24,
+        report.duration
+    );
+    println!(
+        "network power: {:.1}% of baseline (ideal channels)",
+        report.relative_power(&LinkPowerProfile::Ideal) * 100.0
+    );
+    let svg = epnet_report::render_timeline(&report.timeline, report.duration);
+    match std::fs::write(&out, svg) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("failed to write {out}: {e}"),
+    }
+}

@@ -1,0 +1,75 @@
+//! A web-search cluster study: how much network power does
+//! energy-proportional link tuning save, and what does independent
+//! channel control add on top?
+//!
+//! Reproduces the Search column of the paper's Figure 8 at a reduced
+//! scale, and prints the four-year dollar savings when the result is
+//! extrapolated to the paper's 32k-host network (§4.2.2).
+//!
+//! ```text
+//! cargo run --release -p epnet-examples --bin search_cluster [--quick]
+//! ```
+
+use epnet::prelude::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { EvalScale::tiny() } else { EvalScale::quick() };
+    println!(
+        "simulating a {}-host search cluster for {} per run...",
+        scale.hosts(),
+        scale.duration
+    );
+
+    let experiment = Experiment::new(scale, WorkloadKind::Search);
+    let baseline = experiment.run_baseline();
+
+    let mut paired_cfg = SimConfig::builder();
+    paired_cfg.control(ControlMode::PairedLink);
+    let paired = experiment
+        .clone()
+        .with_config(paired_cfg.build())
+        .run_ep();
+
+    let mut indep_cfg = SimConfig::builder();
+    indep_cfg.control(ControlMode::IndependentChannel);
+    let independent = experiment.with_config(indep_cfg.build()).run_ep();
+
+    println!("\n                         paired     independent");
+    for (label, profile) in [
+        ("measured channels ", LinkPowerProfile::Measured),
+        ("ideal channels    ", LinkPowerProfile::Ideal),
+    ] {
+        println!(
+            "power vs baseline, {label} {:>6.1}%        {:>6.1}%",
+            paired.relative_power(&profile) * 100.0,
+            independent.relative_power(&profile) * 100.0
+        );
+    }
+    println!(
+        "added mean latency          {:>8}      {:>8}",
+        paired.added_latency_vs(&baseline),
+        independent.added_latency_vs(&baseline)
+    );
+    println!(
+        "ideal floor (avg utilization): {:.1}%",
+        baseline.avg_channel_utilization * 100.0
+    );
+
+    // Extrapolate to the paper's full-scale network: the 32k-host FBFLY
+    // draws 737,280 W always-on; scale it by the measured relative power.
+    let table1 = TopologyPowerComparison::paper_table1();
+    let cost = EnergyCostModel::paper_default();
+    let best = independent.relative_power(&LinkPowerProfile::Ideal);
+    let full_watts = table1.fbfly.total_power_watts;
+    println!(
+        "\nextrapolated to the 32k-host network of Table 1:\n  {:.0} W -> {:.0} W ({:.1}x reduction)",
+        full_watts,
+        full_watts * best,
+        1.0 / best
+    );
+    println!(
+        "  four-year savings: ${:.2}M (paper reports $2.4M for its 6x reduction)",
+        cost.lifetime_savings_dollars(full_watts, full_watts * best) / 1e6
+    );
+}

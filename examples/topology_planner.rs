@@ -1,0 +1,91 @@
+//! A datacenter-network planning tool built on the analytical models of
+//! §2: given a target host count, enumerate flattened-butterfly
+//! configurations, compare each against a folded-Clos of the same size,
+//! and report part counts, power, and four-year energy cost.
+//!
+//! ```text
+//! cargo run --release -p epnet-examples --bin topology_planner [HOSTS]
+//! ```
+
+use epnet::prelude::*;
+use epnet::power::TopologyPowerRow;
+use epnet::topology::ChassisSpec;
+
+fn main() {
+    let hosts: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32_768);
+    let model = SwitchPowerModel::paper_default();
+    let cost = EnergyCostModel::paper_default();
+    let max_ports = model.ports(); // 36-port chips, as in the paper
+
+    println!("planning a {hosts}-host network from {max_ports}-port, 100 W switch chips\n");
+
+    // Enumerate (c, k, n) flattened butterflies that reach the target
+    // host count without over-subscription (c <= k) and fit the radix.
+    let mut candidates: Vec<(FlattenedButterfly, TopologyPowerRow)> = Vec::new();
+    for n in 2..=5usize {
+        for k in 2..=max_ports {
+            let c = k; // full bisection: one host per dimension peer
+            let Ok(f) = FlattenedButterfly::new(c, k, n) else {
+                continue;
+            };
+            if f.ports_per_switch() > max_ports || (f.num_hosts() as u64) < hosts {
+                continue;
+            }
+            let row = TopologyPowerRow::from_fbfly(&f, &model, 40.0);
+            candidates.push((f, row));
+        }
+    }
+    candidates.sort_by(|a, b| a.1.total_power_watts.total_cmp(&b.1.total_power_watts));
+
+    println!(
+        "{:<22} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "FBFLY config", "hosts", "chips", "power (W)", "W/(Gb/s)", "4yr cost"
+    );
+    for (f, row) in candidates.iter().take(5) {
+        println!(
+            "{:<22} {:>8} {:>8.0} {:>10.0} {:>12.3} {:>11.2}M",
+            format!("({}, {}, {})", f.concentration(), f.radix(), f.flat_n()),
+            row.hosts,
+            row.switch_chips,
+            row.total_power_watts,
+            row.watts_per_gbps(),
+            cost.lifetime_cost_dollars(row.total_power_watts) / 1e6
+        );
+    }
+
+    let Some((best_fbfly, best_row)) = candidates.first() else {
+        println!("no flattened butterfly fits {hosts} hosts on {max_ports}-port chips");
+        return;
+    };
+
+    // The folded-Clos alternative at the same host count.
+    let clos = FoldedClos::new(best_fbfly.num_hosts() as u64, ChassisSpec::paper_324_port())
+        .expect("host count is positive");
+    let comparison = TopologyPowerComparison::new(&clos, best_fbfly, &model, 40.0);
+    println!("\nbest flattened butterfly vs folded-Clos at equal size:\n");
+    print!("{}", comparison.to_table());
+    println!(
+        "\nchoosing the flattened butterfly saves {:.0} W = ${:.2}M over four years",
+        comparison.savings_watts(),
+        cost.lifetime_cost_dollars(comparison.savings_watts()) / 1e6
+    );
+    let fe = best_fbfly.electrical_link_fraction();
+    println!(
+        "{:.0}% of its links enjoy packaging locality (cheap electrical cabling)",
+        fe * 100.0
+    );
+
+    // Capital expenditure side: "it uses fewer optical transceivers and
+    // fewer switching chips than a comparable folded-Clos" (§2.1).
+    let fbfly_bom = BillOfMaterials::for_fbfly(best_fbfly);
+    let clos_bom = BillOfMaterials::for_clos(&clos);
+    let saved = fbfly_bom.savings_vs(&clos_bom);
+    println!(
+        "capex parts saved vs Clos: {} switch chips, {} optical transceivers, {} optical cables",
+        saved.switch_chips, saved.optical_transceivers, saved.optical_cables
+    );
+    let _ = best_row;
+}

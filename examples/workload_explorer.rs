@@ -1,0 +1,84 @@
+//! Inspect the synthetic workloads standing in for the paper's
+//! production traces: offered load, burstiness across timescales, and
+//! the storage read/write asymmetry that motivates independent channel
+//! control (§3.3.1, §4.2.1).
+//!
+//! ```text
+//! cargo run --release -p epnet-examples --bin workload_explorer [HOSTS]
+//! ```
+
+use epnet::prelude::*;
+
+fn analyze(name: &str, hosts: u32, horizon: SimTime, source: Box<dyn TrafficSource>) {
+    let a = TraceAnalyzer::analyze(source, hosts, horizon);
+    println!("\n== {name} ({hosts} hosts over {horizon}) ==");
+    println!(
+        "messages: {}   bytes: {:.1} MB   offered load: {:.1}% of line rate",
+        a.messages,
+        a.bytes as f64 / 1e6,
+        a.offered_load_fraction * 100.0
+    );
+    println!("burstiness (coefficient of variation of per-bin bytes):");
+    for (scale, cov) in &a.burstiness {
+        println!("  {scale:>10}: {cov:>5.2}");
+    }
+    println!(
+        "hosts with >=2x injected/received skew: {:.0}%",
+        a.asymmetric_host_fraction(2.0) * 100.0
+    );
+    print!("top talkers:");
+    for (host, bytes) in a.top_talkers(4) {
+        print!(
+            "  {host} ({:.1} MB, {:.1}x out/in)",
+            bytes as f64 / 1e6,
+            a.asymmetry_ratio(host)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let hosts: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let horizon = SimTime::from_ms(50);
+
+    analyze(
+        "Uniform (512 KiB to random destinations)",
+        hosts,
+        horizon,
+        Box::new(
+            UniformRandom::builder(hosts)
+                .offered_load(0.23)
+                .horizon(horizon)
+                .build(),
+        ),
+    );
+    analyze(
+        "Search-like service trace",
+        hosts,
+        horizon,
+        Box::new(
+            ServiceTrace::builder(hosts, ServiceTraceConfig::search_like())
+                .horizon(horizon)
+                .build(),
+        ),
+    );
+    analyze(
+        "Advert-like service trace",
+        hosts,
+        horizon,
+        Box::new(
+            ServiceTrace::builder(hosts, ServiceTraceConfig::advert_like())
+                .horizon(horizon)
+                .build(),
+        ),
+    );
+
+    println!(
+        "\nThe service traces average 5-6% load yet stay bursty at every\n\
+         timescale, and their storage servers inject far more than they\n\
+         receive - exactly the trace properties the paper reports (§4.1)."
+    );
+}

@@ -1,0 +1,37 @@
+//! Integration-test package for the epnet workspace.
+//!
+//! The tests live in `tests/tests/`; this library only hosts shared
+//! helpers.
+
+#![forbid(unsafe_code)]
+
+use epnet::prelude::*;
+
+/// A small fabric + search workload experiment used across the
+/// integration suites.
+pub fn tiny_search() -> Experiment {
+    Experiment::new(EvalScale::tiny(), WorkloadKind::Search)
+}
+
+/// Builds a deterministic all-pairs message list for conservation
+/// checks.
+pub fn round_robin_messages(
+    hosts: u32,
+    rounds: u64,
+    gap_us: u64,
+    bytes: u64,
+) -> Vec<Message> {
+    let mut v = Vec::new();
+    for r in 0..rounds {
+        for h in 0..hosts {
+            let dst = (h + 1 + (r as u32 % (hosts - 1))) % hosts;
+            v.push(Message {
+                at: SimTime::from_us(1 + r * gap_us),
+                src: HostId::new(h),
+                dst: HostId::new(dst),
+                bytes,
+            });
+        }
+    }
+    v
+}

@@ -1,0 +1,96 @@
+//! Over-subscribed flattened butterflies (§2.1.1): "over-subscription
+//! can easily be achieved, if desired, by changing the concentration".
+
+use epnet::prelude::*;
+use epnet_integration::round_robin_messages;
+
+/// A 2:1 over-subscribed butterfly: c = 8 on a 4-ary 3-flat.
+fn oversubscribed() -> FlattenedButterfly {
+    FlattenedButterfly::new(8, 4, 3).unwrap()
+}
+
+#[test]
+fn oversubscription_reduces_cost_per_host() {
+    let over = oversubscribed();
+    let full = FlattenedButterfly::new(4, 4, 3).unwrap();
+    assert_eq!(over.oversubscription(), 2.0);
+    assert_eq!(full.oversubscription(), 1.0);
+    // Twice the hosts on the same switch count.
+    assert_eq!(over.num_switches(), full.num_switches());
+    assert_eq!(over.num_hosts(), 2 * full.num_hosts());
+    let model = SwitchPowerModel::paper_default();
+    let over_w = model.network_watts(over.num_switches() as f64, over.num_hosts() as u64);
+    let full_w = model.network_watts(full.num_switches() as f64, full.num_hosts() as u64);
+    let per_host_over = over_w / over.num_hosts() as f64;
+    let per_host_full = full_w / full.num_hosts() as f64;
+    assert!(
+        per_host_over < per_host_full,
+        "over-subscription must cut watts per host ({per_host_over:.1} vs {per_host_full:.1})"
+    );
+    // But bisection per host halves.
+    let bis_over = over.bisection_gbps(40.0) / over.num_hosts() as f64;
+    let bis_full = full.bisection_gbps(40.0) / full.num_hosts() as f64;
+    assert!((bis_over - bis_full / 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn oversubscribed_fabric_saturates_at_half_uniform_load() {
+    let fabric = || oversubscribed().build_fabric();
+    let hosts = 128u32;
+    // ~60% uniform load: above the 50% ceiling a 2:1 over-subscribed
+    // fabric can carry.
+    let heavy = {
+        let mut v = Vec::new();
+        for r in 0..120u64 {
+            for h in 0..hosts {
+                v.push(Message {
+                    at: SimTime::from_us(1 + r * 35),
+                    src: HostId::new(h),
+                    dst: HostId::new((h + 1 + (17 * r as u32) % (hosts - 1)) % hosts),
+                    bytes: 128 * 1024,
+                });
+            }
+        }
+        v
+    };
+    let report = Simulator::new(
+        fabric(),
+        SimConfig::baseline(),
+        ReplaySource::new(heavy.clone()),
+    )
+    .run_until(SimTime::from_ms(6));
+    assert!(
+        report.delivery_ratio() < 0.95,
+        "2:1 over-subscription cannot carry ~60% uniform load, got {}",
+        report.delivery_ratio()
+    );
+
+    // ~25% load fits comfortably.
+    let light: Vec<Message> = heavy
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, m)| *m)
+        .collect();
+    let report = Simulator::new(fabric(), SimConfig::baseline(), ReplaySource::new(light))
+        .run_until(SimTime::from_ms(8));
+    assert!(
+        report.delivery_ratio() > 0.99,
+        "light load must fit, got {}",
+        report.delivery_ratio()
+    );
+}
+
+#[test]
+fn energy_proportional_control_on_oversubscribed_fabric() {
+    let msgs = round_robin_messages(128, 8, 400, 16 * 1024);
+    let report = Simulator::new(
+        oversubscribed().build_fabric(),
+        SimConfig::default(),
+        ReplaySource::new(msgs),
+    )
+    .run_until(SimTime::from_ms(6));
+    assert!(report.delivery_ratio() > 0.999);
+    let p = report.relative_power(&LinkPowerProfile::Ideal);
+    assert!(p < 0.3, "light load on over-subscribed fabric saves power, got {p:.3}");
+}

@@ -1,0 +1,66 @@
+//! Reporting pipeline end to end: run a figure at tiny scale,
+//! serialize, deserialize, and render it to SVG — exactly what
+//! `repro --json` + `render` do across process boundaries.
+
+use epnet::exp::figures::{self, Figure7, Figure8};
+use epnet::exp::EvalScale;
+use epnet::prelude::*;
+
+fn tiny() -> EvalScale {
+    let mut s = EvalScale::tiny();
+    s.duration = SimTime::from_ms(1);
+    s
+}
+
+#[test]
+fn figure7_json_round_trip_renders() {
+    let f = figures::figure7(tiny());
+    let json = serde_json::to_string(&f).unwrap();
+    let back: Figure7 = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.paired, f.paired);
+    let svg = epnet_report::render_figure7(&back);
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("2.5 Gb/s"));
+    // Bars for 5 speeds x 2 series + background + 2 legend swatches.
+    assert_eq!(svg.matches("<rect").count(), 13);
+}
+
+#[test]
+fn figure8_json_round_trip_renders() {
+    let f = figures::figure8(tiny());
+    let json = serde_json::to_value(&f).unwrap();
+    let back: Figure8 = serde_json::from_value(json).unwrap();
+    let (a, b) = epnet_report::render_figure8(&back);
+    for svg in [&a, &b] {
+        assert!(svg.contains("Uniform"));
+        assert!(svg.contains("Advert"));
+        assert!(svg.contains("Search"));
+    }
+    // Sanity on the data itself: EP power below baseline everywhere.
+    for row in back.measured.iter().chain(&back.ideal) {
+        assert!(row.paired_pct < 100.0);
+        assert!(row.independent_pct < 100.0);
+    }
+}
+
+#[test]
+fn sim_report_serde_round_trip() {
+    let outcome = Experiment::new(tiny(), WorkloadKind::Advert).run();
+    let json = serde_json::to_string(&outcome).unwrap();
+    let back: epnet::exp::ExperimentOutcome = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.report.packets_delivered, outcome.report.packets_delivered);
+    assert_eq!(back.report.duration, outcome.report.duration);
+    assert_eq!(
+        back.report.residency.at_rate_ps,
+        outcome.report.residency.at_rate_ps
+    );
+    assert_eq!(
+        back.report.relative_power(&LinkPowerProfile::Measured),
+        outcome.report.relative_power(&LinkPowerProfile::Measured)
+    );
+    // Histogram quantiles survive the trip too.
+    assert_eq!(
+        back.report.p99_packet_latency(),
+        outcome.report.p99_packet_latency()
+    );
+}

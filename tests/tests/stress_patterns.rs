@@ -1,0 +1,74 @@
+//! Stress patterns end to end: permutations and incast through the
+//! simulator, with and without the paper's mechanisms.
+
+use epnet::prelude::*;
+use epnet::sim::MergedSource;
+
+fn fabric() -> FabricGraph {
+    FlattenedButterfly::new(4, 4, 3).unwrap().build_fabric() // 64 hosts
+}
+
+#[test]
+fn random_permutation_saturates_minimal_but_not_ugal() {
+    // 60% load on a fixed random permutation: minimal routing pins each
+    // flow to its single minimal path while UGAL spreads.
+    let traffic = || {
+        Permutation::random(64, 11, 64 * 1024, 0.6).with_horizon(SimTime::from_ms(4))
+    };
+    let minimal = Simulator::new(fabric(), SimConfig::baseline(), traffic())
+        .run_until(SimTime::from_ms(6));
+    let mut cfg = SimConfig::builder();
+    cfg.ugal().control(ControlMode::AlwaysFull);
+    let ugal = Simulator::new(fabric(), cfg.build(), traffic()).run_until(SimTime::from_ms(6));
+    assert!(
+        ugal.delivery_ratio() >= minimal.delivery_ratio(),
+        "UGAL ({:.3}) must not lose to minimal ({:.3})",
+        ugal.delivery_ratio(),
+        minimal.delivery_ratio()
+    );
+    assert!(ugal.delivery_ratio() > 0.9, "got {:.3}", ugal.delivery_ratio());
+}
+
+#[test]
+fn incast_congests_only_the_sink_ejection() {
+    // 16-to-1 incast: the sink's ejection port is the bottleneck, so
+    // delivery lags but the rest of the fabric stays healthy — shown by
+    // background traffic being unaffected.
+    // 16 x 256 KiB per round = 4 MiB, ~840 µs to drain at 40 Gb/s; a
+    // 1.2 ms period keeps the sink below saturation on average while
+    // each round still slams the ejection queue.
+    let incast = Incast::new(64, HostId::new(0), 16, 256 * 1024, SimTime::from_us(1200))
+        .with_horizon(SimTime::from_ms(4));
+    let background = || {
+        Permutation::shift(64, 21, 16 * 1024, 0.05).with_horizon(SimTime::from_ms(4))
+    };
+    let merged = MergedSource::new(incast, background());
+    let combined = Simulator::new(fabric(), SimConfig::baseline(), merged)
+        .run_until(SimTime::from_ms(6));
+    let alone = Simulator::new(fabric(), SimConfig::baseline(), background())
+        .run_until(SimTime::from_ms(6));
+    // The background permutation avoids host 0's ejection (21-shift),
+    // so its own latency barely moves even while the incast hammers the
+    // sink. We can't separate flows in the merged report, so instead
+    // check the incast run still delivers the background's share.
+    assert!(combined.delivery_ratio() > 0.9, "got {}", combined.delivery_ratio());
+    assert!(alone.delivery_ratio() > 0.999);
+    // The sink hotspot shows up as deep queues.
+    assert!(
+        combined.peak_queue_bytes > alone.peak_queue_bytes * 4,
+        "incast must build a deep ejection queue ({} vs {})",
+        combined.peak_queue_bytes,
+        alone.peak_queue_bytes
+    );
+}
+
+#[test]
+fn ep_control_rides_through_an_incast_storm() {
+    let incast = Incast::new(64, HostId::new(7), 12, 128 * 1024, SimTime::from_us(500))
+        .with_horizon(SimTime::from_ms(4));
+    let report =
+        Simulator::new(fabric(), SimConfig::default(), incast).run_until(SimTime::from_ms(6));
+    assert!(report.delivery_ratio() > 0.95, "got {}", report.delivery_ratio());
+    // Most of the fabric is idle; power savings persist during incast.
+    assert!(report.relative_power(&LinkPowerProfile::Ideal) < 0.4);
+}
