@@ -67,7 +67,10 @@ impl Campaign {
         self.entries.is_empty()
     }
 
-    /// Runs every entry (each with its baseline) on worker threads.
+    /// Runs every entry (each with its baseline) on the
+    /// [`crate::exp::run_parallel`] worker pool (width from
+    /// `EPNET_THREADS` or the machine's parallelism). Outcomes keep
+    /// insertion order regardless of which worker finishes first.
     pub fn run(&self) -> CampaignResults {
         let jobs: Vec<Box<dyn FnOnce() -> ExperimentOutcome + Send>> = self
             .entries

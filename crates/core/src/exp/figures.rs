@@ -3,6 +3,12 @@
 //! Each returns a structured, serializable result with a `to_table()`
 //! text rendering; the `repro` binary in `epnet-bench` prints them, and
 //! EXPERIMENTS.md records paper-vs-measured values.
+//!
+//! The simulated figures (7, 8, 9a, 9b and the topology comparison)
+//! fan their runs out across the [`crate::exp::run_parallel`] worker
+//! pool — sized by `EPNET_THREADS` or the machine's parallelism — and
+//! reassemble results in plan order, so the generated tables and JSON
+//! are byte-identical at any thread count.
 
 use crate::exp::{run_parallel, EvalScale, Experiment, WorkloadKind};
 use epnet_power::{

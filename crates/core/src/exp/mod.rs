@@ -218,21 +218,54 @@ impl Experiment {
     }
 }
 
-/// Runs a set of closures on worker threads and collects their results
-/// in order — the sweep driver for the figure harnesses.
-pub(crate) fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
+/// Worker-pool width used by [`run_parallel`].
+///
+/// Defaults to [`std::thread::available_parallelism`]; the
+/// `EPNET_THREADS` environment variable overrides it (any positive
+/// integer — `EPNET_THREADS=1` forces fully serial execution, useful
+/// for debugging and for the determinism tests that compare serial and
+/// parallel output byte for byte).
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("EPNET_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1);
+        .unwrap_or(1)
+}
+
+/// Runs a set of closures on a [`std::thread::scope`] worker pool and
+/// collects their results in input order — the fan-out driver behind
+/// [`sweep::SensitivitySweep::run`], [`campaign::Campaign::run`] and
+/// the simulated figure generators.
+///
+/// Results land in slots indexed by job position, so the output `Vec`
+/// is identical regardless of pool width or completion order: running
+/// with `EPNET_THREADS=1` and `EPNET_THREADS=64` serializes to the
+/// same bytes. Workers pull jobs from a shared queue, so heterogeneous
+/// job lengths balance automatically.
+pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
+    let threads = worker_threads().min(jobs.len());
     if threads <= 1 || jobs.len() <= 1 {
         return jobs.into_iter().map(|j| j()).collect();
     }
     let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
-    let queue = std::sync::Mutex::new(jobs.into_iter().enumerate().collect::<Vec<_>>());
+    // Jobs are popped from the back; reverse so workers claim them in
+    // input order (first jobs start first, helping the long tail).
+    let queue = std::sync::Mutex::new(
+        jobs.into_iter()
+            .enumerate()
+            .rev()
+            .collect::<Vec<_>>(),
+    );
     let slots_mtx = std::sync::Mutex::new(&mut slots);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(8) {
+        for _ in 0..threads {
             scope.spawn(|| loop {
                 let job = { queue.lock().expect("queue poisoned").pop() };
                 let Some((i, job)) = job else { break };

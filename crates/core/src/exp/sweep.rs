@@ -63,6 +63,11 @@ impl SensitivitySweep {
     }
 
     /// Runs the grid (plus one baseline) and returns a cell per point.
+    ///
+    /// Cells run on the [`crate::exp::run_parallel`] worker pool
+    /// (width from `EPNET_THREADS` or the machine's parallelism) and
+    /// are collected in grid order, so the returned `Vec` — and
+    /// anything serialized from it — is identical at any thread count.
     pub fn run(&self) -> Vec<SweepCell> {
         let scale = self.scale;
         let workload = self.workload;

@@ -269,11 +269,15 @@ impl<S: TrafficSource> Simulator<S> {
             self.queue.schedule(self.config.epoch, Event::EpochTick);
         }
 
-        while let Some((t, ev)) = self.queue.pop() {
+        // Peek before popping: events beyond the horizon stay queued
+        // (the queue is dropped wholesale with the engine) and the
+        // monotonic-pop invariant is checked without consuming.
+        while let Some(t) = self.queue.peek_time() {
             if t > self.end {
                 break;
             }
             debug_assert!(t >= self.now, "time went backwards");
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
             self.now = t;
             match ev {
                 Event::Workload => self.on_workload(),

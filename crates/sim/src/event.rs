@@ -1,11 +1,16 @@
-//! The discrete-event core: a time-ordered queue with deterministic
-//! FIFO tie-breaking.
+//! The engine's event queue: a thin, event-typed wrapper over the
+//! generic [`crate::sched::Scheduler`].
+//!
+//! The backend defaults to the calendar queue; setting the environment
+//! variable `EPNET_SCHED=heap` at simulator construction falls back to
+//! the reference binary heap. Both pop in identical order (ascending
+//! time, FIFO among simultaneous events), so the choice never changes
+//! simulation output — only its speed.
 
 use crate::packet::PacketId;
+use crate::sched::{Backend, Scheduler};
 use crate::SimTime;
 use epnet_topology::ChannelId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Events processed by the simulator engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,71 +29,58 @@ pub(crate) enum Event {
     EpochTick,
 }
 
-/// A scheduled event. Ordered by time, then by insertion sequence so
-/// simultaneous events run in deterministic FIFO order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// The event queue.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
-    seq: u64,
+    sched: Scheduler<Event>,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
+    /// An empty queue on the backend selected by `EPNET_SCHED`
+    /// (`heap` for the reference binary heap, anything else — or
+    /// unset — for the calendar queue).
     pub fn new() -> Self {
-        Self::default()
+        let backend = match std::env::var("EPNET_SCHED") {
+            Ok(v) if v.eq_ignore_ascii_case("heap") => Backend::BinaryHeap,
+            _ => Backend::Calendar,
+        };
+        Self {
+            sched: Scheduler::with_backend(backend),
+        }
     }
 
     /// Schedules `event` at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.sched.schedule(at, event);
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        self.sched.pop()
     }
 
-    /// Earliest scheduled time, if any.
-    #[allow(dead_code)] // diagnostic surface, exercised in tests
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+    /// Earliest scheduled time, if any (`&mut`: the calendar backend
+    /// may advance its day cursor while peeking).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.sched.peek_time()
     }
 
     /// Number of pending events.
     #[allow(dead_code)] // diagnostic surface, exercised in tests
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.sched.len()
     }
 
     /// Whether the queue is empty.
     #[allow(dead_code)] // diagnostic surface, exercised in tests
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.sched.is_empty()
     }
 }
 

@@ -20,6 +20,10 @@
 //!   [`LinkPowerProfile`](epnet_power::LinkPowerProfile) (Figure 8).
 //! * [`DynamicTopology`] — the §5.2 extension: powering whole links off
 //!   to morph the butterfly into a torus or mesh, and back.
+//! * [`Scheduler`] — the pending-event set: a calendar queue by
+//!   default, with the reference binary heap selectable via
+//!   `EPNET_SCHED=heap` for cross-checking (both pop the identical
+//!   deterministic `(time, seq)` order).
 //!
 //! # Example
 //!
@@ -50,6 +54,7 @@ mod dyntopo;
 mod engine;
 mod event;
 mod packet;
+pub mod sched;
 mod stats;
 mod time;
 mod traffic;
@@ -61,6 +66,7 @@ pub use config::{
 pub use dyntopo::{DynamicTopology, DynamicTopologyConfig};
 pub use engine::Simulator;
 pub use packet::MessageId;
+pub use sched::{Backend, Scheduler};
 pub use stats::{LatencyHistogram, RateResidency, SimReport, TimelineEvent};
 pub use time::SimTime;
 pub use traffic::{MergedSource, Message, ReplaySource, TrafficSource};

@@ -1,0 +1,556 @@
+//! Generic discrete-event schedulers with deterministic FIFO
+//! tie-breaking.
+//!
+//! The engine's hot loop is schedule/pop churn on a priority queue
+//! keyed by `(SimTime, insertion seq)`. This module provides two
+//! interchangeable backends behind [`Scheduler`]:
+//!
+//! * [`Backend::Calendar`] (the default) — a calendar queue after
+//!   R. Brown, *Calendar queues: a fast O(1) priority queue
+//!   implementation for the simulation event set problem* (CACM 1988).
+//!   Events hash by time into an array of power-of-two-width day
+//!   buckets; a cursor walks the current "year" day by day, so pops of
+//!   near-future events are O(1) amortized instead of the binary
+//!   heap's O(log n). The bucket count doubles/halves with occupancy
+//!   and the bucket width is recomputed from the mean inter-event gap
+//!   at each resize, keeping roughly one event per day under load.
+//! * [`Backend::BinaryHeap`] — the original `std::collections`
+//!   max-heap with reversed ordering, kept as the reference
+//!   implementation for cross-checking and benchmarking.
+//!
+//! Both backends pop in exactly the same total order: ascending time,
+//! and FIFO (insertion order) among events scheduled for the same
+//! time. Any sequence of interleaved [`Scheduler::schedule`] /
+//! [`Scheduler::pop`] calls therefore produces bit-identical results
+//! on either backend — a property test in this module asserts it.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Smallest bucket-array size the calendar queue uses.
+const MIN_BUCKETS: usize = 32;
+/// Largest bucket-array size (1 Mi buckets ≈ 8 MiB of `Vec` headers).
+const MAX_BUCKETS: usize = 1 << 20;
+/// Starting log2 bucket width: 2^12 ps ≈ 4 ns per day.
+const INITIAL_SHIFT: u32 = 12;
+/// Bounds for the recomputed log2 bucket width. 2^4 ps floors the day
+/// below any physical event spacing; 2^44 ps ≈ 17 s caps it above any
+/// simulated horizon.
+const MIN_SHIFT: u32 = 4;
+const MAX_SHIFT: u32 = 44;
+
+/// Which priority-queue implementation backs a [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Bucketed calendar queue, O(1) amortized schedule/pop.
+    Calendar,
+    /// `std::collections::BinaryHeap`, O(log n) — the reference.
+    BinaryHeap,
+}
+
+/// One scheduled item: absolute time plus the insertion sequence that
+/// breaks ties deterministically.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Entry<T> {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// A deterministic time-ordered queue over either backend.
+///
+/// Items pop in ascending `(time, insertion order)`; two schedulers
+/// fed the same schedule/pop interleaving return the same items in the
+/// same order regardless of backend.
+pub struct Scheduler<T> {
+    seq: u64,
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Calendar(CalendarQueue<T>),
+    Heap(BinaryHeap<HeapEntry<T>>),
+}
+
+impl<T> std::fmt::Debug for Scheduler<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("backend", &self.backend())
+            .field("len", &self.len())
+            .field("next_seq", &self.seq)
+            .finish()
+    }
+}
+
+impl<T> Default for Scheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Scheduler<T> {
+    /// An empty scheduler on the default (calendar) backend.
+    pub fn new() -> Self {
+        Self::with_backend(Backend::Calendar)
+    }
+
+    /// An empty scheduler on an explicit backend.
+    pub fn with_backend(backend: Backend) -> Self {
+        let inner = match backend {
+            Backend::Calendar => Inner::Calendar(CalendarQueue::new()),
+            Backend::BinaryHeap => Inner::Heap(BinaryHeap::new()),
+        };
+        Self { seq: 0, inner }
+    }
+
+    /// Which backend this scheduler runs on.
+    pub fn backend(&self) -> Backend {
+        match self.inner {
+            Inner::Calendar(_) => Backend::Calendar,
+            Inner::Heap(_) => Backend::BinaryHeap,
+        }
+    }
+
+    /// Schedules `item` at absolute time `at`. Items scheduled for the
+    /// same time pop in insertion order.
+    pub fn schedule(&mut self, at: SimTime, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Entry { at, seq, item };
+        match &mut self.inner {
+            Inner::Calendar(q) => q.insert(entry),
+            Inner::Heap(h) => h.push(HeapEntry(entry)),
+        }
+    }
+
+    /// Removes and returns the earliest item.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        match &mut self.inner {
+            Inner::Calendar(q) => q.pop_min().map(|e| (e.at, e.item)),
+            Inner::Heap(h) => h.pop().map(|HeapEntry(e)| (e.at, e.item)),
+        }
+    }
+
+    /// The earliest scheduled time, if any.
+    ///
+    /// Takes `&mut self`: on the calendar backend a peek may advance
+    /// the day cursor past empty buckets (pure bookkeeping — the
+    /// observable queue contents and pop order are unchanged).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.inner {
+            Inner::Calendar(q) => q.peek_min().map(|e| e.at),
+            Inner::Heap(h) => h.peek().map(|HeapEntry(e)| e.at),
+        }
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Calendar(q) => q.len,
+            Inner::Heap(h) => h.len(),
+        }
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Heap wrapper ordered by `(at, seq)` only, reversed so the std
+/// max-heap yields the earliest entry first. The payload never takes
+/// part in comparisons, so `T` needs no bounds.
+struct HeapEntry<T>(Entry<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The calendar proper.
+///
+/// Layout: `buckets[slot(t) & mask]` holds every pending entry whose
+/// day index is congruent to that bucket, where `slot(t) = t.ps >>
+/// shift` (so one day spans `2^shift` picoseconds). Each bucket stays
+/// sorted *descending* by `(at, seq)`, making "remove the bucket
+/// minimum" a `Vec::pop` from the back. Entries more than a year
+/// (`nbuckets` days) ahead simply wait in their bucket until the
+/// cursor's year reaches them.
+///
+/// Invariant: between operations no pending entry has a day index
+/// smaller than `cur_slot` (inserts into the past pull the cursor
+/// back), so the pop scan never misses an earlier event.
+struct CalendarQueue<T> {
+    buckets: Vec<Vec<Entry<T>>>,
+    /// `buckets.len() - 1`; bucket count is always a power of two.
+    mask: usize,
+    /// log2 of the bucket (day) width in picoseconds.
+    shift: u32,
+    /// Day index the cursor is on.
+    cur_slot: u64,
+    /// Located minimum: `(key, bucket index)` of the entry the next
+    /// pop returns, or `None` when it must be (re)scanned.
+    cached_min: Option<((SimTime, u64), usize)>,
+    len: usize,
+}
+
+impl<T> CalendarQueue<T> {
+    fn new() -> Self {
+        Self {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: MIN_BUCKETS - 1,
+            shift: INITIAL_SHIFT,
+            cur_slot: 0,
+            cached_min: None,
+            len: 0,
+        }
+    }
+
+    fn slot(&self, at: SimTime) -> u64 {
+        at.as_ps() >> self.shift
+    }
+
+    fn insert(&mut self, entry: Entry<T>) {
+        let slot = self.slot(entry.at);
+        if self.len == 0 {
+            self.cur_slot = slot;
+        } else if slot < self.cur_slot {
+            // Scheduled into the cursor's past: rewind the cursor so
+            // the scan invariant (no entry before `cur_slot`) holds.
+            self.cur_slot = slot;
+        }
+        let idx = (slot & self.mask as u64) as usize;
+        if let Some((key, _)) = self.cached_min {
+            if entry.key() < key {
+                self.cached_min = Some((entry.key(), idx));
+            }
+        } else if self.len == 0 {
+            self.cached_min = Some((entry.key(), idx));
+        }
+        let bucket = &mut self.buckets[idx];
+        // Descending sort: binary-search for the first element smaller
+        // than the new key and insert before it (ties cannot happen,
+        // seq is unique).
+        let pos = bucket.partition_point(|e| e.key() > entry.key());
+        bucket.insert(pos, entry);
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<Entry<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        let (_, idx) = self.locate_min();
+        let entry = self.buckets[idx].pop().expect("cached bucket is empty");
+        self.len -= 1;
+        // Fast path: when the popped event's day holds more events,
+        // the bucket's new tail is the global minimum — no rescan.
+        self.cached_min = match self.buckets[idx].last() {
+            Some(next) if self.slot(next.at) == self.cur_slot => Some((next.key(), idx)),
+            _ => None,
+        };
+        if self.len < self.buckets.len() / 8 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some(entry)
+    }
+
+    fn peek_min(&mut self) -> Option<&Entry<T>> {
+        if self.len == 0 {
+            return None;
+        }
+        let (_, idx) = self.locate_min();
+        self.buckets[idx].last()
+    }
+
+    /// Finds the bucket holding the global minimum, walking the cursor
+    /// day by day. Bounded at one lap of the calendar: after a fruitless
+    /// year the minimum is found by direct search instead (the queue is
+    /// sparse, so the O(nbuckets) fallback is rare and cheap relative
+    /// to the simulated time skipped).
+    fn locate_min(&mut self) -> ((SimTime, u64), usize) {
+        debug_assert!(self.len > 0);
+        if let Some(found) = self.cached_min {
+            return found;
+        }
+        let nbuckets = self.buckets.len();
+        for step in 0..nbuckets as u64 {
+            let day = self.cur_slot + step;
+            let idx = (day & self.mask as u64) as usize;
+            if let Some(min) = self.buckets[idx].last() {
+                // Within the scanned window only `day` itself maps to
+                // this bucket, so a due entry has exactly that slot;
+                // a smaller bucket minimum would violate the cursor
+                // invariant.
+                if self.slot(min.at) == day {
+                    self.cur_slot = day;
+                    let found = (min.key(), idx);
+                    self.cached_min = Some(found);
+                    return found;
+                }
+            }
+        }
+        // Nothing due within a year of the cursor: direct search.
+        let mut best: Option<((SimTime, u64), usize)> = None;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            if let Some(min) = bucket.last() {
+                if best.map_or(true, |(key, _)| min.key() < key) {
+                    best = Some((min.key(), idx));
+                }
+            }
+        }
+        let found = best.expect("non-empty queue has a minimum");
+        self.cur_slot = self.slot(found.0 .0);
+        self.cached_min = Some(found);
+        found
+    }
+
+    /// Rebuilds with `nbuckets` buckets, recomputing the day width so
+    /// the pending events spread to roughly one per day: the new width
+    /// is the mean inter-event gap rounded up to a power of two. Fully
+    /// deterministic — it depends only on the current queue contents.
+    fn resize(&mut self, nbuckets: usize) {
+        let entries: Vec<Entry<T>> = self
+            .buckets
+            .iter_mut()
+            .flat_map(std::mem::take)
+            .collect();
+        debug_assert_eq!(entries.len(), self.len);
+
+        if !entries.is_empty() {
+            let mut min_ps = u64::MAX;
+            let mut max_ps = 0u64;
+            for e in &entries {
+                min_ps = min_ps.min(e.at.as_ps());
+                max_ps = max_ps.max(e.at.as_ps());
+            }
+            let gap = ((max_ps - min_ps) / entries.len() as u64).max(1);
+            // Day width ≈ 2× the mean gap: a couple of events per day
+            // keeps the same-bucket pop fast path hot while buckets
+            // stay short enough for O(1)-ish sorted inserts.
+            let width_log2 = 65 - gap.leading_zeros();
+            self.shift = width_log2.clamp(MIN_SHIFT, MAX_SHIFT);
+        }
+
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        self.mask = nbuckets - 1;
+        self.cached_min = None;
+        self.cur_slot = 0;
+
+        let mut min_key: Option<((SimTime, u64), u64)> = None;
+        for entry in entries {
+            let slot = self.slot(entry.at);
+            if min_key.map_or(true, |(key, _)| entry.key() < key) {
+                min_key = Some((entry.key(), slot));
+            }
+            let idx = (slot & self.mask as u64) as usize;
+            let bucket = &mut self.buckets[idx];
+            let pos = bucket.partition_point(|e| e.key() > entry.key());
+            bucket.insert(pos, entry);
+        }
+        if let Some(((at, seq), slot)) = min_key {
+            self.cur_slot = slot;
+            let idx = (slot & self.mask as u64) as usize;
+            self.cached_min = Some(((at, seq), idx));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn both() -> [Scheduler<u32>; 2] {
+        [
+            Scheduler::with_backend(Backend::Calendar),
+            Scheduler::with_backend(Backend::BinaryHeap),
+        ]
+    }
+
+    #[test]
+    fn pops_in_time_order_on_both_backends() {
+        for mut q in both() {
+            q.schedule(SimTime::from_ns(30), 0);
+            q.schedule(SimTime::from_ns(10), 1);
+            q.schedule(SimTime::from_ns(20), 2);
+            let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ns()).collect();
+            assert_eq!(times, vec![10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn same_time_pops_fifo_on_both_backends() {
+        for mut q in both() {
+            let t = SimTime::from_ns(5);
+            for tag in 0..100 {
+                q.schedule(t, tag);
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, tag)| tag).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn calendar_survives_resize_cycles() {
+        let mut q = Scheduler::with_backend(Backend::Calendar);
+        // Push far past the grow threshold, then drain past shrink.
+        for i in 0..10_000u32 {
+            q.schedule(SimTime::from_ns(u64::from(i % 977)), i);
+        }
+        assert_eq!(q.len(), 10_000);
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut seen = 0;
+        let mut seqs_at_time: std::collections::HashMap<u64, u32> = Default::default();
+        while let Some((t, tag)) = q.pop() {
+            assert!(t >= last.0, "time went backwards");
+            // FIFO among equal times: tags at one time ascend.
+            let prev = seqs_at_time.entry(t.as_ps()).or_insert(tag);
+            assert!(*prev <= tag, "FIFO violated at {t:?}");
+            *prev = tag;
+            last = (t, u64::from(tag));
+            seen += 1;
+        }
+        assert_eq!(seen, 10_000);
+    }
+
+    #[test]
+    fn far_future_events_cross_year_boundaries() {
+        let mut q = Scheduler::with_backend(Backend::Calendar);
+        // Events far beyond one calendar year (32 buckets × 4 ns).
+        q.schedule(SimTime::from_ms(500), 1);
+        q.schedule(SimTime::from_ns(1), 2);
+        q.schedule(SimTime::from_ms(2), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(2), 3)));
+        assert_eq!(q.pop(), Some((SimTime::from_ms(500), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn schedule_into_cursor_past_is_seen() {
+        let mut q = Scheduler::with_backend(Backend::Calendar);
+        q.schedule(SimTime::from_us(100), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_us(100)));
+        // The cursor has advanced toward 100 µs; an insert before it
+        // must still pop first.
+        q.schedule(SimTime::from_ns(3), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(3), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_us(100), 1)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The tentpole cross-check: arbitrary interleaved schedule/pop
+        /// sequences yield identical `(time, item)` pop order — FIFO
+        /// tie-breaks included — on the calendar queue and the
+        /// reference heap.
+        #[test]
+        fn calendar_matches_heap_on_arbitrary_interleavings(
+            seed in any::<u64>(),
+            ops in 50usize..600,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut cal = Scheduler::with_backend(Backend::Calendar);
+            let mut heap = Scheduler::with_backend(Backend::BinaryHeap);
+            let mut tag = 0u32;
+            let mut popped = 0u64;
+
+            for _ in 0..ops {
+                if rng.gen_bool(0.6) || cal.is_empty() {
+                    // Mix of duplicate times (FIFO stress), clustered
+                    // near-future times, and rare far-future outliers
+                    // that cross calendar years.
+                    let at = match rng.gen_range(0u8..10) {
+                        0..=2 => SimTime::from_ps(popped), // duplicates at the frontier
+                        3..=7 => SimTime::from_ps(popped + rng.gen_range(1u64..50_000)),
+                        8 => SimTime::from_ps(popped + rng.gen_range(1u64..100)),
+                        _ => SimTime::from_ps(popped + rng.gen_range(1u64..10_000_000_000)),
+                    };
+                    cal.schedule(at, tag);
+                    heap.schedule(at, tag);
+                    tag += 1;
+                } else {
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b);
+                    if let Some((t, _)) = a {
+                        // Keep the monotone-schedule property the
+                        // engine relies on: later schedules never
+                        // precede the pop frontier.
+                        popped = t.as_ps();
+                    }
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+            // Drain both completely.
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// Same cross-check without the monotone-schedule restriction:
+        /// inserts may land arbitrarily far into the cursor's past.
+        #[test]
+        fn calendar_matches_heap_on_non_monotone_inserts(
+            seed in any::<u64>(),
+            ops in 50usize..400,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut cal = Scheduler::with_backend(Backend::Calendar);
+            let mut heap = Scheduler::with_backend(Backend::BinaryHeap);
+            let mut tag = 0u32;
+            for _ in 0..ops {
+                if rng.gen_bool(0.5) || cal.is_empty() {
+                    let at = SimTime::from_ps(rng.gen_range(0u64..5_000_000));
+                    cal.schedule(at, tag);
+                    heap.schedule(at, tag);
+                    tag += 1;
+                } else {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                }
+            }
+            loop {
+                let a = cal.pop();
+                prop_assert_eq!(a, heap.pop());
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

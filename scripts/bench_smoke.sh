@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Seconds-long benchmark smoke: the scheduler hold-model microbenchmark
+# (calendar queue vs binary heap at 100k pending events) plus one small
+# sensitivity sweep at 1 and 4 worker threads.
+#
+# Runs only the benchmarks whose names contain "smoke" — the full
+# grids live in `cargo bench -p epnet-bench --bench scheduler`.
+# The same paths are exercised in-process by tests/tests/bench_smoke.rs
+# so `cargo test` keeps them honest without nesting cargo invocations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo bench --offline -p epnet-bench --bench scheduler -- smoke

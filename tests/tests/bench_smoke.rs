@@ -1,0 +1,67 @@
+//! In-process twin of `scripts/bench_smoke.sh`: exercises the
+//! scheduler hold model on both backends and one small parallel sweep,
+//! asserting correctness (identical pop streams, well-formed cells)
+//! rather than speed — wall-clock assertions would flake on loaded
+//! machines, so the perf claims live in the benchmarks and
+//! EXPERIMENTS.md.
+
+use epnet::exp::sweep::SensitivitySweep;
+use epnet::exp::{EvalScale, WorkloadKind};
+use epnet::sim::{Backend, Scheduler, SimTime};
+
+/// SplitMix64, matching the generator in benches/scheduler.rs.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn hold_model_streams_match_across_backends() {
+    let pending = 50_000usize;
+    let holds = 200_000usize;
+    let mut streams: Vec<Vec<(SimTime, u64)>> = Vec::new();
+    for backend in [Backend::Calendar, Backend::BinaryHeap] {
+        let mut q = Scheduler::with_backend(backend);
+        let mut rng = Mix(42);
+        for i in 0..pending {
+            q.schedule(SimTime::from_ps(rng.next() % 4_000_000), i as u64);
+        }
+        let mut stream = Vec::with_capacity(holds);
+        for _ in 0..holds {
+            let (t, tag) = q.pop().expect("hold model never drains");
+            stream.push((t, tag));
+            let at = SimTime::from_ps(t.as_ps() + (rng.next() % 4_000_000));
+            q.schedule(at, tag);
+        }
+        assert_eq!(q.len(), pending, "hold model keeps the set size steady");
+        streams.push(stream);
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "calendar and heap must pop identical (time, item) streams"
+    );
+}
+
+#[test]
+fn small_sweep_produces_well_formed_cells() {
+    let mut scale = EvalScale::tiny();
+    scale.duration = SimTime::from_ms(1);
+    let mut sweep = SensitivitySweep::paper_grid(scale, WorkloadKind::Search);
+    sweep.targets = vec![0.5];
+    sweep.reactivations = vec![SimTime::from_us(1), SimTime::from_us(10)];
+
+    let cells = sweep.run();
+    assert_eq!(cells.len(), 2);
+    for cell in &cells {
+        assert_eq!(cell.workload, "Search");
+        assert!(cell.delivery_ratio > 0.0 && cell.delivery_ratio <= 1.0 + 1e-9);
+        assert!(cell.power_ideal > 0.0 && cell.power_ideal <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Determinism guarantees of the execution machinery: worker-pool
+//! width and scheduler backend must never change results, only wall
+//! clock.
+
+use epnet::exp::campaign::Campaign;
+use epnet::exp::sweep::SensitivitySweep;
+use epnet::exp::{EvalScale, Experiment, WorkloadKind};
+use epnet::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the env-twiddling tests in this binary — `EPNET_THREADS`
+/// and `EPNET_SCHED` are process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny() -> EvalScale {
+    let mut s = EvalScale::tiny();
+    s.duration = SimTime::from_ms(1);
+    s
+}
+
+fn small_sweep() -> SensitivitySweep {
+    let mut sweep = SensitivitySweep::paper_grid(tiny(), WorkloadKind::Search);
+    sweep.targets = vec![0.25, 0.75];
+    sweep.reactivations = vec![SimTime::from_us(1), SimTime::from_us(10)];
+    sweep
+}
+
+#[test]
+fn sweep_and_campaign_are_byte_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let sweep = small_sweep();
+
+    let mut campaign = Campaign::new();
+    let base = Experiment::new(tiny(), WorkloadKind::Advert);
+    campaign.push("paired", base.clone());
+    let mut cfg = SimConfig::builder();
+    cfg.control(ControlMode::IndependentChannel);
+    campaign.push("independent", base.with_config(cfg.build()));
+
+    let mut sweep_json = Vec::new();
+    let mut campaign_tables = Vec::new();
+    for threads in ["1", "4"] {
+        std::env::set_var("EPNET_THREADS", threads);
+        sweep_json
+            .push(serde_json::to_string_pretty(&sweep.run()).expect("sweep cells serialize"));
+        campaign_tables.push(campaign.run().to_table());
+    }
+    std::env::remove_var("EPNET_THREADS");
+
+    assert_eq!(
+        sweep_json[0], sweep_json[1],
+        "sweep JSON must not depend on worker-pool width"
+    );
+    assert_eq!(
+        campaign_tables[0], campaign_tables[1],
+        "campaign table must not depend on worker-pool width"
+    );
+}
+
+#[test]
+fn scheduler_backend_does_not_change_simulation_output() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let experiment = Experiment::new(tiny(), WorkloadKind::Search);
+
+    std::env::set_var("EPNET_SCHED", "heap");
+    let heap = serde_json::to_string_pretty(&experiment.run()).expect("outcome serializes");
+    std::env::remove_var("EPNET_SCHED");
+    let calendar = serde_json::to_string_pretty(&experiment.run()).expect("outcome serializes");
+
+    assert_eq!(
+        heap, calendar,
+        "calendar queue and binary heap must produce bit-identical runs"
+    );
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking surface the epnet workspace uses —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — over a plain wall-clock runner. No statistical analysis,
+//! HTML reports, or baseline comparison: each benchmark calibrates an
+//! iteration count during warm-up, takes `sample_size` timed samples,
+//! and prints the min / median / max time per iteration.
+//!
+//! Positional CLI arguments (as passed by `cargo bench -- <filter>`)
+//! are substring filters on the full `group/name` benchmark id.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement markers (only wall-clock exists here).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Per-benchmark tuning knobs.
+#[derive(Debug, Clone)]
+struct BenchConfig {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration (reported as Kelem/s, Melem/s…).
+    Elements(u64),
+    /// Bytes per iteration (reported as KiB/s, MiB/s…).
+    Bytes(u64),
+}
+
+/// Times the benchmark body for a runner-chosen iteration count.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { filters: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// A harness whose substring filters come from the positional CLI
+    /// arguments (`cargo bench -- <filter>`); flags are ignored.
+    pub fn from_args() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Self { filters }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Runs a single benchmark with default tuning.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let id = id.into();
+        if self.selected(&id) {
+            run_bench(&id, &BenchConfig::default(), f);
+        }
+        self
+    }
+
+    /// Opens a named group sharing tuning knobs across benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            cfg: BenchConfig::default(),
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and tuning knobs.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    cfg: BenchConfig,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Sets the calibration/warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark under this group's tuning.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.selected(&full) {
+            run_bench(&full, &self.cfg, f);
+        }
+        self
+    }
+
+    /// Ends the group (provided for API compatibility; dropping the
+    /// group is equivalent).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, cfg: &BenchConfig, mut f: F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Warm-up doubles the batch size until one batch fills the warm-up
+    // budget, which both warms caches and calibrates per-iter cost.
+    let warm_start = Instant::now();
+    loop {
+        f(&mut b);
+        if warm_start.elapsed() >= cfg.warm_up || b.iters >= 1 << 30 {
+            break;
+        }
+        b.iters = b.iters.saturating_mul(2);
+    }
+    let per_iter_ns = (b.elapsed.as_nanos() / u128::from(b.iters)).max(1);
+
+    // Size each sample so all samples together roughly fill the
+    // measurement budget.
+    let per_sample_ns = cfg.measurement.as_nanos() / cfg.sample_size as u128;
+    let iters_per_sample = ((per_sample_ns / per_iter_ns).max(1)).min(u128::from(u64::MAX)) as u64;
+
+    let mut samples_ns: Vec<u128> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() / u128::from(iters_per_sample));
+    }
+    samples_ns.sort_unstable();
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let max = samples_ns[samples_ns.len() - 1];
+
+    print!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(t) = cfg.throughput {
+        let (units, label) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = units as f64 * 1e9 / median as f64;
+        print!("  thrpt: {} {label}", fmt_rate(rate));
+    }
+    println!();
+}
+
+fn fmt_ns(ns: u128) -> String {
+    let ns = ns as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups with CLI filters.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.finish();
+        assert!(runs > 0, "benchmark body never executed");
+    }
+
+    #[test]
+    fn filters_skip_unmatched() {
+        let mut c = Criterion {
+            filters: vec!["only_this".to_owned()],
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran, "filtered-out benchmark must not run");
+    }
+}

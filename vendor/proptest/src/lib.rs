@@ -1,0 +1,427 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API the epnet workspace uses:
+//! the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//! header, [`strategy::Strategy`] with `prop_map`, range and tuple
+//! strategies, [`strategy::Just`], [`arbitrary::any`], [`prop_oneof!`],
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Inputs are drawn from a deterministic per-(test, case) generator, so
+//! failures reproduce exactly across runs. Unlike real proptest there
+//! is no shrinking and no regression-file persistence — a failing case
+//! reports the case index instead of a minimised input.
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic xoshiro256++ generator, seeded per (test, case).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Generator for one case of one named property test. The same
+        /// (name, case) pair always yields the same stream.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let mut sm = h ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// The next sample from `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy applying `f` to every generated value.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `options`; each generation picks one uniformly.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs an option");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            start + rng.next_unit_f64() * (end - start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_unit_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, re-running the body for each random case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $( $pat:pat in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a property over generated inputs (panics on failure, like
+/// `assert!`, naming no minimised input — rerun to reproduce).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        assert!($cond $(, $($fmt)+)?)
+    };
+}
+
+/// Equality assertion over generated inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_eq!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+/// Inequality assertion over generated inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $($fmt:tt)+)?) => {
+        assert_ne!($left, $right $(, $($fmt)+)?)
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+/// Expands to `continue` targeting the case loop, so it must appear in
+/// the property body itself, not inside a nested loop or closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, f in 0.25f64..=0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (1u16..5, 2usize..7),
+            doubled in (0u64..100).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(a >= 1 && a < 5);
+            prop_assert!(b >= 2 && b < 7);
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn assume_skips_cases(v in any::<u64>()) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_picks_each_arm(pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(pick == 1 || pick == 2);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case("t", 0);
+        let mut b = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serde implementation (see
+//! `vendor/serde`). This proc-macro crate derives that implementation's
+//! `Serialize`/`Deserialize` traits for the shapes the workspace
+//! actually uses: unit/tuple/named structs and enums with unit, tuple,
+//! and struct variants. Generics and `#[serde(...)]` attributes are not
+//! supported (the workspace uses neither).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed field list of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(it: &mut Iter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(it: &mut Iter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("expected {what}, found {t:?}"),
+    }
+}
+
+/// Parses the names out of a `{ field: Type, ... }` body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let Some(TokenTree::Ident(_)) = it.peek() else { break };
+        names.push(expect_ident(&mut it, "field name"));
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("expected ':' after field name, found {t:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        it.next();
+                        break;
+                    }
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Counts the fields of a `( Type, ... )` body.
+fn parse_tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    in_segment = false;
+                    continue;
+                }
+                if !in_segment {
+                    in_segment = true;
+                    count += 1;
+                }
+            }
+            _ => {
+                if !in_segment {
+                    in_segment = true;
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "type name");
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    let body = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            t => panic!("unexpected struct body: {t:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = it.next() else {
+                panic!("expected enum body");
+            };
+            let mut vit = g.stream().into_iter().peekable();
+            let mut variants = Vec::new();
+            loop {
+                skip_attrs_and_vis(&mut vit);
+                let Some(TokenTree::Ident(_)) = vit.peek() else { break };
+                let vname = expect_ident(&mut vit, "variant name");
+                let fields = match vit.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        vit.next();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(parse_tuple_arity(g.stream()));
+                        vit.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip a possible `= discriminant` then the trailing comma.
+                loop {
+                    match vit.peek() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                            vit.next();
+                            break;
+                        }
+                        None => break,
+                        _ => {
+                            vit.next();
+                        }
+                    }
+                }
+                variants.push((vname, fields));
+            }
+            Body::Enum(variants)
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Input { name, body }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => serde::Value::Map(::std::vec![(\"{v}\".to_string(), serde::Serialize::to_value(__f0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => serde::Value::Map(::std::vec![(\"{v}\".to_string(), serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Map(::std::vec![(\"{v}\".to_string(), serde::Value::Map(::std::vec![{}]))]),",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Fields::Unit) => "::std::result::Result::Ok(Self)".to_string(),
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(__v.get(\"{f}\").ok_or_else(|| serde::DeError::missing(\"{name}.{f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok(Self {{ {} }})",
+                entries.join(" ")
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            "::std::result::Result::Ok(Self(serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| serde::DeError::msg(\"expected a sequence for {name}\"))?;\n        if __s.len() != {n} {{ return ::std::result::Result::Err(serde::DeError::msg(\"wrong arity for {name}\")); }}\n        ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| {
+                    format!("\"{v}\" => return ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, f)| match f {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}(serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __s = __inner.as_seq().ok_or_else(|| serde::DeError::msg(\"expected a sequence for {name}::{v}\"))?; return ::std::result::Result::Ok({name}::{v}({})); }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(__inner.get(\"{f}\").ok_or_else(|| serde::DeError::missing(\"{name}::{v}.{f}\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => return ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            items.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "if let serde::Value::Str(__s) = __v {{ match __s.as_str() {{ {} _ => {{}} }} }}\n        if let ::std::option::Option::Some((__k, __inner)) = __v.as_variant() {{ match __k {{ {} _ => {{}} }} }}\n        ::std::result::Result::Err(serde::DeError::msg(\"unrecognized variant for {name}\"))",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n        {body}\n    }}\n}}"
+    )
+}
