@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod enginebench;
 
 use epnet::exp::EvalScale;
 

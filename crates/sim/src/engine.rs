@@ -33,7 +33,8 @@ use crate::traffic::{Message, TrafficSource};
 use crate::SimTime;
 use epnet_power::{LinkRate, RATE_LADDER};
 use epnet_topology::{
-    ChannelId, FabricGraph, LinkMask, Medium, PortIndex, PortTarget, RoutingTopology, SwitchId,
+    ChannelId, FabricGraph, LinkMask, Medium, PortIndex, PortTarget, RouteTable, RoutingTopology,
+    SwitchId,
 };
 use std::collections::VecDeque;
 
@@ -48,6 +49,20 @@ pub(crate) struct Channel {
     pub(crate) busy: bool,
     /// Remaining downstream buffer credits, in bytes.
     credits: u32,
+    /// Credit returns in flight back to this channel, as
+    /// `(maturation time, bytes)` in nondecreasing time order. Applied
+    /// lazily in `try_tx` instead of costing one scheduled event per
+    /// packet.
+    pending_credits: VecDeque<(SimTime, u32)>,
+    /// A `CreditWake` event is already pending.
+    credit_wake_scheduled: bool,
+    /// Packets in the in-progress transmission train (0 when idle).
+    train_len: u32,
+    /// Total bytes of the in-progress train (popped as a lump at
+    /// `TxDone` — individual packets may already have been consumed at
+    /// their destination host by then, so their sizes must not be
+    /// re-read from the arena).
+    train_bytes: u64,
     /// Configured rate.
     pub(crate) rate: LinkRate,
     /// Channel unusable until this time (reactivation after a rate
@@ -86,6 +101,10 @@ impl Channel {
             occupancy: 0,
             busy: false,
             credits,
+            pending_credits: VecDeque::new(),
+            credit_wake_scheduled: false,
+            train_len: 0,
+            train_bytes: 0,
             rate,
             available_at: SimTime::ZERO,
             retry_scheduled: false,
@@ -150,6 +169,21 @@ struct MessageRec {
     offered_at: SimTime,
 }
 
+/// How `route()` obtains its candidate-port sets.
+///
+/// The default is a precomputed [`RouteTable`] indexed per hop and
+/// rebuilt lazily when the link mask's generation moves. Setting
+/// `EPNET_ROUTES=dynamic` at simulator construction falls back to the
+/// reference on-the-fly coordinate computation — mirroring
+/// `EPNET_SCHED=heap` — and must produce byte-identical reports.
+#[derive(Debug)]
+enum RouteMode {
+    /// Indexed lookups in a precomputed table.
+    Table(RouteTable),
+    /// Per-hop recomputation into a reused scratch buffer.
+    Dynamic { scratch: Vec<PortIndex> },
+}
+
 /// The event-driven network simulator (§4.1: "an in-house event-driven
 /// network simulator, which has been heavily modified to support future
 /// high-performance networks").
@@ -188,10 +222,14 @@ pub struct Simulator<S> {
     stats: Stats,
     mask: Option<LinkMask>,
     dyntopo: Option<DynamicTopology>,
-    candidates: Vec<PortIndex>,
+    routes: RouteMode,
     last_offered_at: SimTime,
     /// End of the current utilization-measurement epoch.
     epoch_end: SimTime,
+    /// Whether epoch ticks run (rate controller or dynamic topology):
+    /// bounds transmission trains at the epoch so no rate or mask
+    /// change can land mid-train.
+    controller_active: bool,
 }
 
 impl<S: TrafficSource> Simulator<S> {
@@ -215,6 +253,12 @@ impl<S: TrafficSource> Simulator<S> {
         }
         let warmup = config.warmup;
         let first_epoch_end = config.epoch;
+        let routes = match std::env::var("EPNET_ROUTES") {
+            Ok(v) if v.eq_ignore_ascii_case("dynamic") => RouteMode::Dynamic {
+                scratch: Vec::new(),
+            },
+            _ => RouteMode::Table(RouteTable::build(&fabric, None)),
+        };
         Self {
             fabric,
             config,
@@ -229,9 +273,10 @@ impl<S: TrafficSource> Simulator<S> {
             stats: Stats::new(warmup),
             mask: None,
             dyntopo: None,
-            candidates: Vec::new(),
+            routes,
             last_offered_at: SimTime::ZERO,
             epoch_end: first_epoch_end,
+            controller_active: false,
         }
     }
 
@@ -239,6 +284,8 @@ impl<S: TrafficSource> Simulator<S> {
     /// mesh tier may be powered off entirely under low load and
     /// re-enabled as demand grows.
     pub fn enable_dynamic_topology(&mut self, dt: DynamicTopology) {
+        // A fresh all-enabled mask is generation 0 and routes exactly
+        // like no mask at all, so a table built maskless stays current.
         self.mask = Some(LinkMask::all_enabled(&self.fabric));
         self.dyntopo = Some(dt);
     }
@@ -263,9 +310,9 @@ impl<S: TrafficSource> Simulator<S> {
         if let Some(m) = self.pending {
             self.queue.schedule(m.at, Event::Workload);
         }
-        let controller_active =
+        self.controller_active =
             self.config.control != ControlMode::AlwaysFull || self.dyntopo.is_some();
-        if controller_active {
+        if self.controller_active {
             self.queue.schedule(self.config.epoch, Event::EpochTick);
         }
 
@@ -279,11 +326,15 @@ impl<S: TrafficSource> Simulator<S> {
             debug_assert!(t >= self.now, "time went backwards");
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
             self.now = t;
+            self.stats.events += 1;
             match ev {
                 Event::Workload => self.on_workload(),
                 Event::TxDone { channel } => self.on_tx_done(channel),
                 Event::Arrive { channel, packet } => self.on_arrive(channel, packet),
-                Event::CreditReturn { channel, bytes } => self.on_credit(channel, bytes),
+                Event::CreditWake { channel } => {
+                    self.channels[channel.index()].credit_wake_scheduled = false;
+                    self.try_tx(channel);
+                }
                 Event::Retry { channel } => {
                     self.channels[channel.index()].retry_scheduled = false;
                     self.try_tx(channel);
@@ -329,9 +380,10 @@ impl<S: TrafficSource> Simulator<S> {
         let pkt_size = u64::from(self.config.packet_bytes);
         let full = (m.bytes / pkt_size) as u32;
         let tail = (m.bytes % pkt_size) as u32;
-        let count = full + u32::from(tail > 0);
+        // A zero-byte message still travels as a single minimal packet.
+        let count = (full + u32::from(tail > 0)).max(1);
         self.messages.push(MessageRec {
-            remaining: count.max(1),
+            remaining: count,
             offered_at: m.at,
         });
         let inj = self.fabric.injection_channel(m.src);
@@ -340,22 +392,10 @@ impl<S: TrafficSource> Simulator<S> {
             RoutingPolicy::Ugal { misroute_budget, .. } => misroute_budget,
         };
         for i in 0..count {
-            let bytes = if i < full { pkt_size as u32 } else { tail };
+            let bytes = if i < full { pkt_size as u32 } else { tail.max(1) };
             let id = self.arena.alloc(Packet {
                 dst: m.dst,
                 bytes,
-                created: m.at,
-                message,
-                hops: 0,
-                misroutes_left: budget,
-            });
-            self.enqueue(inj, id);
-        }
-        if count == 0 {
-            // Zero-byte message: treat as a single minimal packet.
-            let id = self.arena.alloc(Packet {
-                dst: m.dst,
-                bytes: 1,
                 created: m.at,
                 message,
                 hops: 0,
@@ -376,7 +416,14 @@ impl<S: TrafficSource> Simulator<S> {
         }
     }
 
-    /// Attempts to start serializing the head packet of `ch`.
+    /// Attempts to start serializing the head packet of `ch` — and any
+    /// immediate *train* behind it: consecutive queued packets whose
+    /// credits are already in hand and whose back-to-back serialization
+    /// stays inside the current controller epoch ride under a single
+    /// `TxDone` event, with per-packet `Arrive` fan-out at each
+    /// packet's own tail time. Train timing is identical to per-packet
+    /// scheduling (serialization is back-to-back either way); only the
+    /// event count shrinks.
     fn try_tx(&mut self, ch: ChannelId) {
         let now = self.now;
         let c = &mut self.channels[ch.index()];
@@ -394,48 +441,113 @@ impl<S: TrafficSource> Simulator<S> {
             }
             return;
         }
-        let bytes = self.arena.get(head).bytes;
-        if c.credits < bytes {
-            return; // Woken by CreditReturn.
+        // Apply credit returns that have matured by now.
+        while let Some(&(at, bytes)) = c.pending_credits.front() {
+            if at > now {
+                break;
+            }
+            c.pending_credits.pop_front();
+            c.credits += bytes;
+            debug_assert!(
+                c.credits <= self.config.input_buffer_bytes,
+                "credit overflow on {ch}"
+            );
         }
-        c.credits -= bytes;
+        let head_bytes = self.arena.get(head).bytes;
+        if c.credits < head_bytes {
+            // Blocked on credits: wake exactly when the next pending
+            // return matures. If none is booked yet, the arrival that
+            // books one re-arms the wake (`on_arrive`).
+            if !c.credit_wake_scheduled {
+                if let Some(&(at, _)) = c.pending_credits.front() {
+                    c.credit_wake_scheduled = true;
+                    self.queue.schedule(at, Event::CreditWake { channel: ch });
+                }
+            }
+            return;
+        }
+        c.credits -= head_bytes;
         c.busy = true;
-        let ser = SimTime::from_ps(c.rate.serialize_ps(u64::from(bytes)));
-        let tx_done = now + ser;
-        // Charge this epoch only for the busy time that falls inside it;
-        // the remainder is pre-charged to later epochs at the tick (a
-        // 2 KiB packet at 2.5 Gb/s outlasts a 1 µs epoch, and without the
-        // split the controller would see a busy link as idle).
-        c.busy_until = tx_done;
-        let in_epoch = if tx_done <= self.epoch_end {
-            ser
-        } else {
-            self.epoch_end.saturating_sub(now)
-        };
-        c.busy_ps_epoch += in_epoch.as_ps();
-        self.stats.busy_ps_total += u128::from(ser.as_ps());
         let prop = c.prop;
-        self.queue.schedule(tx_done, Event::TxDone { channel: ch });
         // Tail arrival plus the router pipeline when the far end is a
         // switch (hosts consume directly).
         let router = match self.fabric.channel_target(ch) {
             PortTarget::Host(_) => SimTime::ZERO,
             PortTarget::Switch { .. } => self.config.router_latency,
         };
+        let mut tail = now + SimTime::from_ps(c.rate.serialize_ps(u64::from(head_bytes)));
         self.queue.schedule(
-            tx_done + prop + router,
+            tail + prop + router,
             Event::Arrive {
                 channel: ch,
                 packet: head,
             },
         );
+        let mut train_len = 1u32;
+        let mut train_bytes = u64::from(head_bytes);
+        // Extend the train. The epoch bound guarantees no rate change
+        // can land mid-train: the controller (and the dynamic-topology
+        // mask) only act at epoch ticks, and drain-first completions
+        // need an empty queue. Without epoch ticks the horizon is the
+        // only bound.
+        let bound = if self.controller_active {
+            self.epoch_end
+        } else {
+            self.end
+        };
+        while tail <= bound {
+            let Some(&next) = c.queue.get(train_len as usize) else {
+                break;
+            };
+            let next_bytes = self.arena.get(next).bytes;
+            if c.credits < next_bytes {
+                break;
+            }
+            let next_tail = tail + SimTime::from_ps(c.rate.serialize_ps(u64::from(next_bytes)));
+            if next_tail > bound {
+                break;
+            }
+            c.credits -= next_bytes;
+            tail = next_tail;
+            train_len += 1;
+            train_bytes += u64::from(next_bytes);
+            self.queue.schedule(
+                tail + prop + router,
+                Event::Arrive {
+                    channel: ch,
+                    packet: next,
+                },
+            );
+        }
+        let ser = tail - now;
+        // Charge this epoch only for the busy time that falls inside it;
+        // the remainder is pre-charged to later epochs at the tick (a
+        // 2 KiB packet at 2.5 Gb/s outlasts a 1 µs epoch, and without the
+        // split the controller would see a busy link as idle). Only a
+        // single-packet train can span the boundary — extension stops at
+        // the epoch bound.
+        c.busy_until = tail;
+        let in_epoch = if tail <= self.epoch_end {
+            ser
+        } else {
+            self.epoch_end.saturating_sub(now)
+        };
+        c.busy_ps_epoch += in_epoch.as_ps();
+        c.train_len = train_len;
+        c.train_bytes = train_bytes;
+        self.stats.busy_ps_total += u128::from(ser.as_ps());
+        self.queue.schedule(tail, Event::TxDone { channel: ch });
     }
 
     fn on_tx_done(&mut self, ch: ChannelId) {
         let c = &mut self.channels[ch.index()];
-        let head = c.queue.pop_front().expect("TxDone with empty queue");
-        let bytes = u64::from(self.arena.get(head).bytes);
-        c.occupancy -= bytes;
+        debug_assert!(c.train_len >= 1, "TxDone without a train");
+        for _ in 0..c.train_len {
+            c.queue.pop_front().expect("TxDone with empty queue");
+        }
+        c.occupancy -= c.train_bytes;
+        c.train_len = 0;
+        c.train_bytes = 0;
         c.busy = false;
         if c.queue.is_empty() && c.pending_rate.is_some() {
             self.finish_pending_rate(ch);
@@ -447,15 +559,23 @@ impl<S: TrafficSource> Simulator<S> {
     fn on_arrive(&mut self, ch: ChannelId, pkt: PacketId) {
         // Credits travel back once the packet has cleared the input
         // buffer; charging the propagation delay models the return trip.
+        // The return is bookkept on the channel and applied lazily in
+        // `try_tx` instead of costing a scheduled event per packet; an
+        // idle channel with work waiting is parked on exactly this
+        // credit, so arm its wake.
         let bytes = self.arena.get(pkt).bytes;
-        let prop = self.channels[ch.index()].prop;
-        self.queue.schedule(
-            self.now + prop,
-            Event::CreditReturn {
-                channel: ch,
-                bytes,
-            },
+        let c = &mut self.channels[ch.index()];
+        let matures = self.now + c.prop;
+        debug_assert!(
+            c.pending_credits.back().map_or(true, |&(t, _)| t <= matures),
+            "credit returns out of order on {ch}"
         );
+        c.pending_credits.push_back((matures, bytes));
+        if !c.busy && !c.queue.is_empty() && !c.credit_wake_scheduled && self.now >= c.available_at
+        {
+            c.credit_wake_scheduled = true;
+            self.queue.schedule(matures, Event::CreditWake { channel: ch });
+        }
         match self.fabric.channel_target(ch) {
             PortTarget::Host(h) => {
                 debug_assert_eq!(self.arena.get(pkt).dst, h, "misrouted packet");
@@ -476,52 +596,82 @@ impl<S: TrafficSource> Simulator<S> {
     /// occupancy and forwards the packet onto it; under
     /// [`RoutingPolicy::Ugal`] a congested minimal set may instead yield
     /// a detour through an intermediate switch.
+    ///
+    /// Candidate sets come from the precomputed [`RouteTable`] (rebuilt
+    /// lazily when the link mask's generation moves) or, under
+    /// `EPNET_ROUTES=dynamic`, from the reference per-hop coordinate
+    /// computation; both paths enumerate candidates in the identical
+    /// order, so the choice never changes simulation output.
     fn route(&mut self, at: SwitchId, pkt: PacketId) {
         let (dst, hops, misroutes_left) = {
             let p = self.arena.get(pkt);
             (p.dst, p.hops, p.misroutes_left)
         };
-        let mut candidates = std::mem::take(&mut self.candidates);
-        self.fabric
-            .candidate_ports_masked(at, dst, self.mask.as_ref(), &mut candidates);
-        assert!(
-            !candidates.is_empty(),
-            "no route from {at} toward {dst}: fabric partitioned by link mask"
-        );
-        // Rotating start index de-correlates tie-breaks between switches
-        // and packets while staying deterministic.
-        let start = (usize::from(hops) + at.index() + pkt.index()) % candidates.len();
-        let mut best: Option<(PortIndex, u64)> = None;
-        let mut best_draining: Option<(PortIndex, u64)> = None;
-        for i in 0..candidates.len() {
-            let cand = candidates[(start + i) % candidates.len()];
-            let c = &self.channels[self.fabric.output_channel(at, cand).index()];
-            // Channels draining toward a rate change are "removed from
-            // the list of legal adaptive routes" (§3.2) when any
-            // alternative exists.
-            let slot = if c.pending_rate.is_some() {
-                &mut best_draining
-            } else {
-                &mut best
-            };
-            if slot.map_or(true, |(_, o)| c.occupancy < o) {
-                *slot = Some((cand, c.occupancy));
+        let dst_switch = self.fabric.host_switch(dst);
+        if at == dst_switch {
+            // Local delivery: the ejection port depends on the host, not
+            // the switch, and is the sole candidate — no table row.
+            let p = self.arena.get_mut(pkt);
+            p.hops = hops.saturating_add(1);
+            let out = self.fabric.output_channel(at, self.fabric.host_port(dst));
+            self.enqueue(out, pkt);
+            self.try_tx(out);
+            return;
+        }
+        if let RouteMode::Table(t) = &self.routes {
+            if !t.is_current(self.mask.as_ref()) {
+                self.routes =
+                    RouteMode::Table(RouteTable::build(&self.fabric, self.mask.as_ref()));
             }
         }
-        let (mut best, best_occ) = best
-            .or(best_draining)
-            .expect("candidate list is non-empty");
-        candidates.clear();
-        self.candidates = candidates;
+        // Rotating start index de-correlates tie-breaks between switches
+        // and packets while staying deterministic.
+        let start_key = usize::from(hops) + at.index() + pkt.index();
+        let (mut best, best_occ) = match &mut self.routes {
+            RouteMode::Table(t) => {
+                let cands = t.candidates(at, dst_switch);
+                assert!(
+                    !cands.is_empty(),
+                    "no route from {at} toward {dst}: fabric partitioned by link mask"
+                );
+                Self::pick_minimal(&self.channels, &self.fabric, at, start_key, cands)
+            }
+            RouteMode::Dynamic { scratch } => {
+                self.fabric
+                    .candidate_ports_masked(at, dst, self.mask.as_ref(), scratch);
+                assert!(
+                    !scratch.is_empty(),
+                    "no route from {at} toward {dst}: fabric partitioned by link mask"
+                );
+                Self::pick_minimal(&self.channels, &self.fabric, at, start_key, scratch)
+            }
+        };
 
         let mut misrouted = false;
         if let RoutingPolicy::Ugal { bias_bytes, .. } = self.config.routing {
-            if misroutes_left > 0 && at != self.fabric.host_switch(dst) {
-                if let Some((detour, occ)) = self.best_detour(at, dst) {
+            if misroutes_left > 0 {
+                let detour = match &mut self.routes {
+                    RouteMode::Table(t) => Self::pick_detour(
+                        &self.channels,
+                        &self.fabric,
+                        at,
+                        t.detours(at, dst_switch),
+                    ),
+                    RouteMode::Dynamic { scratch } => {
+                        self.fabric.detour_ports_masked(
+                            at,
+                            dst_switch,
+                            self.mask.as_ref(),
+                            scratch,
+                        );
+                        Self::pick_detour(&self.channels, &self.fabric, at, scratch)
+                    }
+                };
+                if let Some((port, occ)) = detour {
                     // UGAL: take the detour only when it looks at least
                     // twice as cheap (the detour path is two hops long).
                     if 2 * occ + u64::from(bias_bytes) < best_occ {
-                        best = detour;
+                        best = port;
                         misrouted = true;
                     }
                 }
@@ -538,46 +688,51 @@ impl<S: TrafficSource> Simulator<S> {
         self.try_tx(out);
     }
 
-    /// The least-occupied non-minimal port: any intermediate digit in a
-    /// dimension still needing correction.
-    fn best_detour(&self, at: SwitchId, dst: epnet_topology::HostId) -> Option<(PortIndex, u64)> {
-        let here = self.fabric.switch_coord(at);
-        let there = self.fabric.switch_coord(self.fabric.host_switch(dst));
+    /// The least-occupied candidate, rotating the scan start for the
+    /// tie-break. Channels draining toward a rate change are "removed
+    /// from the list of legal adaptive routes" (§3.2) when any
+    /// alternative exists.
+    fn pick_minimal(
+        channels: &[Channel],
+        fabric: &FabricGraph,
+        at: SwitchId,
+        start_key: usize,
+        cands: &[PortIndex],
+    ) -> (PortIndex, u64) {
+        let start = start_key % cands.len();
         let mut best: Option<(PortIndex, u64)> = None;
-        for dim in 0..self.fabric.switch_dims() {
-            let a = here.digit(dim);
-            let b = there.digit(dim);
-            if a == b {
-                continue;
+        let mut best_draining: Option<(PortIndex, u64)> = None;
+        for i in 0..cands.len() {
+            let cand = cands[(start + i) % cands.len()];
+            let c = &channels[fabric.output_channel(at, cand).index()];
+            let slot = if c.pending_rate.is_some() {
+                &mut best_draining
+            } else {
+                &mut best
+            };
+            if slot.map_or(true, |(_, o)| c.occupancy < o) {
+                *slot = Some((cand, c.occupancy));
             }
-            for digit in 0..self.fabric.radix() {
-                if digit == a || digit == b {
-                    continue;
-                }
-                let port = self.fabric.port_toward(at, dim, digit);
-                if let Some(mask) = &self.mask {
-                    if !mask.is_enabled(self.fabric.link_of(self.fabric.output_channel(at, port)))
-                    {
-                        continue;
-                    }
-                }
-                let occ = self.channels[self.fabric.output_channel(at, port).index()].occupancy;
-                if best.map_or(true, |(_, o)| occ < o) {
-                    best = Some((port, occ));
-                }
+        }
+        best.or(best_draining).expect("candidate list is non-empty")
+    }
+
+    /// The least-occupied detour port (first-wins on ties, matching the
+    /// enumeration order of [`FabricGraph::detour_ports_masked`]).
+    fn pick_detour(
+        channels: &[Channel],
+        fabric: &FabricGraph,
+        at: SwitchId,
+        cands: &[PortIndex],
+    ) -> Option<(PortIndex, u64)> {
+        let mut best: Option<(PortIndex, u64)> = None;
+        for &port in cands {
+            let occ = channels[fabric.output_channel(at, port).index()].occupancy;
+            if best.map_or(true, |(_, o)| occ < o) {
+                best = Some((port, occ));
             }
         }
         best
-    }
-
-    fn on_credit(&mut self, ch: ChannelId, bytes: u32) {
-        let c = &mut self.channels[ch.index()];
-        c.credits += bytes;
-        debug_assert!(
-            c.credits <= self.config.input_buffer_bytes,
-            "credit overflow on {ch}"
-        );
-        self.try_tx(ch);
     }
 
     // ------------------------------------------------------------------
@@ -770,27 +925,34 @@ impl<S: TrafficSource> Simulator<S> {
         } else {
             0.0
         };
+        let asymmetric_link_fraction = if s.link_samples > 0 {
+            s.asymmetric_link_samples as f64 / s.link_samples as f64
+        } else {
+            0.0
+        };
+        let num_channels = self.channels.len();
+        let peak_live_packets = self.arena.capacity();
+        // `finish` consumes the simulator, so the bulky per-run
+        // collections (histogram, timeline) move into the report.
+        let s = self.stats;
         SimReport {
             duration: end,
-            num_channels: self.channels.len(),
+            num_channels,
             packets_delivered: s.packets,
             messages_delivered: s.messages,
             mean_packet_latency,
-            packet_latency_hist: s.packet_hist.clone(),
+            packet_latency_hist: s.packet_hist,
             mean_message_latency,
             offered_bytes: s.offered_bytes,
             delivered_bytes: s.delivered_bytes,
             avg_channel_utilization,
             residency,
             reconfigurations: s.reconfigurations,
-            peak_live_packets: self.arena.capacity(),
-            asymmetric_link_fraction: if s.link_samples > 0 {
-                s.asymmetric_link_samples as f64 / s.link_samples as f64
-            } else {
-                0.0
-            },
+            events_processed: s.events,
+            peak_live_packets,
+            asymmetric_link_fraction,
             peak_queue_bytes: s.peak_queue_bytes,
-            timeline: s.timeline.clone(),
+            timeline: s.timeline,
         }
     }
 }

@@ -21,8 +21,13 @@ pub(crate) enum Event {
     TxDone { channel: ChannelId },
     /// A packet's tail reached the far end of a channel.
     Arrive { channel: ChannelId, packet: PacketId },
-    /// Flow-control credits returned to a channel.
-    CreditReturn { channel: ChannelId, bytes: u32 },
+    /// A credit-blocked channel's next pending credit return matures.
+    ///
+    /// Credit returns themselves are bookkept per channel at arrival
+    /// time and applied lazily in `try_tx` — this event exists only to
+    /// wake a channel that observed itself blocked, so uncongested
+    /// traffic costs no credit events at all.
+    CreditWake { channel: ChannelId },
     /// Retry transmission (scheduled when a channel was reconfiguring).
     Retry { channel: ChannelId },
     /// End-of-epoch: run the link-rate controller (§3.3).

@@ -25,6 +25,14 @@
 //!   `EPNET_SCHED=heap` for cross-checking (both pop the identical
 //!   deterministic `(time, seq)` order).
 //!
+//! Routing candidates come from a precomputed
+//! [`RouteTable`](epnet_topology::RouteTable) by default, invalidated
+//! lazily via the link mask's generation counter; setting
+//! `EPNET_ROUTES=dynamic` at simulator construction selects the
+//! reference per-hop computation instead. Like the scheduler knob, the
+//! choice never changes simulation output — reports are byte-identical
+//! either way.
+//!
 //! # Example
 //!
 //! ```

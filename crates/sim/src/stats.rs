@@ -64,6 +64,8 @@ pub(crate) struct Stats {
     pub busy_ps_total: u128,
     pub reconfigurations: u64,
     pub dropped_for_warmup: u64,
+    /// Events popped from the scheduler over the run.
+    pub events: u64,
     /// Link-epoch samples where the two channels of a link sat at
     /// different rates (§3.3.1's asymmetry evidence).
     pub asymmetric_link_samples: u64,
@@ -92,6 +94,7 @@ impl Stats {
             busy_ps_total: 0,
             reconfigurations: 0,
             dropped_for_warmup: 0,
+            events: 0,
             asymmetric_link_samples: 0,
             link_samples: 0,
             peak_queue_bytes: 0,
@@ -209,6 +212,10 @@ pub struct SimReport {
     pub residency: RateResidency,
     /// Number of rate reconfigurations performed.
     pub reconfigurations: u64,
+    /// Discrete events processed by the engine over the run — the
+    /// denominator-free measure of simulation effort behind the
+    /// events/sec benchmark (`BENCH_engine.json`).
+    pub events_processed: u64,
     /// High-water mark of packets in flight.
     pub peak_live_packets: usize,
     /// Fraction of link-epoch samples in which a link's two opposing
@@ -374,6 +381,7 @@ mod tests {
             avg_channel_utilization: 0.0,
             residency,
             reconfigurations: 0,
+            events_processed: 0,
             peak_live_packets: 0,
             asymmetric_link_fraction: 0.0,
             peak_queue_bytes: 0,

@@ -111,4 +111,5 @@ fn zero_byte_messages_still_complete() {
     .run_until(SimTime::from_ms(1));
     assert_eq!(report.messages_delivered, 1);
     assert_eq!(report.packets_delivered, 1, "empty messages ride a minimal packet");
+    assert_eq!(report.delivered_bytes, 1, "the minimal packet carries one wire byte");
 }

@@ -588,6 +588,51 @@ impl FabricGraph {
         mask.is_enabled(self.link_of(self.output_channel(end, port)))
     }
 
+    /// Enumerates the non-minimal (UGAL detour) candidate ports from `at`
+    /// toward `dst_switch`: for every dimension whose digit still needs
+    /// correction, the port toward each *intermediate* digit (neither the
+    /// current nor the destination digit), filtered by `mask`.
+    ///
+    /// `out` is cleared first. The order is deterministic —
+    /// dimension-major, digit-ascending — and load-balancing callers
+    /// resolve occupancy ties by first-wins over this order, so a
+    /// precomputed table and this on-the-fly enumeration must stay
+    /// byte-for-byte identical. A Clos fabric has no dimension rings and
+    /// yields no detours.
+    pub fn detour_ports_masked(
+        &self,
+        at: SwitchId,
+        dst_switch: SwitchId,
+        mask: Option<&LinkMask>,
+        out: &mut Vec<PortIndex>,
+    ) {
+        out.clear();
+        if self.switch_dims == 0 {
+            return;
+        }
+        let here = self.switch_coord(at);
+        let there = self.switch_coord(dst_switch);
+        for dim in 0..self.switch_dims {
+            let a = here.digit(dim);
+            let b = there.digit(dim);
+            if a == b {
+                continue;
+            }
+            for digit in 0..self.radix {
+                if digit == a || digit == b {
+                    continue;
+                }
+                let port = self.port_toward(at, dim, digit);
+                if let Some(m) = mask {
+                    if !m.is_enabled(self.link_of(self.output_channel(at, port))) {
+                        continue;
+                    }
+                }
+                out.push(port);
+            }
+        }
+    }
+
     /// The output port on `switch` toward digit `peer_digit` in `dim`
     /// (same port layout as [`FlattenedButterfly::port_toward`]).
     pub fn port_toward(&self, switch: SwitchId, dim: usize, peer_digit: u16) -> PortIndex {

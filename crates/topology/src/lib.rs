@@ -45,6 +45,7 @@ mod error;
 mod fabric;
 mod fbfly;
 mod ids;
+mod route_table;
 mod routes;
 mod subtopology;
 mod twotier;
@@ -57,5 +58,6 @@ pub use fabric::{FabricGraph, FabricKind, Medium, PortTarget, RoutingTopology};
 pub use twotier::TwoTierClos;
 pub use fbfly::FlattenedButterfly;
 pub use ids::{ChannelId, HostId, LinkId, PortIndex, SwitchId};
+pub use route_table::RouteTable;
 pub use routes::HopHistogram;
 pub use subtopology::{LinkMask, SubtopologyKind};

@@ -1,0 +1,202 @@
+//! Precomputed forwarding tables: the per-hop fast path.
+//!
+//! Adaptive routing needs, at every hop, the set of *minimal candidate
+//! ports* toward the destination and (under UGAL) the set of legal
+//! *detour ports*. Both depend only on `(current switch, destination
+//! switch, link mask)` — never on the individual packet — so they can be
+//! computed once per fabric and indexed per hop instead of re-derived
+//! from switch coordinates on the critical path.
+//!
+//! [`RouteTable`] stores both sets as CSR-style flat arrays: one `u32`
+//! offset row per `(switch, destination switch)` pair and one shared
+//! `PortIndex` pool, giving allocation-free `&[PortIndex]` lookups. The
+//! table records the [`LinkMask::generation`] it was built against;
+//! when the mask mutates (dynamic topologies flip links at epoch
+//! boundaries) the stamp goes stale and the owner rebuilds lazily on the
+//! next lookup — a handful of rebuilds per run instead of a per-packet
+//! mask probe.
+
+use crate::fabric::RoutingTopology;
+use crate::{FabricGraph, HostId, LinkMask, PortIndex, SwitchId};
+
+/// Flat, destination-switch-indexed candidate-port sets for a
+/// [`FabricGraph`], valid for one [`LinkMask`] generation.
+///
+/// Rows are indexed `at * num_switches + dst_switch`. The row for
+/// `at == dst_switch` is empty: local delivery picks the destination
+/// host's ejection port, which depends on the host rather than the
+/// switch, and stays on the caller's slow (trivial) path.
+///
+/// ```
+/// use epnet_topology::{FlattenedButterfly, HostId, RouteTable, RoutingTopology, SwitchId};
+/// let g = FlattenedButterfly::new(2, 4, 2)?.build_fabric();
+/// let table = RouteTable::build(&g, None);
+/// let dest = HostId::new(7);
+/// let mut dynamic = Vec::new();
+/// g.candidate_ports_masked(SwitchId::new(0), dest, None, &mut dynamic);
+/// assert_eq!(
+///     table.candidates(SwitchId::new(0), g.host_switch(dest)),
+///     &dynamic[..],
+/// );
+/// # Ok::<(), epnet_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    num_switches: usize,
+    generation: u64,
+    min_offsets: Vec<u32>,
+    min_ports: Vec<PortIndex>,
+    detour_offsets: Vec<u32>,
+    detour_ports: Vec<PortIndex>,
+}
+
+impl RouteTable {
+    /// Builds the table for `fabric` under `mask` by delegating to
+    /// [`FabricGraph::candidate_ports_masked`] and
+    /// [`FabricGraph::detour_ports_masked`] for every
+    /// `(switch, destination switch)` pair — the table is *defined* as
+    /// their memoization, so lookup order matches the on-the-fly path
+    /// exactly.
+    pub fn build(fabric: &FabricGraph, mask: Option<&LinkMask>) -> Self {
+        let s = fabric.num_switches();
+        let conc = u32::from(fabric.concentration());
+        let mut min_offsets = Vec::with_capacity(s * s + 1);
+        let mut detour_offsets = Vec::with_capacity(s * s + 1);
+        let mut min_ports = Vec::new();
+        let mut detour_ports = Vec::new();
+        let mut row = Vec::new();
+        min_offsets.push(0);
+        detour_offsets.push(0);
+        for at in 0..s {
+            let at = SwitchId::new(at as u32);
+            for dst in 0..s {
+                let dst = SwitchId::new(dst as u32);
+                if at != dst {
+                    // Any host of `dst` works: for a remote destination
+                    // the candidate set depends only on its switch.
+                    let probe = HostId::new(dst.raw() * conc);
+                    fabric.candidate_ports_masked(at, probe, mask, &mut row);
+                    min_ports.extend_from_slice(&row);
+                    fabric.detour_ports_masked(at, dst, mask, &mut row);
+                    detour_ports.extend_from_slice(&row);
+                }
+                min_offsets.push(min_ports.len() as u32);
+                detour_offsets.push(detour_ports.len() as u32);
+            }
+        }
+        Self {
+            num_switches: s,
+            generation: mask.map_or(0, LinkMask::generation),
+            min_offsets,
+            min_ports,
+            detour_offsets,
+            detour_ports,
+        }
+    }
+
+    /// The [`LinkMask::generation`] this table was built against
+    /// (0 when built without a mask).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether the table still matches `mask` (an unmasked fabric never
+    /// goes stale).
+    #[inline]
+    pub fn is_current(&self, mask: Option<&LinkMask>) -> bool {
+        mask.map_or(true, |m| m.generation() == self.generation)
+    }
+
+    /// Minimal candidate ports from `at` toward any host of
+    /// `dst_switch`, in [`FabricGraph::candidate_ports_masked`] order.
+    /// Empty for `at == dst_switch` (local delivery) and for switches
+    /// stranded by the mask.
+    #[inline]
+    pub fn candidates(&self, at: SwitchId, dst_switch: SwitchId) -> &[PortIndex] {
+        let row = at.index() * self.num_switches + dst_switch.index();
+        &self.min_ports[self.min_offsets[row] as usize..self.min_offsets[row + 1] as usize]
+    }
+
+    /// UGAL detour ports from `at` toward `dst_switch`, in
+    /// [`FabricGraph::detour_ports_masked`] order.
+    #[inline]
+    pub fn detours(&self, at: SwitchId, dst_switch: SwitchId) -> &[PortIndex] {
+        let row = at.index() * self.num_switches + dst_switch.index();
+        &self.detour_ports
+            [self.detour_offsets[row] as usize..self.detour_offsets[row + 1] as usize]
+    }
+
+    /// Number of switches the table covers.
+    #[inline]
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlattenedButterfly, LinkId, SubtopologyKind, TwoTierClos};
+
+    fn assert_matches_dynamic(fabric: &FabricGraph, mask: Option<&LinkMask>) {
+        let table = RouteTable::build(fabric, mask);
+        let mut dynamic = Vec::new();
+        for at in 0..fabric.num_switches() {
+            let at = SwitchId::new(at as u32);
+            for h in 0..fabric.num_hosts() {
+                let dest = HostId::new(h as u32);
+                let dst_switch = fabric.host_switch(dest);
+                if at == dst_switch {
+                    continue;
+                }
+                fabric.candidate_ports_masked(at, dest, mask, &mut dynamic);
+                assert_eq!(table.candidates(at, dst_switch), &dynamic[..]);
+                fabric.detour_ports_masked(at, dst_switch, mask, &mut dynamic);
+                assert_eq!(table.detours(at, dst_switch), &dynamic[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn butterfly_table_matches_dynamic_routing() {
+        let g = FlattenedButterfly::new(2, 4, 3).unwrap().build_fabric();
+        assert_matches_dynamic(&g, None);
+        let mesh = LinkMask::subtopology(&g, SubtopologyKind::Mesh);
+        assert_matches_dynamic(&g, Some(&mesh));
+        let torus = LinkMask::subtopology(&g, SubtopologyKind::Torus);
+        assert_matches_dynamic(&g, Some(&torus));
+    }
+
+    #[test]
+    fn clos_table_matches_dynamic_routing() {
+        let g = TwoTierClos::new(4, 2, 6).unwrap().build_fabric();
+        assert_matches_dynamic(&g, None);
+    }
+
+    #[test]
+    fn local_rows_are_empty() {
+        let g = FlattenedButterfly::new(2, 4, 2).unwrap().build_fabric();
+        let table = RouteTable::build(&g, None);
+        for s in 0..g.num_switches() {
+            let s = SwitchId::new(s as u32);
+            assert!(table.candidates(s, s).is_empty());
+            assert!(table.detours(s, s).is_empty());
+        }
+    }
+
+    #[test]
+    fn staleness_follows_mask_generation() {
+        let g = FlattenedButterfly::new(2, 4, 2).unwrap().build_fabric();
+        let mut mask = LinkMask::all_enabled(&g);
+        let table = RouteTable::build(&g, Some(&mask));
+        assert!(table.is_current(Some(&mask)));
+        assert!(table.is_current(None), "maskless lookups never go stale");
+        let link = LinkId::new(g.num_links() as u32 - 1);
+        mask.disable(link);
+        assert!(!table.is_current(Some(&mask)));
+        let rebuilt = RouteTable::build(&g, Some(&mask));
+        assert!(rebuilt.is_current(Some(&mask)));
+        assert_matches_dynamic(&g, Some(&mask));
+    }
+}

@@ -1,13 +1,29 @@
 #!/usr/bin/env bash
 # Seconds-long benchmark smoke: the scheduler hold-model microbenchmark
-# (calendar queue vs binary heap at 100k pending events) plus one small
-# sensitivity sweep at 1 and 4 worker threads.
+# (calendar queue vs binary heap at 100k pending events), one small
+# sensitivity sweep at 1 and 4 worker threads, and the canonical engine
+# throughput scenario, which rewrites BENCH_engine.json at the repo
+# root.
 #
 # Runs only the benchmarks whose names contain "smoke" — the full
-# grids live in `cargo bench -p epnet-bench --bench scheduler`.
-# The same paths are exercised in-process by tests/tests/bench_smoke.rs
-# so `cargo test` keeps them honest without nesting cargo invocations.
+# grids live in `cargo bench -p epnet-bench --bench scheduler` and
+# `--bench engine`. The same paths are exercised in-process by
+# tests/tests/bench_smoke.rs so `cargo test` keeps them honest without
+# nesting cargo invocations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-exec cargo bench --offline -p epnet-bench --bench scheduler -- smoke
+cargo bench --offline -p epnet-bench --bench scheduler -- smoke
+cargo bench --offline -p epnet-bench --bench engine -- smoke
+
+# The engine smoke must have left a parseable BENCH_engine.json behind.
+test -s BENCH_engine.json || { echo "BENCH_engine.json missing" >&2; exit 1; }
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_engine.json"))
+assert doc["schema"] == "epnet-bench-engine/v1", doc["schema"]
+assert doc["benches"], "no benches recorded"
+for b in doc["benches"]:
+    print(f'{b["name"]}: {b["events_per_sec"]:.3e} events/s, '
+          f'{b["delivered_bytes_per_sec"]:.3e} delivered B/s')
+EOF

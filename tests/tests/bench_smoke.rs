@@ -1,13 +1,15 @@
 //! In-process twin of `scripts/bench_smoke.sh`: exercises the
-//! scheduler hold model on both backends and one small parallel sweep,
-//! asserting correctness (identical pop streams, well-formed cells)
-//! rather than speed — wall-clock assertions would flake on loaded
-//! machines, so the perf claims live in the benchmarks and
+//! scheduler hold model on both backends, one small parallel sweep,
+//! and the canonical `BENCH_engine.json` scenario, asserting
+//! correctness (identical pop streams, well-formed cells, schema
+//! validity) rather than speed — wall-clock assertions would flake on
+//! loaded machines, so the perf claims live in the benchmarks and
 //! EXPERIMENTS.md.
 
 use epnet::exp::sweep::SensitivitySweep;
 use epnet::exp::{EvalScale, WorkloadKind};
 use epnet::sim::{Backend, Scheduler, SimTime};
+use epnet_bench::enginebench;
 
 /// SplitMix64, matching the generator in benches/scheduler.rs.
 struct Mix(u64);
@@ -64,4 +66,28 @@ fn small_sweep_produces_well_formed_cells() {
         assert!(cell.delivery_ratio > 0.0 && cell.delivery_ratio <= 1.0 + 1e-9);
         assert!(cell.power_ideal > 0.0 && cell.power_ideal <= 1.0 + 1e-9);
     }
+}
+
+#[test]
+fn engine_bench_document_is_well_formed() {
+    // The only test in this binary touching `EPNET_ROUTES`, so no env
+    // lock is needed; `measure_both_modes` restores the prior value.
+    let runs = enginebench::measure_both_modes();
+    assert_eq!(runs.len(), 2);
+    assert_eq!(runs[0].name, "route_table");
+    assert_eq!(runs[1].name, "dynamic_routes");
+    for r in &runs {
+        assert!(r.sim_events > 0, "{}: engine popped no events", r.name);
+        assert!(r.sim_packets > 0, "{}: nothing delivered", r.name);
+        assert!(r.wall_ms > 0.0);
+    }
+    // Both route modes simulate the identical run, so their simulation
+    // counters — not just the final report — must agree exactly.
+    assert_eq!(runs[0].sim_events, runs[1].sim_events);
+    assert_eq!(runs[0].sim_packets, runs[1].sim_packets);
+    assert_eq!(runs[0].sim_delivered_bytes, runs[1].sim_delivered_bytes);
+
+    let doc = enginebench::render(&runs);
+    let names = enginebench::validate(&doc).expect("rendered document validates");
+    assert_eq!(names, vec!["route_table", "dynamic_routes"]);
 }

@@ -72,3 +72,52 @@ fn scheduler_backend_does_not_change_simulation_output() {
         "calendar queue and binary heap must produce bit-identical runs"
     );
 }
+
+#[test]
+fn route_mode_does_not_change_simulation_output() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let experiment = Experiment::new(tiny(), WorkloadKind::Search);
+
+    std::env::set_var("EPNET_ROUTES", "dynamic");
+    let dynamic = serde_json::to_string_pretty(&experiment.run()).expect("outcome serializes");
+    std::env::remove_var("EPNET_ROUTES");
+    let table = serde_json::to_string_pretty(&experiment.run()).expect("outcome serializes");
+
+    assert_eq!(
+        dynamic, table,
+        "precomputed route tables and per-hop routing must produce bit-identical runs"
+    );
+}
+
+#[test]
+fn route_mode_is_identical_under_dynamic_topology() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    // Dynamic topology mutates the link mask at epoch ticks, exercising
+    // the lazy route-table rebuild path; the rebuilt tables must still
+    // match per-hop routing byte for byte.
+    let scale = tiny();
+    let fabric = scale.fabric();
+
+    let run = || {
+        let mut sim = Simulator::new(
+            fabric.clone(),
+            SimConfig::default(),
+            WorkloadKind::Search.source(scale.hosts() as u32, scale.seed, scale.duration),
+        );
+        sim.enable_dynamic_topology(DynamicTopology::new(
+            &fabric,
+            DynamicTopologyConfig::default(),
+        ));
+        serde_json::to_string_pretty(&sim.run_until(scale.duration)).expect("report serializes")
+    };
+
+    std::env::set_var("EPNET_ROUTES", "dynamic");
+    let dynamic = run();
+    std::env::remove_var("EPNET_ROUTES");
+    let table = run();
+
+    assert_eq!(
+        dynamic, table,
+        "route tables must stay bit-identical across mask reconfigurations"
+    );
+}
