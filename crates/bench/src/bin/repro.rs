@@ -19,6 +19,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
+    let started_all = Instant::now();
     let mut scale = EvalScale::quick();
     let mut json_path: Option<String> = None;
     let mut csv_dir: Option<String> = None;
@@ -119,6 +120,9 @@ fn main() -> ExitCode {
             }
         }
     }
+    // One line of run totals on stderr (suppress with EPNET_QUIET=1);
+    // stdout stays clean for the tables and JSON above.
+    epnet_telemetry::summary::eprint_summary("repro", started_all.elapsed().as_secs_f64());
     ExitCode::SUCCESS
 }
 

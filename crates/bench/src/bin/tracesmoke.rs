@@ -1,0 +1,81 @@
+//! Traced-run smoke check: runs the canonical engine-benchmark scenario
+//! with every trace category enabled, then validates the emitted JSONL
+//! against the documented schema (DESIGN.md "Observability").
+//!
+//! ```text
+//! tracesmoke [TRACE.jsonl]     (default: target/tracesmoke.jsonl)
+//! ```
+//!
+//! Exits non-zero if any line fails schema validation or if the run
+//! produced no controller-decision or link-reactivation events — the
+//! two categories the canonical scenario is guaranteed to exercise.
+//! `scripts/bench_smoke.sh` and the in-process twin
+//! (`tests/tests/bench_smoke.rs`) both lean on this to catch schema
+//! drift between the emitters and the validator.
+
+use epnet_bench::enginebench::{canonical_simulator, HORIZON};
+use epnet_sim::{TraceCategory, Tracer};
+use epnet_telemetry::{summary, validate_jsonl, FileSink};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/tracesmoke.jsonl".to_string());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let sink = match FileSink::create(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let start = Instant::now();
+    let mut sim = canonical_simulator();
+    sim.set_tracer(Tracer::new(sink, TraceCategory::ALL_MASK));
+    let report = sim.run_until(HORIZON);
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read back {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match validate_jsonl(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace schema violation in {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{path}: {} schema-valid trace lines", stats.lines);
+    for cat in TraceCategory::ALL {
+        println!("  {:<13} {}", cat.name(), stats.count(cat));
+    }
+    for cat in [TraceCategory::Controller, TraceCategory::Reactivation] {
+        if stats.count(cat) == 0 {
+            eprintln!(
+                "canonical scenario produced no '{}' events — emitter regression?",
+                cat.name()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "sim: {} events, {} packets, {} bytes delivered",
+        report.events_processed, report.packets_delivered, report.delivered_bytes
+    );
+    summary::eprint_summary("tracesmoke", start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -24,7 +24,35 @@ use std::time::Instant;
 pub const SCHEMA: &str = "epnet-bench-engine/v1";
 
 /// Simulated horizon of the canonical run.
-const HORIZON: SimTime = SimTime::from_ms(10);
+pub const HORIZON: SimTime = SimTime::from_ms(10);
+
+/// The canonical scenario's traffic source.
+pub type CanonicalSource = MergedSource<UniformRandom, ServiceTrace>;
+
+/// Builds the canonical FBFLY(2,8,2) scenario (see module docs), ready
+/// to run for [`HORIZON`] of simulated time. Shared by the throughput
+/// benchmark and the `tracesmoke` trace-schema check so both exercise
+/// the exact same configuration.
+pub fn canonical_simulator() -> Simulator<CanonicalSource> {
+    let build_start = Instant::now();
+    let fabric = FlattenedButterfly::new(2, 8, 2)
+        .expect("fixed canonical shape")
+        .build_fabric();
+    let topology_wall = build_start.elapsed();
+    let hosts = fabric.num_hosts() as u32;
+    let source = MergedSource::new(
+        UniformRandom::builder(hosts)
+            .offered_load(0.3)
+            .horizon(HORIZON)
+            .build(),
+        ServiceTrace::builder(hosts, ServiceTraceConfig::search_like())
+            .horizon(HORIZON)
+            .build(),
+    );
+    let mut sim = Simulator::new(fabric, SimConfig::default(), source);
+    sim.record_phase("topology_build", topology_wall);
+    sim
+}
 
 /// One measured run of the canonical scenario.
 #[derive(Debug, Clone)]
@@ -74,20 +102,7 @@ impl EngineRun {
 /// Runs the canonical scenario once under the current `EPNET_ROUTES`
 /// setting and measures it.
 pub fn measure(name: &'static str) -> EngineRun {
-    let fabric = FlattenedButterfly::new(2, 8, 2)
-        .expect("fixed canonical shape")
-        .build_fabric();
-    let hosts = fabric.num_hosts() as u32;
-    let source = MergedSource::new(
-        UniformRandom::builder(hosts)
-            .offered_load(0.3)
-            .horizon(HORIZON)
-            .build(),
-        ServiceTrace::builder(hosts, ServiceTraceConfig::search_like())
-            .horizon(HORIZON)
-            .build(),
-    );
-    let sim = Simulator::new(fabric, SimConfig::default(), source);
+    let sim = canonical_simulator();
     let start = Instant::now();
     let report = sim.run_until(HORIZON);
     let wall = start.elapsed();

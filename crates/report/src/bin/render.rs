@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! render RESULTS.json OUT_DIR
+//! render --trace TRACE.jsonl OUT_DIR
 //! ```
 //!
-//! Emits `figure7.svg`, `figure8a.svg`, `figure8b.svg`, `figure9a.svg`,
-//! and `figure9b.svg` for whichever figures are present in the JSON.
+//! The first form emits `figure7.svg`, `figure8a.svg`, `figure8b.svg`,
+//! `figure9a.svg`, and `figure9b.svg` for whichever figures are present
+//! in the JSON. The second consumes an `EPNET_TRACE` JSONL file and
+//! emits `trace_residency.svg` (per-rate residency reconstructed from
+//! controller decisions) and `trace_timeline.svg` (per-channel
+//! controller-decision timeline).
 
 use epnet::exp::figures::{Figure7, Figure8, Figure9aCell, Figure9bCell};
 use std::path::Path;
@@ -13,8 +18,16 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let ["--trace", trace, out_dir] = args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        return render_trace(trace, out_dir);
+    }
     let [input, out_dir] = args.as_slice() else {
-        eprintln!("usage: render RESULTS.json OUT_DIR");
+        eprintln!("usage: render RESULTS.json OUT_DIR\n       render --trace TRACE.jsonl OUT_DIR");
         return ExitCode::FAILURE;
     };
     let raw = match std::fs::read_to_string(input) {
@@ -80,6 +93,57 @@ fn main() -> ExitCode {
     if rendered == 0 {
         eprintln!("no renderable figures found in {input} (run repro with figure7/8/9 targets)");
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Channels shown in the trace timeline: enough to see per-channel
+/// behavior without producing an unmanageably tall SVG.
+const TIMELINE_CHANNELS: u32 = 32;
+
+fn render_trace(trace: &str, out_dir: &str) -> ExitCode {
+    let raw = match std::fs::read_to_string(trace) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {trace}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = match epnet_telemetry::parse_jsonl(&raw) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot parse {trace}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let derived = epnet_report::tracecharts::derive(&records);
+    if derived.channels == 0 {
+        eprintln!(
+            "{trace} has no controller decisions — run with EPNET_TRACE set \
+             (and 'controller' in EPNET_TRACE_FILTER, if filtering)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (name, svg) in [
+        (
+            "trace_residency.svg",
+            epnet_report::tracecharts::render_trace_residency(&derived),
+        ),
+        (
+            "trace_timeline.svg",
+            epnet_report::tracecharts::render_controller_timeline(&derived, TIMELINE_CHANNELS),
+        ),
+    ] {
+        let path = Path::new(out_dir).join(name);
+        if let Err(e) = std::fs::write(&path, svg) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }

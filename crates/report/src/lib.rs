@@ -19,6 +19,7 @@
 
 pub mod charts;
 pub mod svg;
+pub mod tracecharts;
 
 use charts::Series;
 use epnet::exp::figures::{Figure7, Figure8, Figure9aCell, Figure9bCell};

@@ -143,6 +143,62 @@ mod tests {
         assert_eq!(desired_rate(p, R5, 0.9, 0.5, MIN, MAX), R40);
     }
 
+    /// Every comparison in `desired_rate` is strict (`<` / `>`), so a
+    /// utilization sitting *exactly* on a threshold holds the current
+    /// rate for all four policies. This pins the tie-breaking direction:
+    /// flipping any comparison to `<=` / `>=` fails here.
+    #[test]
+    fn exact_thresholds_hold_for_every_policy() {
+        let target = 0.5;
+        for current in [R2_5, R5, R10, R20, R40] {
+            for p in [
+                RatePolicy::HalveDouble,
+                RatePolicy::JumpToExtremes,
+                RatePolicy::LaneAware,
+            ] {
+                assert_eq!(
+                    desired_rate(p, current, target, target, MIN, MAX),
+                    current,
+                    "{p:?} must hold {current} at exactly the target"
+                );
+            }
+            let h = RatePolicy::Hysteresis { low: 0.25, high: 0.75 };
+            // Exactly on either band edge is *inside* the dead band.
+            assert_eq!(desired_rate(h, current, 0.25, target, MIN, MAX), current);
+            assert_eq!(desired_rate(h, current, 0.75, target, MIN, MAX), current);
+        }
+        // LaneAware's decisive-downshift threshold (target/4) is strict
+        // too: exactly at it, the lane boundary is not crossed.
+        assert_eq!(
+            desired_rate(RatePolicy::LaneAware, R10, 0.125, 0.5, MIN, MAX),
+            R10
+        );
+        // A hair below it, the jump to the floor happens.
+        assert_eq!(
+            desired_rate(RatePolicy::LaneAware, R10, 0.1249, 0.5, MIN, MAX),
+            R2_5
+        );
+    }
+
+    /// Saturation at the ladder ends, for all four policies: already at
+    /// min (max), further idleness (load) changes nothing.
+    #[test]
+    fn extremes_saturate_for_every_policy() {
+        let policies = [
+            RatePolicy::HalveDouble,
+            RatePolicy::JumpToExtremes,
+            RatePolicy::LaneAware,
+            RatePolicy::Hysteresis { low: 0.25, high: 0.75 },
+        ];
+        for p in policies {
+            assert_eq!(desired_rate(p, MIN, 0.0, 0.5, MIN, MAX), MIN);
+            assert_eq!(desired_rate(p, MAX, 1.0, 0.5, MIN, MAX), MAX);
+            // Narrowed ladder: the clamp wins over the policy's pick.
+            assert_eq!(desired_rate(p, R10, 0.0, 0.5, R5, R20), R5);
+            assert_eq!(desired_rate(p, R10, 1.0, 0.5, R5, R20), R20);
+        }
+    }
+
     #[test]
     fn custom_floor_is_respected() {
         // A deployment may forbid the slowest mode.

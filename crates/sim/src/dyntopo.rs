@@ -20,8 +20,10 @@
 
 use crate::config::SimConfig;
 use crate::engine::Channel;
+use crate::instrument::Instruments;
 use crate::stats::Stats;
 use crate::SimTime;
+use epnet_telemetry::TraceCategory;
 use epnet_topology::{FabricGraph, LinkId, LinkMask, PortTarget, RoutingTopology, SwitchId};
 use serde::{Deserialize, Serialize};
 
@@ -140,6 +142,7 @@ impl DynamicTopology {
 
     /// One controller pass, invoked by the engine at every epoch tick
     /// after the rate controller.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_epoch(
         &mut self,
         now: SimTime,
@@ -148,6 +151,7 @@ impl DynamicTopology {
         mask: &mut LinkMask,
         config: &SimConfig,
         stats: &mut Stats,
+        inst: &mut Instruments,
     ) {
         // 1. Finish draining links whose channels fell idle.
         let slots = &self.slots;
@@ -197,9 +201,13 @@ impl DynamicTopology {
                 busy[ring] as f64 / (count[ring] as u128 * u128::from(epoch.as_ps())) as f64;
             let tier = self.ring_tier[ring];
             if util > self.config.on_threshold && tier < 2 {
-                self.set_ring_tier(ring, tier + 1, now, fabric, channels, mask, config, stats);
+                self.set_ring_tier(
+                    ring, tier + 1, now, fabric, channels, mask, config, stats, inst,
+                );
             } else if util < self.config.off_threshold && tier > 0 {
-                self.set_ring_tier(ring, tier - 1, now, fabric, channels, mask, config, stats);
+                self.set_ring_tier(
+                    ring, tier - 1, now, fabric, channels, mask, config, stats, inst,
+                );
             }
         }
     }
@@ -215,6 +223,7 @@ impl DynamicTopology {
         mask: &mut LinkMask,
         config: &SimConfig,
         stats: &mut Stats,
+        inst: &mut Instruments,
     ) {
         let old_tier = self.ring_tier[ring];
         self.ring_tier[ring] = new_tier;
@@ -237,6 +246,17 @@ impl DynamicTopology {
                     }
                     c.reactivate(now, config.reactivation.worst_case(), config.max_rate);
                     stats.record_rate(now, ch.raw(), Some(config.max_rate));
+                    if inst.on(TraceCategory::Reactivation) {
+                        let until = now + config.reactivation.worst_case();
+                        let rate = config.max_rate.to_string();
+                        inst.tracer().reactivation(
+                            now.as_ps(),
+                            ch.raw(),
+                            "start",
+                            &rate,
+                            Some(until.as_ps()),
+                        );
+                    }
                 }
                 self.transitions += 1;
                 stats.reconfigurations += 1;

@@ -27,16 +27,19 @@ use crate::config::{ControlMode, RoutingPolicy, SimConfig};
 use crate::controller::desired_rate;
 use crate::dyntopo::DynamicTopology;
 use crate::event::{Event, EventQueue};
+use crate::instrument::Instruments;
 use crate::packet::{MessageId, Packet, PacketArena, PacketId};
 use crate::stats::{RateResidency, SimReport, Stats};
 use crate::traffic::{Message, TrafficSource};
 use crate::SimTime;
 use epnet_power::{LinkRate, RATE_LADDER};
+use epnet_telemetry::{TraceCategory, Tracer};
 use epnet_topology::{
     ChannelId, FabricGraph, LinkMask, Medium, PortIndex, PortTarget, RouteTable, RoutingTopology,
     SwitchId,
 };
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Per-channel runtime state.
 #[derive(Debug)]
@@ -169,6 +172,20 @@ struct MessageRec {
     offered_at: SimTime,
 }
 
+/// What [`Simulator::apply_rate`] did with a controller decision —
+/// the trace layer's `reason` derives from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RateOutcome {
+    /// The channel already ran at the decided rate.
+    Unchanged,
+    /// The rate change took effect (reactivation charged).
+    Applied,
+    /// Downshift parked behind a drain (§3.2's first option).
+    DrainDeferred,
+    /// A pending drain-first change was cancelled by a reversal.
+    DrainCancelled,
+}
+
 /// How `route()` obtains its candidate-port sets.
 ///
 /// The default is a precomputed [`RouteTable`] indexed per hop and
@@ -230,6 +247,8 @@ pub struct Simulator<S> {
     /// bounds transmission trains at the epoch so no rate or mask
     /// change can land mid-train.
     controller_active: bool,
+    /// Telemetry: tracer, metrics registry, phase profiler.
+    inst: Instruments,
 }
 
 impl<S: TrafficSource> Simulator<S> {
@@ -253,11 +272,27 @@ impl<S: TrafficSource> Simulator<S> {
         }
         let warmup = config.warmup;
         let first_epoch_end = config.epoch;
+        let mut inst = Instruments::from_env();
         let routes = match std::env::var("EPNET_ROUTES") {
             Ok(v) if v.eq_ignore_ascii_case("dynamic") => RouteMode::Dynamic {
                 scratch: Vec::new(),
             },
-            _ => RouteMode::Table(RouteTable::build(&fabric, None)),
+            _ => {
+                let start = Instant::now();
+                let table = RouteTable::build(&fabric, None);
+                let wall = start.elapsed();
+                inst.profiler.record("route_table_build", wall);
+                if inst.on(TraceCategory::Routes) {
+                    let build_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+                    inst.tracer().routes(
+                        0,
+                        table.generation(),
+                        build_ns,
+                        table.num_port_entries() as u64,
+                    );
+                }
+                RouteMode::Table(table)
+            }
         };
         Self {
             fabric,
@@ -277,7 +312,25 @@ impl<S: TrafficSource> Simulator<S> {
             last_offered_at: SimTime::ZERO,
             epoch_end: first_epoch_end,
             controller_active: false,
+            inst,
         }
+    }
+
+    /// Replaces the trace destination for this run (programmatic
+    /// alternative to `EPNET_TRACE`; see
+    /// [`epnet_telemetry::MemorySink`]). Events emitted during
+    /// construction — the initial route-table build — are only
+    /// captured when tracing was already configured via the
+    /// environment.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.inst.set_tracer(tracer);
+    }
+
+    /// Attributes externally measured wall time (e.g. topology
+    /// elaboration, which happens before the simulator exists) to a
+    /// named phase of this run's breakdown.
+    pub fn record_phase(&mut self, name: &'static str, wall: std::time::Duration) {
+        self.inst.profiler.record(name, wall);
     }
 
     /// Enables the dynamic-topology extension (§5.2): links beyond the
@@ -319,29 +372,79 @@ impl<S: TrafficSource> Simulator<S> {
         // Peek before popping: events beyond the horizon stay queued
         // (the queue is dropped wholesale with the engine) and the
         // monotonic-pop invariant is checked without consuming.
+        //
+        // The warmup/measurement wall-clock split costs one predictable
+        // branch per pop until the warmup boundary passes, then nothing.
+        let ids = self.inst.ids;
+        let warmup_end = self.config.warmup;
+        let mut phase_start = Instant::now();
+        let mut in_warmup = warmup_end > SimTime::ZERO;
         while let Some(t) = self.queue.peek_time() {
             if t > self.end {
                 break;
+            }
+            if in_warmup && t >= warmup_end {
+                self.inst.profiler.record("warmup", phase_start.elapsed());
+                phase_start = Instant::now();
+                in_warmup = false;
             }
             debug_assert!(t >= self.now, "time went backwards");
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
             self.now = t;
             self.stats.events += 1;
             match ev {
-                Event::Workload => self.on_workload(),
-                Event::TxDone { channel } => self.on_tx_done(channel),
-                Event::Arrive { channel, packet } => self.on_arrive(channel, packet),
+                Event::Workload => {
+                    self.inst.metrics.add(ids.ev_workload, 1);
+                    self.on_workload();
+                }
+                Event::TxDone { channel } => {
+                    self.inst.metrics.add(ids.ev_tx_done, 1);
+                    self.on_tx_done(channel);
+                }
+                Event::Arrive { channel, packet } => {
+                    self.inst.metrics.add(ids.ev_arrive, 1);
+                    self.on_arrive(channel, packet);
+                }
                 Event::CreditWake { channel } => {
+                    self.inst.metrics.add(ids.ev_credit_wake, 1);
                     self.channels[channel.index()].credit_wake_scheduled = false;
+                    if self.inst.on(TraceCategory::Credit) {
+                        let c = &self.channels[channel.index()];
+                        let needed = c
+                            .queue
+                            .front()
+                            .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
+                        let credits = u64::from(c.credits);
+                        self.inst
+                            .tracer()
+                            .credit(t.as_ps(), channel.raw(), "unblock", needed, credits);
+                    }
                     self.try_tx(channel);
                 }
                 Event::Retry { channel } => {
+                    self.inst.metrics.add(ids.ev_retry, 1);
                     self.channels[channel.index()].retry_scheduled = false;
+                    // A Retry matures exactly at `available_at`: the
+                    // link carries traffic again, closing the
+                    // reactivation window — traced here so tracing
+                    // never schedules events of its own.
+                    if self.inst.on(TraceCategory::Reactivation) {
+                        let rate = self.channels[channel.index()].rate.to_string();
+                        self.inst
+                            .tracer()
+                            .reactivation(t.as_ps(), channel.raw(), "end", &rate, None);
+                    }
                     self.try_tx(channel);
                 }
-                Event::EpochTick => self.on_epoch(),
+                Event::EpochTick => {
+                    self.inst.metrics.add(ids.ev_epoch_tick, 1);
+                    self.on_epoch();
+                }
             }
         }
+        self.inst
+            .profiler
+            .record(if in_warmup { "warmup" } else { "measurement" }, phase_start.elapsed());
         self.now = end;
         self.finish()
     }
@@ -455,12 +558,23 @@ impl<S: TrafficSource> Simulator<S> {
         }
         let head_bytes = self.arena.get(head).bytes;
         if c.credits < head_bytes {
+            self.inst.metrics.add(self.inst.ids.credit_blocked_tries, 1);
             // Blocked on credits: wake exactly when the next pending
             // return matures. If none is booked yet, the arrival that
             // books one re-arms the wake (`on_arrive`).
             if !c.credit_wake_scheduled {
                 if let Some(&(at, _)) = c.pending_credits.front() {
                     c.credit_wake_scheduled = true;
+                    if self.inst.on(TraceCategory::Credit) {
+                        let credits = u64::from(c.credits);
+                        self.inst.tracer().credit(
+                            now.as_ps(),
+                            ch.raw(),
+                            "block",
+                            u64::from(head_bytes),
+                            credits,
+                        );
+                    }
                     self.queue.schedule(at, Event::CreditWake { channel: ch });
                 }
             }
@@ -542,6 +656,12 @@ impl<S: TrafficSource> Simulator<S> {
     fn on_tx_done(&mut self, ch: ChannelId) {
         let c = &mut self.channels[ch.index()];
         debug_assert!(c.train_len >= 1, "TxDone without a train");
+        let train = u64::from(c.train_len);
+        self.inst.metrics.add(self.inst.ids.tx_trains, 1);
+        self.inst.metrics.add(self.inst.ids.tx_train_packets, train);
+        self.inst
+            .metrics
+            .observe_max(self.inst.ids.tx_train_max_packets, train);
         for _ in 0..c.train_len {
             c.queue.pop_front().expect("TxDone with empty queue");
         }
@@ -574,6 +694,16 @@ impl<S: TrafficSource> Simulator<S> {
         if !c.busy && !c.queue.is_empty() && !c.credit_wake_scheduled && self.now >= c.available_at
         {
             c.credit_wake_scheduled = true;
+            if self.inst.on(TraceCategory::Credit) {
+                let needed = c
+                    .queue
+                    .front()
+                    .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
+                let credits = u64::from(c.credits);
+                self.inst
+                    .tracer()
+                    .credit(self.now.as_ps(), ch.raw(), "block", needed, credits);
+            }
             self.queue.schedule(matures, Event::CreditWake { channel: ch });
         }
         match self.fabric.channel_target(ch) {
@@ -620,8 +750,20 @@ impl<S: TrafficSource> Simulator<S> {
         }
         if let RouteMode::Table(t) = &self.routes {
             if !t.is_current(self.mask.as_ref()) {
-                self.routes =
-                    RouteMode::Table(RouteTable::build(&self.fabric, self.mask.as_ref()));
+                let start = Instant::now();
+                let table = RouteTable::build(&self.fabric, self.mask.as_ref());
+                let wall = start.elapsed();
+                self.inst.profiler.record("route_table_build", wall);
+                if self.inst.on(TraceCategory::Routes) {
+                    let build_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+                    self.inst.tracer().routes(
+                        self.now.as_ps(),
+                        table.generation(),
+                        build_ns,
+                        table.num_port_entries() as u64,
+                    );
+                }
+                self.routes = RouteMode::Table(table);
             }
         }
         // Rotating start index de-correlates tie-breaks between switches
@@ -673,6 +815,16 @@ impl<S: TrafficSource> Simulator<S> {
                     if 2 * occ + u64::from(bias_bytes) < best_occ {
                         best = port;
                         misrouted = true;
+                        self.inst.metrics.add(self.inst.ids.detours_taken, 1);
+                        if self.inst.on(TraceCategory::Detour) {
+                            self.inst.tracer().detour(
+                                self.now.as_ps(),
+                                at.raw(),
+                                u32::from(port.raw()),
+                                occ,
+                                best_occ,
+                            );
+                        }
                     }
                 }
             }
@@ -768,16 +920,32 @@ impl<S: TrafficSource> Simulator<S> {
                 mask,
                 &self.config,
                 &mut self.stats,
+                &mut self.inst,
             );
             self.dyntopo = Some(dt);
         }
         let epoch = self.config.epoch;
+        // Queue depth is sampled here, once per channel per epoch, so
+        // the mean/peak metrics describe standing queues rather than
+        // transient per-packet spikes.
+        let mut queued_sum = 0u64;
+        let mut queued_peak = 0u64;
         for c in &mut self.channels {
+            queued_sum += c.occupancy;
+            queued_peak = queued_peak.max(c.occupancy);
             // Pre-charge the next epoch with the in-flight transmission's
             // overhang.
             let overhang = c.busy_until.saturating_sub(self.now);
             c.busy_ps_epoch = overhang.as_ps().min(epoch.as_ps());
         }
+        let ids = self.inst.ids;
+        self.inst
+            .metrics
+            .add(ids.epoch_queue_samples, self.channels.len() as u64);
+        self.inst.metrics.add(ids.epoch_queue_bytes_sum, queued_sum);
+        self.inst
+            .metrics
+            .observe_max(ids.epoch_queue_bytes_peak, queued_peak);
         let next = self.now + epoch;
         self.epoch_end = next;
         if next <= self.end {
@@ -788,9 +956,8 @@ impl<S: TrafficSource> Simulator<S> {
     fn retune_independent(&mut self) {
         for ch in 0..self.channels.len() {
             let id = ChannelId::new(ch as u32);
-            let desired = self.channel_desired_rate(id);
-            if let Some(rate) = desired {
-                self.apply_rate(id, rate);
+            if let Some((util, rate)) = self.channel_decision(id) {
+                self.decide_rate(id, util, rate);
             }
         }
     }
@@ -800,40 +967,63 @@ impl<S: TrafficSource> Simulator<S> {
         // requirements of the channel with the highest load" (§3.3.1).
         for link in 0..self.fabric.num_links() {
             let (a, b) = self.fabric.link_channels(epnet_topology::LinkId::new(link as u32));
-            let (da, db) = (self.channel_desired_rate(a), self.channel_desired_rate(b));
-            let rate = match (da, db) {
-                (Some(ra), Some(rb)) => ra.max(rb),
+            let (da, db) = (self.channel_decision(a), self.channel_decision(b));
+            let ((ua, ra), (ub, rb)) = match (da, db) {
+                (Some(da), Some(db)) => (da, db),
                 _ => continue,
             };
-            self.apply_rate(a, rate);
-            self.apply_rate(b, rate);
+            let rate = ra.max(rb);
+            self.decide_rate(a, ua, rate);
+            self.decide_rate(b, ub, rate);
         }
     }
 
-    /// The rate the policy wants for this channel, or `None` when the
-    /// channel is exempt from tuning (host link with tuning disabled, or
-    /// powered off).
-    fn channel_desired_rate(&self, ch: ChannelId) -> Option<LinkRate> {
+    /// The measured utilization and the rate the policy wants for this
+    /// channel, or `None` when the channel is exempt from tuning (host
+    /// link with tuning disabled, or powered off).
+    fn channel_decision(&self, ch: ChannelId) -> Option<(f64, LinkRate)> {
         let c = &self.channels[ch.index()];
         if !c.tunable || c.off {
             return None;
         }
         let util = c.epoch_utilization(self.config.epoch);
-        Some(desired_rate(
+        let rate = desired_rate(
             self.config.policy,
             c.rate,
             util,
             self.config.target_utilization,
             self.config.min_rate,
             self.config.max_rate,
-        ))
+        );
+        Some((util, rate))
+    }
+
+    /// Applies one controller decision and, when tracing, records it
+    /// with the measured utilization and the outcome-derived reason.
+    fn decide_rate(&mut self, ch: ChannelId, util: f64, rate: LinkRate) {
+        let old = self.channels[ch.index()].rate;
+        let outcome = self.apply_rate(ch, rate);
+        if self.inst.on(TraceCategory::Controller) {
+            let reason = match outcome {
+                RateOutcome::Unchanged => "hold",
+                RateOutcome::Applied if rate > old => "upshift",
+                RateOutcome::Applied => "downshift",
+                RateOutcome::DrainDeferred => "drain_deferred",
+                RateOutcome::DrainCancelled => "drain_cancelled",
+            };
+            let at = self.now.as_ps();
+            let (old, new) = (old.to_string(), rate.to_string());
+            self.inst
+                .tracer()
+                .controller(at, ch.raw(), util, &old, &new, reason);
+        }
     }
 
     /// Applies a rate decision; a change costs the reactivation latency
     /// (§3.1). Under [`ReactivationStrategy::DrainFirst`] a busy channel
     /// is first removed from the legal routes and drained (§3.2's first
     /// option).
-    fn apply_rate(&mut self, ch: ChannelId, rate: LinkRate) {
+    fn apply_rate(&mut self, ch: ChannelId, rate: LinkRate) -> RateOutcome {
         let now = self.now;
         let model = self.config.reactivation;
         let strategy = self.config.reactivation_strategy;
@@ -841,10 +1031,10 @@ impl<S: TrafficSource> Simulator<S> {
         if c.pending_rate.take().is_some() && c.rate == rate {
             // The controller changed its mind back before the drain
             // finished; cancel the pending change.
-            return;
+            return RateOutcome::DrainCancelled;
         }
         if c.rate == rate {
-            return;
+            return RateOutcome::Unchanged;
         }
         // Drain-first only defers *downshifts*: an upshift is what a
         // congested queue needs, and deferring it until the queue
@@ -854,18 +1044,30 @@ impl<S: TrafficSource> Simulator<S> {
             && !c.queue_is_idle()
         {
             c.pending_rate = Some(rate);
-            return;
+            return RateOutcome::DrainDeferred;
         }
         let latency = model.latency(c.rate, rate);
         c.note_interval(now);
         c.rate = rate;
-        c.available_at = now + latency;
+        let until = now + latency;
+        c.available_at = until;
         self.stats.reconfigurations += 1;
         self.stats.record_rate(now, ch.raw(), Some(rate));
+        if self.inst.on(TraceCategory::Reactivation) {
+            let rate = rate.to_string();
+            self.inst.tracer().reactivation(
+                now.as_ps(),
+                ch.raw(),
+                "start",
+                &rate,
+                Some(until.as_ps()),
+            );
+        }
         // If traffic is waiting, make sure it resumes once the channel
         // relocks (the serializing packet, if any, completes at the old
         // timing — the change takes effect for subsequent packets).
         self.try_tx(ch);
+        RateOutcome::Applied
     }
 
     /// Completes a drain-first rate change once the queue has emptied.
@@ -886,9 +1088,20 @@ impl<S: TrafficSource> Simulator<S> {
         let latency = model.latency(c.rate, rate);
         c.note_interval(now);
         c.rate = rate;
-        c.available_at = now + latency;
+        let until = now + latency;
+        c.available_at = until;
         self.stats.reconfigurations += 1;
         self.stats.record_rate(now, ch.raw(), Some(rate));
+        if self.inst.on(TraceCategory::Reactivation) {
+            let rate = rate.to_string();
+            self.inst.tracer().reactivation(
+                now.as_ps(),
+                ch.raw(),
+                "start",
+                &rate,
+                Some(until.as_ps()),
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -896,6 +1109,7 @@ impl<S: TrafficSource> Simulator<S> {
     // ------------------------------------------------------------------
 
     fn finish(mut self) -> SimReport {
+        let finalize_start = Instant::now();
         let end = self.now;
         let mut residency = RateResidency {
             at_rate_ps: [0; LinkRate::COUNT],
@@ -932,9 +1146,29 @@ impl<S: TrafficSource> Simulator<S> {
         };
         let num_channels = self.channels.len();
         let peak_live_packets = self.arena.capacity();
+        // Residency gauges are set once here: they are pure
+        // simulation-time totals, so the metrics map stays identical
+        // across scheduler/route modes and tracing on/off.
+        let ids = self.inst.ids;
+        let clamp = |ps: u128| u64::try_from(ps).unwrap_or(u64::MAX);
+        for r in RATE_LADDER {
+            self.inst
+                .metrics
+                .set(ids.residency_ps[r.index()], clamp(residency.at_rate_ps[r.index()]));
+        }
+        self.inst
+            .metrics
+            .set(ids.residency_off_ps, clamp(residency.off_ps));
+        let metrics = self.inst.metrics.snapshot();
+        self.inst
+            .profiler
+            .record("finalize", finalize_start.elapsed());
+        let phases = std::mem::take(&mut self.inst.profiler).into_phases();
+        self.inst.flush();
         // `finish` consumes the simulator, so the bulky per-run
         // collections (histogram, timeline) move into the report.
         let s = self.stats;
+        epnet_telemetry::summary::record_run(s.delivered_bytes, s.events, &phases);
         SimReport {
             duration: end,
             num_channels,
@@ -953,6 +1187,8 @@ impl<S: TrafficSource> Simulator<S> {
             asymmetric_link_fraction,
             peak_queue_bytes: s.peak_queue_bytes,
             timeline: s.timeline,
+            metrics,
+            phases,
         }
     }
 }

@@ -61,6 +61,7 @@ mod controller;
 mod dyntopo;
 mod engine;
 mod event;
+mod instrument;
 mod packet;
 pub mod sched;
 mod stats;
@@ -78,3 +79,8 @@ pub use sched::{Backend, Scheduler};
 pub use stats::{LatencyHistogram, RateResidency, SimReport, TimelineEvent};
 pub use time::SimTime;
 pub use traffic::{MergedSource, Message, ReplaySource, TrafficSource};
+
+// Telemetry types that appear in this crate's public API
+// (`Simulator::set_tracer`, `SimReport.phases`) or that embedders need
+// to build programmatic trace sinks.
+pub use epnet_telemetry::{MemorySink, Phase, TraceCategory, Tracer};

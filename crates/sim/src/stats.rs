@@ -2,7 +2,9 @@
 
 use crate::SimTime;
 use epnet_power::{LinkPowerProfile, LinkRate};
-use serde::{Deserialize, Serialize};
+use epnet_telemetry::Phase;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
 
 /// Log₂-bucketed latency histogram (nanosecond buckets), good enough for
 /// the factor-of-two latency comparisons of Figure 9.
@@ -46,6 +48,19 @@ impl LatencyHistogram {
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exclusive upper edges of the log₂ buckets, nanoseconds.
+    ///
+    /// `edges[i]` is the value [`quantile_ns`](Self::quantile_ns)
+    /// returns when the selected sample lands in bucket `i`: samples
+    /// whose `ns.max(1)` lies in `[edges[i] / 2, edges[i])` — i.e. has
+    /// bit length `i` — fall in bucket `i`, so every reported quantile
+    /// overstates the true sample by less than 2×. Bucket 0 is
+    /// therefore never populated, and the last bucket (edge `1 << 63`)
+    /// absorbs everything at or above `edges[63] / 2`.
+    pub fn bucket_edges(&self) -> Vec<u64> {
+        (0..self.buckets.len() as u32).map(|i| 1u64 << i).collect()
     }
 }
 
@@ -183,7 +198,14 @@ impl RateResidency {
 
 /// The result of a simulation run: everything needed to regenerate the
 /// paper's Figures 7–9 for one configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are written by hand (not derived) for two
+/// reasons: [`phases`](Self::phases) holds wall-clock timings that
+/// would break the byte-identical-report determinism checks, so it is
+/// excluded from serialization entirely; and
+/// [`metrics`](Self::metrics) is new, so deserialization defaults it
+/// to empty when absent instead of rejecting older reports.
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Simulated duration.
     pub duration: SimTime,
@@ -231,6 +253,118 @@ pub struct SimReport {
     /// Rate timeline of the first `timeline_channels` channels
     /// (empty unless enabled in the configuration).
     pub timeline: Vec<TimelineEvent>,
+    /// Engine counters and gauges, keyed by metric name (event pops
+    /// per kind, credit-wake fires, TxDone batch sizes, per-rate
+    /// residency, epoch-sampled queue depths). Every value derives
+    /// purely from simulated behavior, so the map is identical across
+    /// scheduler backends, route modes, and tracing on/off.
+    pub metrics: BTreeMap<String, u64>,
+    /// Wall-clock phase breakdown of the run (route-table build,
+    /// warmup, measurement, finalize). Host-time diagnostics only —
+    /// never serialized, so reports stay byte-identical across hosts
+    /// and runs.
+    pub phases: Vec<Phase>,
+}
+
+impl Serialize for SimReport {
+    fn to_value(&self) -> Value {
+        // `phases` is deliberately absent: wall-clock times differ
+        // across hosts and runs, and the determinism suite compares
+        // serialized reports byte for byte.
+        Value::Map(vec![
+            ("duration".to_string(), self.duration.to_value()),
+            ("num_channels".to_string(), self.num_channels.to_value()),
+            (
+                "packets_delivered".to_string(),
+                self.packets_delivered.to_value(),
+            ),
+            (
+                "messages_delivered".to_string(),
+                self.messages_delivered.to_value(),
+            ),
+            (
+                "mean_packet_latency".to_string(),
+                self.mean_packet_latency.to_value(),
+            ),
+            (
+                "packet_latency_hist".to_string(),
+                self.packet_latency_hist.to_value(),
+            ),
+            (
+                "mean_message_latency".to_string(),
+                self.mean_message_latency.to_value(),
+            ),
+            ("offered_bytes".to_string(), self.offered_bytes.to_value()),
+            (
+                "delivered_bytes".to_string(),
+                self.delivered_bytes.to_value(),
+            ),
+            (
+                "avg_channel_utilization".to_string(),
+                self.avg_channel_utilization.to_value(),
+            ),
+            ("residency".to_string(), self.residency.to_value()),
+            (
+                "reconfigurations".to_string(),
+                self.reconfigurations.to_value(),
+            ),
+            (
+                "events_processed".to_string(),
+                self.events_processed.to_value(),
+            ),
+            (
+                "peak_live_packets".to_string(),
+                self.peak_live_packets.to_value(),
+            ),
+            (
+                "asymmetric_link_fraction".to_string(),
+                self.asymmetric_link_fraction.to_value(),
+            ),
+            (
+                "peak_queue_bytes".to_string(),
+                self.peak_queue_bytes.to_value(),
+            ),
+            ("timeline".to_string(), self.timeline.to_value()),
+            ("metrics".to_string(), self.metrics.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SimReport {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        fn req<T: Deserialize>(v: &Value, field: &'static str) -> Result<T, DeError> {
+            T::from_value(
+                v.get(field)
+                    .ok_or_else(|| DeError::missing(&format!("SimReport.{field}")))?,
+            )
+        }
+        Ok(Self {
+            duration: req(v, "duration")?,
+            num_channels: req(v, "num_channels")?,
+            packets_delivered: req(v, "packets_delivered")?,
+            messages_delivered: req(v, "messages_delivered")?,
+            mean_packet_latency: req(v, "mean_packet_latency")?,
+            packet_latency_hist: req(v, "packet_latency_hist")?,
+            mean_message_latency: req(v, "mean_message_latency")?,
+            offered_bytes: req(v, "offered_bytes")?,
+            delivered_bytes: req(v, "delivered_bytes")?,
+            avg_channel_utilization: req(v, "avg_channel_utilization")?,
+            residency: req(v, "residency")?,
+            reconfigurations: req(v, "reconfigurations")?,
+            events_processed: req(v, "events_processed")?,
+            peak_live_packets: req(v, "peak_live_packets")?,
+            asymmetric_link_fraction: req(v, "asymmetric_link_fraction")?,
+            peak_queue_bytes: req(v, "peak_queue_bytes")?,
+            timeline: req(v, "timeline")?,
+            // Absent in reports written before the metrics registry.
+            metrics: match v.get("metrics") {
+                Some(m) => Deserialize::from_value(m)?,
+                None => BTreeMap::new(),
+            },
+            // Wall-clock diagnostics are never serialized.
+            phases: Vec::new(),
+        })
+    }
 }
 
 impl SimReport {
@@ -352,6 +486,47 @@ mod tests {
     }
 
     #[test]
+    fn bucket_edges_pin_quantile_semantics() {
+        let h = LatencyHistogram::new();
+        let edges = h.bucket_edges();
+        assert_eq!(edges.len(), 64);
+        assert_eq!(edges[0], 1);
+        assert_eq!(edges[1], 2);
+        assert_eq!(edges[63], 1u64 << 63);
+        // Empty histogram: any quantile is 0, below every edge.
+        assert_eq!(h.quantile_ns(0.0), 0);
+        assert_eq!(h.quantile_ns(1.0), 0);
+
+        // A single sample lands in the bucket whose edge is the
+        // smallest power of two strictly above it, and every quantile
+        // returns that same edge.
+        let mut h = LatencyHistogram::new();
+        h.record_ns(300);
+        assert_eq!(h.quantile_ns(0.0), 512);
+        assert_eq!(h.quantile_ns(0.5), 512);
+        assert_eq!(h.quantile_ns(1.0), 512);
+        assert!(edges.contains(&512));
+
+        // Zero records like 1 ns (bucket of edge 2); the quantile never
+        // returns edge[0] = 1.
+        let mut h = LatencyHistogram::new();
+        h.record_ns(0);
+        assert_eq!(h.quantile_ns(1.0), 2);
+
+        // An exact power of two belongs to the *next* bucket up: edges
+        // are exclusive upper bounds.
+        let mut h = LatencyHistogram::new();
+        h.record_ns(512);
+        assert_eq!(h.quantile_ns(0.5), 1024);
+
+        // Overflow: anything at or above 2^62 saturates into the last
+        // bucket, reported as its 2^63 edge.
+        let mut h = LatencyHistogram::new();
+        h.record_ns(u64::MAX);
+        assert_eq!(h.quantile_ns(1.0), 1u64 << 63);
+    }
+
+    #[test]
     fn stats_window_excludes_warmup() {
         let mut s = Stats::new(SimTime::from_us(10));
         s.record_packet(SimTime::from_us(5), SimTime::from_us(6), 1000);
@@ -386,6 +561,8 @@ mod tests {
             asymmetric_link_fraction: 0.0,
             peak_queue_bytes: 0,
             timeline: Vec::new(),
+            metrics: BTreeMap::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -443,6 +620,37 @@ mod tests {
         assert!(s.contains("100.0% of offered"));
         assert!(s.contains("2.5 Gb/s=75.0%"));
         assert!(s.contains("reconfigurations"));
+    }
+
+    #[test]
+    fn report_serde_excludes_phases_and_defaults_metrics() {
+        let mut r = report_with(RateResidency {
+            at_rate_ps: [0; LinkRate::COUNT],
+            off_ps: 0,
+        });
+        r.metrics.insert("events_workload".to_string(), 7);
+        r.phases.push(Phase {
+            name: "warmup",
+            wall_ns: 123,
+        });
+        let v = r.to_value();
+        assert!(v.get("metrics").is_some());
+        assert!(
+            v.get("phases").is_none(),
+            "wall-clock phases must never be serialized"
+        );
+        let back = SimReport::from_value(&v).unwrap();
+        assert_eq!(back.metrics.get("events_workload"), Some(&7));
+        assert!(back.phases.is_empty());
+
+        // Reports written before the metrics registry existed still
+        // deserialize, with an empty map.
+        let Value::Map(mut fields) = v else {
+            panic!("report serializes as a map")
+        };
+        fields.retain(|(k, _)| k != "metrics");
+        let old = SimReport::from_value(&Value::Map(fields)).unwrap();
+        assert!(old.metrics.is_empty());
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Observability layer for the epnet simulator.
+//!
+//! Three independent facilities, designed so each costs nothing when
+//! unused:
+//!
+//! - [`trace`] — a structured trace layer: typed, sim-timestamped
+//!   events (controller decisions, link reactivations, credit
+//!   block/unblock, route-table rebuilds, adaptive-routing detours)
+//!   written as JSONL through a pluggable [`trace::TraceSink`].
+//!   Enabled per run by `EPNET_TRACE=<path>` and narrowed with
+//!   `EPNET_TRACE_FILTER=<cat>,<cat>,...`.
+//! - [`metrics`] — a registry of monotonic counters and gauges,
+//!   registered once at simulator construction and snapshotted into
+//!   the final report as a sorted name→value map.
+//! - [`profile`] — wall-clock phase timers (RAII or explicit) that
+//!   attribute host time to the coarse phases of a run: topology
+//!   build, route-table construction, warmup, measurement, report
+//!   finalization.
+//!
+//! [`schema`] validates trace files against the documented per-category
+//! key sets (see DESIGN.md "Observability"), and [`summary`] renders
+//! the one-line end-of-run summary the CLI and bench binaries print to
+//! stderr unless `EPNET_QUIET=1`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod metrics;
+pub mod profile;
+pub mod schema;
+pub mod summary;
+pub mod trace;
+
+pub use metrics::{CounterId, MetricsRegistry};
+pub use profile::{Phase, PhaseTimer, Profiler};
+pub use schema::{parse_jsonl, validate_jsonl, TraceRecord, TraceStats};
+pub use summary::RunTotals;
+pub use trace::{FileSink, MemorySink, TraceCategory, TraceSink, Tracer};

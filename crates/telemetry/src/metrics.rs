@@ -1,0 +1,109 @@
+//! A small metrics registry: named monotonic counters and gauges.
+//!
+//! Names are registered once (at simulator construction), yielding a
+//! dense [`CounterId`] so hot-path updates are a bounds-checked array
+//! add — no hashing, no string comparison. The final snapshot sorts
+//! by name so reports serialize deterministically.
+
+use std::collections::BTreeMap;
+
+/// Handle to a registered counter or gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Registry of named `u64` metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, u64)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers `name`, returning its id. Metrics exist to be read
+    /// by humans, so a duplicate registration is a programming error
+    /// and panics rather than silently aliasing two call sites.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        assert!(
+            self.entries.iter().all(|(n, _)| n != name),
+            "metric '{name}' registered twice"
+        );
+        self.entries.push((name.to_owned(), 0));
+        CounterId(self.entries.len() as u32 - 1)
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.entries[id.0 as usize].1 += delta;
+    }
+
+    /// Sets a gauge to `value`.
+    #[inline]
+    pub fn set(&mut self, id: CounterId, value: u64) {
+        self.entries[id.0 as usize].1 = value;
+    }
+
+    /// Raises a high-watermark gauge to `value` if it is larger.
+    #[inline]
+    pub fn observe_max(&mut self, id: CounterId, value: u64) {
+        let slot = &mut self.entries[id.0 as usize].1;
+        if value > *slot {
+            *slot = value;
+        }
+    }
+
+    /// Current value of a metric.
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.entries[id.0 as usize].1
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All metrics as a name-sorted map.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.entries.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let mut reg = MetricsRegistry::new();
+        let b = reg.counter("zz_last");
+        let a = reg.counter("aa_first");
+        reg.add(b, 2);
+        reg.add(b, 3);
+        reg.set(a, 10);
+        reg.observe_max(a, 7);
+        reg.observe_max(a, 12);
+        assert_eq!(reg.get(a), 12);
+        assert_eq!(reg.get(b), 5);
+        let snap = reg.snapshot();
+        let keys: Vec<&str> = snap.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["aa_first", "zz_last"]);
+        assert_eq!(snap["zz_last"], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("events_popped");
+        reg.counter("events_popped");
+    }
+}

@@ -1,0 +1,149 @@
+//! Wall-clock phase profiling.
+//!
+//! A [`Profiler`] accumulates host time by phase name — topology
+//! build, route-table construction, warmup, measurement, report
+//! finalization — either through the RAII [`PhaseTimer`] guard or by
+//! recording an explicitly measured [`std::time::Duration`] (the run
+//! loop straddles the warmup/measurement boundary, so the engine
+//! times those phases itself and records the split). Phases keep
+//! registration order, which matches a run's chronology.
+//!
+//! Wall-clock numbers are inherently nondeterministic, so phase
+//! breakdowns are *excluded* from serialized reports; they surface
+//! only through binaries' stderr summaries and bench output.
+
+use std::time::{Duration, Instant};
+
+/// One named phase and its accumulated wall time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase name, e.g. `route_table_build`.
+    pub name: &'static str,
+    /// Accumulated wall-clock nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl Phase {
+    /// Accumulated wall time in (fractional) milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ns as f64 / 1e6
+    }
+}
+
+/// Accumulates wall time per phase name.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    phases: Vec<Phase>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Adds `wall` to the named phase, creating it on first use.
+    pub fn record(&mut self, name: &'static str, wall: Duration) {
+        let ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        match self.phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => p.wall_ns = p.wall_ns.saturating_add(ns),
+            None => self.phases.push(Phase { name, wall_ns: ns }),
+        }
+    }
+
+    /// Starts an RAII timer that records into this profiler on drop.
+    pub fn scope(&mut self, name: &'static str) -> PhaseTimer<'_> {
+        PhaseTimer {
+            profiler: self,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Times `f`, attributing its wall time to `name`.
+    pub fn time<R>(&mut self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Recorded phases, in first-use order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Consumes the profiler, yielding its phases.
+    pub fn into_phases(self) -> Vec<Phase> {
+        self.phases
+    }
+}
+
+/// RAII guard from [`Profiler::scope`]; records elapsed time on drop.
+#[derive(Debug)]
+pub struct PhaseTimer<'a> {
+    profiler: &'a mut Profiler,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed();
+        self.profiler.record(self.name, wall);
+    }
+}
+
+/// Renders phases as `name 1.23ms, name2 0.45ms` for summaries.
+pub fn format_phases(phases: &[Phase]) -> String {
+    phases
+        .iter()
+        .map(|p| format!("{} {:.2}ms", p.name, p.wall_ms()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_by_name_in_first_use_order() {
+        let mut prof = Profiler::new();
+        prof.record("warmup", Duration::from_nanos(10));
+        prof.record("measurement", Duration::from_nanos(5));
+        prof.record("warmup", Duration::from_nanos(7));
+        let names: Vec<&str> = prof.phases().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["warmup", "measurement"]);
+        assert_eq!(prof.phases()[0].wall_ns, 17);
+        assert_eq!(prof.phases()[1].wall_ns, 5);
+    }
+
+    #[test]
+    fn scope_and_time_attribute_nonzero_wall_time() {
+        let mut prof = Profiler::new();
+        {
+            let _guard = prof.scope("build");
+            std::hint::black_box(vec![0u8; 1024]);
+        }
+        let out = prof.time("also_build", || 42);
+        assert_eq!(out, 42);
+        assert_eq!(prof.phases().len(), 2);
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        let phases = vec![
+            Phase {
+                name: "warmup",
+                wall_ns: 1_500_000,
+            },
+            Phase {
+                name: "measurement",
+                wall_ns: 250_000,
+            },
+        ];
+        assert_eq!(format_phases(&phases), "warmup 1.50ms, measurement 0.25ms");
+        assert_eq!(format_phases(&[]), "");
+    }
+}

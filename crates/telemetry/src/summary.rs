@@ -1,0 +1,167 @@
+//! End-of-run summaries for CLI and bench binaries.
+//!
+//! The simulator records each finished run's totals into a
+//! process-wide accumulator; a binary then prints one line to stderr
+//! when it exits — delivered bytes, events, wall seconds, and the
+//! wall-clock phase breakdown — unless `EPNET_QUIET=1`. Keeping the
+//! summary on stderr (and suppressible) means sweeps that pipe JSON
+//! or CSV through stdout stay machine-clean.
+
+use crate::profile::{format_phases, Phase};
+use std::sync::Mutex;
+
+/// Accumulated totals across every simulator run in this process.
+#[derive(Debug, Clone, Default)]
+pub struct RunTotals {
+    /// Number of finished simulator runs.
+    pub runs: u64,
+    /// Payload bytes delivered, summed over runs.
+    pub delivered_bytes: u64,
+    /// Engine events popped, summed over runs.
+    pub events: u64,
+    /// Wall-clock phase breakdown, merged by phase name.
+    pub phases: Vec<Phase>,
+}
+
+static TOTALS: Mutex<RunTotals> = Mutex::new(RunTotals {
+    runs: 0,
+    delivered_bytes: 0,
+    events: 0,
+    phases: Vec::new(),
+});
+
+/// Clears the process-wide accumulator (start of a measured section).
+pub fn reset() {
+    *TOTALS.lock().expect("summary totals lock") = RunTotals::default();
+}
+
+/// Folds one finished run into the accumulator.
+pub fn record_run(delivered_bytes: u64, events: u64, phases: &[Phase]) {
+    let mut t = TOTALS.lock().expect("summary totals lock");
+    t.runs += 1;
+    t.delivered_bytes = t.delivered_bytes.saturating_add(delivered_bytes);
+    t.events = t.events.saturating_add(events);
+    for p in phases {
+        match t.phases.iter_mut().find(|q| q.name == p.name) {
+            Some(q) => q.wall_ns = q.wall_ns.saturating_add(p.wall_ns),
+            None => t.phases.push(p.clone()),
+        }
+    }
+}
+
+/// A copy of the current accumulated totals.
+pub fn totals() -> RunTotals {
+    TOTALS.lock().expect("summary totals lock").clone()
+}
+
+/// Whether `EPNET_QUIET=1` suppresses the stderr summary.
+pub fn quiet() -> bool {
+    matches!(std::env::var("EPNET_QUIET").ok().as_deref(), Some(v) if !v.is_empty() && v != "0")
+}
+
+/// Renders the one-line summary.
+pub fn format_summary(label: &str, totals: &RunTotals, wall_secs: f64) -> String {
+    let mut line = format!(
+        "[epnet] {label}: {:.1} MB delivered, {} events, {} run{}, {:.2} s wall",
+        totals.delivered_bytes as f64 / 1e6,
+        totals.events,
+        totals.runs,
+        if totals.runs == 1 { "" } else { "s" },
+        wall_secs,
+    );
+    if !totals.phases.is_empty() {
+        line.push_str(" | phases: ");
+        line.push_str(&format_phases(&totals.phases));
+    }
+    line
+}
+
+/// Prints the accumulated summary to stderr unless `EPNET_QUIET=1`.
+pub fn eprint_summary(label: &str, wall_secs: f64) {
+    if quiet() {
+        return;
+    }
+    eprintln!("{}", format_summary(label, &totals(), wall_secs));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_is_one_line_with_phase_breakdown() {
+        let totals = RunTotals {
+            runs: 2,
+            delivered_bytes: 123_456_789,
+            events: 42,
+            phases: vec![
+                Phase {
+                    name: "warmup",
+                    wall_ns: 1_000_000,
+                },
+                Phase {
+                    name: "measurement",
+                    wall_ns: 2_000_000,
+                },
+            ],
+        };
+        let line = format_summary("repro", &totals, 1.5);
+        assert_eq!(
+            line,
+            "[epnet] repro: 123.5 MB delivered, 42 events, 2 runs, 1.50 s wall \
+             | phases: warmup 1.00ms, measurement 2.00ms"
+        );
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn single_run_without_phases_stays_minimal() {
+        let totals = RunTotals {
+            runs: 1,
+            delivered_bytes: 1_000_000,
+            events: 7,
+            phases: Vec::new(),
+        };
+        assert_eq!(
+            format_summary("x", &totals, 0.25),
+            "[epnet] x: 1.0 MB delivered, 7 events, 1 run, 0.25 s wall"
+        );
+    }
+
+    #[test]
+    fn accumulator_merges_runs_and_phases() {
+        // Totals are process-global; this is the only test in this
+        // crate that touches them, so no lock juggling is needed.
+        reset();
+        record_run(
+            100,
+            10,
+            &[Phase {
+                name: "warmup",
+                wall_ns: 5,
+            }],
+        );
+        record_run(
+            200,
+            20,
+            &[
+                Phase {
+                    name: "warmup",
+                    wall_ns: 7,
+                },
+                Phase {
+                    name: "finalize",
+                    wall_ns: 1,
+                },
+            ],
+        );
+        let t = totals();
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.delivered_bytes, 300);
+        assert_eq!(t.events, 30);
+        assert_eq!(t.phases.len(), 2);
+        assert_eq!(t.phases[0].wall_ns, 12);
+        reset();
+        assert_eq!(totals().runs, 0);
+    }
+}

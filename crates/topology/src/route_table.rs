@@ -132,6 +132,14 @@ impl RouteTable {
     pub fn num_switches(&self) -> usize {
         self.num_switches
     }
+
+    /// Total stored port entries (minimal candidates plus detours) — a
+    /// size gauge for the table's memory footprint, reported in the
+    /// route-table rebuild trace events.
+    #[inline]
+    pub fn num_port_entries(&self) -> usize {
+        self.min_ports.len() + self.detour_ports.len()
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +191,22 @@ mod tests {
             assert!(table.candidates(s, s).is_empty());
             assert!(table.detours(s, s).is_empty());
         }
+    }
+
+    #[test]
+    fn port_entry_count_sums_both_kinds() {
+        let g = FlattenedButterfly::new(2, 4, 2).unwrap().build_fabric();
+        let table = RouteTable::build(&g, None);
+        let mut expected = 0;
+        for a in 0..g.num_switches() {
+            let a = SwitchId::new(a as u32);
+            for b in 0..g.num_switches() {
+                let b = SwitchId::new(b as u32);
+                expected += table.candidates(a, b).len() + table.detours(a, b).len();
+            }
+        }
+        assert!(expected > 0);
+        assert_eq!(table.num_port_entries(), expected);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Seconds-long benchmark smoke: the scheduler hold-model microbenchmark
 # (calendar queue vs binary heap at 100k pending events), one small
-# sensitivity sweep at 1 and 4 worker threads, and the canonical engine
-# throughput scenario, which rewrites BENCH_engine.json at the repo
-# root.
+# sensitivity sweep at 1 and 4 worker threads, the canonical engine
+# throughput scenario (rewrites BENCH_engine.json at the repo root),
+# one traced run validated against the documented trace schema, and a
+# rustdoc build with warnings denied.
 #
 # Runs only the benchmarks whose names contain "smoke" — the full
 # grids live in `cargo bench -p epnet-bench --bench scheduler` and
@@ -15,6 +16,14 @@ cd "$(dirname "$0")/.."
 
 cargo bench --offline -p epnet-bench --bench scheduler -- smoke
 cargo bench --offline -p epnet-bench --bench engine -- smoke
+
+# One traced run of the canonical scenario: every JSONL line must pass
+# the documented schema, with controller and reactivation events
+# present (the bin exits non-zero on drift).
+cargo run --offline --release -p epnet-bench --bin tracesmoke -- target/tracesmoke.jsonl
+
+# Docs must build clean — the observability docs are part of the API.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
 # The engine smoke must have left a parseable BENCH_engine.json behind.
 test -s BENCH_engine.json || { echo "BENCH_engine.json missing" >&2; exit 1; }

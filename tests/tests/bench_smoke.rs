@@ -8,8 +8,9 @@
 
 use epnet::exp::sweep::SensitivitySweep;
 use epnet::exp::{EvalScale, WorkloadKind};
-use epnet::sim::{Backend, Scheduler, SimTime};
+use epnet::sim::{Backend, MemorySink, Scheduler, SimTime, TraceCategory, Tracer};
 use epnet_bench::enginebench;
+use epnet_telemetry::validate_jsonl;
 
 /// SplitMix64, matching the generator in benches/scheduler.rs.
 struct Mix(u64);
@@ -90,4 +91,23 @@ fn engine_bench_document_is_well_formed() {
     let doc = enginebench::render(&runs);
     let names = enginebench::validate(&doc).expect("rendered document validates");
     assert_eq!(names, vec!["route_table", "dynamic_routes"]);
+}
+
+/// The canonical scenario, traced: every emitted JSONL line must pass
+/// the documented schema (DESIGN.md "Observability"), and the two
+/// categories this scenario is guaranteed to exercise must be present.
+/// This is the in-process twin of `tracesmoke` in
+/// `scripts/bench_smoke.sh` — it fails on any emitter/validator drift.
+#[test]
+fn traced_canonical_run_matches_documented_schema() {
+    let mut sim = enginebench::canonical_simulator();
+    let sink = MemorySink::new();
+    sim.set_tracer(Tracer::new(sink.clone(), TraceCategory::ALL_MASK));
+    let report = sim.run_until(enginebench::HORIZON);
+    assert!(report.events_processed > 0);
+
+    let stats = validate_jsonl(&sink.contents()).expect("trace matches documented schema");
+    assert!(stats.lines > 0);
+    assert!(stats.count(TraceCategory::Controller) > 0, "epoch decisions");
+    assert!(stats.count(TraceCategory::Reactivation) > 0, "rate changes");
 }

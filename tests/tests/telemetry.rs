@@ -1,0 +1,152 @@
+//! Telemetry integration: tracing and metrics must observe the
+//! simulation without perturbing it.
+//!
+//! The load-bearing guarantee is byte-identical serialized reports —
+//! metrics map included — across every combination of scheduler
+//! backend (`EPNET_SCHED`), route mode (`EPNET_ROUTES`), and tracing
+//! on/off. Wall-clock phase timings are exempt by construction: the
+//! report serializer excludes them.
+
+use epnet::exp::{EvalScale, WorkloadKind};
+use epnet::prelude::*;
+use epnet::sim::{MemorySink, TraceCategory, Tracer};
+use epnet_telemetry::{parse_jsonl, validate_jsonl, TraceRecord};
+use std::sync::Mutex;
+
+/// Serializes the env-twiddling tests in this binary — `EPNET_SCHED`,
+/// `EPNET_ROUTES`, and `EPNET_TRACE` are process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny() -> EvalScale {
+    let mut s = EvalScale::tiny();
+    s.duration = SimTime::from_ms(1);
+    s
+}
+
+/// Runs the tiny Search scenario, optionally traced; returns the
+/// serialized report and the trace text.
+fn run_traced(traced: bool) -> (String, String) {
+    let scale = tiny();
+    let fabric = scale.fabric();
+    let mut sim = Simulator::new(
+        fabric,
+        SimConfig::default(),
+        WorkloadKind::Search.source(scale.hosts() as u32, scale.seed, scale.duration),
+    );
+    let sink = MemorySink::new();
+    if traced {
+        sim.set_tracer(Tracer::new(sink.clone(), TraceCategory::ALL_MASK));
+    }
+    let report = sim.run_until(scale.duration);
+    (
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+        sink.contents(),
+    )
+}
+
+#[test]
+fn reports_are_byte_identical_across_modes_and_tracing() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut reports = Vec::new();
+    for sched in ["calendar", "heap"] {
+        std::env::set_var("EPNET_SCHED", sched);
+        for routes in ["table", "dynamic"] {
+            std::env::set_var("EPNET_ROUTES", routes);
+            for traced in [false, true] {
+                let (report, trace) = run_traced(traced);
+                assert_eq!(traced, !trace.is_empty(), "tracer emits iff installed");
+                reports.push((format!("{sched}/{routes}/traced={traced}"), report));
+            }
+        }
+    }
+    std::env::remove_var("EPNET_SCHED");
+    std::env::remove_var("EPNET_ROUTES");
+    let (base_label, base) = &reports[0];
+    for (label, report) in &reports[1..] {
+        assert_eq!(
+            base, report,
+            "serialized report differs between {base_label} and {label}"
+        );
+    }
+}
+
+#[test]
+fn trace_is_schema_valid_and_covers_the_controller() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (report, trace) = run_traced(true);
+    let stats = validate_jsonl(&trace).expect("every emitted line passes the schema");
+    assert!(stats.lines > 0);
+    assert!(stats.count(TraceCategory::Controller) > 0, "epochs fired");
+    assert!(
+        stats.count(TraceCategory::Reactivation) > 0,
+        "rate changes traced"
+    );
+
+    // Timestamps are monotone per file: the engine pops in time order.
+    let records = parse_jsonl(&trace).expect("parses");
+    let mut last = 0;
+    for r in &records {
+        assert!(r.at_ps() >= last, "timestamps must not go backwards");
+        last = r.at_ps();
+    }
+
+    // The metrics map made it into the serialized report.
+    let v: serde_json::Value = serde_json::from_str(&report).expect("report is JSON");
+    let metrics = v.get("metrics").expect("metrics serialized");
+    assert!(
+        metrics.get("events_workload").is_some(),
+        "event-kind counters present"
+    );
+    assert!(
+        v.get("phases").is_none(),
+        "wall-clock phases must not be serialized"
+    );
+}
+
+#[test]
+fn category_filter_narrows_emission() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let scale = tiny();
+    let fabric = scale.fabric();
+    let mut sim = Simulator::new(
+        fabric,
+        SimConfig::default(),
+        WorkloadKind::Search.source(scale.hosts() as u32, scale.seed, scale.duration),
+    );
+    let sink = MemorySink::new();
+    sim.set_tracer(Tracer::new(sink.clone(), TraceCategory::Controller.bit()));
+    sim.run_until(scale.duration);
+    let records = parse_jsonl(&sink.contents()).expect("parses");
+    assert!(!records.is_empty());
+    assert!(
+        records
+            .iter()
+            .all(|r| matches!(r, TraceRecord::Controller { .. })),
+        "filtered tracer must emit only the selected category"
+    );
+}
+
+#[test]
+fn epnet_trace_env_var_writes_a_valid_file() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let path = std::env::temp_dir().join(format!("epnet_trace_test_{}.jsonl", std::process::id()));
+    std::env::set_var("EPNET_TRACE", &path);
+    std::env::set_var("EPNET_TRACE_FILTER", "controller,reactivation");
+    let scale = tiny();
+    let fabric = scale.fabric();
+    let sim = Simulator::new(
+        fabric,
+        SimConfig::default(),
+        WorkloadKind::Search.source(scale.hosts() as u32, scale.seed, scale.duration),
+    );
+    sim.run_until(scale.duration);
+    std::env::remove_var("EPNET_TRACE");
+    std::env::remove_var("EPNET_TRACE_FILTER");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let stats = validate_jsonl(&text).expect("file passes the schema");
+    assert!(stats.count(TraceCategory::Controller) > 0);
+    assert_eq!(stats.count(TraceCategory::Credit), 0, "filtered out");
+    assert_eq!(stats.count(TraceCategory::Detour), 0, "filtered out");
+}
