@@ -1,0 +1,121 @@
+//! Topology-scaling benchmark: writes `BENCH_scale.json`.
+//!
+//! ```text
+//! cargo run --release -p epnet-bench --bin scalebench [-- --reduced]
+//! ```
+//!
+//! Sweeps the fabrics in `epnet_bench::scalebench::sweep` under the
+//! canonical traffic recipe and records throughput plus steady-state
+//! allocator behaviour. The process runs under a counting global
+//! allocator (a `std::alloc::System` wrapper — no external crates):
+//! every allocation and reallocation bumps an atomic counter and the
+//! live-byte high-water mark, and the sweep meters the window from
+//! half-horizon to end of each run. A warmed-up engine serves packets,
+//! messages, credit buffers, and queue storage from free-lists, so
+//! `allocs_per_event` in that window is expected to be ~0 (the smoke
+//! suite enforces `< 0.01` at every point).
+//!
+//! `--reduced` trims the sweep for smoke runs; `--stdout` prints the
+//! document instead of writing `BENCH_scale.json`.
+
+use epnet_bench::scalebench::{self, AllocMeter, AllocWindow};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Allocation calls since process start (alloc + realloc).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Live heap bytes right now.
+static LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of `LIVE` since the last `Meter::begin`.
+static PEAK: AtomicU64 = AtomicU64::new(0);
+/// `ALLOCS` snapshot taken at `Meter::begin`.
+static WINDOW_BASE: AtomicU64 = AtomicU64::new(0);
+
+/// `System`, with every call counted. Relaxed ordering is fine: the
+/// sweep is single-threaded and the counters are monotone bookkeeping,
+/// not synchronization.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        let live = LIVE.fetch_add(layout.size() as u64, Relaxed) + layout.size() as u64;
+        PEAK.fetch_max(live, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        let old = layout.size() as u64;
+        let new = new_size as u64;
+        if new >= old {
+            let live = LIVE.fetch_add(new - old, Relaxed) + (new - old);
+            PEAK.fetch_max(live, Relaxed);
+        } else {
+            LIVE.fetch_sub(old - new, Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// The sweep's view of the counters above.
+struct Meter;
+
+impl AllocMeter for Meter {
+    fn begin(&self) {
+        WINDOW_BASE.store(ALLOCS.load(Relaxed), Relaxed);
+        PEAK.store(LIVE.load(Relaxed), Relaxed);
+    }
+
+    fn end(&self) -> AllocWindow {
+        AllocWindow {
+            allocs: ALLOCS.load(Relaxed) - WINDOW_BASE.load(Relaxed),
+            peak_bytes: PEAK.load(Relaxed),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reduced = args.iter().any(|a| a == "--reduced");
+    let to_stdout = args.iter().any(|a| a == "--stdout");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--reduced" && *a != "--stdout")
+    {
+        eprintln!("unknown argument '{bad}' (expected --reduced and/or --stdout)");
+        std::process::exit(2);
+    }
+
+    let mut runs = Vec::new();
+    for point in scalebench::sweep(reduced) {
+        let run = scalebench::measure(&point, &Meter);
+        eprintln!(
+            "{:<14} hosts={:<5} {:>10.0} events/s  allocs/event={:.6} peak={} B",
+            run.name,
+            run.hosts,
+            run.events_per_sec(),
+            run.allocs_per_event(),
+            run.peak_alloc_bytes,
+        );
+        runs.push(run);
+    }
+
+    let doc = scalebench::render(&runs);
+    scalebench::validate(&doc).expect("freshly rendered document validates");
+    if to_stdout {
+        print!("{doc}");
+    } else {
+        let path = scalebench::output_path();
+        std::fs::write(&path, doc).expect("BENCH_scale.json written");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,397 @@
+//! The topology-scaling benchmark behind `BENCH_scale.json`.
+//!
+//! Where `enginebench` pins one canonical scenario, this sweep grows
+//! the fabric from the toy FBFLY(2,8,2) up to the paper's 15-ary
+//! 2-flat (225 hosts, Figure 7/8 scale) plus the bisection-comparable
+//! [`TwoTierClos`], running the same merged uniform-random + search
+//! traffic recipe at every point. Each point reports throughput
+//! (events/s, delivered bytes/s) *and* allocator behaviour: the run is
+//! split at half the horizon via the engine's phased
+//! `prime`/`advance_until`/`finalize` API, and a counting global
+//! allocator (installed by the `scalebench` binary — `std::alloc`
+//! only, no external crates) measures heap allocations across the
+//! second half. A warmed-up engine recycles packets, messages, credit
+//! buffers, and queue storage from free-lists, so allocations per
+//! event in that window should be ~0; `BENCH_scale.json` records the
+//! figure and the smoke suite schema-validates it.
+
+use crate::enginebench::CanonicalSource;
+use epnet_sim::{MergedSource, SimConfig, SimTime, Simulator};
+use epnet_topology::{FlattenedButterfly, RoutingTopology, TwoTierClos};
+use epnet_workloads::{ServiceTrace, ServiceTraceConfig, UniformRandom};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Schema tag written into `BENCH_scale.json`.
+pub const SCHEMA: &str = "epnet-bench-scale/v1";
+
+/// Simulated horizon of the full sweep (matches the canonical bench).
+pub const FULL_HORIZON: SimTime = SimTime::from_ms(10);
+
+/// Simulated horizon of the reduced (smoke) sweep. Long enough that
+/// every free-list reaches its high-water mark before the half-horizon
+/// allocation-meter window opens — the search-like workload keeps
+/// producing never-seen-before burst sizes for the first millisecond
+/// or so.
+pub const REDUCED_HORIZON: SimTime = SimTime::from_ms(2);
+
+/// One topology in the sweep.
+#[derive(Debug, Clone, Copy)]
+pub enum ScaleTopo {
+    /// `FlattenedButterfly::new(c, k, n)`.
+    Fbfly {
+        /// Concentration (hosts per switch).
+        c: u16,
+        /// Radix of each dimension.
+        k: u16,
+        /// Flat dimension count.
+        n: usize,
+    },
+    /// `TwoTierClos::non_blocking(c)`.
+    ClosNonBlocking {
+        /// Concentration (hosts per leaf).
+        c: u16,
+    },
+}
+
+/// One point of the sweep: a topology plus its simulated horizon.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Stable point name used in `BENCH_scale.json`.
+    pub name: String,
+    /// The fabric to build.
+    pub topo: ScaleTopo,
+    /// Simulated end time.
+    pub horizon: SimTime,
+}
+
+/// The sweep: canonical toy up to the paper-scale 15-ary 2-flat, plus
+/// the non-blocking two-tier Clos. `reduced` trims it to the smallest
+/// points at a 1 ms horizon for the smoke suite.
+pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
+    let horizon = if reduced {
+        REDUCED_HORIZON
+    } else {
+        FULL_HORIZON
+    };
+    let point = |name: &str, topo| ScalePoint {
+        name: name.to_string(),
+        topo,
+        horizon,
+    };
+    let mut points = vec![
+        point("fbfly_2x8x2", ScaleTopo::Fbfly { c: 2, k: 8, n: 2 }),
+        point("fbfly_4x8x2", ScaleTopo::Fbfly { c: 4, k: 8, n: 2 }),
+        point("clos_nb4", ScaleTopo::ClosNonBlocking { c: 4 }),
+    ];
+    if !reduced {
+        points.push(point("fbfly_8x8x2", ScaleTopo::Fbfly { c: 8, k: 8, n: 2 }));
+        points.push(point("clos_nb8", ScaleTopo::ClosNonBlocking { c: 8 }));
+        points.push(point(
+            "fbfly_15x15x2",
+            ScaleTopo::Fbfly { c: 15, k: 15, n: 2 },
+        ));
+    }
+    points
+}
+
+/// Builds a simulator for one sweep point, reusing the canonical
+/// traffic recipe (30% uniform-random merged with search-like bursts)
+/// scaled to the point's host count.
+pub fn simulator_for(point: &ScalePoint) -> Simulator<CanonicalSource> {
+    let fabric = match point.topo {
+        ScaleTopo::Fbfly { c, k, n } => FlattenedButterfly::new(c, k, n)
+            .expect("sweep shapes are valid")
+            .build_fabric(),
+        ScaleTopo::ClosNonBlocking { c } => TwoTierClos::non_blocking(c)
+            .expect("sweep shapes are valid")
+            .build_fabric(),
+    };
+    let hosts = fabric.num_hosts() as u32;
+    let source = MergedSource::new(
+        UniformRandom::builder(hosts)
+            .offered_load(0.3)
+            .horizon(point.horizon)
+            .build(),
+        ServiceTrace::builder(hosts, ServiceTraceConfig::search_like())
+            .horizon(point.horizon)
+            .build(),
+    );
+    Simulator::new(fabric, SimConfig::default(), source)
+}
+
+/// Heap-allocation counts over a measurement window.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllocWindow {
+    /// Allocation calls (alloc + realloc) inside the window.
+    pub allocs: u64,
+    /// Peak bytes live at any instant inside the window.
+    pub peak_bytes: u64,
+}
+
+/// Hook pair around the steady-state measurement window, implemented
+/// by whoever owns the process's counting allocator (the `scalebench`
+/// binary, or a test harness). [`NoopMeter`] reports zeros for callers
+/// without one.
+pub trait AllocMeter {
+    /// Marks the start of the window (typically: snapshot the counter
+    /// and reset the peak to the current live size).
+    fn begin(&self);
+    /// Closes the window and returns its counts.
+    fn end(&self) -> AllocWindow;
+}
+
+/// An [`AllocMeter`] for processes without a counting allocator.
+pub struct NoopMeter;
+
+impl AllocMeter for NoopMeter {
+    fn begin(&self) {}
+    fn end(&self) -> AllocWindow {
+        AllocWindow::default()
+    }
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone)]
+pub struct ScaleRun {
+    /// Point name.
+    pub name: String,
+    /// Host count of the fabric.
+    pub hosts: u64,
+    /// Channel count of the fabric.
+    pub channels: u64,
+    /// Wall-clock duration of the whole run, in milliseconds.
+    pub wall_ms: f64,
+    /// Events popped by the engine's scheduler.
+    pub sim_events: u64,
+    /// Packets delivered end to end.
+    pub sim_packets: u64,
+    /// Bytes delivered end to end.
+    pub sim_delivered_bytes: u64,
+    /// Events inside the steady-state (second-half) window.
+    pub measured_events: u64,
+    /// Heap allocations inside that window.
+    pub measured_allocs: u64,
+    /// Peak live heap bytes inside that window.
+    pub peak_alloc_bytes: u64,
+}
+
+impl ScaleRun {
+    /// Engine events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim_events as f64 * 1e3 / self.wall_ms
+    }
+
+    /// Delivered payload bytes per wall-clock second.
+    pub fn delivered_bytes_per_sec(&self) -> f64 {
+        self.sim_delivered_bytes as f64 * 1e3 / self.wall_ms
+    }
+
+    /// Heap allocations per event in the steady-state window.
+    pub fn allocs_per_event(&self) -> f64 {
+        if self.measured_events == 0 {
+            return 0.0;
+        }
+        self.measured_allocs as f64 / self.measured_events as f64
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("hosts".into(), Value::U64(self.hosts)),
+            ("channels".into(), Value::U64(self.channels)),
+            ("events_per_sec".into(), Value::F64(self.events_per_sec())),
+            (
+                "delivered_bytes_per_sec".into(),
+                Value::F64(self.delivered_bytes_per_sec()),
+            ),
+            ("allocs_per_event".into(), Value::F64(self.allocs_per_event())),
+            ("peak_alloc_bytes".into(), Value::U64(self.peak_alloc_bytes)),
+            ("measured_events".into(), Value::U64(self.measured_events)),
+            ("measured_allocs".into(), Value::U64(self.measured_allocs)),
+            ("sim_events".into(), Value::U64(self.sim_events)),
+            ("sim_packets".into(), Value::U64(self.sim_packets)),
+            (
+                "sim_delivered_bytes".into(),
+                Value::U64(self.sim_delivered_bytes),
+            ),
+            ("wall_ms".into(), Value::F64(self.wall_ms)),
+        ])
+    }
+}
+
+/// Runs one sweep point, metering allocations across the second half
+/// of the horizon (well past the engine's 50 µs statistical warmup, so
+/// every free-list has reached its high-water mark).
+pub fn measure(point: &ScalePoint, meter: &dyn AllocMeter) -> ScaleRun {
+    let mut sim = simulator_for(point);
+    let hosts = sim.fabric().num_hosts() as u64;
+    let channels = sim.fabric().num_channels() as u64;
+    let boundary = SimTime::from_ps(point.horizon.as_ps() / 2);
+    let start = Instant::now();
+    sim.prime(point.horizon);
+    sim.advance_until(boundary);
+    let warm_events = sim.events_processed();
+    meter.begin();
+    sim.advance_until(point.horizon);
+    let window = meter.end();
+    let measured_events = sim.events_processed() - warm_events;
+    let report = sim.finalize();
+    let wall = start.elapsed();
+    ScaleRun {
+        name: point.name.clone(),
+        hosts,
+        channels,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        sim_events: report.events_processed,
+        sim_packets: report.packets_delivered,
+        sim_delivered_bytes: report.delivered_bytes,
+        measured_events,
+        measured_allocs: window.allocs,
+        peak_alloc_bytes: window.peak_bytes,
+    }
+}
+
+/// Renders runs as the `BENCH_scale.json` document.
+pub fn render(runs: &[ScaleRun]) -> String {
+    let doc = Value::Map(vec![
+        ("schema".into(), Value::Str(SCHEMA.into())),
+        (
+            "scenario".into(),
+            Value::Str("uniform30+search sweep, steady-state alloc meter".into()),
+        ),
+        (
+            "benches".into(),
+            Value::Seq(runs.iter().map(ScaleRun::to_value).collect()),
+        ),
+    ]);
+    let mut out = serde_json::to_string_pretty(&doc).expect("value tree serializes");
+    out.push('\n');
+    out
+}
+
+/// Path of `BENCH_scale.json` at the repository root.
+pub fn output_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
+}
+
+/// Validates a `BENCH_scale.json` document; returns its bench names.
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field.
+pub fn validate(doc: &str) -> Result<Vec<String>, String> {
+    let v: Value = serde_json::from_str(doc).map_err(|e| format!("not JSON: {e}"))?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some(SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema '{other}'")),
+        None => return Err("missing 'schema'".into()),
+    }
+    let benches = v
+        .get("benches")
+        .and_then(Value::as_seq)
+        .ok_or("missing 'benches' array")?;
+    if benches.is_empty() {
+        return Err("'benches' is empty".into());
+    }
+    let mut names = Vec::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("bench missing 'name'")?;
+        for field in ["events_per_sec", "delivered_bytes_per_sec", "wall_ms"] {
+            let rate = b
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("bench '{name}' missing '{field}'"))?;
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!("bench '{name}' has non-positive '{field}'"));
+            }
+        }
+        let ape = b
+            .get("allocs_per_event")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("bench '{name}' missing 'allocs_per_event'"))?;
+        if !(ape.is_finite() && ape >= 0.0) {
+            return Err(format!("bench '{name}' has invalid 'allocs_per_event'"));
+        }
+        for field in [
+            "hosts",
+            "channels",
+            "peak_alloc_bytes",
+            "measured_events",
+            "measured_allocs",
+            "sim_events",
+            "sim_packets",
+            "sim_delivered_bytes",
+        ] {
+            if b.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("bench '{name}' missing '{field}'"));
+            }
+        }
+        names.push(name.to_string());
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run(name: &str) -> ScaleRun {
+        ScaleRun {
+            name: name.to_string(),
+            hosts: 16,
+            channels: 88,
+            wall_ms: 10.0,
+            sim_events: 1_000,
+            sim_packets: 100,
+            sim_delivered_bytes: 64_000,
+            measured_events: 500,
+            measured_allocs: 0,
+            peak_alloc_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn rendered_document_validates() {
+        let runs = vec![sample_run("fbfly_2x8x2"), sample_run("clos_nb4")];
+        let doc = render(&runs);
+        let names = validate(&doc).expect("schema holds");
+        assert_eq!(names, vec!["fbfly_2x8x2", "clos_nb4"]);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate(r#"{"schema": "epnet-bench-scale/v1"}"#).is_err());
+        assert!(
+            validate(r#"{"schema": "epnet-bench-scale/v1", "benches": []}"#).is_err(),
+            "empty bench list must be rejected"
+        );
+        // A document without allocator fields (e.g. an engine-bench
+        // doc under the wrong name) must not pass.
+        let engine_shaped = crate::enginebench::render(&[crate::enginebench::EngineRun {
+            name: "route_table",
+            wall_ms: 1.0,
+            sim_events: 1,
+            sim_packets: 1,
+            sim_delivered_bytes: 1,
+        }])
+        .replace(crate::enginebench::SCHEMA, SCHEMA);
+        assert!(validate(&engine_shaped).is_err());
+    }
+
+    #[test]
+    fn sweep_scales_from_canonical_to_paper() {
+        let full = sweep(false);
+        assert_eq!(full.first().map(|p| p.name.as_str()), Some("fbfly_2x8x2"));
+        assert!(full.iter().any(|p| p.name == "fbfly_15x15x2"));
+        assert!(full.iter().any(|p| p.name.starts_with("clos")));
+        let reduced = sweep(true);
+        assert!(reduced.len() < full.len());
+        assert!(reduced.iter().all(|p| p.horizon == REDUCED_HORIZON));
+    }
+}

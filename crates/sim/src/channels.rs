@@ -1,0 +1,349 @@
+//! Struct-of-arrays channel state.
+//!
+//! The engine touches a handful of channel fields on every event —
+//! queue occupancy, flow-control credits, the configured rate, the
+//! next-free time, and a few boolean latches. Keeping those in dense
+//! parallel `Vec`s indexed by [`ChannelId::index`] packs the working
+//! set of a paper-scale fabric into a few cache lines per event,
+//! instead of striding across ~200-byte `Channel` structs for every
+//! occupancy probe the adaptive router makes. Config and telemetry
+//! fields that only the per-epoch controller or the end-of-run
+//! reporter read (residency accounting, drain-first state, tunability)
+//! live in a cold side table so they never share a line with the hot
+//! arrays.
+//!
+//! Credit-return bookkeeping uses per-channel queues backed by a
+//! shared free-list pool: a queue that drains to empty donates its
+//! buffer back to the pool, and the next channel that books a return
+//! reuses it. After warmup the pool holds the high-water number of
+//! concurrently busy queues and steady-state operation performs no
+//! heap allocation (verified by the counting allocator in
+//! `epnet-bench::scalebench` and the regression tests).
+
+use crate::packet::PacketId;
+use crate::SimTime;
+use epnet_power::LinkRate;
+use std::collections::VecDeque;
+
+/// A packet is currently being serialized on the channel.
+pub(crate) const F_BUSY: u8 = 1 << 0;
+/// The channel is powered off (dynamic topologies, §5.2).
+pub(crate) const F_OFF: u8 = 1 << 1;
+/// A `Retry` event is already pending.
+pub(crate) const F_RETRY: u8 = 1 << 2;
+/// A `CreditWake` event is already pending.
+pub(crate) const F_CREDIT_WAKE: u8 = 1 << 3;
+/// A drain-first rate change is parked on this channel — mirrors
+/// `ChannelCold::pending_rate.is_some()` so the adaptive router's
+/// "remove from the legal routes" check (§3.2) stays on the hot side.
+pub(crate) const F_DRAINING: u8 = 1 << 4;
+/// The controller may retune this channel (set once at construction).
+/// Lives in the flags byte so the per-epoch decision sweep — every
+/// channel, every tick — never has to touch the cold table for the
+/// channels it skips.
+pub(crate) const F_TUNABLE: u8 = 1 << 5;
+
+/// Cold per-channel state: read at epoch ticks and at finish, never on
+/// the per-event fast path.
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelCold {
+    /// Residency accounting: time at each rate since the run started.
+    pub time_at_rate_ps: [u64; LinkRate::COUNT],
+    /// Time powered off (dynamic topologies, §5.2).
+    pub off_ps: u64,
+    /// When the current rate/off interval began.
+    pub rate_since: SimTime,
+    /// Rate change waiting for the queue to drain (§3.2's first
+    /// tolerance option).
+    pub pending_rate: Option<LinkRate>,
+}
+
+/// All per-channel runtime state, split hot (per-event) from cold
+/// (per-epoch / per-run). Every `Vec` is indexed by
+/// [`ChannelId::index`].
+#[derive(Debug)]
+pub(crate) struct Channels {
+    // ---- hot: touched on the per-event fast path ----
+    /// Bytes in the output queue (including the packet being
+    /// serialized) — the adaptive router's congestion signal.
+    pub occupancy: Vec<u64>,
+    /// Remaining downstream buffer credits, in bytes.
+    pub credits: Vec<u32>,
+    /// Configured rate.
+    pub rate: Vec<LinkRate>,
+    /// Channel unusable until this time (reactivation, §3.1).
+    pub available_at: Vec<SimTime>,
+    /// `F_*` latches.
+    pub flags: Vec<u8>,
+    /// Propagation delay of the physical medium.
+    pub prop: Vec<SimTime>,
+    /// End of the in-progress transmission, if any.
+    pub busy_until: Vec<SimTime>,
+    /// Busy picoseconds accumulated this epoch.
+    pub busy_ps_epoch: Vec<u64>,
+    /// Packets in the in-progress transmission train (0 when idle).
+    pub train_len: Vec<u32>,
+    /// Total bytes of the in-progress train.
+    pub train_bytes: Vec<u64>,
+    /// Output queues feeding each channel (elastic).
+    pub queues: Vec<VecDeque<PacketId>>,
+    /// Credit returns in flight back to each channel, as
+    /// `(maturation time, bytes)` in nondecreasing time order.
+    pending_credits: Vec<VecDeque<(SimTime, u32)>>,
+    /// Drained credit-queue buffers awaiting reuse (capacity retained).
+    credit_pool: Vec<VecDeque<(SimTime, u32)>>,
+    // ---- cold ----
+    pub cold: Vec<ChannelCold>,
+}
+
+impl Channels {
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            occupancy: Vec::with_capacity(n),
+            credits: Vec::with_capacity(n),
+            rate: Vec::with_capacity(n),
+            available_at: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            prop: Vec::with_capacity(n),
+            busy_until: Vec::with_capacity(n),
+            busy_ps_epoch: Vec::with_capacity(n),
+            train_len: Vec::with_capacity(n),
+            train_bytes: Vec::with_capacity(n),
+            queues: Vec::with_capacity(n),
+            pending_credits: Vec::with_capacity(n),
+            credit_pool: Vec::new(),
+            cold: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one channel in its initial state.
+    pub fn push(&mut self, rate: LinkRate, credits: u32, tunable: bool, prop: SimTime) {
+        self.occupancy.push(0);
+        self.credits.push(credits);
+        self.rate.push(rate);
+        self.available_at.push(SimTime::ZERO);
+        self.flags.push(if tunable { F_TUNABLE } else { 0 });
+        self.prop.push(prop);
+        self.busy_until.push(SimTime::ZERO);
+        self.busy_ps_epoch.push(0);
+        self.train_len.push(0);
+        self.train_bytes.push(0);
+        self.queues.push(VecDeque::new());
+        self.pending_credits.push(VecDeque::new());
+        self.cold.push(ChannelCold {
+            time_at_rate_ps: [0; LinkRate::COUNT],
+            off_ps: 0,
+            rate_since: SimTime::ZERO,
+            pending_rate: None,
+        });
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    #[inline]
+    pub fn has_flag(&self, i: usize, f: u8) -> bool {
+        self.flags[i] & f != 0
+    }
+
+    #[inline]
+    pub fn set_flag(&mut self, i: usize, f: u8) {
+        self.flags[i] |= f;
+    }
+
+    #[inline]
+    pub fn clear_flag(&mut self, i: usize, f: u8) {
+        self.flags[i] &= !f;
+    }
+
+    /// Whether the channel has neither queued traffic nor an in-flight
+    /// transmission.
+    #[inline]
+    pub fn queue_is_idle(&self, i: usize) -> bool {
+        self.queues[i].is_empty() && self.flags[i] & F_BUSY == 0
+    }
+
+    /// Books a credit return of `bytes` maturing at `at`. The buffer
+    /// comes from the shared pool when this channel's queue was
+    /// previously drained back into it.
+    #[inline]
+    pub fn push_credit(&mut self, i: usize, at: SimTime, bytes: u32) {
+        let q = &mut self.pending_credits[i];
+        debug_assert!(
+            q.back().map_or(true, |&(t, _)| t <= at),
+            "credit returns out of order on ch{i}"
+        );
+        if q.capacity() == 0 {
+            if let Some(buf) = self.credit_pool.pop() {
+                self.pending_credits[i] = buf;
+                self.pending_credits[i].push_back((at, bytes));
+                return;
+            }
+        }
+        q.push_back((at, bytes));
+    }
+
+    /// Maturation time of the next pending credit return, if any.
+    #[inline]
+    pub fn next_credit_at(&self, i: usize) -> Option<SimTime> {
+        self.pending_credits[i].front().map(|&(t, _)| t)
+    }
+
+    /// Applies every credit return that has matured by `now`. A queue
+    /// that drains completely donates its buffer to the shared pool.
+    /// Returns the updated credit balance.
+    #[inline]
+    pub fn apply_matured_credits(&mut self, i: usize, now: SimTime, cap: u32) -> u32 {
+        let q = &mut self.pending_credits[i];
+        if q.is_empty() {
+            return self.credits[i];
+        }
+        let mut credits = self.credits[i];
+        while let Some(&(at, bytes)) = q.front() {
+            if at > now {
+                break;
+            }
+            q.pop_front();
+            credits += bytes;
+            debug_assert!(credits <= cap, "credit overflow on ch{i}");
+        }
+        let _ = cap;
+        self.credits[i] = credits;
+        if q.is_empty() && q.capacity() > 0 {
+            self.credit_pool.push(std::mem::take(q));
+        }
+        credits
+    }
+
+    /// Closes the current residency interval of channel `i` at `now`.
+    pub fn note_interval(&mut self, i: usize, now: SimTime) {
+        let cold = &mut self.cold[i];
+        let span = (now - cold.rate_since).as_ps();
+        if self.flags[i] & F_OFF != 0 {
+            cold.off_ps += span;
+        } else {
+            cold.time_at_rate_ps[self.rate[i].index()] += span;
+        }
+        cold.rate_since = now;
+    }
+
+    /// Utilization of channel `i` over the epoch that just ended.
+    pub fn epoch_utilization(&self, i: usize, epoch: SimTime) -> f64 {
+        let busy = self.busy_ps_epoch[i];
+        // Idle channels dominate under light load; skipping the f64
+        // divide for them is exact (0/x == 0.0), not an approximation.
+        if busy == 0 {
+            return 0.0;
+        }
+        (busy as f64 / epoch.as_ps() as f64).min(1.0)
+    }
+
+    /// Transitions the channel's powered state, closing the residency
+    /// interval (dynamic topologies, §5.2).
+    pub fn set_off(&mut self, i: usize, now: SimTime, off: bool) {
+        debug_assert!(!off || self.queue_is_idle(i), "powering off a busy channel");
+        self.note_interval(i, now);
+        if off {
+            self.set_flag(i, F_OFF);
+        } else {
+            self.clear_flag(i, F_OFF);
+        }
+    }
+
+    /// Brings the channel up at `rate`, unusable until the reactivation
+    /// completes.
+    pub fn reactivate(&mut self, i: usize, now: SimTime, reactivation: SimTime, rate: LinkRate) {
+        self.note_interval(i, now);
+        self.rate[i] = rate;
+        self.available_at[i] = now + reactivation;
+    }
+
+    /// Parks (or clears) a drain-first rate change, keeping the
+    /// hot-side `F_DRAINING` mirror in sync.
+    pub fn set_pending_rate(&mut self, i: usize, rate: Option<LinkRate>) {
+        self.cold[i].pending_rate = rate;
+        if rate.is_some() {
+            self.set_flag(i, F_DRAINING);
+        } else {
+            self.clear_flag(i, F_DRAINING);
+        }
+    }
+
+    /// Takes the parked drain-first rate change, if any.
+    pub fn take_pending_rate(&mut self, i: usize) -> Option<LinkRate> {
+        let rate = self.cold[i].pending_rate.take();
+        self.clear_flag(i, F_DRAINING);
+        rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two() -> Channels {
+        let mut c = Channels::with_capacity(2);
+        c.push(LinkRate::MAX, 1024, true, SimTime::from_ns(5));
+        c.push(LinkRate::MAX, 1024, false, SimTime::from_ns(5));
+        c
+    }
+
+    #[test]
+    fn flags_latch_and_clear() {
+        let mut c = two();
+        assert!(!c.has_flag(0, F_BUSY));
+        c.set_flag(0, F_BUSY | F_RETRY);
+        assert!(c.has_flag(0, F_BUSY));
+        assert!(c.has_flag(0, F_RETRY));
+        assert!(!c.has_flag(1, F_BUSY));
+        c.clear_flag(0, F_BUSY);
+        assert!(!c.has_flag(0, F_BUSY));
+        assert!(c.has_flag(0, F_RETRY));
+    }
+
+    #[test]
+    fn matured_credits_apply_in_order_and_pool_buffers() {
+        let mut c = two();
+        c.credits[0] = 0;
+        c.push_credit(0, SimTime::from_ns(10), 100);
+        c.push_credit(0, SimTime::from_ns(20), 200);
+        assert_eq!(c.next_credit_at(0), Some(SimTime::from_ns(10)));
+        assert_eq!(c.apply_matured_credits(0, SimTime::from_ns(15), 1024), 100);
+        assert_eq!(c.next_credit_at(0), Some(SimTime::from_ns(20)));
+        // Full drain donates the buffer to the pool...
+        assert_eq!(c.apply_matured_credits(0, SimTime::from_ns(25), 1024), 300);
+        assert_eq!(c.credit_pool.len(), 1);
+        let pooled_cap = c.credit_pool[0].capacity();
+        assert!(pooled_cap > 0);
+        // ...and the next booking on any channel reuses it.
+        c.push_credit(1, SimTime::from_ns(30), 50);
+        assert!(c.credit_pool.is_empty());
+        assert!(c.pending_credits[1].capacity() >= pooled_cap.min(1));
+    }
+
+    #[test]
+    fn pending_rate_mirrors_draining_flag() {
+        let mut c = two();
+        c.set_pending_rate(0, Some(LinkRate::MIN));
+        assert!(c.has_flag(0, F_DRAINING));
+        assert_eq!(c.take_pending_rate(0), Some(LinkRate::MIN));
+        assert!(!c.has_flag(0, F_DRAINING));
+        assert_eq!(c.take_pending_rate(0), None);
+    }
+
+    #[test]
+    fn residency_intervals_accumulate_per_state() {
+        let mut c = two();
+        c.note_interval(0, SimTime::from_ns(100));
+        assert_eq!(
+            c.cold[0].time_at_rate_ps[LinkRate::MAX.index()],
+            SimTime::from_ns(100).as_ps()
+        );
+        c.set_off(0, SimTime::from_ns(150), true);
+        c.note_interval(0, SimTime::from_ns(250));
+        assert_eq!(c.cold[0].off_ps, SimTime::from_ns(100).as_ps());
+    }
+}

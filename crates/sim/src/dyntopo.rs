@@ -18,8 +18,8 @@
 //! (removed from the legal adaptive routes, §3.2's first tolerance
 //! option) and only power off once both channels fall idle.
 
+use crate::channels::{Channels, F_OFF};
 use crate::config::SimConfig;
-use crate::engine::Channel;
 use crate::instrument::Instruments;
 use crate::stats::Stats;
 use crate::SimTime;
@@ -147,7 +147,7 @@ impl DynamicTopology {
         &mut self,
         now: SimTime,
         fabric: &FabricGraph,
-        channels: &mut [Channel],
+        channels: &mut Channels,
         mask: &mut LinkMask,
         config: &SimConfig,
         stats: &mut Stats,
@@ -158,10 +158,10 @@ impl DynamicTopology {
         let transitions = &mut self.transitions;
         self.draining.retain(|&link| {
             let (a, b) = fabric.link_channels(link);
-            let idle = channels[a.index()].queue_is_idle() && channels[b.index()].queue_is_idle();
+            let idle = channels.queue_is_idle(a.index()) && channels.queue_is_idle(b.index());
             if idle {
                 for ch in [a, b] {
-                    channels[ch.index()].set_off(now, true);
+                    channels.set_off(ch.index(), now, true);
                     stats.record_rate(now, ch.raw(), None);
                 }
                 *transitions += 1;
@@ -183,9 +183,9 @@ impl DynamicTopology {
             }
             let (a, b) = fabric.link_channels(link);
             for ch in [a, b] {
-                let c = &channels[ch.index()];
-                if !c.off {
-                    busy[slot.ring as usize] += u128::from(c.busy_ps_epoch());
+                let i = ch.index();
+                if !channels.has_flag(i, F_OFF) {
+                    busy[slot.ring as usize] += u128::from(channels.busy_ps_epoch[i]);
                     count[slot.ring as usize] += 1;
                 }
             }
@@ -219,7 +219,7 @@ impl DynamicTopology {
         new_tier: u8,
         now: SimTime,
         fabric: &FabricGraph,
-        channels: &mut [Channel],
+        channels: &mut Channels,
         mask: &mut LinkMask,
         config: &SimConfig,
         stats: &mut Stats,
@@ -240,11 +240,11 @@ impl DynamicTopology {
                 self.draining.retain(|&d| d != link);
                 let (a, b) = fabric.link_channels(link);
                 for ch in [a, b] {
-                    let c = &mut channels[ch.index()];
-                    if c.off {
-                        c.set_off(now, false);
+                    let i = ch.index();
+                    if channels.has_flag(i, F_OFF) {
+                        channels.set_off(i, now, false);
                     }
-                    c.reactivate(now, config.reactivation.worst_case(), config.max_rate);
+                    channels.reactivate(i, now, config.reactivation.worst_case(), config.max_rate);
                     stats.record_rate(now, ch.raw(), Some(config.max_rate));
                     if inst.on(TraceCategory::Reactivation) {
                         let until = now + config.reactivation.worst_case();

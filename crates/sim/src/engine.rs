@@ -22,7 +22,18 @@
 //!   traffic routed toward it queues up and adaptive routing steers
 //!   around the congestion, exactly the second tolerance strategy of
 //!   §3.2.
+//!
+//! # Memory layout
+//!
+//! Per-channel state is struct-of-arrays ([`crate::channels::Channels`]):
+//! the fields every event touches live in dense parallel `Vec`s indexed
+//! by channel, cold config/telemetry fields in a side table. Channel
+//! targets and arrival offsets are precomputed per channel at
+//! construction, and message records plus credit-return buffers recycle
+//! through free lists, so a warmed-up run performs no steady-state heap
+//! allocation (see DESIGN.md "Memory layout").
 
+use crate::channels::{Channels, F_BUSY, F_CREDIT_WAKE, F_DRAINING, F_OFF, F_RETRY, F_TUNABLE};
 use crate::config::{ControlMode, RoutingPolicy, SimConfig};
 use crate::controller::desired_rate;
 use crate::dyntopo::DynamicTopology;
@@ -38,134 +49,11 @@ use epnet_topology::{
     ChannelId, FabricGraph, LinkMask, Medium, PortIndex, PortTarget, RouteTable, RoutingTopology,
     SwitchId,
 };
-use std::collections::VecDeque;
 use std::time::Instant;
 
-/// Per-channel runtime state.
-#[derive(Debug)]
-pub(crate) struct Channel {
-    /// Output queue feeding this channel (elastic).
-    queue: VecDeque<PacketId>,
-    /// Bytes in `queue` (including the packet being serialized).
-    pub(crate) occupancy: u64,
-    /// Whether a packet is currently being serialized.
-    pub(crate) busy: bool,
-    /// Remaining downstream buffer credits, in bytes.
-    credits: u32,
-    /// Credit returns in flight back to this channel, as
-    /// `(maturation time, bytes)` in nondecreasing time order. Applied
-    /// lazily in `try_tx` instead of costing one scheduled event per
-    /// packet.
-    pending_credits: VecDeque<(SimTime, u32)>,
-    /// A `CreditWake` event is already pending.
-    credit_wake_scheduled: bool,
-    /// Packets in the in-progress transmission train (0 when idle).
-    train_len: u32,
-    /// Total bytes of the in-progress train (popped as a lump at
-    /// `TxDone` — individual packets may already have been consumed at
-    /// their destination host by then, so their sizes must not be
-    /// re-read from the arena).
-    train_bytes: u64,
-    /// Configured rate.
-    pub(crate) rate: LinkRate,
-    /// Channel unusable until this time (reactivation after a rate
-    /// change, §3.1).
-    available_at: SimTime,
-    /// A `Retry` event is already pending.
-    retry_scheduled: bool,
-    /// Busy picoseconds accumulated this epoch (the controller's
-    /// utilization input).
-    busy_ps_epoch: u64,
-    /// End of the in-progress transmission, if any — lets epoch
-    /// accounting split a serialization that spans epoch boundaries.
-    busy_until: SimTime,
-    /// Residency accounting: time at each rate since the run started.
-    time_at_rate_ps: [u64; LinkRate::COUNT],
-    /// Time powered off (dynamic topologies, §5.2).
-    off_ps: u64,
-    /// When the current rate/off interval began.
-    rate_since: SimTime,
-    /// Whether the channel is powered off.
-    pub(crate) off: bool,
-    /// Rate change waiting for the queue to drain (§3.2's first
-    /// tolerance option); while set, the channel is removed from the
-    /// legal adaptive routes.
-    pending_rate: Option<LinkRate>,
-    /// Whether the controller may retune this channel.
-    tunable: bool,
-    /// Propagation delay of the physical medium.
-    prop: SimTime,
-}
-
-impl Channel {
-    fn new(rate: LinkRate, credits: u32, tunable: bool, prop: SimTime) -> Self {
-        Self {
-            queue: VecDeque::new(),
-            occupancy: 0,
-            busy: false,
-            credits,
-            pending_credits: VecDeque::new(),
-            credit_wake_scheduled: false,
-            train_len: 0,
-            train_bytes: 0,
-            rate,
-            available_at: SimTime::ZERO,
-            retry_scheduled: false,
-            busy_ps_epoch: 0,
-            busy_until: SimTime::ZERO,
-            time_at_rate_ps: [0; LinkRate::COUNT],
-            off_ps: 0,
-            rate_since: SimTime::ZERO,
-            off: false,
-            pending_rate: None,
-            tunable,
-            prop,
-        }
-    }
-
-    /// Closes the current residency interval at `now`.
-    fn note_interval(&mut self, now: SimTime) {
-        let span = (now - self.rate_since).as_ps();
-        if self.off {
-            self.off_ps += span;
-        } else {
-            self.time_at_rate_ps[self.rate.index()] += span;
-        }
-        self.rate_since = now;
-    }
-
-    /// Utilization over the epoch that just ended.
-    fn epoch_utilization(&self, epoch: SimTime) -> f64 {
-        (self.busy_ps_epoch as f64 / epoch.as_ps() as f64).min(1.0)
-    }
-
-    pub(crate) fn queue_is_idle(&self) -> bool {
-        self.queue.is_empty() && !self.busy
-    }
-
-    /// Busy picoseconds accumulated this epoch.
-    pub(crate) fn busy_ps_epoch(&self) -> u64 {
-        self.busy_ps_epoch
-    }
-
-    /// Transitions the channel's powered state, closing the residency
-    /// interval (dynamic topologies, §5.2).
-    pub(crate) fn set_off(&mut self, now: SimTime, off: bool) {
-        debug_assert!(!off || self.queue_is_idle(), "powering off a busy channel");
-        self.note_interval(now);
-        self.off = off;
-    }
-
-    /// Brings the channel up at `rate`, unusable until the reactivation
-    /// completes.
-    pub(crate) fn reactivate(&mut self, now: SimTime, reactivation: SimTime, rate: LinkRate) {
-        self.note_interval(now);
-        self.rate = rate;
-        self.available_at = now + reactivation;
-    }
-}
-
-/// Record of an in-flight message for completion tracking.
+/// Record of an in-flight message for completion tracking. Slots are
+/// recycled through a free list once the last packet delivers, so the
+/// table is bounded by concurrently in-flight messages.
 #[derive(Debug, Clone, Copy)]
 struct MessageRec {
     remaining: u32,
@@ -206,7 +94,11 @@ enum RouteMode {
 /// high-performance networks").
 ///
 /// Build one per run: [`Simulator::run_until`] consumes the simulator and
-/// returns a [`SimReport`].
+/// returns a [`SimReport`]. Harnesses that need to observe the engine
+/// mid-run (e.g. to snapshot allocator counters after warmup) can use
+/// the phased equivalents [`Simulator::prime`],
+/// [`Simulator::advance_until`], and [`Simulator::finalize`] —
+/// `run_until` is exactly their composition.
 ///
 /// ```
 /// use epnet_sim::{Message, ReplaySource, SimConfig, SimTime, Simulator};
@@ -233,9 +125,22 @@ pub struct Simulator<S> {
     queue: EventQueue,
     now: SimTime,
     end: SimTime,
-    channels: Vec<Channel>,
+    channels: Channels,
+    /// Receiving endpoint of each channel, precomputed (the per-event
+    /// decode costs a division).
+    targets: Vec<PortTarget>,
+    /// Per-channel tail-to-arrival offset: propagation delay plus the
+    /// router pipeline when the far end is a switch.
+    arrive_extra: Vec<SimTime>,
+    /// Switch each host hangs off, precomputed (`host / concentration`
+    /// is a divide on the per-hop path).
+    host_switch: Vec<SwitchId>,
+    /// Ejection channel delivering to each host, precomputed.
+    eject_channel: Vec<ChannelId>,
     arena: PacketArena,
     messages: Vec<MessageRec>,
+    /// Retired message slots awaiting reuse.
+    msg_free: Vec<u32>,
     stats: Stats,
     mask: Option<LinkMask>,
     dyntopo: Option<DynamicTopology>,
@@ -247,6 +152,13 @@ pub struct Simulator<S> {
     /// bounds transmission trains at the epoch so no rate or mask
     /// change can land mid-train.
     controller_active: bool,
+    /// Whether [`Simulator::prime`] has run.
+    primed: bool,
+    /// The pop loop is still inside the warmup window (wall-clock
+    /// phase attribution only).
+    in_warmup: bool,
+    /// Start of the wall-clock phase currently being attributed.
+    phase_start: Instant,
     /// Telemetry: tracer, metrics registry, phase profiler.
     inst: Instruments,
 }
@@ -255,20 +167,35 @@ impl<S: TrafficSource> Simulator<S> {
     /// Creates a simulator over `fabric` driven by `source`.
     pub fn new(fabric: FabricGraph, config: SimConfig, source: S) -> Self {
         config.validate();
-        let mut channels = Vec::with_capacity(fabric.num_channels());
-        for ch in 0..fabric.num_channels() {
+        let n = fabric.num_channels();
+        let mut channels = Channels::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        let mut arrive_extra = Vec::with_capacity(n);
+        for ch in 0..n {
             let id = ChannelId::new(ch as u32);
             let tunable = config.tune_host_links || !fabric.is_host_channel(id);
             let prop = match fabric.channel_medium(id) {
                 Medium::Electrical => config.electrical_propagation,
                 Medium::Optical => config.optical_propagation,
             };
-            channels.push(Channel::new(
-                config.max_rate,
-                config.input_buffer_bytes,
-                tunable,
-                prop,
-            ));
+            channels.push(config.max_rate, config.input_buffer_bytes, tunable, prop);
+            let target = fabric.channel_target(id);
+            // Tail arrival plus the router pipeline when the far end is
+            // a switch (hosts consume directly).
+            let router = match target {
+                PortTarget::Host(_) => SimTime::ZERO,
+                PortTarget::Switch { .. } => config.router_latency,
+            };
+            targets.push(target);
+            arrive_extra.push(prop + router);
+        }
+        let mut host_switch = Vec::with_capacity(fabric.num_hosts());
+        let mut eject_channel = Vec::with_capacity(fabric.num_hosts());
+        for h in 0..fabric.num_hosts() {
+            let host = epnet_topology::HostId::new(h as u32);
+            let sw = fabric.host_switch(host);
+            host_switch.push(sw);
+            eject_channel.push(fabric.output_channel(sw, fabric.host_port(host)));
         }
         let warmup = config.warmup;
         let first_epoch_end = config.epoch;
@@ -295,16 +222,21 @@ impl<S: TrafficSource> Simulator<S> {
             }
         };
         Self {
+            queue: EventQueue::with_hint(n),
             fabric,
             config,
             source,
             pending: None,
-            queue: EventQueue::new(),
             now: SimTime::ZERO,
             end: SimTime::ZERO,
             channels,
+            targets,
+            arrive_extra,
+            host_switch,
+            eject_channel,
             arena: PacketArena::new(),
             messages: Vec::new(),
+            msg_free: Vec::new(),
             stats: Stats::new(warmup),
             mask: None,
             dyntopo: None,
@@ -312,6 +244,9 @@ impl<S: TrafficSource> Simulator<S> {
             last_offered_at: SimTime::ZERO,
             epoch_end: first_epoch_end,
             controller_active: false,
+            primed: false,
+            in_warmup: false,
+            phase_start: Instant::now(),
             inst,
         }
     }
@@ -348,15 +283,32 @@ impl<S: TrafficSource> Simulator<S> {
         &self.fabric
     }
 
+    /// Events popped so far — lets phased harnesses compute per-window
+    /// deltas (e.g. allocations per event after warmup).
+    pub fn events_processed(&self) -> u64 {
+        self.stats.events
+    }
+
     /// Runs the simulation until simulated time `end` and reports.
     pub fn run_until(mut self, end: SimTime) -> SimReport {
+        self.prime(end);
+        self.advance_until(end);
+        self.finalize()
+    }
+
+    /// Seeds the run toward horizon `end`: initial rate samples, the
+    /// first workload pull, and the first epoch tick. Call once, before
+    /// [`Simulator::advance_until`].
+    pub fn prime(&mut self, end: SimTime) {
+        assert!(!self.primed, "prime() called twice");
+        self.primed = true;
         self.end = end;
         self.stats.timeline_channels = self
             .config
             .timeline_channels
             .min(self.channels.len() as u32);
         for ch in 0..self.stats.timeline_channels {
-            let rate = self.channels[ch as usize].rate;
+            let rate = self.channels.rate[ch as usize];
             self.stats.record_rate(SimTime::ZERO, ch, Some(rate));
         }
         self.pending = self.source.next_message();
@@ -368,7 +320,17 @@ impl<S: TrafficSource> Simulator<S> {
         if self.controller_active {
             self.queue.schedule(self.config.epoch, Event::EpochTick);
         }
+        self.in_warmup = self.config.warmup > SimTime::ZERO;
+        self.phase_start = Instant::now();
+    }
 
+    /// Processes every event scheduled at or before
+    /// `min(until, horizon)`. May be called repeatedly with
+    /// nondecreasing times; [`Simulator::run_until`] is
+    /// `prime(end)` + `advance_until(end)` + `finalize()`.
+    pub fn advance_until(&mut self, until: SimTime) {
+        assert!(self.primed, "advance_until() before prime()");
+        let cap = if until < self.end { until } else { self.end };
         // Peek before popping: events beyond the horizon stay queued
         // (the queue is dropped wholesale with the engine) and the
         // monotonic-pop invariant is checked without consuming.
@@ -377,16 +339,24 @@ impl<S: TrafficSource> Simulator<S> {
         // branch per pop until the warmup boundary passes, then nothing.
         let ids = self.inst.ids;
         let warmup_end = self.config.warmup;
-        let mut phase_start = Instant::now();
-        let mut in_warmup = warmup_end > SimTime::ZERO;
+        // Event-kind counters accumulate in registers and flush into the
+        // metrics registry once per `advance_until` — totals (and thus
+        // the serialized report) are identical, without an indexed
+        // read-modify-write inside the pop loop.
+        let mut n_workload = 0u64;
+        let mut n_tx_done = 0u64;
+        let mut n_arrive = 0u64;
+        let mut n_credit_wake = 0u64;
+        let mut n_retry = 0u64;
+        let mut n_epoch_tick = 0u64;
         while let Some(t) = self.queue.peek_time() {
-            if t > self.end {
+            if t > cap {
                 break;
             }
-            if in_warmup && t >= warmup_end {
-                self.inst.profiler.record("warmup", phase_start.elapsed());
-                phase_start = Instant::now();
-                in_warmup = false;
+            if self.in_warmup && t >= warmup_end {
+                self.inst.profiler.record("warmup", self.phase_start.elapsed());
+                self.phase_start = Instant::now();
+                self.in_warmup = false;
             }
             debug_assert!(t >= self.now, "time went backwards");
             let (t, ev) = self.queue.pop().expect("peeked event vanished");
@@ -394,27 +364,26 @@ impl<S: TrafficSource> Simulator<S> {
             self.stats.events += 1;
             match ev {
                 Event::Workload => {
-                    self.inst.metrics.add(ids.ev_workload, 1);
+                    n_workload += 1;
                     self.on_workload();
                 }
                 Event::TxDone { channel } => {
-                    self.inst.metrics.add(ids.ev_tx_done, 1);
+                    n_tx_done += 1;
                     self.on_tx_done(channel);
                 }
                 Event::Arrive { channel, packet } => {
-                    self.inst.metrics.add(ids.ev_arrive, 1);
+                    n_arrive += 1;
                     self.on_arrive(channel, packet);
                 }
                 Event::CreditWake { channel } => {
-                    self.inst.metrics.add(ids.ev_credit_wake, 1);
-                    self.channels[channel.index()].credit_wake_scheduled = false;
+                    n_credit_wake += 1;
+                    let i = channel.index();
+                    self.channels.clear_flag(i, F_CREDIT_WAKE);
                     if self.inst.on(TraceCategory::Credit) {
-                        let c = &self.channels[channel.index()];
-                        let needed = c
-                            .queue
+                        let needed = self.channels.queues[i]
                             .front()
                             .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
-                        let credits = u64::from(c.credits);
+                        let credits = u64::from(self.channels.credits[i]);
                         self.inst
                             .tracer()
                             .credit(t.as_ps(), channel.raw(), "unblock", needed, credits);
@@ -422,14 +391,14 @@ impl<S: TrafficSource> Simulator<S> {
                     self.try_tx(channel);
                 }
                 Event::Retry { channel } => {
-                    self.inst.metrics.add(ids.ev_retry, 1);
-                    self.channels[channel.index()].retry_scheduled = false;
+                    n_retry += 1;
+                    self.channels.clear_flag(channel.index(), F_RETRY);
                     // A Retry matures exactly at `available_at`: the
                     // link carries traffic again, closing the
                     // reactivation window — traced here so tracing
                     // never schedules events of its own.
                     if self.inst.on(TraceCategory::Reactivation) {
-                        let rate = self.channels[channel.index()].rate.to_string();
+                        let rate = self.channels.rate[channel.index()].to_string();
                         self.inst
                             .tracer()
                             .reactivation(t.as_ps(), channel.raw(), "end", &rate, None);
@@ -437,15 +406,29 @@ impl<S: TrafficSource> Simulator<S> {
                     self.try_tx(channel);
                 }
                 Event::EpochTick => {
-                    self.inst.metrics.add(ids.ev_epoch_tick, 1);
+                    n_epoch_tick += 1;
                     self.on_epoch();
                 }
             }
         }
-        self.inst
-            .profiler
-            .record(if in_warmup { "warmup" } else { "measurement" }, phase_start.elapsed());
-        self.now = end;
+        self.inst.metrics.add(ids.ev_workload, n_workload);
+        self.inst.metrics.add(ids.ev_tx_done, n_tx_done);
+        self.inst.metrics.add(ids.ev_arrive, n_arrive);
+        self.inst.metrics.add(ids.ev_credit_wake, n_credit_wake);
+        self.inst.metrics.add(ids.ev_retry, n_retry);
+        self.inst.metrics.add(ids.ev_epoch_tick, n_epoch_tick);
+    }
+
+    /// Closes the run at the horizon and produces the report. Consumes
+    /// the simulator; events still queued past the horizon are dropped
+    /// wholesale with it.
+    pub fn finalize(mut self) -> SimReport {
+        assert!(self.primed, "finalize() before prime()");
+        self.inst.profiler.record(
+            if self.in_warmup { "warmup" } else { "measurement" },
+            self.phase_start.elapsed(),
+        );
+        self.now = self.end;
         self.finish()
     }
 
@@ -479,16 +462,26 @@ impl<S: TrafficSource> Simulator<S> {
         debug_assert_ne!(m.src, m.dst, "self-sends are not meaningful");
         self.stats.offered_bytes += m.bytes;
         self.last_offered_at = m.at;
-        let message = MessageId(self.messages.len() as u32);
         let pkt_size = u64::from(self.config.packet_bytes);
         let full = (m.bytes / pkt_size) as u32;
         let tail = (m.bytes % pkt_size) as u32;
         // A zero-byte message still travels as a single minimal packet.
         let count = (full + u32::from(tail > 0)).max(1);
-        self.messages.push(MessageRec {
+        let rec = MessageRec {
             remaining: count,
             offered_at: m.at,
-        });
+        };
+        let message = match self.msg_free.pop() {
+            Some(slot) => {
+                self.messages[slot as usize] = rec;
+                MessageId(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.messages.len()).expect("message table overflow");
+                self.messages.push(rec);
+                MessageId(slot)
+            }
+        };
         let inj = self.fabric.injection_channel(m.src);
         let budget = match self.config.routing {
             RoutingPolicy::MinimalAdaptive => 0,
@@ -504,18 +497,22 @@ impl<S: TrafficSource> Simulator<S> {
                 hops: 0,
                 misroutes_left: budget,
             });
-            self.enqueue(inj, id);
+            self.enqueue(inj, id, bytes);
         }
         self.try_tx(inj);
     }
 
-    fn enqueue(&mut self, ch: ChannelId, pkt: PacketId) {
-        let bytes = u64::from(self.arena.get(pkt).bytes);
-        let c = &mut self.channels[ch.index()];
-        c.queue.push_back(pkt);
-        c.occupancy += bytes;
-        if c.occupancy > self.stats.peak_queue_bytes {
-            self.stats.peak_queue_bytes = c.occupancy;
+    /// `bytes` is the packet's size — every caller already has it in a
+    /// register, so the arena is not re-read here.
+    fn enqueue(&mut self, ch: ChannelId, pkt: PacketId, bytes: u32) {
+        debug_assert_eq!(bytes, self.arena.get(pkt).bytes);
+        let bytes = u64::from(bytes);
+        let i = ch.index();
+        self.channels.queues[i].push_back(pkt);
+        let occ = self.channels.occupancy[i] + bytes;
+        self.channels.occupancy[i] = occ;
+        if occ > self.stats.peak_queue_bytes {
+            self.stats.peak_queue_bytes = occ;
         }
     }
 
@@ -528,51 +525,43 @@ impl<S: TrafficSource> Simulator<S> {
     /// scheduling (serialization is back-to-back either way); only the
     /// event count shrinks.
     fn try_tx(&mut self, ch: ChannelId) {
+        let i = ch.index();
         let now = self.now;
-        let c = &mut self.channels[ch.index()];
-        if c.busy || c.off {
+        let flags = self.channels.flags[i];
+        if flags & (F_BUSY | F_OFF) != 0 {
             return;
         }
-        let Some(&head) = c.queue.front() else {
+        let Some(&head) = self.channels.queues[i].front() else {
             return;
         };
-        if now < c.available_at {
-            if !c.retry_scheduled {
-                c.retry_scheduled = true;
-                let at = c.available_at;
-                self.queue.schedule(at, Event::Retry { channel: ch });
+        let available_at = self.channels.available_at[i];
+        if now < available_at {
+            if flags & F_RETRY == 0 {
+                self.channels.set_flag(i, F_RETRY);
+                self.queue.schedule(available_at, Event::Retry { channel: ch });
             }
             return;
         }
         // Apply credit returns that have matured by now.
-        while let Some(&(at, bytes)) = c.pending_credits.front() {
-            if at > now {
-                break;
-            }
-            c.pending_credits.pop_front();
-            c.credits += bytes;
-            debug_assert!(
-                c.credits <= self.config.input_buffer_bytes,
-                "credit overflow on {ch}"
-            );
-        }
+        let mut credits =
+            self.channels
+                .apply_matured_credits(i, now, self.config.input_buffer_bytes);
         let head_bytes = self.arena.get(head).bytes;
-        if c.credits < head_bytes {
+        if credits < head_bytes {
             self.inst.metrics.add(self.inst.ids.credit_blocked_tries, 1);
             // Blocked on credits: wake exactly when the next pending
             // return matures. If none is booked yet, the arrival that
             // books one re-arms the wake (`on_arrive`).
-            if !c.credit_wake_scheduled {
-                if let Some(&(at, _)) = c.pending_credits.front() {
-                    c.credit_wake_scheduled = true;
+            if flags & F_CREDIT_WAKE == 0 {
+                if let Some(at) = self.channels.next_credit_at(i) {
+                    self.channels.set_flag(i, F_CREDIT_WAKE);
                     if self.inst.on(TraceCategory::Credit) {
-                        let credits = u64::from(c.credits);
                         self.inst.tracer().credit(
                             now.as_ps(),
                             ch.raw(),
                             "block",
                             u64::from(head_bytes),
-                            credits,
+                            u64::from(credits),
                         );
                     }
                     self.queue.schedule(at, Event::CreditWake { channel: ch });
@@ -580,18 +569,13 @@ impl<S: TrafficSource> Simulator<S> {
             }
             return;
         }
-        c.credits -= head_bytes;
-        c.busy = true;
-        let prop = c.prop;
-        // Tail arrival plus the router pipeline when the far end is a
-        // switch (hosts consume directly).
-        let router = match self.fabric.channel_target(ch) {
-            PortTarget::Host(_) => SimTime::ZERO,
-            PortTarget::Switch { .. } => self.config.router_latency,
-        };
-        let mut tail = now + SimTime::from_ps(c.rate.serialize_ps(u64::from(head_bytes)));
+        credits -= head_bytes;
+        self.channels.set_flag(i, F_BUSY);
+        let rate = self.channels.rate[i];
+        let extra = self.arrive_extra[i];
+        let mut tail = now + SimTime::from_ps(rate.serialize_ps(u64::from(head_bytes)));
         self.queue.schedule(
-            tail + prop + router,
+            tail + extra,
             Event::Arrive {
                 channel: ch,
                 packet: head,
@@ -610,29 +594,30 @@ impl<S: TrafficSource> Simulator<S> {
             self.end
         };
         while tail <= bound {
-            let Some(&next) = c.queue.get(train_len as usize) else {
+            let Some(&next) = self.channels.queues[i].get(train_len as usize) else {
                 break;
             };
             let next_bytes = self.arena.get(next).bytes;
-            if c.credits < next_bytes {
+            if credits < next_bytes {
                 break;
             }
-            let next_tail = tail + SimTime::from_ps(c.rate.serialize_ps(u64::from(next_bytes)));
+            let next_tail = tail + SimTime::from_ps(rate.serialize_ps(u64::from(next_bytes)));
             if next_tail > bound {
                 break;
             }
-            c.credits -= next_bytes;
+            credits -= next_bytes;
             tail = next_tail;
             train_len += 1;
             train_bytes += u64::from(next_bytes);
             self.queue.schedule(
-                tail + prop + router,
+                tail + extra,
                 Event::Arrive {
                     channel: ch,
                     packet: next,
                 },
             );
         }
+        self.channels.credits[i] = credits;
         let ser = tail - now;
         // Charge this epoch only for the busy time that falls inside it;
         // the remainder is pre-charged to later epochs at the tick (a
@@ -640,36 +625,39 @@ impl<S: TrafficSource> Simulator<S> {
         // split the controller would see a busy link as idle). Only a
         // single-packet train can span the boundary — extension stops at
         // the epoch bound.
-        c.busy_until = tail;
+        self.channels.busy_until[i] = tail;
         let in_epoch = if tail <= self.epoch_end {
             ser
         } else {
             self.epoch_end.saturating_sub(now)
         };
-        c.busy_ps_epoch += in_epoch.as_ps();
-        c.train_len = train_len;
-        c.train_bytes = train_bytes;
+        self.channels.busy_ps_epoch[i] += in_epoch.as_ps();
+        self.channels.train_len[i] = train_len;
+        self.channels.train_bytes[i] = train_bytes;
         self.stats.busy_ps_total += u128::from(ser.as_ps());
         self.queue.schedule(tail, Event::TxDone { channel: ch });
     }
 
     fn on_tx_done(&mut self, ch: ChannelId) {
-        let c = &mut self.channels[ch.index()];
-        debug_assert!(c.train_len >= 1, "TxDone without a train");
-        let train = u64::from(c.train_len);
+        let i = ch.index();
+        let train_len = self.channels.train_len[i];
+        debug_assert!(train_len >= 1, "TxDone without a train");
+        let train = u64::from(train_len);
         self.inst.metrics.add(self.inst.ids.tx_trains, 1);
         self.inst.metrics.add(self.inst.ids.tx_train_packets, train);
         self.inst
             .metrics
             .observe_max(self.inst.ids.tx_train_max_packets, train);
-        for _ in 0..c.train_len {
-            c.queue.pop_front().expect("TxDone with empty queue");
+        let q = &mut self.channels.queues[i];
+        for _ in 0..train_len {
+            q.pop_front().expect("TxDone with empty queue");
         }
-        c.occupancy -= c.train_bytes;
-        c.train_len = 0;
-        c.train_bytes = 0;
-        c.busy = false;
-        if c.queue.is_empty() && c.pending_rate.is_some() {
+        let emptied = q.is_empty();
+        self.channels.occupancy[i] -= self.channels.train_bytes[i];
+        self.channels.train_len[i] = 0;
+        self.channels.train_bytes[i] = 0;
+        self.channels.clear_flag(i, F_BUSY);
+        if emptied && self.channels.has_flag(i, F_DRAINING) {
             self.finish_pending_rate(ch);
             return;
         }
@@ -683,39 +671,38 @@ impl<S: TrafficSource> Simulator<S> {
         // `try_tx` instead of costing a scheduled event per packet; an
         // idle channel with work waiting is parked on exactly this
         // credit, so arm its wake.
+        let i = ch.index();
         let bytes = self.arena.get(pkt).bytes;
-        let c = &mut self.channels[ch.index()];
-        let matures = self.now + c.prop;
-        debug_assert!(
-            c.pending_credits.back().map_or(true, |&(t, _)| t <= matures),
-            "credit returns out of order on {ch}"
-        );
-        c.pending_credits.push_back((matures, bytes));
-        if !c.busy && !c.queue.is_empty() && !c.credit_wake_scheduled && self.now >= c.available_at
+        let matures = self.now + self.channels.prop[i];
+        self.channels.push_credit(i, matures, bytes);
+        if self.channels.flags[i] & (F_BUSY | F_CREDIT_WAKE) == 0
+            && !self.channels.queues[i].is_empty()
+            && self.now >= self.channels.available_at[i]
         {
-            c.credit_wake_scheduled = true;
+            self.channels.set_flag(i, F_CREDIT_WAKE);
             if self.inst.on(TraceCategory::Credit) {
-                let needed = c
-                    .queue
+                let needed = self.channels.queues[i]
                     .front()
                     .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
-                let credits = u64::from(c.credits);
+                let credits = u64::from(self.channels.credits[i]);
                 self.inst
                     .tracer()
                     .credit(self.now.as_ps(), ch.raw(), "block", needed, credits);
             }
             self.queue.schedule(matures, Event::CreditWake { channel: ch });
         }
-        match self.fabric.channel_target(ch) {
+        match self.targets[i] {
             PortTarget::Host(h) => {
                 debug_assert_eq!(self.arena.get(pkt).dst, h, "misrouted packet");
                 let packet = self.arena.free(pkt);
                 self.stats
                     .record_packet(packet.created, self.now, packet.bytes);
-                let rec = &mut self.messages[packet.message.index()];
+                let mi = packet.message.index();
+                let rec = &mut self.messages[mi];
                 rec.remaining -= 1;
                 if rec.remaining == 0 {
                     self.stats.record_message(rec.offered_at, self.now);
+                    self.msg_free.push(packet.message.raw());
                 }
             }
             PortTarget::Switch { switch, .. } => self.route(switch, pkt),
@@ -733,18 +720,18 @@ impl<S: TrafficSource> Simulator<S> {
     /// computation; both paths enumerate candidates in the identical
     /// order, so the choice never changes simulation output.
     fn route(&mut self, at: SwitchId, pkt: PacketId) {
-        let (dst, hops, misroutes_left) = {
+        let (dst, bytes, hops, misroutes_left) = {
             let p = self.arena.get(pkt);
-            (p.dst, p.hops, p.misroutes_left)
+            (p.dst, p.bytes, p.hops, p.misroutes_left)
         };
-        let dst_switch = self.fabric.host_switch(dst);
+        let dst_switch = self.host_switch[dst.index()];
         if at == dst_switch {
             // Local delivery: the ejection port depends on the host, not
             // the switch, and is the sole candidate — no table row.
             let p = self.arena.get_mut(pkt);
             p.hops = hops.saturating_add(1);
-            let out = self.fabric.output_channel(at, self.fabric.host_port(dst));
-            self.enqueue(out, pkt);
+            let out = self.eject_channel[dst.index()];
+            self.enqueue(out, pkt, bytes);
             self.try_tx(out);
             return;
         }
@@ -836,7 +823,7 @@ impl<S: TrafficSource> Simulator<S> {
             p.misroutes_left -= 1;
         }
         let out = self.fabric.output_channel(at, best);
-        self.enqueue(out, pkt);
+        self.enqueue(out, pkt, bytes);
         self.try_tx(out);
     }
 
@@ -845,25 +832,38 @@ impl<S: TrafficSource> Simulator<S> {
     /// from the list of legal adaptive routes" (§3.2) when any
     /// alternative exists.
     fn pick_minimal(
-        channels: &[Channel],
+        channels: &Channels,
         fabric: &FabricGraph,
         at: SwitchId,
         start_key: usize,
         cands: &[PortIndex],
     ) -> (PortIndex, u64) {
-        let start = start_key % cands.len();
+        let len = cands.len();
+        let start = start_key % len;
         let mut best: Option<(PortIndex, u64)> = None;
         let mut best_draining: Option<(PortIndex, u64)> = None;
-        for i in 0..cands.len() {
-            let cand = cands[(start + i) % cands.len()];
-            let c = &channels[fabric.output_channel(at, cand).index()];
-            let slot = if c.pending_rate.is_some() {
+        // Wrapping index instead of `(start + i) % len` — a variable
+        // modulo per candidate is a hardware divide in the innermost
+        // routing loop. Visit order is identical.
+        let mut j = start;
+        loop {
+            let cand = cands[j];
+            let idx = fabric.output_channel(at, cand).index();
+            let occ = channels.occupancy[idx];
+            let slot = if channels.flags[idx] & F_DRAINING != 0 {
                 &mut best_draining
             } else {
                 &mut best
             };
-            if slot.map_or(true, |(_, o)| c.occupancy < o) {
-                *slot = Some((cand, c.occupancy));
+            if slot.map_or(true, |(_, o)| occ < o) {
+                *slot = Some((cand, occ));
+            }
+            j += 1;
+            if j == len {
+                j = 0;
+            }
+            if j == start {
+                break;
             }
         }
         best.or(best_draining).expect("candidate list is non-empty")
@@ -872,14 +872,14 @@ impl<S: TrafficSource> Simulator<S> {
     /// The least-occupied detour port (first-wins on ties, matching the
     /// enumeration order of [`FabricGraph::detour_ports_masked`]).
     fn pick_detour(
-        channels: &[Channel],
+        channels: &Channels,
         fabric: &FabricGraph,
         at: SwitchId,
         cands: &[PortIndex],
     ) -> Option<(PortIndex, u64)> {
         let mut best: Option<(PortIndex, u64)> = None;
         for &port in cands {
-            let occ = channels[fabric.output_channel(at, port).index()].occupancy;
+            let occ = channels.occupancy[fabric.output_channel(at, port).index()];
             if best.map_or(true, |(_, o)| occ < o) {
                 best = Some((port, occ));
             }
@@ -905,8 +905,10 @@ impl<S: TrafficSource> Simulator<S> {
                     .fabric
                     .link_channels(epnet_topology::LinkId::new(link as u32));
                 self.stats.link_samples += 1;
-                let (ca, cb) = (&self.channels[a.index()], &self.channels[b.index()]);
-                if ca.rate != cb.rate || ca.off != cb.off {
+                let (ia, ib) = (a.index(), b.index());
+                if self.channels.rate[ia] != self.channels.rate[ib]
+                    || self.channels.has_flag(ia, F_OFF) != self.channels.has_flag(ib, F_OFF)
+                {
                     self.stats.asymmetric_link_samples += 1;
                 }
             }
@@ -927,16 +929,19 @@ impl<S: TrafficSource> Simulator<S> {
         let epoch = self.config.epoch;
         // Queue depth is sampled here, once per channel per epoch, so
         // the mean/peak metrics describe standing queues rather than
-        // transient per-packet spikes.
+        // transient per-packet spikes. The dense occupancy and
+        // busy-time arrays make this sweep sequential loads.
         let mut queued_sum = 0u64;
         let mut queued_peak = 0u64;
-        for c in &mut self.channels {
-            queued_sum += c.occupancy;
-            queued_peak = queued_peak.max(c.occupancy);
+        let epoch_ps = epoch.as_ps();
+        for i in 0..self.channels.len() {
+            let occ = self.channels.occupancy[i];
+            queued_sum += occ;
+            queued_peak = queued_peak.max(occ);
             // Pre-charge the next epoch with the in-flight transmission's
             // overhang.
-            let overhang = c.busy_until.saturating_sub(self.now);
-            c.busy_ps_epoch = overhang.as_ps().min(epoch.as_ps());
+            let overhang = self.channels.busy_until[i].saturating_sub(self.now);
+            self.channels.busy_ps_epoch[i] = overhang.as_ps().min(epoch_ps);
         }
         let ids = self.inst.ids;
         self.inst
@@ -982,14 +987,14 @@ impl<S: TrafficSource> Simulator<S> {
     /// channel, or `None` when the channel is exempt from tuning (host
     /// link with tuning disabled, or powered off).
     fn channel_decision(&self, ch: ChannelId) -> Option<(f64, LinkRate)> {
-        let c = &self.channels[ch.index()];
-        if !c.tunable || c.off {
+        let i = ch.index();
+        if self.channels.flags[i] & (F_TUNABLE | F_OFF) != F_TUNABLE {
             return None;
         }
-        let util = c.epoch_utilization(self.config.epoch);
+        let util = self.channels.epoch_utilization(i, self.config.epoch);
         let rate = desired_rate(
             self.config.policy,
-            c.rate,
+            self.channels.rate[i],
             util,
             self.config.target_utilization,
             self.config.min_rate,
@@ -1001,7 +1006,7 @@ impl<S: TrafficSource> Simulator<S> {
     /// Applies one controller decision and, when tracing, records it
     /// with the measured utilization and the outcome-derived reason.
     fn decide_rate(&mut self, ch: ChannelId, util: f64, rate: LinkRate) {
-        let old = self.channels[ch.index()].rate;
+        let old = self.channels.rate[ch.index()];
         let outcome = self.apply_rate(ch, rate);
         if self.inst.on(TraceCategory::Controller) {
             let reason = match outcome {
@@ -1023,34 +1028,42 @@ impl<S: TrafficSource> Simulator<S> {
     /// (§3.1). Under [`ReactivationStrategy::DrainFirst`] a busy channel
     /// is first removed from the legal routes and drained (§3.2's first
     /// option).
+    ///
+    /// [`ReactivationStrategy::DrainFirst`]: crate::config::ReactivationStrategy::DrainFirst
     fn apply_rate(&mut self, ch: ChannelId, rate: LinkRate) -> RateOutcome {
+        let i = ch.index();
         let now = self.now;
         let model = self.config.reactivation;
         let strategy = self.config.reactivation_strategy;
-        let c = &mut self.channels[ch.index()];
-        if c.pending_rate.take().is_some() && c.rate == rate {
+        // The F_DRAINING mirror gates the cold-table take: the common
+        // hold/no-drain decision — the bulk of every epoch sweep —
+        // never touches `pending_rate` at all.
+        if self.channels.has_flag(i, F_DRAINING)
+            && self.channels.take_pending_rate(i).is_some()
+            && self.channels.rate[i] == rate
+        {
             // The controller changed its mind back before the drain
             // finished; cancel the pending change.
             return RateOutcome::DrainCancelled;
         }
-        if c.rate == rate {
+        if self.channels.rate[i] == rate {
             return RateOutcome::Unchanged;
         }
         // Drain-first only defers *downshifts*: an upshift is what a
         // congested queue needs, and deferring it until the queue
         // empties could wait forever.
         if strategy == crate::config::ReactivationStrategy::DrainFirst
-            && rate < c.rate
-            && !c.queue_is_idle()
+            && rate < self.channels.rate[i]
+            && !self.channels.queue_is_idle(i)
         {
-            c.pending_rate = Some(rate);
+            self.channels.set_pending_rate(i, Some(rate));
             return RateOutcome::DrainDeferred;
         }
-        let latency = model.latency(c.rate, rate);
-        c.note_interval(now);
-        c.rate = rate;
+        let latency = model.latency(self.channels.rate[i], rate);
+        self.channels.note_interval(i, now);
+        self.channels.rate[i] = rate;
         let until = now + latency;
-        c.available_at = until;
+        self.channels.available_at[i] = until;
         self.stats.reconfigurations += 1;
         self.stats.record_rate(now, ch.raw(), Some(rate));
         if self.inst.on(TraceCategory::Reactivation) {
@@ -1072,24 +1085,24 @@ impl<S: TrafficSource> Simulator<S> {
 
     /// Completes a drain-first rate change once the queue has emptied.
     fn finish_pending_rate(&mut self, ch: ChannelId) {
+        let i = ch.index();
         let now = self.now;
         let model = self.config.reactivation;
-        let c = &mut self.channels[ch.index()];
-        let Some(rate) = c.pending_rate.take() else {
+        let Some(rate) = self.channels.take_pending_rate(i) else {
             return;
         };
-        if !c.queue_is_idle() {
+        if !self.channels.queue_is_idle(i) {
             // New traffic slipped in before the drain completed (only
             // possible when this channel was the sole route); keep
             // waiting.
-            c.pending_rate = Some(rate);
+            self.channels.set_pending_rate(i, Some(rate));
             return;
         }
-        let latency = model.latency(c.rate, rate);
-        c.note_interval(now);
-        c.rate = rate;
+        let latency = model.latency(self.channels.rate[i], rate);
+        self.channels.note_interval(i, now);
+        self.channels.rate[i] = rate;
         let until = now + latency;
-        c.available_at = until;
+        self.channels.available_at[i] = until;
         self.stats.reconfigurations += 1;
         self.stats.record_rate(now, ch.raw(), Some(rate));
         if self.inst.on(TraceCategory::Reactivation) {
@@ -1115,12 +1128,13 @@ impl<S: TrafficSource> Simulator<S> {
             at_rate_ps: [0; LinkRate::COUNT],
             off_ps: 0,
         };
-        for c in &mut self.channels {
-            c.note_interval(end);
+        for i in 0..self.channels.len() {
+            self.channels.note_interval(i, end);
+            let cold = &self.channels.cold[i];
             for r in RATE_LADDER {
-                residency.at_rate_ps[r.index()] += u128::from(c.time_at_rate_ps[r.index()]);
+                residency.at_rate_ps[r.index()] += u128::from(cold.time_at_rate_ps[r.index()]);
             }
-            residency.off_ps += u128::from(c.off_ps);
+            residency.off_ps += u128::from(cold.off_ps);
         }
         let s = &self.stats;
         let mean_packet_latency = if s.packets > 0 {

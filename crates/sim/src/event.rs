@@ -51,12 +51,20 @@ impl EventQueue {
     /// (`heap` for the reference binary heap, anything else — or
     /// unset — for the calendar queue).
     pub fn new() -> Self {
+        Self::with_hint(0)
+    }
+
+    /// An empty queue pre-sized for a topology of `num_channels`
+    /// channels (each busy channel keeps one or two events in flight),
+    /// on the `EPNET_SCHED`-selected backend. Sizing never changes pop
+    /// order — see [`Scheduler::with_backend_and_hint`].
+    pub fn with_hint(num_channels: usize) -> Self {
         let backend = match std::env::var("EPNET_SCHED") {
             Ok(v) if v.eq_ignore_ascii_case("heap") => Backend::BinaryHeap,
             _ => Backend::Calendar,
         };
         Self {
-            sched: Scheduler::with_backend(backend),
+            sched: Scheduler::with_backend_and_hint(backend, num_channels),
         }
     }
 

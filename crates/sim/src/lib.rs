@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod channels;
 mod config;
 mod controller;
 mod dyntopo;

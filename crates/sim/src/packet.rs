@@ -4,18 +4,29 @@ use crate::SimTime;
 use epnet_topology::HostId;
 
 /// Index of a live packet in the [`PacketArena`].
+///
+/// Debug builds carry the slot's allocation generation alongside the
+/// index, so a stale id — one held across the packet's `free` — trips a
+/// `debug_assert` instead of silently reading whatever packet was
+/// recycled into the slot. Release builds keep the bare 4-byte index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PacketId(u32);
+pub struct PacketId {
+    slot: u32,
+    #[cfg(debug_assertions)]
+    generation: u32,
+}
 
 impl PacketId {
     #[inline]
     pub(crate) fn index(self) -> usize {
-        self.0 as usize
+        self.slot as usize
     }
 }
 
-/// Identifier of the message a packet belongs to (dense, never reused
-/// within a run).
+/// Identifier of the message a packet belongs to. Slots recycle once
+/// the last packet of a message delivers, so ids are dense over the
+/// messages concurrently in flight rather than all messages ever
+/// offered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MessageId(pub(crate) u32);
 
@@ -24,6 +35,12 @@ impl MessageId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The raw slot, for free-list bookkeeping.
+    #[inline]
+    pub(crate) fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -54,6 +71,9 @@ pub(crate) struct PacketArena {
     slots: Vec<Packet>,
     free: Vec<u32>,
     live: usize,
+    /// Per-slot allocation generation, bumped on free (debug only).
+    #[cfg(debug_assertions)]
+    generations: Vec<u32>,
 }
 
 impl PacketArena {
@@ -64,32 +84,48 @@ impl PacketArena {
     /// Allocates a packet, reusing a retired slot when available.
     pub fn alloc(&mut self, packet: Packet) -> PacketId {
         self.live += 1;
-        if let Some(slot) = self.free.pop() {
+        let slot = if let Some(slot) = self.free.pop() {
             self.slots[slot as usize] = packet;
-            PacketId(slot)
+            slot
         } else {
             let slot = u32::try_from(self.slots.len()).expect("more than u32::MAX live packets");
             self.slots.push(packet);
-            PacketId(slot)
+            #[cfg(debug_assertions)]
+            self.generations.push(0);
+            slot
+        };
+        PacketId {
+            slot,
+            #[cfg(debug_assertions)]
+            generation: self.generations[slot as usize],
         }
     }
 
-    /// Retires a delivered packet, returning its record.
+    /// Retires a delivered packet, returning its record. The slot's
+    /// generation advances, invalidating any copies of `id` still held.
     pub fn free(&mut self, id: PacketId) -> Packet {
+        self.check(id);
+        #[cfg(debug_assertions)]
+        {
+            let g = &mut self.generations[id.slot as usize];
+            *g = g.wrapping_add(1);
+        }
         self.live -= 1;
-        self.free.push(id.0);
+        self.free.push(id.slot);
         self.slots[id.index()]
     }
 
     /// Immutable access to a live packet.
     #[inline]
     pub fn get(&self, id: PacketId) -> &Packet {
+        self.check(id);
         &self.slots[id.index()]
     }
 
     /// Mutable access to a live packet.
     #[inline]
     pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.check(id);
         &mut self.slots[id.index()]
     }
 
@@ -102,6 +138,19 @@ impl PacketArena {
     /// High-water mark of simultaneously live packets.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Debug-build staleness check: the id's generation must match the
+    /// slot's current one.
+    #[inline]
+    fn check(&self, id: PacketId) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.generations[id.slot as usize], id.generation,
+            "stale PacketId: slot {} was freed and reallocated",
+            id.slot
+        );
+        let _ = id;
     }
 }
 
@@ -159,5 +208,18 @@ mod tests {
             arena.alloc(pkt(i));
         }
         assert_eq!(arena.capacity(), 10, "slots recycled");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale PacketId")]
+    fn stale_id_is_caught_in_debug_builds() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(pkt(100));
+        arena.free(a);
+        // The slot was recycled into a different packet; the stale copy
+        // of `a` must not silently read it.
+        let _b = arena.alloc(pkt(200));
+        let _ = arena.get(a);
     }
 }

@@ -34,6 +34,10 @@ const MIN_BUCKETS: usize = 32;
 const MAX_BUCKETS: usize = 1 << 20;
 /// Starting log2 bucket width: 2^12 ps ≈ 4 ns per day.
 const INITIAL_SHIFT: u32 = 12;
+/// Window the steady-state pending population is assumed to spread
+/// over when deriving the bucket width from a size hint: on the order
+/// of one packet serialization time (2 KiB at 20 Gb/s ≈ 0.8 µs).
+const STEADY_SPREAD_PS: u64 = 1 << 20;
 /// Bounds for the recomputed log2 bucket width. 2^4 ps floors the day
 /// below any physical event spacing; 2^44 ps ≈ 17 s caps it above any
 /// simulated horizon.
@@ -103,9 +107,23 @@ impl<T> Scheduler<T> {
 
     /// An empty scheduler on an explicit backend.
     pub fn with_backend(backend: Backend) -> Self {
+        Self::with_backend_and_hint(backend, 0)
+    }
+
+    /// An empty scheduler on an explicit backend, pre-sized for a
+    /// steady-state population of roughly `expected` pending items.
+    ///
+    /// The engine passes the channel count here: each busy channel
+    /// contributes one or two in-flight events, so a paper-scale fabric
+    /// would otherwise climb through a dozen doubling resizes (each a
+    /// full rehash) before the calendar reaches its working size — and
+    /// start with thousands-long bucket chains in the meantime. Sizing
+    /// is pure layout: pop order is bucket-independent, so the hint can
+    /// never change simulation output.
+    pub fn with_backend_and_hint(backend: Backend, expected: usize) -> Self {
         let inner = match backend {
-            Backend::Calendar => Inner::Calendar(CalendarQueue::new()),
-            Backend::BinaryHeap => Inner::Heap(BinaryHeap::new()),
+            Backend::Calendar => Inner::Calendar(CalendarQueue::with_hint(expected)),
+            Backend::BinaryHeap => Inner::Heap(BinaryHeap::with_capacity(expected)),
         };
         Self { seq: 0, inner }
     }
@@ -194,16 +212,24 @@ impl<T> PartialOrd for HeapEntry<T> {
 /// Layout: `buckets[slot(t) & mask]` holds every pending entry whose
 /// day index is congruent to that bucket, where `slot(t) = t.ps >>
 /// shift` (so one day spans `2^shift` picoseconds). Each bucket stays
-/// sorted *descending* by `(at, seq)`, making "remove the bucket
-/// minimum" a `Vec::pop` from the back. Entries more than a year
-/// (`nbuckets` days) ahead simply wait in their bucket until the
-/// cursor's year reaches them.
+/// sorted *ascending* by `(at, seq)`: the bucket minimum is the front,
+/// and — because discrete-event scheduling is overwhelmingly monotone —
+/// a new entry is almost always the bucket's latest, so insertion is a
+/// compare-with-back plus `Vec::push` with no search and no memmove.
+/// Entries more than a year (`nbuckets` days) ahead simply wait in
+/// their bucket until the cursor's year reaches them.
+///
+/// A bitmap mirrors bucket occupancy (bit set ⇔ bucket non-empty), so
+/// the pop-side day walk skips runs of empty days with a couple of
+/// word scans instead of touching one `Vec` header per day.
 ///
 /// Invariant: between operations no pending entry has a day index
 /// smaller than `cur_slot` (inserts into the past pull the cursor
 /// back), so the pop scan never misses an earlier event.
 struct CalendarQueue<T> {
     buckets: Vec<Vec<Entry<T>>>,
+    /// One bit per bucket: set ⇔ the bucket is non-empty.
+    occupied: Vec<u64>,
     /// `buckets.len() - 1`; bucket count is always a power of two.
     mask: usize,
     /// log2 of the bucket (day) width in picoseconds.
@@ -214,17 +240,50 @@ struct CalendarQueue<T> {
     /// pop returns, or `None` when it must be (re)scanned.
     cached_min: Option<((SimTime, u64), usize)>,
     len: usize,
+    /// Smallest bucket count this calendar shrinks to: the hint-derived
+    /// starting size. Bursty loads oscillate the pending count across
+    /// the shrink threshold; rebuilding every bucket `Vec` on each
+    /// crossing was the dominant steady-state allocation source, and a
+    /// sparse calendar is cheap to walk now that the occupancy bitmap
+    /// skips empty days.
+    floor: usize,
+    /// Bucket `Vec`s parked by shrink resizes, reused by grow resizes,
+    /// plus the entry scratch buffer resizes redistribute through — so
+    /// a warmed-up calendar resizes without touching the allocator.
+    spare_buckets: Vec<Vec<Entry<T>>>,
+    resize_scratch: Vec<Entry<T>>,
 }
 
 impl<T> CalendarQueue<T> {
-    fn new() -> Self {
+    /// A calendar pre-sized so `expected` pending entries land at the
+    /// target occupancy (~2 per day) without growth resizes, with the
+    /// day width derived from the hint as well: `expected` events
+    /// spread over roughly one serialization window should land at ~1
+    /// per day, so bigger fabrics get proportionally finer days instead
+    /// of the fixed default degenerating into long bucket chains.
+    fn with_hint(expected: usize) -> Self {
+        let nbuckets = (expected / 2)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        let shift = if expected == 0 {
+            INITIAL_SHIFT
+        } else {
+            (STEADY_SPREAD_PS / expected as u64)
+                .max(1)
+                .ilog2()
+                .clamp(MIN_SHIFT, MAX_SHIFT)
+        };
         Self {
-            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
-            mask: MIN_BUCKETS - 1,
-            shift: INITIAL_SHIFT,
+            buckets: (0..nbuckets).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; nbuckets.div_ceil(64)],
+            mask: nbuckets - 1,
+            shift,
             cur_slot: 0,
             cached_min: None,
             len: 0,
+            floor: nbuckets,
+            spare_buckets: Vec::new(),
+            resize_scratch: Vec::new(),
         }
     }
 
@@ -249,12 +308,16 @@ impl<T> CalendarQueue<T> {
         } else if self.len == 0 {
             self.cached_min = Some((entry.key(), idx));
         }
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
         let bucket = &mut self.buckets[idx];
-        // Descending sort: binary-search for the first element smaller
-        // than the new key and insert before it (ties cannot happen,
-        // seq is unique).
-        let pos = bucket.partition_point(|e| e.key() > entry.key());
-        bucket.insert(pos, entry);
+        // Monotone fast path: the new entry is usually the bucket's
+        // latest, so it appends with no search and no memmove.
+        if bucket.last().map_or(true, |e| e.key() < entry.key()) {
+            bucket.push(entry);
+        } else {
+            let pos = bucket.partition_point(|e| e.key() < entry.key());
+            bucket.insert(pos, entry);
+        }
         self.len += 1;
         if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
             self.resize(self.buckets.len() * 2);
@@ -266,15 +329,20 @@ impl<T> CalendarQueue<T> {
             return None;
         }
         let (_, idx) = self.locate_min();
-        let entry = self.buckets[idx].pop().expect("cached bucket is empty");
+        // Buckets run a couple of entries deep, so the front removal's
+        // memmove is a word or two.
+        let entry = self.buckets[idx].remove(0);
         self.len -= 1;
         // Fast path: when the popped event's day holds more events,
-        // the bucket's new tail is the global minimum — no rescan.
-        self.cached_min = match self.buckets[idx].last() {
+        // the bucket's new front is the global minimum — no rescan.
+        self.cached_min = match self.buckets[idx].first() {
             Some(next) if self.slot(next.at) == self.cur_slot => Some((next.key(), idx)),
             _ => None,
         };
-        if self.len < self.buckets.len() / 8 && self.buckets.len() > MIN_BUCKETS {
+        if self.buckets[idx].is_empty() {
+            self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        if self.len < self.buckets.len() / 8 && self.buckets.len() > self.floor {
             self.resize(self.buckets.len() / 2);
         }
         Some(entry)
@@ -285,40 +353,75 @@ impl<T> CalendarQueue<T> {
             return None;
         }
         let (_, idx) = self.locate_min();
-        self.buckets[idx].last()
+        self.buckets[idx].first()
     }
 
-    /// Finds the bucket holding the global minimum, walking the cursor
-    /// day by day. Bounded at one lap of the calendar: after a fruitless
-    /// year the minimum is found by direct search instead (the queue is
-    /// sparse, so the O(nbuckets) fallback is rare and cheap relative
-    /// to the simulated time skipped).
+    /// First non-empty bucket index in `[from, to)` per the occupancy
+    /// bitmap, or `None`.
+    fn next_occupied(&self, from: usize, to: usize) -> Option<usize> {
+        if from >= to {
+            return None;
+        }
+        let last_wi = (to - 1) / 64;
+        let mut wi = from / 64;
+        let mut word = self.occupied[wi] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                let idx = wi * 64 + word.trailing_zeros() as usize;
+                return if idx < to { Some(idx) } else { None };
+            }
+            if wi == last_wi {
+                return None;
+            }
+            wi += 1;
+            word = self.occupied[wi];
+        }
+    }
+
+    /// Finds the bucket holding the global minimum, advancing the
+    /// cursor day by day but skipping runs of empty days via the
+    /// occupancy bitmap. Bounded at one lap of the calendar: after a
+    /// fruitless year the minimum is found by direct search instead
+    /// (the queue is sparse, so the O(nbuckets) fallback is rare and
+    /// cheap relative to the simulated time skipped).
     fn locate_min(&mut self) -> ((SimTime, u64), usize) {
         debug_assert!(self.len > 0);
         if let Some(found) = self.cached_min {
             return found;
         }
         let nbuckets = self.buckets.len();
-        for step in 0..nbuckets as u64 {
-            let day = self.cur_slot + step;
-            let idx = (day & self.mask as u64) as usize;
-            if let Some(min) = self.buckets[idx].last() {
+        let start = (self.cur_slot & self.mask as u64) as usize;
+        // One lap of candidate (non-empty) buckets in cyclic order from
+        // the cursor. Empty buckets can hold no due entry, so skipping
+        // them never skips a day the old day-by-day walk would hit.
+        let mut ranges = [(start, nbuckets, 0u64), (0, start, nbuckets as u64 - start as u64)];
+        if start == 0 {
+            ranges[1] = (0, 0, 0); // no wrap segment
+        }
+        for (lo, hi, base_off) in ranges {
+            let mut idx = lo;
+            while let Some(found_idx) = self.next_occupied(idx, hi) {
+                let day = self.cur_slot + base_off + (found_idx - lo) as u64;
+                let min = self.buckets[found_idx]
+                    .first()
+                    .expect("occupancy bit set on empty bucket");
                 // Within the scanned window only `day` itself maps to
-                // this bucket, so a due entry has exactly that slot;
-                // a smaller bucket minimum would violate the cursor
+                // this bucket, so a due entry has exactly that slot; a
+                // smaller bucket minimum would violate the cursor
                 // invariant.
                 if self.slot(min.at) == day {
                     self.cur_slot = day;
-                    let found = (min.key(), idx);
+                    let found = (min.key(), found_idx);
                     self.cached_min = Some(found);
                     return found;
                 }
+                idx = found_idx + 1;
             }
         }
         // Nothing due within a year of the cursor: direct search.
         let mut best: Option<((SimTime, u64), usize)> = None;
         for (idx, bucket) in self.buckets.iter().enumerate() {
-            if let Some(min) = bucket.last() {
+            if let Some(min) = bucket.first() {
                 if best.map_or(true, |(key, _)| min.key() < key) {
                     best = Some((min.key(), idx));
                 }
@@ -334,18 +437,23 @@ impl<T> CalendarQueue<T> {
     /// the pending events spread to roughly one per day: the new width
     /// is the mean inter-event gap rounded up to a power of two. Fully
     /// deterministic — it depends only on the current queue contents.
+    ///
+    /// Storage is recycled end to end (buckets drain in place, excess
+    /// buckets park in `spare_buckets`, entries pass through
+    /// `resize_scratch`), so once every pool has reached its high-water
+    /// mark a resize performs no heap allocation.
     fn resize(&mut self, nbuckets: usize) {
-        let entries: Vec<Entry<T>> = self
-            .buckets
-            .iter_mut()
-            .flat_map(std::mem::take)
-            .collect();
+        let mut entries = std::mem::take(&mut self.resize_scratch);
+        entries.clear();
+        for bucket in &mut self.buckets {
+            entries.append(bucket); // leaves the bucket empty, capacity kept
+        }
         debug_assert_eq!(entries.len(), self.len);
 
         if !entries.is_empty() {
             let mut min_ps = u64::MAX;
             let mut max_ps = 0u64;
-            for e in &entries {
+            for e in entries.iter() {
                 min_ps = min_ps.min(e.at.as_ps());
                 max_ps = max_ps.max(e.at.as_ps());
             }
@@ -357,20 +465,32 @@ impl<T> CalendarQueue<T> {
             self.shift = width_log2.clamp(MIN_SHIFT, MAX_SHIFT);
         }
 
-        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        while self.buckets.len() > nbuckets {
+            let spare = self.buckets.pop().expect("length checked");
+            self.spare_buckets.push(spare);
+        }
+        while self.buckets.len() < nbuckets {
+            self.buckets.push(self.spare_buckets.pop().unwrap_or_default());
+        }
+        self.occupied.truncate(nbuckets.div_ceil(64));
+        self.occupied.resize(nbuckets.div_ceil(64), 0);
+        for word in &mut self.occupied {
+            *word = 0;
+        }
         self.mask = nbuckets - 1;
         self.cached_min = None;
         self.cur_slot = 0;
 
         let mut min_key: Option<((SimTime, u64), u64)> = None;
-        for entry in entries {
+        for entry in entries.drain(..) {
             let slot = self.slot(entry.at);
             if min_key.map_or(true, |(key, _)| entry.key() < key) {
                 min_key = Some((entry.key(), slot));
             }
             let idx = (slot & self.mask as u64) as usize;
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
             let bucket = &mut self.buckets[idx];
-            let pos = bucket.partition_point(|e| e.key() > entry.key());
+            let pos = bucket.partition_point(|e| e.key() < entry.key());
             bucket.insert(pos, entry);
         }
         if let Some(((at, seq), slot)) = min_key {
@@ -378,6 +498,7 @@ impl<T> CalendarQueue<T> {
             let idx = (slot & self.mask as u64) as usize;
             self.cached_min = Some(((at, seq), idx));
         }
+        self.resize_scratch = entries;
     }
 }
 

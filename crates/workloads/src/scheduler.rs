@@ -23,6 +23,11 @@ pub(crate) enum Item {
 pub(crate) struct FutureList {
     heap: BinaryHeap<Reverse<(SimTime, u64, ItemKey)>>,
     items: Vec<Item>,
+    /// Slots in `items` freed by pops, reused by pushes, so the side
+    /// table stays bounded by the peak pending count instead of growing
+    /// one slot per item over the whole run. Reuse cannot perturb heap
+    /// order: `seq` is unique, so comparison never reaches the key.
+    free: Vec<u32>,
     seq: u64,
 }
 
@@ -37,14 +42,24 @@ impl FutureList {
     }
 
     pub fn push(&mut self, at: SimTime, item: Item) {
-        let key = ItemKey(self.items.len() as u32);
-        self.items.push(item);
+        let key = match self.free.pop() {
+            Some(slot) => {
+                self.items[slot as usize] = item;
+                ItemKey(slot)
+            }
+            None => {
+                let slot = self.items.len() as u32;
+                self.items.push(item);
+                ItemKey(slot)
+            }
+        };
         self.heap.push(Reverse((at, self.seq, key)));
         self.seq += 1;
     }
 
     pub fn pop(&mut self) -> Option<(SimTime, Item)> {
         let Reverse((at, _, key)) = self.heap.pop()?;
+        self.free.push(key.0);
         Some((at, self.items[key.0 as usize]))
     }
 
@@ -124,6 +139,25 @@ mod tests {
         let (at, item) = fl.pop().unwrap();
         assert_eq!(at, m.at);
         assert_eq!(item, Item::Emit(m));
+    }
+
+    #[test]
+    fn future_list_slot_table_is_bounded_by_peak_pending() {
+        let mut fl = FutureList::new();
+        // Steady state of 4 pending across many push/pop cycles: the
+        // side table must stop growing at the high-water mark.
+        for h in 0..4u32 {
+            fl.push(SimTime::from_ns(u64::from(h)), Item::Wake(h));
+        }
+        for round in 4..10_000u32 {
+            fl.push(SimTime::from_ns(u64::from(round)), Item::Wake(round));
+            let _ = fl.pop();
+        }
+        assert!(
+            fl.items.len() <= 5,
+            "slot table grew to {} for 5 peak pending",
+            fl.items.len()
+        );
     }
 
     #[test]

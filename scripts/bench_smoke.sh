@@ -22,6 +22,11 @@ cargo bench --offline -p epnet-bench --bench engine -- smoke
 # present (the bin exits non-zero on drift).
 cargo run --offline --release -p epnet-bench --bin tracesmoke -- target/tracesmoke.jsonl
 
+# Reduced topology-scaling sweep under the counting allocator (rewrites
+# BENCH_scale.json at the repo root). The binary schema-validates its
+# own output; the steady-state allocation bound is re-checked below.
+cargo run --offline --release -p epnet-bench --bin scalebench -- --reduced
+
 # Docs must build clean — the observability docs are part of the API.
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
@@ -35,4 +40,24 @@ assert doc["benches"], "no benches recorded"
 for b in doc["benches"]:
     print(f'{b["name"]}: {b["events_per_sec"]:.3e} events/s, '
           f'{b["delivered_bytes_per_sec"]:.3e} delivered B/s')
+EOF
+
+# Same treatment for the scaling sweep artifact: schema plus the
+# steady-state allocation bound every point must satisfy.
+test -s BENCH_scale.json || { echo "BENCH_scale.json missing" >&2; exit 1; }
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_scale.json"))
+assert doc["schema"] == "epnet-bench-scale/v1", doc["schema"]
+assert doc["benches"], "no benches recorded"
+for b in doc["benches"]:
+    for field in ("hosts", "channels", "events_per_sec",
+                  "delivered_bytes_per_sec", "allocs_per_event",
+                  "peak_alloc_bytes", "measured_events", "measured_allocs"):
+        assert field in b, f'{b["name"]}: missing {field}'
+    assert b["allocs_per_event"] < 0.01, (
+        f'{b["name"]}: {b["allocs_per_event"]:.4f} allocs/event (>= 0.01)')
+    print(f'{b["name"]}: {b["hosts"]} hosts, '
+          f'{b["events_per_sec"]:.3e} events/s, '
+          f'{b["allocs_per_event"]:.5f} allocs/event')
 EOF

@@ -70,6 +70,49 @@ fn reports_are_byte_identical_across_modes_and_tracing() {
     }
 }
 
+/// The same guarantee beyond the toy fabric: an FBFLY(4,16,2) — 64
+/// hosts, 16 switches, large enough to exercise multi-candidate
+/// adaptive routing, credit backpressure, and calendar-queue resizes —
+/// must also serialize byte-identically across scheduler backend,
+/// route mode, and tracing. Guards the struct-of-arrays hot-state
+/// layout and the free-list recycling at a scale where their bugs
+/// would actually surface.
+#[test]
+fn reports_are_byte_identical_across_modes_at_scale() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let horizon = SimTime::from_ms(2);
+    let run = || {
+        let fabric = epnet::topology::FlattenedButterfly::new(4, 16, 2)
+            .expect("valid shape")
+            .build_fabric();
+        let hosts = fabric.num_hosts() as u32;
+        let sim = Simulator::new(
+            fabric,
+            SimConfig::default(),
+            WorkloadKind::Search.source(hosts, 7, horizon),
+        );
+        let report = sim.run_until(horizon);
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    };
+    let mut reports = Vec::new();
+    for sched in ["calendar", "heap"] {
+        std::env::set_var("EPNET_SCHED", sched);
+        for routes in ["table", "dynamic"] {
+            std::env::set_var("EPNET_ROUTES", routes);
+            reports.push((format!("{sched}/{routes}"), run()));
+        }
+    }
+    std::env::remove_var("EPNET_SCHED");
+    std::env::remove_var("EPNET_ROUTES");
+    let (base_label, base) = &reports[0];
+    for (label, report) in &reports[1..] {
+        assert_eq!(
+            base, report,
+            "serialized report differs between {base_label} and {label}"
+        );
+    }
+}
+
 #[test]
 fn trace_is_schema_valid_and_covers_the_controller() {
     let _guard = ENV_LOCK.lock().unwrap();
