@@ -5,6 +5,7 @@
 
 pub mod csv;
 pub mod enginebench;
+pub mod loadbench;
 pub mod scalebench;
 
 use epnet::exp::EvalScale;

@@ -19,6 +19,24 @@
 //! concurrently busy queues and steady-state operation performs no
 //! heap allocation (verified by the counting allocator in
 //! `epnet-bench::scalebench` and the regression tests).
+//!
+//! # The active set
+//!
+//! Epoch ticks are O(touched), not O(topology): a dense dirty list
+//! plus a membership bitmap track every channel that might need the
+//! controller's attention — it transmitted, queued, blocked, drained,
+//! powered on/off, or sits above the floor rate. A channel outside the
+//! set is *resting*: idle at the floor with an empty queue, which
+//! provably decides "hold" under every rate policy (the
+//! `idle_at_floor_always_holds` invariant in `controller.rs`), so the
+//! per-epoch sweep skips it entirely — decision, queue-depth sample,
+//! and overhang pre-charge alike. Channels enter the set at the
+//! mutation sites (`enqueue`, rate writes, power transitions) and
+//! retire only at epoch ticks once resting again. The same mutation
+//! sites maintain an incremental count of rate/power-asymmetric links
+//! via the [`Channels::peer`] table, replacing the per-epoch O(links)
+//! asymmetry sweep with a counter read. `EPNET_EPOCH=sweep` keeps the
+//! full-sweep reference alive (see `engine.rs`).
 
 use crate::packet::PacketId;
 use crate::SimTime;
@@ -92,6 +110,18 @@ pub(crate) struct Channels {
     pending_credits: Vec<VecDeque<(SimTime, u32)>>,
     /// Drained credit-queue buffers awaiting reuse (capacity retained).
     credit_pool: Vec<VecDeque<(SimTime, u32)>>,
+    // ---- active set (per-epoch, see module docs) ----
+    /// Dense list of channels the epoch controller must visit.
+    active: Vec<u32>,
+    /// Membership bitmap over `active` (one bit per channel).
+    active_bits: Vec<u64>,
+    /// Opposing channel of the same link (self until the engine wires
+    /// the fabric's link table; a self-peer is never asymmetric).
+    peer: Vec<u32>,
+    /// Links whose two channels currently differ in rate or powered
+    /// state — maintained incrementally at every rate/`F_OFF` write, so
+    /// `asymmetric_link_samples` no longer needs a per-epoch link sweep.
+    asym_links: u64,
     // ---- cold ----
     pub cold: Vec<ChannelCold>,
 }
@@ -112,12 +142,19 @@ impl Channels {
             queues: Vec::with_capacity(n),
             pending_credits: Vec::with_capacity(n),
             credit_pool: Vec::new(),
+            active: Vec::with_capacity(n),
+            active_bits: Vec::with_capacity(n.div_ceil(64)),
+            peer: Vec::with_capacity(n),
+            asym_links: 0,
             cold: Vec::with_capacity(n),
         }
     }
 
-    /// Appends one channel in its initial state.
+    /// Appends one channel in its initial state. New channels start in
+    /// the active set (they sit at `rate`, typically above the floor);
+    /// the first epoch tick retires the ones that turn out resting.
     pub fn push(&mut self, rate: LinkRate, credits: u32, tunable: bool, prop: SimTime) {
+        let i = self.flags.len();
         self.occupancy.push(0);
         self.credits.push(credits);
         self.rate.push(rate);
@@ -130,6 +167,12 @@ impl Channels {
         self.train_bytes.push(0);
         self.queues.push(VecDeque::new());
         self.pending_credits.push(VecDeque::new());
+        if i % 64 == 0 {
+            self.active_bits.push(0);
+        }
+        self.active_bits[i / 64] |= 1u64 << (i % 64);
+        self.active.push(i as u32);
+        self.peer.push(i as u32);
         self.cold.push(ChannelCold {
             time_at_rate_ps: [0; LinkRate::COUNT],
             off_ps: 0,
@@ -142,6 +185,168 @@ impl Channels {
     #[inline]
     pub fn len(&self) -> usize {
         self.flags.len()
+    }
+
+    /// Wires the two channels of a link as peers (both directions).
+    /// Called once per link at simulator construction; required for the
+    /// incremental asymmetry counter to see real links.
+    pub fn set_peers(&mut self, a: usize, b: usize) {
+        self.peer[a] = b as u32;
+        self.peer[b] = a as u32;
+    }
+
+    /// Inserts channel `i` into the active set (idempotent).
+    #[inline]
+    pub fn mark_active(&mut self, i: usize) {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        if self.active_bits[word] & bit == 0 {
+            self.active_bits[word] |= bit;
+            self.active.push(i as u32);
+        }
+    }
+
+    /// Whether channel `i` is in the active set.
+    #[inline]
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active_bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sorts the active list ascending. Controller decisions must run
+    /// in channel-index order — decision order fixes event insertion
+    /// order, and FIFO tie-breaking makes that order part of the
+    /// byte-identical output contract.
+    pub fn sort_active(&mut self) {
+        self.active.sort_unstable();
+    }
+
+    /// Number of channels currently in the active set.
+    #[inline]
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The `k`-th entry of the active list (index-based access so the
+    /// engine can mutate channel state mid-iteration; entries appended
+    /// during a pass land past the caller's snapshot length).
+    #[inline]
+    pub fn active_at(&self, k: usize) -> u32 {
+        self.active[k]
+    }
+
+    /// Links whose two channels currently differ in rate or powered
+    /// state — the incrementally maintained replacement for the
+    /// per-epoch asymmetry sweep (§3.3.1 sampling).
+    #[inline]
+    pub fn asymmetric_links(&self) -> u64 {
+        self.asym_links
+    }
+
+    /// Whether the link through channel `i` is asymmetric: its two
+    /// channels differ in rate or in powered state.
+    #[inline]
+    pub fn link_is_asymmetric(&self, i: usize) -> bool {
+        let p = self.peer[i] as usize;
+        self.rate[i] != self.rate[p] || (self.flags[i] ^ self.flags[p]) & F_OFF != 0
+    }
+
+    /// Applies `f` to channel `i`'s state while keeping the asymmetric-
+    /// link counter exact, and marks the channel active: every rate or
+    /// `F_OFF` mutation funnels through here.
+    #[inline]
+    fn mutate_link_state(&mut self, i: usize, f: impl FnOnce(&mut Self)) {
+        let was = self.link_is_asymmetric(i);
+        f(self);
+        let is = self.link_is_asymmetric(i);
+        match (was, is) {
+            (false, true) => self.asym_links += 1,
+            (true, false) => self.asym_links -= 1,
+            _ => {}
+        }
+        self.mark_active(i);
+    }
+
+    /// Sets the configured rate of channel `i`, maintaining the
+    /// asymmetry counter and the active set. All rate writes after
+    /// construction must come through here (or
+    /// [`Channels::reactivate`]).
+    pub fn set_rate(&mut self, i: usize, rate: LinkRate) {
+        self.mutate_link_state(i, |c| c.rate[i] = rate);
+    }
+
+    /// Whether channel `i` may rest outside the active set: nothing
+    /// queued or in flight, no busy time to account (post-recharge), no
+    /// parked drain — and no possible controller decision, because the
+    /// channel is either exempt (`!F_TUNABLE` or `F_OFF`), already at
+    /// the floor (where `idle_at_floor_always_holds` proves the
+    /// decision is "hold"), or decisions are disabled entirely
+    /// (`ControlMode::AlwaysFull`).
+    #[inline]
+    fn is_resting(&self, i: usize, min_rate: LinkRate, decisions_enabled: bool) -> bool {
+        let resting = self.occupancy[i] == 0
+            && self.busy_ps_epoch[i] == 0
+            && self.flags[i] & F_DRAINING == 0
+            && (!decisions_enabled
+                || self.flags[i] & (F_TUNABLE | F_OFF) != F_TUNABLE
+                || self.rate[i] == min_rate);
+        debug_assert!(
+            self.occupancy[i] > 0 || self.flags[i] & (F_BUSY | F_RETRY | F_CREDIT_WAKE) == 0,
+            "ch{i}: wake latches without queued bytes"
+        );
+        resting
+    }
+
+    /// The active-mode epoch pass over the set: samples queue depth,
+    /// pre-charges the next epoch with each in-flight transmission's
+    /// overhang, and compacts resting channels out of the set. Returns
+    /// `(queued_bytes_sum, queued_bytes_peak)` — identical to the full
+    /// sweep's values because every skipped channel contributes zero
+    /// occupancy and zero overhang by the resting definition.
+    pub fn sample_active_and_retire(
+        &mut self,
+        now: SimTime,
+        epoch_ps: u64,
+        min_rate: LinkRate,
+        decisions_enabled: bool,
+    ) -> (u64, u64) {
+        let mut queued_sum = 0u64;
+        let mut queued_peak = 0u64;
+        let mut keep = 0usize;
+        for k in 0..self.active.len() {
+            let i = self.active[k] as usize;
+            let occ = self.occupancy[i];
+            queued_sum += occ;
+            queued_peak = queued_peak.max(occ);
+            let overhang = self.busy_until[i].saturating_sub(now);
+            self.busy_ps_epoch[i] = overhang.as_ps().min(epoch_ps);
+            if self.is_resting(i, min_rate, decisions_enabled) {
+                self.active_bits[i / 64] &= !(1u64 << (i % 64));
+            } else {
+                self.active[keep] = i as u32;
+                keep += 1;
+            }
+        }
+        self.active.truncate(keep);
+        (queued_sum, queued_peak)
+    }
+
+    /// Sweep-mode twin of [`Channels::sample_active_and_retire`]:
+    /// compacts resting channels out of the set without sampling (the
+    /// engine's reference full sweep already recharged every channel).
+    /// Keeping the set maintained in sweep mode makes the two modes'
+    /// retained state identical, so the cross-check debug assertions
+    /// hold in either.
+    pub fn retire_resting(&mut self, min_rate: LinkRate, decisions_enabled: bool) {
+        let mut keep = 0usize;
+        for k in 0..self.active.len() {
+            let i = self.active[k] as usize;
+            if self.is_resting(i, min_rate, decisions_enabled) {
+                self.active_bits[i / 64] &= !(1u64 << (i % 64));
+            } else {
+                self.active[keep] = i as u32;
+                keep += 1;
+            }
+        }
+        self.active.truncate(keep);
     }
 
     #[inline]
@@ -242,31 +447,37 @@ impl Channels {
     }
 
     /// Transitions the channel's powered state, closing the residency
-    /// interval (dynamic topologies, §5.2).
+    /// interval (dynamic topologies, §5.2). Maintains the asymmetry
+    /// counter and the active set — `F_OFF` is half of the link-
+    /// asymmetry predicate.
     pub fn set_off(&mut self, i: usize, now: SimTime, off: bool) {
         debug_assert!(!off || self.queue_is_idle(i), "powering off a busy channel");
         self.note_interval(i, now);
-        if off {
-            self.set_flag(i, F_OFF);
-        } else {
-            self.clear_flag(i, F_OFF);
-        }
+        self.mutate_link_state(i, |c| {
+            if off {
+                c.set_flag(i, F_OFF);
+            } else {
+                c.clear_flag(i, F_OFF);
+            }
+        });
     }
 
     /// Brings the channel up at `rate`, unusable until the reactivation
     /// completes.
     pub fn reactivate(&mut self, i: usize, now: SimTime, reactivation: SimTime, rate: LinkRate) {
         self.note_interval(i, now);
-        self.rate[i] = rate;
+        self.set_rate(i, rate);
         self.available_at[i] = now + reactivation;
     }
 
     /// Parks (or clears) a drain-first rate change, keeping the
-    /// hot-side `F_DRAINING` mirror in sync.
+    /// hot-side `F_DRAINING` mirror in sync. A draining channel is
+    /// never resting, so parking one pins it in the active set.
     pub fn set_pending_rate(&mut self, i: usize, rate: Option<LinkRate>) {
         self.cold[i].pending_rate = rate;
         if rate.is_some() {
             self.set_flag(i, F_DRAINING);
+            self.mark_active(i);
         } else {
             self.clear_flag(i, F_DRAINING);
         }
@@ -345,5 +556,125 @@ mod tests {
         c.set_off(0, SimTime::from_ns(150), true);
         c.note_interval(0, SimTime::from_ns(250));
         assert_eq!(c.cold[0].off_ps, SimTime::from_ns(100).as_ps());
+    }
+
+    #[test]
+    fn channels_start_active_and_rest_once_at_the_floor() {
+        let mut c = two();
+        c.set_peers(0, 1);
+        assert_eq!(c.active_len(), 2);
+        assert!(c.is_active(0) && c.is_active(1));
+        // Both idle but above the floor: decisions still possible for
+        // the tunable one; the untunable one retires immediately.
+        c.retire_resting(LinkRate::MIN, true);
+        assert!(c.is_active(0), "tunable above floor must stay active");
+        assert!(!c.is_active(1), "exempt idle channel must rest");
+        // At the floor, the tunable one rests too...
+        c.set_rate(0, LinkRate::MIN);
+        c.set_rate(1, LinkRate::MIN);
+        c.retire_resting(LinkRate::MIN, true);
+        assert_eq!(c.active_len(), 0);
+        // ...and re-enters the set on the next rate write.
+        c.set_rate(0, LinkRate::MAX);
+        assert!(c.is_active(0));
+        assert_eq!(c.active_len(), 1);
+        // mark_active is idempotent: no duplicate dense entries.
+        c.mark_active(0);
+        assert_eq!(c.active_len(), 1);
+    }
+
+    #[test]
+    fn resting_requires_idle_queue_and_zero_busy() {
+        let mut c = two();
+        c.set_rate(0, LinkRate::MIN);
+        c.occupancy[0] = 64;
+        c.retire_resting(LinkRate::MIN, true);
+        assert!(c.is_active(0), "queued bytes pin the channel active");
+        c.occupancy[0] = 0;
+        c.busy_ps_epoch[0] = 10;
+        c.retire_resting(LinkRate::MIN, true);
+        assert!(c.is_active(0), "pre-charged overhang pins the channel active");
+        c.busy_ps_epoch[0] = 0;
+        c.set_pending_rate(0, Some(LinkRate::MIN));
+        c.retire_resting(LinkRate::MIN, true);
+        assert!(c.is_active(0), "a parked drain pins the channel active");
+        c.take_pending_rate(0);
+        c.retire_resting(LinkRate::MIN, true);
+        assert!(!c.is_active(0));
+    }
+
+    #[test]
+    fn always_full_mode_rests_idle_channels_at_any_rate() {
+        let mut c = two();
+        // decisions_enabled = false (ControlMode::AlwaysFull): an idle
+        // channel rests even at the ceiling, because no decision will
+        // ever be taken for it.
+        c.retire_resting(LinkRate::MIN, false);
+        assert_eq!(c.active_len(), 0);
+    }
+
+    #[test]
+    fn asymmetry_counter_tracks_rate_and_power_divergence() {
+        let mut c = two();
+        c.set_peers(0, 1);
+        assert_eq!(c.asymmetric_links(), 0);
+        c.set_rate(0, LinkRate::MIN);
+        assert_eq!(c.asymmetric_links(), 1);
+        assert!(c.link_is_asymmetric(0) && c.link_is_asymmetric(1));
+        // Converging the peer restores symmetry.
+        c.set_rate(1, LinkRate::MIN);
+        assert_eq!(c.asymmetric_links(), 0);
+        // Powered-state divergence counts too (§3.3.1's evidence
+        // includes off-vs-on links).
+        c.set_off(0, SimTime::ZERO, true);
+        assert_eq!(c.asymmetric_links(), 1);
+        c.set_off(1, SimTime::ZERO, true);
+        assert_eq!(c.asymmetric_links(), 0);
+        // Reactivation at a diverging rate re-raises the counter.
+        c.set_off(0, SimTime::ZERO, false);
+        assert_eq!(c.asymmetric_links(), 1);
+        c.reactivate(0, SimTime::ZERO, SimTime::from_us(1), LinkRate::MAX);
+        assert_eq!(c.asymmetric_links(), 1);
+        assert!(c.is_active(0));
+    }
+
+    #[test]
+    fn self_peered_channels_are_never_asymmetric() {
+        // Unit-style construction without `set_peers`: every channel is
+        // its own peer and the counter must stay pinned at zero.
+        let mut c = two();
+        c.set_rate(0, LinkRate::MIN);
+        c.set_off(1, SimTime::ZERO, true);
+        assert_eq!(c.asymmetric_links(), 0);
+    }
+
+    #[test]
+    fn sample_active_and_retire_matches_full_sweep() {
+        let mut c = Channels::with_capacity(130);
+        for _ in 0..130 {
+            c.push(LinkRate::MAX, 1024, true, SimTime::from_ns(5));
+        }
+        c.occupancy[3] = 100;
+        c.occupancy[129] = 250;
+        c.busy_until[7] = SimTime::from_us(12);
+        let now = SimTime::from_us(10);
+        let epoch_ps = SimTime::from_us(10).as_ps();
+        let (sum, peak) = c.sample_active_and_retire(now, epoch_ps, LinkRate::MIN, true);
+        assert_eq!(sum, 350);
+        assert_eq!(peak, 250);
+        // Overhang pre-charge survives into the next epoch's budget.
+        assert_eq!(c.busy_ps_epoch[7], SimTime::from_us(2).as_ps());
+        // Everything stays active here (all at MAX > floor)...
+        assert_eq!(c.active_len(), 130);
+        // ...but dropping the idle ones to the floor retires all except
+        // the queued two and the one with overhang.
+        for i in 0..130 {
+            c.set_rate(i, LinkRate::MIN);
+        }
+        let (sum2, _) = c.sample_active_and_retire(now, epoch_ps, LinkRate::MIN, true);
+        assert_eq!(sum2, 350);
+        let mut left: Vec<u32> = (0..c.active_len()).map(|k| c.active_at(k)).collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![3, 7, 129]);
     }
 }

@@ -274,6 +274,27 @@ mod tests {
                 // straddle 0.5 by construction above).
                 prop_assert_eq!(desired_rate(policy, current, 0.5, 0.5, MIN, MAX), current);
             }
+
+            /// The invariant the engine's active-set epoch path rests
+            /// on: a channel sitting at the floor rate with zero
+            /// measured utilization decides "hold" under *every* policy
+            /// and *every* valid configuration. The controller may
+            /// therefore skip such channels entirely at epoch ticks —
+            /// visiting them could only ever reproduce the current
+            /// state (see DESIGN.md "Activity-proportional control").
+            #[test]
+            fn idle_at_floor_always_holds(
+                policy in any_policy(),
+                target in 0.001f64..=1.0,
+                (min, max) in (any_rate(), any_rate())
+                    .prop_map(|(a, b)| if a <= b { (a, b) } else { (b, a) }),
+            ) {
+                prop_assert_eq!(
+                    desired_rate(policy, min, 0.0, target, min, max),
+                    min,
+                    "an idle channel at the floor must hold under {policy:?}"
+                );
+            }
         }
     }
 }

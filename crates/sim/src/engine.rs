@@ -34,7 +34,7 @@
 //! allocation (see DESIGN.md "Memory layout").
 
 use crate::channels::{Channels, F_BUSY, F_CREDIT_WAKE, F_DRAINING, F_OFF, F_RETRY, F_TUNABLE};
-use crate::config::{ControlMode, RoutingPolicy, SimConfig};
+use crate::config::{ControlMode, EpochMode, RoutingPolicy, SimConfig};
 use crate::controller::desired_rate;
 use crate::dyntopo::DynamicTopology;
 use crate::event::{Event, EventQueue};
@@ -145,6 +145,16 @@ pub struct Simulator<S> {
     mask: Option<LinkMask>,
     dyntopo: Option<DynamicTopology>,
     routes: RouteMode,
+    /// Which epoch-tick implementation runs (`EPNET_EPOCH`; see
+    /// [`Simulator::on_epoch`]).
+    epoch_mode: EpochMode,
+    /// Link of each channel, precomputed for the paired-link active
+    /// path (channel → link is a table lookup there, once per active
+    /// channel per tick).
+    link_of: Vec<u32>,
+    /// Scratch for the paired-link active path: links with at least one
+    /// active channel, sorted and deduplicated in place each tick.
+    active_links: Vec<u32>,
     last_offered_at: SimTime,
     /// End of the current utilization-measurement epoch.
     epoch_end: SimTime,
@@ -188,6 +198,16 @@ impl<S: TrafficSource> Simulator<S> {
             };
             targets.push(target);
             arrive_extra.push(prop + router);
+        }
+        // Peer wiring: the incremental asymmetric-link counter compares
+        // each channel against the opposing channel of its link.
+        let num_links = fabric.num_links();
+        let mut link_of = vec![0u32; n];
+        for link in 0..num_links {
+            let (a, b) = fabric.link_channels(epnet_topology::LinkId::new(link as u32));
+            channels.set_peers(a.index(), b.index());
+            link_of[a.index()] = link as u32;
+            link_of[b.index()] = link as u32;
         }
         let mut host_switch = Vec::with_capacity(fabric.num_hosts());
         let mut eject_channel = Vec::with_capacity(fabric.num_hosts());
@@ -241,6 +261,9 @@ impl<S: TrafficSource> Simulator<S> {
             mask: None,
             dyntopo: None,
             routes,
+            epoch_mode: EpochMode::from_env(),
+            link_of,
+            active_links: Vec::with_capacity(num_links),
             last_offered_at: SimTime::ZERO,
             epoch_end: first_epoch_end,
             controller_active: false,
@@ -509,6 +532,8 @@ impl<S: TrafficSource> Simulator<S> {
         let bytes = u64::from(bytes);
         let i = ch.index();
         self.channels.queues[i].push_back(pkt);
+        // Queued bytes make the channel the epoch controller's business.
+        self.channels.mark_active(i);
         let occ = self.channels.occupancy[i] + bytes;
         self.channels.occupancy[i] = occ;
         if occ > self.stats.peak_queue_bytes {
@@ -891,26 +916,60 @@ impl<S: TrafficSource> Simulator<S> {
     // The per-epoch controller (§3.3)
     // ------------------------------------------------------------------
 
+    /// One epoch tick: rate decisions, the asymmetry sample, the
+    /// dynamic-topology pass, and the queue-depth sample / overhang
+    /// recharge — then the next tick is scheduled.
+    ///
+    /// Two implementations share this entry point. The default
+    /// ([`EpochMode::ActiveSet`]) visits only the channels in the
+    /// active set: everything outside it is *resting* — idle at the
+    /// floor with an empty queue — and provably decides "hold" under
+    /// every policy (`idle_at_floor_always_holds`), contributes zero to
+    /// every sample, and recharges zero overhang, so skipping it is
+    /// exact, not approximate. `EPNET_EPOCH=sweep` keeps the
+    /// O(topology) reference. Controller tracing forces the sweep:
+    /// traced runs emit a per-decision line even for holds, and the
+    /// trace stream is part of the byte-identical output contract.
     fn on_epoch(&mut self) {
+        let tick_start = Instant::now();
+        let sweep =
+            self.epoch_mode == EpochMode::Sweep || self.inst.on(TraceCategory::Controller);
+        let decisions_enabled = self.config.control != ControlMode::AlwaysFull;
         match self.config.control {
             ControlMode::AlwaysFull => {}
-            ControlMode::IndependentChannel => self.retune_independent(),
-            ControlMode::PairedLink => self.retune_paired(),
+            ControlMode::IndependentChannel if sweep => self.retune_independent(),
+            ControlMode::IndependentChannel => self.retune_independent_active(),
+            ControlMode::PairedLink if sweep => self.retune_paired(),
+            ControlMode::PairedLink => self.retune_paired_active(),
         }
         // Sample link asymmetry: how often do a link's two channels sit
-        // at different speeds (§3.3.1)?
-        if self.config.control != ControlMode::AlwaysFull {
-            for link in 0..self.fabric.num_links() {
-                let (a, b) = self
-                    .fabric
-                    .link_channels(epnet_topology::LinkId::new(link as u32));
-                self.stats.link_samples += 1;
-                let (ia, ib) = (a.index(), b.index());
-                if self.channels.rate[ia] != self.channels.rate[ib]
-                    || self.channels.has_flag(ia, F_OFF) != self.channels.has_flag(ib, F_OFF)
-                {
-                    self.stats.asymmetric_link_samples += 1;
+        // at different speeds (§3.3.1)? The count is maintained
+        // incrementally at every rate/F_OFF write (`Channels::set_rate`
+        // and friends), so sampling it is a counter read; the sweep
+        // mode recounts from scratch and cross-checks.
+        if decisions_enabled {
+            self.stats.link_samples += self.fabric.num_links() as u64;
+            if sweep {
+                let mut asymmetric = 0u64;
+                for link in 0..self.fabric.num_links() {
+                    let (a, b) = self
+                        .fabric
+                        .link_channels(epnet_topology::LinkId::new(link as u32));
+                    let (ia, ib) = (a.index(), b.index());
+                    if self.channels.rate[ia] != self.channels.rate[ib]
+                        || self.channels.has_flag(ia, F_OFF) != self.channels.has_flag(ib, F_OFF)
+                    {
+                        asymmetric += 1;
+                    }
                 }
+                debug_assert_eq!(
+                    asymmetric,
+                    self.channels.asymmetric_links(),
+                    "incremental asymmetric-link counter drifted from the swept count"
+                );
+                self.stats.asymmetric_link_samples += asymmetric;
+            } else {
+                self.stats.asymmetric_link_samples += self.channels.asymmetric_links();
             }
         }
         if let Some(mut dt) = self.dyntopo.take() {
@@ -929,20 +988,38 @@ impl<S: TrafficSource> Simulator<S> {
         let epoch = self.config.epoch;
         // Queue depth is sampled here, once per channel per epoch, so
         // the mean/peak metrics describe standing queues rather than
-        // transient per-packet spikes. The dense occupancy and
-        // busy-time arrays make this sweep sequential loads.
-        let mut queued_sum = 0u64;
-        let mut queued_peak = 0u64;
+        // transient per-packet spikes. Resting channels "sample" an
+        // exact zero without being visited, so the sums — and
+        // `epoch_queue_samples`, which deliberately counts *every*
+        // channel in both modes — stay mode-independent.
         let epoch_ps = epoch.as_ps();
-        for i in 0..self.channels.len() {
-            let occ = self.channels.occupancy[i];
-            queued_sum += occ;
-            queued_peak = queued_peak.max(occ);
-            // Pre-charge the next epoch with the in-flight transmission's
-            // overhang.
-            let overhang = self.channels.busy_until[i].saturating_sub(self.now);
-            self.channels.busy_ps_epoch[i] = overhang.as_ps().min(epoch_ps);
-        }
+        let (queued_sum, queued_peak) = if sweep {
+            let mut queued_sum = 0u64;
+            let mut queued_peak = 0u64;
+            for i in 0..self.channels.len() {
+                let occ = self.channels.occupancy[i];
+                queued_sum += occ;
+                queued_peak = queued_peak.max(occ);
+                // Pre-charge the next epoch with the in-flight
+                // transmission's overhang.
+                let overhang = self.channels.busy_until[i].saturating_sub(self.now);
+                debug_assert!(
+                    self.channels.is_active(i) || (occ == 0 && overhang == SimTime::ZERO),
+                    "ch{i} rests outside the active set but would sample non-zero"
+                );
+                self.channels.busy_ps_epoch[i] = overhang.as_ps().min(epoch_ps);
+            }
+            self.channels
+                .retire_resting(self.config.min_rate, decisions_enabled);
+            (queued_sum, queued_peak)
+        } else {
+            self.channels.sample_active_and_retire(
+                self.now,
+                epoch_ps,
+                self.config.min_rate,
+                decisions_enabled,
+            )
+        };
         let ids = self.inst.ids;
         self.inst
             .metrics
@@ -956,6 +1033,8 @@ impl<S: TrafficSource> Simulator<S> {
         if next <= self.end {
             self.queue.schedule(next, Event::EpochTick);
         }
+        self.stats.epoch_ticks += 1;
+        self.inst.profiler.record("controller", tick_start.elapsed());
     }
 
     fn retune_independent(&mut self) {
@@ -967,19 +1046,78 @@ impl<S: TrafficSource> Simulator<S> {
         }
     }
 
+    /// Active-set twin of [`Simulator::retune_independent`]: only set
+    /// members can decide anything but "hold", and decisions run in
+    /// ascending channel order — the same relative order as the sweep —
+    /// because decision order fixes event insertion order, and FIFO
+    /// tie-breaking makes that order observable in the report.
+    fn retune_independent_active(&mut self) {
+        self.channels.sort_active();
+        // Snapshot the length: decisions can append to the set (a rate
+        // change marks the channel), and appended entries need no
+        // decision of their own this tick.
+        let n0 = self.channels.active_len();
+        for k in 0..n0 {
+            let id = ChannelId::new(self.channels.active_at(k));
+            if let Some((util, rate)) = self.channel_decision(id) {
+                self.decide_rate(id, util, rate);
+            }
+        }
+    }
+
     fn retune_paired(&mut self) {
         // "The link pair must be reconfigured together to match the
         // requirements of the channel with the highest load" (§3.3.1).
         for link in 0..self.fabric.num_links() {
-            let (a, b) = self.fabric.link_channels(epnet_topology::LinkId::new(link as u32));
-            let (da, db) = (self.channel_decision(a), self.channel_decision(b));
-            let ((ua, ra), (ub, rb)) = match (da, db) {
-                (Some(da), Some(db)) => (da, db),
-                _ => continue,
-            };
-            let rate = ra.max(rb);
-            self.decide_rate(a, ua, rate);
-            self.decide_rate(b, ub, rate);
+            self.retune_link(epnet_topology::LinkId::new(link as u32));
+        }
+    }
+
+    /// Active-set twin of [`Simulator::retune_paired`]: a link is
+    /// processed when *either* channel is in the active set (the
+    /// paired rule can retune a resting channel to match its busy
+    /// peer), in ascending link order to match the sweep's event
+    /// insertion order. Both scratch structures are preallocated and
+    /// sorted in place — no steady-state allocation.
+    fn retune_paired_active(&mut self) {
+        self.channels.sort_active();
+        let mut links = std::mem::take(&mut self.active_links);
+        links.clear();
+        for k in 0..self.channels.active_len() {
+            links.push(self.link_of[self.channels.active_at(k) as usize]);
+        }
+        links.sort_unstable();
+        links.dedup();
+        for &link in &links {
+            self.retune_link(epnet_topology::LinkId::new(link));
+        }
+        self.active_links = links;
+    }
+
+    /// One §3.3.1 paired-link decision. When both channels are tunable
+    /// the pair moves together to the faster of the two desired rates.
+    /// When exactly one is exempt (powered off by the dynamic-topology
+    /// controller, or a host channel with tuning disabled), the tunable
+    /// channel is tuned *independently*: §3.3.1 pairs the channels only
+    /// because "the link pair must be reconfigured together to match
+    /// the requirements of the channel with the highest load", and a
+    /// channel with no rate to match leaves the survivor governed by
+    /// its own load. (The historical behavior — skipping the link
+    /// entirely — froze the tunable channel at whatever rate it last
+    /// held, forever.) No current topology produces a half-exempt link
+    /// — host exemption and power-off both apply to whole links — so
+    /// this arm is pinned by a unit test rather than the golden report.
+    fn retune_link(&mut self, link: epnet_topology::LinkId) {
+        let (a, b) = self.fabric.link_channels(link);
+        match (self.channel_decision(a), self.channel_decision(b)) {
+            (Some((ua, ra)), Some((ub, rb))) => {
+                let rate = ra.max(rb);
+                self.decide_rate(a, ua, rate);
+                self.decide_rate(b, ub, rate);
+            }
+            (Some((ua, ra)), None) => self.decide_rate(a, ua, ra),
+            (None, Some((ub, rb))) => self.decide_rate(b, ub, rb),
+            (None, None) => {}
         }
     }
 
@@ -1006,6 +1144,7 @@ impl<S: TrafficSource> Simulator<S> {
     /// Applies one controller decision and, when tracing, records it
     /// with the measured utilization and the outcome-derived reason.
     fn decide_rate(&mut self, ch: ChannelId, util: f64, rate: LinkRate) {
+        self.stats.controller_decisions += 1;
         let old = self.channels.rate[ch.index()];
         let outcome = self.apply_rate(ch, rate);
         if self.inst.on(TraceCategory::Controller) {
@@ -1061,7 +1200,7 @@ impl<S: TrafficSource> Simulator<S> {
         }
         let latency = model.latency(self.channels.rate[i], rate);
         self.channels.note_interval(i, now);
-        self.channels.rate[i] = rate;
+        self.channels.set_rate(i, rate);
         let until = now + latency;
         self.channels.available_at[i] = until;
         self.stats.reconfigurations += 1;
@@ -1100,7 +1239,7 @@ impl<S: TrafficSource> Simulator<S> {
         }
         let latency = model.latency(self.channels.rate[i], rate);
         self.channels.note_interval(i, now);
-        self.channels.rate[i] = rate;
+        self.channels.set_rate(i, rate);
         let until = now + latency;
         self.channels.available_at[i] = until;
         self.stats.reconfigurations += 1;
@@ -1203,6 +1342,82 @@ impl<S: TrafficSource> Simulator<S> {
             timeline: s.timeline,
             metrics,
             phases,
+            epoch_ticks: s.epoch_ticks,
+            controller_decisions: s.controller_decisions,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::ReplaySource;
+    use epnet_topology::FlattenedButterfly;
+
+    /// A link with exactly one exempt channel (here: powered off out
+    /// from under the controller) must still tune the surviving channel
+    /// by its own load. The historical `retune_paired` skipped such
+    /// links entirely, freezing the tunable channel at whatever rate it
+    /// last held — forever. No current topology produces a half-exempt
+    /// link (host exemption and dyntopo power-off both cover whole
+    /// links), so the fixed arm is pinned here rather than by the
+    /// golden report.
+    #[test]
+    fn paired_link_with_one_exempt_channel_tunes_the_survivor() {
+        let fabric = FlattenedButterfly::new(2, 4, 2).unwrap().build_fabric();
+        let config = SimConfig::builder()
+            .control(ControlMode::PairedLink)
+            .build();
+        let epoch = config.epoch;
+        let min = config.min_rate;
+        let mut sim = Simulator::new(fabric, config, ReplaySource::new(Vec::new()));
+        sim.prime(SimTime::from_ms(1));
+        let (a, b) = sim
+            .fabric
+            .link_channels(epnet_topology::LinkId::new(0));
+        sim.channels.set_off(b.index(), SimTime::ZERO, true);
+        assert_eq!(sim.channels.asymmetric_links(), 1);
+        assert_eq!(sim.channels.rate[a.index()], LinkRate::R40);
+        // First tick: the idle survivor halves under HalveDouble even
+        // though its peer yields no decision.
+        sim.advance_until(epoch + SimTime::from_ns(1));
+        assert_eq!(
+            sim.channels.rate[a.index()],
+            LinkRate::R20,
+            "the tunable survivor of a half-exempt link must keep tuning"
+        );
+        // Later ticks walk it all the way down to the floor.
+        sim.advance_until(SimTime::from_us(500));
+        assert_eq!(sim.channels.rate[a.index()], min);
+        assert_eq!(sim.channels.asymmetric_links(), 1);
+    }
+
+    /// Epoch ticks with no traffic must do O(active) controller work:
+    /// after the first tick retires every idle channel, subsequent ticks
+    /// evaluate zero rate decisions while the sweep reference evaluates
+    /// every channel every tick.
+    #[test]
+    fn quiescent_network_makes_no_decisions_after_the_first_ticks() {
+        let fabric = FlattenedButterfly::new(2, 4, 2).unwrap().build_fabric();
+        let config = SimConfig::builder()
+            .control(ControlMode::IndependentChannel)
+            .build();
+        let epoch = config.epoch;
+        let mut sim = Simulator::new(fabric, config, ReplaySource::new(Vec::new()));
+        if sim.epoch_mode != EpochMode::ActiveSet {
+            return; // sweep mode intentionally decides O(channels) per tick
+        }
+        sim.prime(SimTime::from_ms(1));
+        // Every channel starts active and takes a handful of ticks to
+        // descend R40 → R2.5; give them ten epochs to settle.
+        sim.advance_until(epoch.scaled(10) + SimTime::from_ns(1));
+        let settled = sim.stats.controller_decisions;
+        let ticks = sim.stats.epoch_ticks;
+        sim.advance_until(epoch.scaled(20) + SimTime::from_ns(1));
+        assert_eq!(
+            sim.stats.controller_decisions, settled,
+            "a quiescent network must decide nothing per tick"
+        );
+        assert_eq!(sim.stats.epoch_ticks, ticks + 10, "ticks still fire");
     }
 }

@@ -70,8 +70,8 @@ mod time;
 mod traffic;
 
 pub use config::{
-    ControlMode, RatePolicy, ReactivationModel, ReactivationStrategy, RoutingPolicy, SimConfig,
-    SimConfigBuilder,
+    ControlMode, EpochMode, RatePolicy, ReactivationModel, ReactivationStrategy, RoutingPolicy,
+    SimConfig, SimConfigBuilder,
 };
 pub use dyntopo::{DynamicTopology, DynamicTopologyConfig};
 pub use engine::Simulator;

@@ -88,6 +88,14 @@ pub(crate) struct Stats {
     pub link_samples: u64,
     /// Largest output-queue occupancy observed, in bytes.
     pub peak_queue_bytes: u64,
+    /// Epoch ticks processed.
+    pub epoch_ticks: u64,
+    /// Controller rate decisions taken (`decide_rate` calls). Under the
+    /// active-set epoch mode this counts only visited channels, so —
+    /// unlike every serialized quantity — it is mode-*dependent* by
+    /// design: it is the measure of controller work the load benchmark
+    /// reports.
+    pub controller_decisions: u64,
     /// Rate timeline of recorded channels.
     pub timeline: Vec<TimelineEvent>,
     /// Channels `0..timeline_channels` are recorded.
@@ -113,6 +121,8 @@ impl Stats {
             asymmetric_link_samples: 0,
             link_samples: 0,
             peak_queue_bytes: 0,
+            epoch_ticks: 0,
+            controller_decisions: 0,
             timeline: Vec::new(),
             timeline_channels: 0,
         }
@@ -264,6 +274,19 @@ pub struct SimReport {
     /// never serialized, so reports stay byte-identical across hosts
     /// and runs.
     pub phases: Vec<Phase>,
+    /// Epoch ticks the controller processed. Diagnostics only — never
+    /// serialized (it is derivable from duration and epoch length, and
+    /// keeping it out of the report keeps the serialization surface
+    /// purely behavioral).
+    pub epoch_ticks: u64,
+    /// Rate decisions the controller evaluated across the run. Under
+    /// the active-set epoch path (`EPNET_EPOCH` unset) only channels
+    /// that did something since their last decision are visited, so
+    /// this counter is *mode-dependent* by design and — exactly like
+    /// [`phases`](Self::phases) — is never serialized. It is the
+    /// controller-work numerator behind `BENCH_load.json`'s
+    /// decisions-per-tick column.
+    pub controller_decisions: u64,
 }
 
 impl Serialize for SimReport {
@@ -361,8 +384,11 @@ impl Deserialize for SimReport {
                 Some(m) => Deserialize::from_value(m)?,
                 None => BTreeMap::new(),
             },
-            // Wall-clock diagnostics are never serialized.
+            // Wall-clock and mode-dependent diagnostics are never
+            // serialized.
             phases: Vec::new(),
+            epoch_ticks: 0,
+            controller_decisions: 0,
         })
     }
 }
@@ -563,6 +589,8 @@ mod tests {
             timeline: Vec::new(),
             metrics: BTreeMap::new(),
             phases: Vec::new(),
+            epoch_ticks: 0,
+            controller_decisions: 0,
         }
     }
 
@@ -633,15 +661,23 @@ mod tests {
             name: "warmup",
             wall_ns: 123,
         });
+        r.epoch_ticks = 99;
+        r.controller_decisions = 1234;
         let v = r.to_value();
         assert!(v.get("metrics").is_some());
         assert!(
             v.get("phases").is_none(),
             "wall-clock phases must never be serialized"
         );
+        assert!(
+            v.get("epoch_ticks").is_none() && v.get("controller_decisions").is_none(),
+            "mode-dependent controller-work counters must never be serialized"
+        );
         let back = SimReport::from_value(&v).unwrap();
         assert_eq!(back.metrics.get("events_workload"), Some(&7));
         assert!(back.phases.is_empty());
+        assert_eq!(back.epoch_ticks, 0);
+        assert_eq!(back.controller_decisions, 0);
 
         // Reports written before the metrics registry existed still
         // deserialize, with an empty map.

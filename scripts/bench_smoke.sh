@@ -27,6 +27,11 @@ cargo run --offline --release -p epnet-bench --bin tracesmoke -- target/tracesmo
 # own output; the steady-state allocation bound is re-checked below.
 cargo run --offline --release -p epnet-bench --bin scalebench -- --reduced
 
+# Reduced offered-load sweep (rewrites BENCH_load.json at the repo
+# root): both EPNET_EPOCH modes per point, byte-identity cross-checked
+# by the binary itself; the epoch-work bound is re-checked below.
+cargo run --offline --release -p epnet-bench --bin loadbench -- --reduced
+
 # Docs must build clean — the observability docs are part of the API.
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
 
@@ -60,4 +65,33 @@ for b in doc["benches"]:
     print(f'{b["name"]}: {b["hosts"]} hosts, '
           f'{b["events_per_sec"]:.3e} events/s, '
           f'{b["allocs_per_event"]:.5f} allocs/event')
+EOF
+
+# And the load sweep artifact: schema, plus the activity-proportional
+# bound — at low load the active-set epoch path must evaluate far fewer
+# decisions per tick than the channel count (the sweep mode's O(links)
+# work), not merely a constant factor fewer.
+test -s BENCH_load.json || { echo "BENCH_load.json missing" >&2; exit 1; }
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_load.json"))
+assert doc["schema"] == "epnet-bench-load/v1", doc["schema"]
+assert doc["benches"], "no benches recorded"
+for b in doc["benches"]:
+    for mode in ("sweep", "active"):
+        for field in ("wall_ms", "events_per_sec", "decisions_per_tick",
+                      "epoch_ticks", "controller_decisions",
+                      "controller_wall_ms"):
+            assert field in b[mode], f'{b["name"]}/{mode}: missing {field}'
+    if b["offered_load"] <= 0.1:
+        active = b["active"]["decisions_per_tick"]
+        assert active < b["channels"], (
+            f'{b["name"]}: {active:.1f} decisions/tick not O(active) '
+            f'against {b["channels"]} channels')
+        assert b["decisions_speedup"] >= 2.0, (
+            f'{b["name"]}: speedup {b["decisions_speedup"]:.2f}x < 2x '
+            f'at {b["offered_load"]:.0%} load')
+    print(f'{b["name"]}: sweep {b["sweep"]["decisions_per_tick"]:.1f} '
+          f'-> active {b["active"]["decisions_per_tick"]:.1f} dec/tick '
+          f'({b["decisions_speedup"]:.1f}x)')
 EOF

@@ -9,7 +9,7 @@
 use epnet::exp::sweep::SensitivitySweep;
 use epnet::exp::{EvalScale, WorkloadKind};
 use epnet::sim::{Backend, MemorySink, Scheduler, SimTime, TraceCategory, Tracer};
-use epnet_bench::enginebench;
+use epnet_bench::{enginebench, loadbench};
 use epnet_telemetry::validate_jsonl;
 
 /// SplitMix64, matching the generator in benches/scheduler.rs.
@@ -91,6 +91,40 @@ fn engine_bench_document_is_well_formed() {
     let doc = enginebench::render(&runs);
     let names = enginebench::validate(&doc).expect("rendered document validates");
     assert_eq!(names, vec!["route_table", "dynamic_routes"]);
+}
+
+/// In-process twin of the loadbench smoke: the reduced sweep's
+/// low-load point must cross-check byte-identical reports between the
+/// two `EPNET_EPOCH` modes (`measure` panics otherwise), do strictly
+/// less controller work per tick than the channel count — the
+/// activity-proportional bound — and render a schema-valid document.
+/// `measure` briefly sets `EPNET_EPOCH`, which is safe here: the
+/// variable selects an execution detail whose output is asserted
+/// identical, so a concurrently constructed simulator in another test
+/// cannot observe a difference.
+#[test]
+fn load_bench_document_is_well_formed_and_activity_bounded() {
+    let points = loadbench::sweep(true);
+    let low = points.first().expect("reduced sweep is non-empty");
+    assert!(low.load <= 0.1, "first reduced point is the low-load one");
+    let run = loadbench::measure(low);
+    assert_eq!(run.sweep.epoch_ticks, run.active.epoch_ticks);
+    assert!(
+        run.sweep.decisions_per_tick() >= run.channels as f64 - 1e-9,
+        "the sweep reference visits every tunable channel every tick"
+    );
+    assert!(
+        run.active.decisions_per_tick() < run.channels as f64,
+        "active-set work must be bounded by activity, not topology"
+    );
+    assert!(
+        run.decisions_speedup() >= 2.0,
+        "low-load speedup collapsed to {:.2}x",
+        run.decisions_speedup()
+    );
+    let doc = loadbench::render(&[run]);
+    let names = loadbench::validate(&doc).expect("rendered document validates");
+    assert_eq!(names.len(), 1);
 }
 
 /// The canonical scenario, traced: every emitted JSONL line must pass

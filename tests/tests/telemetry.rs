@@ -14,7 +14,7 @@ use epnet_telemetry::{parse_jsonl, validate_jsonl, TraceRecord};
 use std::sync::Mutex;
 
 /// Serializes the env-twiddling tests in this binary — `EPNET_SCHED`,
-/// `EPNET_ROUTES`, and `EPNET_TRACE` are process-global.
+/// `EPNET_ROUTES`, `EPNET_EPOCH`, and `EPNET_TRACE` are process-global.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn tiny() -> EvalScale {
@@ -52,15 +52,19 @@ fn reports_are_byte_identical_across_modes_and_tracing() {
         std::env::set_var("EPNET_SCHED", sched);
         for routes in ["table", "dynamic"] {
             std::env::set_var("EPNET_ROUTES", routes);
-            for traced in [false, true] {
-                let (report, trace) = run_traced(traced);
-                assert_eq!(traced, !trace.is_empty(), "tracer emits iff installed");
-                reports.push((format!("{sched}/{routes}/traced={traced}"), report));
+            for epoch in ["active", "sweep"] {
+                std::env::set_var("EPNET_EPOCH", epoch);
+                for traced in [false, true] {
+                    let (report, trace) = run_traced(traced);
+                    assert_eq!(traced, !trace.is_empty(), "tracer emits iff installed");
+                    reports.push((format!("{sched}/{routes}/{epoch}/traced={traced}"), report));
+                }
             }
         }
     }
     std::env::remove_var("EPNET_SCHED");
     std::env::remove_var("EPNET_ROUTES");
+    std::env::remove_var("EPNET_EPOCH");
     let (base_label, base) = &reports[0];
     for (label, report) in &reports[1..] {
         assert_eq!(
@@ -167,6 +171,40 @@ fn category_filter_narrows_emission() {
             .all(|r| matches!(r, TraceRecord::Controller { .. })),
         "filtered tracer must emit only the selected category"
     );
+}
+
+/// `epoch_queue_samples` deliberately counts *every* channel at every
+/// tick, in both epoch modes: the active-set path skips visiting
+/// resting channels but still credits them with an exact-zero sample,
+/// so the derived mean queue depth keeps the same denominator. The
+/// counter must therefore equal `events_epoch_tick × num_channels`
+/// whichever implementation ran.
+#[test]
+fn epoch_queue_samples_count_every_channel_in_both_epoch_modes() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut snapshots = Vec::new();
+    for epoch in ["active", "sweep"] {
+        std::env::set_var("EPNET_EPOCH", epoch);
+        let scale = tiny();
+        let fabric = scale.fabric();
+        let sim = Simulator::new(
+            fabric,
+            SimConfig::default(),
+            WorkloadKind::Search.source(scale.hosts() as u32, scale.seed, scale.duration),
+        );
+        let report = sim.run_until(scale.duration);
+        let ticks = report.metrics["events_epoch_tick"];
+        let samples = report.metrics["epoch_queue_samples"];
+        assert!(ticks > 0, "epochs fired under {epoch}");
+        assert_eq!(
+            samples,
+            ticks * report.num_channels as u64,
+            "every channel must be sampled every tick under {epoch}"
+        );
+        snapshots.push((samples, report.metrics["epoch_queue_bytes_sum"]));
+    }
+    std::env::remove_var("EPNET_EPOCH");
+    assert_eq!(snapshots[0], snapshots[1], "queue metrics are mode-independent");
 }
 
 #[test]
