@@ -95,9 +95,10 @@ fn main() {
         std::process::exit(2);
     }
 
+    let points = scalebench::sweep(reduced);
     let mut runs = Vec::new();
-    for point in scalebench::sweep(reduced) {
-        let run = scalebench::measure(&point, &Meter);
+    for point in &points {
+        let run = scalebench::measure(point, &Meter);
         eprintln!(
             "{:<14} hosts={:<5} {:>10.0} events/s  allocs/event={:.6} peak={} B",
             run.name,
@@ -109,7 +110,30 @@ fn main() {
         runs.push(run);
     }
 
-    let doc = scalebench::render(&runs);
+    // The threads axis: serial baseline then every `EPNET_PAR` width,
+    // each report asserted byte-identical to serial before its timing
+    // counts. The full sweep measures the paper-scale 15-ary 2-flat
+    // (the fabric the parallel engine exists for); the reduced smoke
+    // uses the canonical point to stay seconds-long.
+    let axis_point = if reduced {
+        &points[0]
+    } else {
+        points.last().expect("sweep is non-empty")
+    };
+    let axis = scalebench::measure_threads(axis_point);
+    let baseline = axis.runs[0].wall_ms;
+    for r in &axis.runs {
+        eprintln!(
+            "{:<14} threads={:<2} {:>10.0} events/s  speedup={:.2}x (of {} hw threads)",
+            axis.point,
+            r.threads,
+            r.events_per_sec(),
+            baseline / r.wall_ms,
+            axis.hardware_threads,
+        );
+    }
+
+    let doc = scalebench::render(&runs, &axis);
     scalebench::validate(&doc).expect("freshly rendered document validates");
     if to_stdout {
         print!("{doc}");

@@ -12,6 +12,16 @@
 //! `scripts/bench_smoke.sh` and the in-process twin
 //! (`tests/tests/bench_smoke.rs`) both lean on this to catch schema
 //! drift between the emitters and the validator.
+//!
+//! The same scenario then re-runs under `EPNET_PAR=4` into
+//! `<path>.par4`, and the merged trace stream must be **line-identical**
+//! to the serial trace — the sharded engine's replay step emits every
+//! worker's trace bytes in global event order, so even a one-line
+//! reordering is a coordinator bug. Only `routes` lines are exempt
+//! from the comparison: they carry wall-clock rebuild nanoseconds and
+//! per-shard tables rebuild independently (see `crates/sim/src/par.rs`
+//! module docs). The canonical scenario emits none mid-run, but the
+//! filter keeps the contract precise rather than incidental.
 
 use epnet_bench::enginebench::{canonical_simulator, HORIZON};
 use epnet_sim::{TraceCategory, Tracer};
@@ -76,6 +86,66 @@ fn main() -> ExitCode {
         "sim: {} events, {} packets, {} bytes delivered",
         report.events_processed, report.packets_delivered, report.delivered_bytes
     );
+
+    // The parallel cross-check: the identical scenario under
+    // `EPNET_PAR=4` must produce a line-identical merged trace (routes
+    // lines excepted — wall-clock build times).
+    let par_path = format!("{path}.par4");
+    let par_sink = match FileSink::create(&par_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot create {par_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    std::env::set_var("EPNET_PAR", "4");
+    let mut par_sim = canonical_simulator();
+    par_sim.set_tracer(Tracer::new(par_sink, TraceCategory::ALL_MASK));
+    let par_report = par_sim.run_until(HORIZON);
+    std::env::remove_var("EPNET_PAR");
+    let par_text = match std::fs::read_to_string(&par_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read back {par_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_jsonl(&par_text) {
+        eprintln!("trace schema violation in {par_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if par_report.events_processed != report.events_processed
+        || par_report.delivered_bytes != report.delivered_bytes
+    {
+        eprintln!("EPNET_PAR=4 report diverged from serial");
+        return ExitCode::FAILURE;
+    }
+    fn wallclock_free(t: &str) -> Vec<&str> {
+        t.lines()
+            .filter(|l| !l.contains("\"cat\":\"routes\""))
+            .collect()
+    }
+    let serial_lines = wallclock_free(&text);
+    let par_lines = wallclock_free(&par_text);
+    if serial_lines != par_lines {
+        let diverge = serial_lines
+            .iter()
+            .zip(&par_lines)
+            .position(|(a, b)| a != b)
+            .unwrap_or(serial_lines.len().min(par_lines.len()));
+        eprintln!(
+            "EPNET_PAR=4 trace diverged from serial at line {} ({} vs {} lines)",
+            diverge + 1,
+            serial_lines.len(),
+            par_lines.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{par_path}: EPNET_PAR=4 trace line-identical to serial ({} lines)",
+        par_lines.len()
+    );
+
     summary::eprint_summary("tracesmoke", start.elapsed().as_secs_f64());
     ExitCode::SUCCESS
 }

@@ -22,8 +22,15 @@ use epnet_workloads::{ServiceTrace, ServiceTraceConfig, UniformRandom};
 use serde_json::Value;
 use std::time::Instant;
 
-/// Schema tag written into `BENCH_scale.json`.
-pub const SCHEMA: &str = "epnet-bench-scale/v1";
+/// Schema tag written into `BENCH_scale.json`. `v2` added the
+/// `threads` axis (the `EPNET_PAR` sweep on the canonical point).
+pub const SCHEMA: &str = "epnet-bench-scale/v2";
+
+/// Worker widths measured by the threads axis, matching the
+/// determinism matrix in `tests/tests/par_modes.rs`. Width 0 stands
+/// for the serial engine (`EPNET_PAR` unset) and is always measured
+/// first as the speedup baseline.
+pub const THREAD_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// Simulated horizon of the full sweep (matches the canonical bench).
 pub const FULL_HORIZON: SimTime = SimTime::from_ms(10);
@@ -220,6 +227,128 @@ impl ScaleRun {
     }
 }
 
+/// One width of the threads axis.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadsRun {
+    /// Worker width (`EPNET_PAR`); 0 is the serial engine.
+    pub threads: u64,
+    /// Wall-clock duration of the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Events popped by the engine (identical at every width — the
+    /// reports are asserted byte-identical before this is recorded).
+    pub sim_events: u64,
+}
+
+impl ThreadsRun {
+    /// Engine events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.sim_events as f64 * 1e3 / self.wall_ms
+    }
+}
+
+/// The threads axis: one sweep point re-run at every `EPNET_PAR`
+/// width, against the serial engine as baseline.
+#[derive(Debug, Clone)]
+pub struct ThreadsAxis {
+    /// Name of the sweep point the axis ran on.
+    pub point: String,
+    /// Hardware threads the host actually offers — the honest context
+    /// for the speedup column (a 1-hardware-thread container cannot
+    /// speed up, it can only measure determinism overhead).
+    pub hardware_threads: u64,
+    /// Serial baseline first, then one entry per width.
+    pub runs: Vec<ThreadsRun>,
+}
+
+/// Measures the threads axis on `point`: the serial engine first, then
+/// `EPNET_PAR={1,2,4,8}`, each a fresh full run of the identical
+/// scenario.
+///
+/// Every parallel report is asserted **byte-identical** to the serial
+/// one before its timing is recorded — a wrong-but-fast engine never
+/// makes it into `BENCH_scale.json`. The prior `EPNET_PAR` value is
+/// restored on return.
+///
+/// # Panics
+///
+/// Panics if any width's serialized report differs from serial.
+pub fn measure_threads(point: &ScalePoint) -> ThreadsAxis {
+    let prior = std::env::var("EPNET_PAR").ok();
+    std::env::remove_var("EPNET_PAR");
+    let one = |threads: u64| -> (ThreadsRun, String) {
+        let sim = simulator_for(point);
+        let start = Instant::now();
+        let report = sim.run_until(point.horizon);
+        let wall = start.elapsed();
+        let doc = serde_json::to_string_pretty(&report).expect("report serializes");
+        (
+            ThreadsRun {
+                threads,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                sim_events: report.events_processed,
+            },
+            doc,
+        )
+    };
+    let (serial, serial_doc) = one(0);
+    let mut runs = vec![serial];
+    for width in THREAD_WIDTHS {
+        std::env::set_var("EPNET_PAR", width.to_string());
+        let (run, doc) = one(width as u64);
+        assert_eq!(
+            doc, serial_doc,
+            "{}: EPNET_PAR={width} report diverged from serial",
+            point.name
+        );
+        runs.push(run);
+    }
+    match prior {
+        Some(v) => std::env::set_var("EPNET_PAR", v),
+        None => std::env::remove_var("EPNET_PAR"),
+    }
+    ThreadsAxis {
+        point: point.name.clone(),
+        hardware_threads: std::thread::available_parallelism()
+            .map_or(1, |n| n.get() as u64),
+        runs,
+    }
+}
+
+impl ThreadsAxis {
+    fn to_value(&self) -> Value {
+        let baseline = self.runs[0].wall_ms;
+        Value::Map(vec![
+            ("point".into(), Value::Str(self.point.clone())),
+            (
+                "hardware_threads".into(),
+                Value::U64(self.hardware_threads),
+            ),
+            (
+                "runs".into(),
+                Value::Seq(
+                    self.runs
+                        .iter()
+                        .map(|r| {
+                            Value::Map(vec![
+                                ("threads".into(), Value::U64(r.threads)),
+                                ("wall_ms".into(), Value::F64(r.wall_ms)),
+                                (
+                                    "events_per_sec".into(),
+                                    Value::F64(r.events_per_sec()),
+                                ),
+                                (
+                                    "speedup_vs_serial".into(),
+                                    Value::F64(baseline / r.wall_ms),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// Runs one sweep point, metering allocations across the second half
 /// of the horizon (well past the engine's 50 µs statistical warmup, so
 /// every free-list has reached its high-water mark).
@@ -252,8 +381,9 @@ pub fn measure(point: &ScalePoint, meter: &dyn AllocMeter) -> ScaleRun {
     }
 }
 
-/// Renders runs as the `BENCH_scale.json` document.
-pub fn render(runs: &[ScaleRun]) -> String {
+/// Renders runs plus the threads axis as the `BENCH_scale.json`
+/// document.
+pub fn render(runs: &[ScaleRun], threads: &ThreadsAxis) -> String {
     let doc = Value::Map(vec![
         ("schema".into(), Value::Str(SCHEMA.into())),
         (
@@ -264,6 +394,7 @@ pub fn render(runs: &[ScaleRun]) -> String {
             "benches".into(),
             Value::Seq(runs.iter().map(ScaleRun::to_value).collect()),
         ),
+        ("threads".into(), threads.to_value()),
     ]);
     let mut out = serde_json::to_string_pretty(&doc).expect("value tree serializes");
     out.push('\n');
@@ -332,6 +463,43 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
         }
         names.push(name.to_string());
     }
+    let threads = v.get("threads").ok_or("missing 'threads' axis")?;
+    threads
+        .get("point")
+        .and_then(Value::as_str)
+        .ok_or("threads axis missing 'point'")?;
+    let hw = threads
+        .get("hardware_threads")
+        .and_then(Value::as_u64)
+        .ok_or("threads axis missing 'hardware_threads'")?;
+    if hw == 0 {
+        return Err("threads axis reports zero hardware threads".into());
+    }
+    let truns = threads
+        .get("runs")
+        .and_then(Value::as_seq)
+        .ok_or("threads axis missing 'runs' array")?;
+    if truns.len() < 2 {
+        return Err("threads axis needs the serial baseline plus at least one width".into());
+    }
+    for (i, r) in truns.iter().enumerate() {
+        let t = r
+            .get("threads")
+            .and_then(Value::as_u64)
+            .ok_or("threads run missing 'threads'")?;
+        if i == 0 && t != 0 {
+            return Err("first threads run must be the serial baseline (threads=0)".into());
+        }
+        for field in ["wall_ms", "events_per_sec", "speedup_vs_serial"] {
+            let x = r
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("threads run {t} missing '{field}'"))?;
+            if !(x.is_finite() && x > 0.0) {
+                return Err(format!("threads run {t} has non-positive '{field}'"));
+            }
+        }
+    }
     Ok(names)
 }
 
@@ -354,12 +522,49 @@ mod tests {
         }
     }
 
+    fn sample_axis() -> ThreadsAxis {
+        ThreadsAxis {
+            point: "fbfly_2x8x2".to_string(),
+            hardware_threads: 4,
+            runs: vec![
+                ThreadsRun {
+                    threads: 0,
+                    wall_ms: 10.0,
+                    sim_events: 1_000,
+                },
+                ThreadsRun {
+                    threads: 2,
+                    wall_ms: 8.0,
+                    sim_events: 1_000,
+                },
+            ],
+        }
+    }
+
     #[test]
     fn rendered_document_validates() {
         let runs = vec![sample_run("fbfly_2x8x2"), sample_run("clos_nb4")];
-        let doc = render(&runs);
+        let doc = render(&runs, &sample_axis());
         let names = validate(&doc).expect("schema holds");
         assert_eq!(names, vec!["fbfly_2x8x2", "clos_nb4"]);
+    }
+
+    #[test]
+    fn validate_requires_the_threads_axis() {
+        let runs = vec![sample_run("fbfly_2x8x2")];
+        let doc = render(&runs, &sample_axis());
+        // Strip the threads section: the v2 schema must reject it.
+        let mut v: Value = serde_json::from_str(&doc).unwrap();
+        if let Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "threads");
+        }
+        let stripped = serde_json::to_string_pretty(&v).unwrap();
+        assert!(validate(&stripped).is_err(), "threads axis is required");
+
+        // And a baseline-less axis must be rejected too.
+        let mut axis = sample_axis();
+        axis.runs.remove(0);
+        assert!(validate(&render(&runs, &axis)).is_err());
     }
 
     #[test]

@@ -224,18 +224,14 @@ impl Experiment {
 /// `EPNET_THREADS` environment variable overrides it (any positive
 /// integer — `EPNET_THREADS=1` forces fully serial execution, useful
 /// for debugging and for the determinism tests that compare serial and
-/// parallel output byte for byte).
+/// parallel output byte for byte). The value grammar is shared with
+/// `EPNET_PAR` via [`epnet_sim::env_threads`].
 pub fn worker_threads() -> usize {
-    if let Ok(v) = std::env::var("EPNET_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    epnet_sim::env_threads("EPNET_THREADS").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Runs a set of closures on a [`std::thread::scope`] worker pool and

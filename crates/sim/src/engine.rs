@@ -55,9 +55,9 @@ use std::time::Instant;
 /// recycled through a free list once the last packet delivers, so the
 /// table is bounded by concurrently in-flight messages.
 #[derive(Debug, Clone, Copy)]
-struct MessageRec {
-    remaining: u32,
-    offered_at: SimTime,
+pub(crate) struct MessageRec {
+    pub(crate) remaining: u32,
+    pub(crate) offered_at: SimTime,
 }
 
 /// What [`Simulator::apply_rate`] did with a controller decision —
@@ -82,7 +82,7 @@ enum RateOutcome {
 /// reference on-the-fly coordinate computation — mirroring
 /// `EPNET_SCHED=heap` — and must produce byte-identical reports.
 #[derive(Debug)]
-enum RouteMode {
+pub(crate) enum RouteMode {
     /// Indexed lookups in a precomputed table.
     Table(RouteTable),
     /// Per-hop recomputation into a reused scratch buffer.
@@ -118,50 +118,12 @@ enum RouteMode {
 /// ```
 #[derive(Debug)]
 pub struct Simulator<S> {
-    fabric: FabricGraph,
-    config: SimConfig,
-    source: S,
-    pending: Option<Message>,
-    queue: EventQueue,
-    now: SimTime,
-    end: SimTime,
-    channels: Channels,
-    /// Receiving endpoint of each channel, precomputed (the per-event
-    /// decode costs a division).
-    targets: Vec<PortTarget>,
-    /// Per-channel tail-to-arrival offset: propagation delay plus the
-    /// router pipeline when the far end is a switch.
-    arrive_extra: Vec<SimTime>,
-    /// Switch each host hangs off, precomputed (`host / concentration`
-    /// is a divide on the per-hop path).
-    host_switch: Vec<SwitchId>,
-    /// Ejection channel delivering to each host, precomputed.
-    eject_channel: Vec<ChannelId>,
-    arena: PacketArena,
-    messages: Vec<MessageRec>,
-    /// Retired message slots awaiting reuse.
-    msg_free: Vec<u32>,
-    stats: Stats,
-    mask: Option<LinkMask>,
-    dyntopo: Option<DynamicTopology>,
-    routes: RouteMode,
-    /// Which epoch-tick implementation runs (`EPNET_EPOCH`; see
-    /// [`Simulator::on_epoch`]).
-    epoch_mode: EpochMode,
-    /// Link of each channel, precomputed for the paired-link active
-    /// path (channel → link is a table lookup there, once per active
-    /// channel per tick).
-    link_of: Vec<u32>,
-    /// Scratch for the paired-link active path: links with at least one
-    /// active channel, sorted and deduplicated in place each tick.
-    active_links: Vec<u32>,
-    last_offered_at: SimTime,
-    /// End of the current utilization-measurement epoch.
-    epoch_end: SimTime,
-    /// Whether epoch ticks run (rate controller or dynamic topology):
-    /// bounds transmission trains at the epoch so no rate or mask
-    /// change can land mid-train.
-    controller_active: bool,
+    /// The non-generic engine core: all simulation state except the
+    /// traffic source. The parallel engine (`EPNET_PAR`) instantiates
+    /// one core per shard — see [`crate::par`].
+    pub(crate) core: Core,
+    pub(crate) source: S,
+    pub(crate) pending: Option<Message>,
     /// Whether [`Simulator::prime`] has run.
     primed: bool,
     /// The pop loop is still inside the warmup window (wall-clock
@@ -169,13 +131,95 @@ pub struct Simulator<S> {
     in_warmup: bool,
     /// Start of the wall-clock phase currently being attributed.
     phase_start: Instant,
+}
+
+/// Where a core's generated events go.
+///
+/// The serial engine schedules straight into its own [`EventQueue`].
+/// Under the sharded parallel engine every core runs in *window* mode:
+/// events inside the current lookahead window enter a shard-local
+/// ordered queue, everything else is recorded for the coordinator to
+/// push into the single global queue with exact serial sequence
+/// numbers (see `crate::par`).
+#[derive(Debug)]
+pub(crate) enum CoreQueue {
+    /// The serial engine's event queue.
+    Serial(EventQueue),
+    /// Window-capture mode for the parallel engine.
+    Window(crate::par::WindowQueue),
+}
+
+/// The engine core: every piece of simulation state except the traffic
+/// source, with all event handlers. Non-generic so the parallel engine
+/// can build one per shard and move them across worker threads.
+#[derive(Debug)]
+pub(crate) struct Core {
+    pub(crate) fabric: FabricGraph,
+    pub(crate) config: SimConfig,
+    pub(crate) queue: CoreQueue,
+    pub(crate) now: SimTime,
+    pub(crate) end: SimTime,
+    pub(crate) channels: Channels,
+    /// Receiving endpoint of each channel, precomputed (the per-event
+    /// decode costs a division).
+    pub(crate) targets: Vec<PortTarget>,
+    /// Per-channel tail-to-arrival offset: propagation delay plus the
+    /// router pipeline when the far end is a switch.
+    pub(crate) arrive_extra: Vec<SimTime>,
+    /// Switch each host hangs off, precomputed (`host / concentration`
+    /// is a divide on the per-hop path).
+    pub(crate) host_switch: Vec<SwitchId>,
+    /// Ejection channel delivering to each host, precomputed.
+    pub(crate) eject_channel: Vec<ChannelId>,
+    pub(crate) arena: PacketArena,
+    pub(crate) messages: Vec<MessageRec>,
+    /// Retired message slots awaiting reuse.
+    pub(crate) msg_free: Vec<u32>,
+    pub(crate) stats: Stats,
+    pub(crate) mask: Option<LinkMask>,
+    pub(crate) dyntopo: Option<DynamicTopology>,
+    pub(crate) routes: RouteMode,
+    /// Which epoch-tick implementation runs (`EPNET_EPOCH`; see
+    /// [`Core::on_epoch`]).
+    pub(crate) epoch_mode: EpochMode,
+    /// Link of each channel, precomputed for the paired-link active
+    /// path (channel → link is a table lookup there, once per active
+    /// channel per tick).
+    pub(crate) link_of: Vec<u32>,
+    /// Scratch for the paired-link active path: links with at least one
+    /// active channel, sorted and deduplicated in place each tick.
+    pub(crate) active_links: Vec<u32>,
+    pub(crate) last_offered_at: SimTime,
+    /// End of the current utilization-measurement epoch.
+    pub(crate) epoch_end: SimTime,
+    /// Whether epoch ticks run (rate controller or dynamic topology):
+    /// bounds transmission trains at the epoch so no rate or mask
+    /// change can land mid-train.
+    pub(crate) controller_active: bool,
     /// Telemetry: tracer, metrics registry, phase profiler.
-    inst: Instruments,
+    pub(crate) inst: Instruments,
 }
 
 impl<S: TrafficSource> Simulator<S> {
     /// Creates a simulator over `fabric` driven by `source`.
     pub fn new(fabric: FabricGraph, config: SimConfig, source: S) -> Self {
+        let inst = Instruments::from_env();
+        Self {
+            core: Core::build(fabric, config, inst),
+            source,
+            pending: None,
+            primed: false,
+            in_warmup: false,
+            phase_start: Instant::now(),
+        }
+    }
+}
+
+impl Core {
+    /// Builds an engine core over `fabric`, reporting through `inst`.
+    /// Shared by [`Simulator::new`] and the parallel engine's per-shard
+    /// core construction.
+    pub(crate) fn build(fabric: FabricGraph, config: SimConfig, mut inst: Instruments) -> Self {
         config.validate();
         let n = fabric.num_channels();
         let mut channels = Channels::with_capacity(n);
@@ -219,7 +263,6 @@ impl<S: TrafficSource> Simulator<S> {
         }
         let warmup = config.warmup;
         let first_epoch_end = config.epoch;
-        let mut inst = Instruments::from_env();
         let routes = match std::env::var("EPNET_ROUTES") {
             Ok(v) if v.eq_ignore_ascii_case("dynamic") => RouteMode::Dynamic {
                 scratch: Vec::new(),
@@ -242,11 +285,9 @@ impl<S: TrafficSource> Simulator<S> {
             }
         };
         Self {
-            queue: EventQueue::with_hint(n),
+            queue: CoreQueue::Serial(EventQueue::with_hint(n)),
             fabric,
             config,
-            source,
-            pending: None,
             now: SimTime::ZERO,
             end: SimTime::ZERO,
             channels,
@@ -267,13 +308,99 @@ impl<S: TrafficSource> Simulator<S> {
             last_offered_at: SimTime::ZERO,
             epoch_end: first_epoch_end,
             controller_active: false,
-            primed: false,
-            in_warmup: false,
-            phase_start: Instant::now(),
             inst,
         }
     }
 
+    /// Schedules `event` at absolute time `at` — into the serial event
+    /// queue, or, in window mode, into the shard-local queue (events
+    /// inside the current window) or the generation log for the
+    /// coordinator to sequence (everything else). Window mode records
+    /// *every* generated event in the log so the coordinator's replay
+    /// can assign the exact serial sequence number to each.
+    pub(crate) fn schedule(&mut self, at: SimTime, event: Event) {
+        match &mut self.queue {
+            CoreQueue::Serial(q) => q.schedule(at, event),
+            CoreQueue::Window(w) => w.record(at, event),
+        }
+    }
+
+    /// Earliest scheduled time in serial mode.
+    fn serial_peek(&mut self) -> Option<SimTime> {
+        match &mut self.queue {
+            CoreQueue::Serial(q) => q.peek_time(),
+            CoreQueue::Window(_) => unreachable!("serial pop loop on a window-mode core"),
+        }
+    }
+
+    /// Pops the earliest event in serial mode. The parallel engine uses
+    /// this once, to drain the primed queue into the coordinator's
+    /// globally-sequenced queues.
+    pub(crate) fn serial_pop(&mut self) -> Option<(SimTime, Event)> {
+        match &mut self.queue {
+            CoreQueue::Serial(q) => q.pop(),
+            CoreQueue::Window(_) => unreachable!("serial pop loop on a window-mode core"),
+        }
+    }
+
+    /// Dispatches one shard-local event — the parallel engine's
+    /// counterpart of the serial pop loop's match. Global events
+    /// (`Workload`, `EpochTick`) are coordinator phases and never reach
+    /// a shard.
+    pub(crate) fn dispatch_local(&mut self, ev: Event, half: crate::par::ArriveHalf) {
+        use crate::par::ArriveHalf;
+        match ev {
+            Event::TxDone { channel } => self.on_tx_done(channel),
+            Event::Arrive { channel, packet } => {
+                let (credit, route) = match half {
+                    ArriveHalf::Full => (true, true),
+                    ArriveHalf::Credit => (true, false),
+                    ArriveHalf::Route => (false, true),
+                };
+                self.on_arrive(channel, packet, credit, route);
+            }
+            Event::CreditWake { channel } => self.on_credit_wake(channel),
+            Event::Retry { channel } => self.on_retry(channel),
+            Event::Workload | Event::EpochTick => {
+                unreachable!("global events are coordinator phases, never shard-dispatched")
+            }
+        }
+    }
+
+    /// Drains this core's window queue in (time, sequence) order,
+    /// dispatching each event and recording an execution record — the
+    /// per-dispatch high-water marks of the generation/free/timeline
+    /// logs and the trace sink — for the coordinator's barrier replay.
+    pub(crate) fn exec_window(&mut self, sink: Option<&epnet_telemetry::MemorySink>) {
+        loop {
+            let CoreQueue::Window(w) = &mut self.queue else {
+                unreachable!("exec_window on a serial core")
+            };
+            let Some(((t, _seq), le)) = w.local.pop() else {
+                break;
+            };
+            debug_assert!(t >= self.now, "window events went backwards");
+            self.now = t;
+            self.dispatch_local(le.ev, le.half);
+            let timeline_end = self.stats.timeline.len() as u32;
+            let trace_end = sink.map_or(0, |s| s.len() as u32);
+            let CoreQueue::Window(w) = &mut self.queue else {
+                unreachable!("queue mode changed mid-window")
+            };
+            w.execs.push(crate::par::ExecRec {
+                t,
+                gen_end: w.gens.len() as u32,
+                pkt_free_end: w.freed_packets.len() as u32,
+                msg_free_end: w.freed_messages.len() as u32,
+                timeline_end,
+                trace_end,
+            });
+        }
+    }
+
+}
+
+impl<S: TrafficSource> Simulator<S> {
     /// Replaces the trace destination for this run (programmatic
     /// alternative to `EPNET_TRACE`; see
     /// [`epnet_telemetry::MemorySink`]). Events emitted during
@@ -281,14 +408,14 @@ impl<S: TrafficSource> Simulator<S> {
     /// captured when tracing was already configured via the
     /// environment.
     pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.inst.set_tracer(tracer);
+        self.core.inst.set_tracer(tracer);
     }
 
     /// Attributes externally measured wall time (e.g. topology
     /// elaboration, which happens before the simulator exists) to a
     /// named phase of this run's breakdown.
     pub fn record_phase(&mut self, name: &'static str, wall: std::time::Duration) {
-        self.inst.profiler.record(name, wall);
+        self.core.inst.profiler.record(name, wall);
     }
 
     /// Enables the dynamic-topology extension (§5.2): links beyond the
@@ -297,23 +424,34 @@ impl<S: TrafficSource> Simulator<S> {
     pub fn enable_dynamic_topology(&mut self, dt: DynamicTopology) {
         // A fresh all-enabled mask is generation 0 and routes exactly
         // like no mask at all, so a table built maskless stays current.
-        self.mask = Some(LinkMask::all_enabled(&self.fabric));
-        self.dyntopo = Some(dt);
+        self.core.mask = Some(LinkMask::all_enabled(&self.core.fabric));
+        self.core.dyntopo = Some(dt);
     }
 
     /// The fabric being simulated.
     pub fn fabric(&self) -> &FabricGraph {
-        &self.fabric
+        &self.core.fabric
     }
 
     /// Events popped so far — lets phased harnesses compute per-window
     /// deltas (e.g. allocations per event after warmup).
     pub fn events_processed(&self) -> u64 {
-        self.stats.events
+        self.core.stats.events
     }
 
     /// Runs the simulation until simulated time `end` and reports.
+    ///
+    /// When `EPNET_PAR` selects a worker width, the run executes on the
+    /// sharded parallel engine instead of the serial pop loop; its
+    /// report is byte-identical to the serial engine's at every width
+    /// (see `crate::par`). The phased API ([`Simulator::prime`] /
+    /// [`Simulator::advance_until`] / [`Simulator::finalize`]) always
+    /// runs serially.
     pub fn run_until(mut self, end: SimTime) -> SimReport {
+        if let Some(width) = crate::env::env_threads("EPNET_PAR") {
+            self.prime(end);
+            return crate::par::run(self, end, width);
+        }
         self.prime(end);
         self.advance_until(end);
         self.finalize()
@@ -325,25 +463,27 @@ impl<S: TrafficSource> Simulator<S> {
     pub fn prime(&mut self, end: SimTime) {
         assert!(!self.primed, "prime() called twice");
         self.primed = true;
-        self.end = end;
-        self.stats.timeline_channels = self
+        let core = &mut self.core;
+        core.end = end;
+        core.stats.timeline_channels = core
             .config
             .timeline_channels
-            .min(self.channels.len() as u32);
-        for ch in 0..self.stats.timeline_channels {
-            let rate = self.channels.rate[ch as usize];
-            self.stats.record_rate(SimTime::ZERO, ch, Some(rate));
+            .min(core.channels.len() as u32);
+        for ch in 0..core.stats.timeline_channels {
+            let rate = core.channels.rate[ch as usize];
+            core.stats.record_rate(SimTime::ZERO, ch, Some(rate));
         }
         self.pending = self.source.next_message();
         if let Some(m) = self.pending {
-            self.queue.schedule(m.at, Event::Workload);
+            self.core.schedule(m.at, Event::Workload);
         }
-        self.controller_active =
-            self.config.control != ControlMode::AlwaysFull || self.dyntopo.is_some();
-        if self.controller_active {
-            self.queue.schedule(self.config.epoch, Event::EpochTick);
+        self.core.controller_active = self.core.config.control != ControlMode::AlwaysFull
+            || self.core.dyntopo.is_some();
+        if self.core.controller_active {
+            let epoch = self.core.config.epoch;
+            self.core.schedule(epoch, Event::EpochTick);
         }
-        self.in_warmup = self.config.warmup > SimTime::ZERO;
+        self.in_warmup = self.core.config.warmup > SimTime::ZERO;
         self.phase_start = Instant::now();
     }
 
@@ -353,15 +493,19 @@ impl<S: TrafficSource> Simulator<S> {
     /// `prime(end)` + `advance_until(end)` + `finalize()`.
     pub fn advance_until(&mut self, until: SimTime) {
         assert!(self.primed, "advance_until() before prime()");
-        let cap = if until < self.end { until } else { self.end };
+        let cap = if until < self.core.end {
+            until
+        } else {
+            self.core.end
+        };
         // Peek before popping: events beyond the horizon stay queued
         // (the queue is dropped wholesale with the engine) and the
         // monotonic-pop invariant is checked without consuming.
         //
         // The warmup/measurement wall-clock split costs one predictable
         // branch per pop until the warmup boundary passes, then nothing.
-        let ids = self.inst.ids;
-        let warmup_end = self.config.warmup;
+        let ids = self.core.inst.ids;
+        let warmup_end = self.core.config.warmup;
         // Event-kind counters accumulate in registers and flush into the
         // metrics registry once per `advance_until` — totals (and thus
         // the serialized report) are identical, without an indexed
@@ -372,19 +516,22 @@ impl<S: TrafficSource> Simulator<S> {
         let mut n_credit_wake = 0u64;
         let mut n_retry = 0u64;
         let mut n_epoch_tick = 0u64;
-        while let Some(t) = self.queue.peek_time() {
+        while let Some(t) = self.core.serial_peek() {
             if t > cap {
                 break;
             }
             if self.in_warmup && t >= warmup_end {
-                self.inst.profiler.record("warmup", self.phase_start.elapsed());
+                self.core
+                    .inst
+                    .profiler
+                    .record("warmup", self.phase_start.elapsed());
                 self.phase_start = Instant::now();
                 self.in_warmup = false;
             }
-            debug_assert!(t >= self.now, "time went backwards");
-            let (t, ev) = self.queue.pop().expect("peeked event vanished");
-            self.now = t;
-            self.stats.events += 1;
+            debug_assert!(t >= self.core.now, "time went backwards");
+            let (t, ev) = self.core.serial_pop().expect("peeked event vanished");
+            self.core.now = t;
+            self.core.stats.events += 1;
             match ev {
                 Event::Workload => {
                     n_workload += 1;
@@ -392,54 +539,32 @@ impl<S: TrafficSource> Simulator<S> {
                 }
                 Event::TxDone { channel } => {
                     n_tx_done += 1;
-                    self.on_tx_done(channel);
+                    self.core.on_tx_done(channel);
                 }
                 Event::Arrive { channel, packet } => {
                     n_arrive += 1;
-                    self.on_arrive(channel, packet);
+                    self.core.on_arrive(channel, packet, true, true);
                 }
                 Event::CreditWake { channel } => {
                     n_credit_wake += 1;
-                    let i = channel.index();
-                    self.channels.clear_flag(i, F_CREDIT_WAKE);
-                    if self.inst.on(TraceCategory::Credit) {
-                        let needed = self.channels.queues[i]
-                            .front()
-                            .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
-                        let credits = u64::from(self.channels.credits[i]);
-                        self.inst
-                            .tracer()
-                            .credit(t.as_ps(), channel.raw(), "unblock", needed, credits);
-                    }
-                    self.try_tx(channel);
+                    self.core.on_credit_wake(channel);
                 }
                 Event::Retry { channel } => {
                     n_retry += 1;
-                    self.channels.clear_flag(channel.index(), F_RETRY);
-                    // A Retry matures exactly at `available_at`: the
-                    // link carries traffic again, closing the
-                    // reactivation window — traced here so tracing
-                    // never schedules events of its own.
-                    if self.inst.on(TraceCategory::Reactivation) {
-                        let rate = self.channels.rate[channel.index()].to_string();
-                        self.inst
-                            .tracer()
-                            .reactivation(t.as_ps(), channel.raw(), "end", &rate, None);
-                    }
-                    self.try_tx(channel);
+                    self.core.on_retry(channel);
                 }
                 Event::EpochTick => {
                     n_epoch_tick += 1;
-                    self.on_epoch();
+                    self.core.on_epoch();
                 }
             }
         }
-        self.inst.metrics.add(ids.ev_workload, n_workload);
-        self.inst.metrics.add(ids.ev_tx_done, n_tx_done);
-        self.inst.metrics.add(ids.ev_arrive, n_arrive);
-        self.inst.metrics.add(ids.ev_credit_wake, n_credit_wake);
-        self.inst.metrics.add(ids.ev_retry, n_retry);
-        self.inst.metrics.add(ids.ev_epoch_tick, n_epoch_tick);
+        self.core.inst.metrics.add(ids.ev_workload, n_workload);
+        self.core.inst.metrics.add(ids.ev_tx_done, n_tx_done);
+        self.core.inst.metrics.add(ids.ev_arrive, n_arrive);
+        self.core.inst.metrics.add(ids.ev_credit_wake, n_credit_wake);
+        self.core.inst.metrics.add(ids.ev_retry, n_retry);
+        self.core.inst.metrics.add(ids.ev_epoch_tick, n_epoch_tick);
     }
 
     /// Closes the run at the horizon and produces the report. Consumes
@@ -447,12 +572,12 @@ impl<S: TrafficSource> Simulator<S> {
     /// wholesale with it.
     pub fn finalize(mut self) -> SimReport {
         assert!(self.primed, "finalize() before prime()");
-        self.inst.profiler.record(
+        self.core.inst.profiler.record(
             if self.in_warmup { "warmup" } else { "measurement" },
             self.phase_start.elapsed(),
         );
-        self.now = self.end;
-        self.finish()
+        self.core.now = self.core.end;
+        self.core.finish()
     }
 
     // ------------------------------------------------------------------
@@ -461,22 +586,27 @@ impl<S: TrafficSource> Simulator<S> {
 
     fn on_workload(&mut self) {
         while let Some(m) = self.pending {
-            if m.at > self.now {
+            if m.at > self.core.now {
                 break;
             }
-            self.inject(m);
+            self.core.inject(m);
             self.pending = self.source.next_message();
             if let Some(next) = self.pending {
                 debug_assert!(next.at >= m.at, "traffic source went backwards in time");
             }
         }
         if let Some(m) = self.pending {
-            if m.at <= self.end {
-                self.queue.schedule(m.at, Event::Workload);
+            if m.at <= self.core.end {
+                self.core.schedule(m.at, Event::Workload);
             }
         }
     }
+}
 
+impl Core {
+    /// Offers one message to the network: segments it into packets,
+    /// allocates the bookkeeping records, and starts transmission on
+    /// the source host's injection channel.
     fn inject(&mut self, m: Message) {
         assert!(
             m.src.index() < self.fabric.num_hosts() && m.dst.index() < self.fabric.num_hosts(),
@@ -527,7 +657,7 @@ impl<S: TrafficSource> Simulator<S> {
 
     /// `bytes` is the packet's size — every caller already has it in a
     /// register, so the arena is not re-read here.
-    fn enqueue(&mut self, ch: ChannelId, pkt: PacketId, bytes: u32) {
+    pub(crate) fn enqueue(&mut self, ch: ChannelId, pkt: PacketId, bytes: u32) {
         debug_assert_eq!(bytes, self.arena.get(pkt).bytes);
         let bytes = u64::from(bytes);
         let i = ch.index();
@@ -549,7 +679,7 @@ impl<S: TrafficSource> Simulator<S> {
     /// packet's own tail time. Train timing is identical to per-packet
     /// scheduling (serialization is back-to-back either way); only the
     /// event count shrinks.
-    fn try_tx(&mut self, ch: ChannelId) {
+    pub(crate) fn try_tx(&mut self, ch: ChannelId) {
         let i = ch.index();
         let now = self.now;
         let flags = self.channels.flags[i];
@@ -563,7 +693,7 @@ impl<S: TrafficSource> Simulator<S> {
         if now < available_at {
             if flags & F_RETRY == 0 {
                 self.channels.set_flag(i, F_RETRY);
-                self.queue.schedule(available_at, Event::Retry { channel: ch });
+                self.schedule(available_at, Event::Retry { channel: ch });
             }
             return;
         }
@@ -589,7 +719,7 @@ impl<S: TrafficSource> Simulator<S> {
                             u64::from(credits),
                         );
                     }
-                    self.queue.schedule(at, Event::CreditWake { channel: ch });
+                    self.schedule(at, Event::CreditWake { channel: ch });
                 }
             }
             return;
@@ -599,7 +729,7 @@ impl<S: TrafficSource> Simulator<S> {
         let rate = self.channels.rate[i];
         let extra = self.arrive_extra[i];
         let mut tail = now + SimTime::from_ps(rate.serialize_ps(u64::from(head_bytes)));
-        self.queue.schedule(
+        self.schedule(
             tail + extra,
             Event::Arrive {
                 channel: ch,
@@ -634,7 +764,7 @@ impl<S: TrafficSource> Simulator<S> {
             tail = next_tail;
             train_len += 1;
             train_bytes += u64::from(next_bytes);
-            self.queue.schedule(
+            self.schedule(
                 tail + extra,
                 Event::Arrive {
                     channel: ch,
@@ -660,10 +790,10 @@ impl<S: TrafficSource> Simulator<S> {
         self.channels.train_len[i] = train_len;
         self.channels.train_bytes[i] = train_bytes;
         self.stats.busy_ps_total += u128::from(ser.as_ps());
-        self.queue.schedule(tail, Event::TxDone { channel: ch });
+        self.schedule(tail, Event::TxDone { channel: ch });
     }
 
-    fn on_tx_done(&mut self, ch: ChannelId) {
+    pub(crate) fn on_tx_done(&mut self, ch: ChannelId) {
         let i = ch.index();
         let train_len = self.channels.train_len[i];
         debug_assert!(train_len >= 1, "TxDone without a train");
@@ -689,48 +819,115 @@ impl<S: TrafficSource> Simulator<S> {
         self.try_tx(ch);
     }
 
-    fn on_arrive(&mut self, ch: ChannelId, pkt: PacketId) {
-        // Credits travel back once the packet has cleared the input
-        // buffer; charging the propagation delay models the return trip.
-        // The return is bookkept on the channel and applied lazily in
-        // `try_tx` instead of costing a scheduled event per packet; an
-        // idle channel with work waiting is parked on exactly this
-        // credit, so arm its wake.
+    /// A credit-blocked channel's pending return matured: clear the
+    /// wake latch, trace the unblock, and retry transmission.
+    pub(crate) fn on_credit_wake(&mut self, ch: ChannelId) {
         let i = ch.index();
-        let bytes = self.arena.get(pkt).bytes;
-        let matures = self.now + self.channels.prop[i];
-        self.channels.push_credit(i, matures, bytes);
-        if self.channels.flags[i] & (F_BUSY | F_CREDIT_WAKE) == 0
-            && !self.channels.queues[i].is_empty()
-            && self.now >= self.channels.available_at[i]
-        {
-            self.channels.set_flag(i, F_CREDIT_WAKE);
-            if self.inst.on(TraceCategory::Credit) {
-                let needed = self.channels.queues[i]
-                    .front()
-                    .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
-                let credits = u64::from(self.channels.credits[i]);
-                self.inst
-                    .tracer()
-                    .credit(self.now.as_ps(), ch.raw(), "block", needed, credits);
-            }
-            self.queue.schedule(matures, Event::CreditWake { channel: ch });
+        self.channels.clear_flag(i, F_CREDIT_WAKE);
+        if self.inst.on(TraceCategory::Credit) {
+            let needed = self.channels.queues[i]
+                .front()
+                .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
+            let credits = u64::from(self.channels.credits[i]);
+            self.inst
+                .tracer()
+                .credit(self.now.as_ps(), ch.raw(), "unblock", needed, credits);
         }
-        match self.targets[i] {
-            PortTarget::Host(h) => {
-                debug_assert_eq!(self.arena.get(pkt).dst, h, "misrouted packet");
-                let packet = self.arena.free(pkt);
-                self.stats
-                    .record_packet(packet.created, self.now, packet.bytes);
-                let mi = packet.message.index();
-                let rec = &mut self.messages[mi];
-                rec.remaining -= 1;
-                if rec.remaining == 0 {
-                    self.stats.record_message(rec.offered_at, self.now);
-                    self.msg_free.push(packet.message.raw());
-                }
+        self.try_tx(ch);
+    }
+
+    /// A reconfiguring channel became available again: clear the retry
+    /// latch and resume transmission.
+    pub(crate) fn on_retry(&mut self, ch: ChannelId) {
+        self.channels.clear_flag(ch.index(), F_RETRY);
+        // A Retry matures exactly at `available_at`: the link carries
+        // traffic again, closing the reactivation window — traced here
+        // so tracing never schedules events of its own.
+        if self.inst.on(TraceCategory::Reactivation) {
+            let rate = self.channels.rate[ch.index()].to_string();
+            self.inst
+                .tracer()
+                .reactivation(self.now.as_ps(), ch.raw(), "end", &rate, None);
+        }
+        self.try_tx(ch);
+    }
+
+    /// Retires a delivered packet. Serial cores free into their own
+    /// arena; window-mode cores are mirrors — they record the freed
+    /// slot for the coordinator's replica and retire their local copy
+    /// without free-list bookkeeping.
+    fn free_packet(&mut self, pkt: PacketId) -> Packet {
+        match &mut self.queue {
+            CoreQueue::Serial(_) => self.arena.free(pkt),
+            CoreQueue::Window(w) => {
+                w.freed_packets.push(pkt.index() as u32);
+                self.arena.take(pkt)
             }
-            PortTarget::Switch { switch, .. } => self.route(switch, pkt),
+        }
+    }
+
+    /// Retires a completed message slot — same split as
+    /// [`Core::free_packet`]: serial cores recycle locally, window-mode
+    /// cores record for the coordinator's replica.
+    fn free_message(&mut self, mid: u32) {
+        match &mut self.queue {
+            CoreQueue::Serial(_) => self.msg_free.push(mid),
+            CoreQueue::Window(w) => w.freed_messages.push(mid),
+        }
+    }
+
+    /// Handles a packet-tail arrival. The two halves touch disjoint
+    /// state: the *credit* half books the return credit on the sending
+    /// channel, the *route* half forwards (or delivers) the packet on
+    /// the receiving side. The serial engine always runs both; the
+    /// parallel engine splits a cross-shard arrival into a credit half
+    /// on the sender's shard and a route half on the receiver's.
+    pub(crate) fn on_arrive(&mut self, ch: ChannelId, pkt: PacketId, do_credit: bool, do_route: bool) {
+        let i = ch.index();
+        if do_credit {
+            // Credits travel back once the packet has cleared the input
+            // buffer; charging the propagation delay models the return
+            // trip. The return is bookkept on the channel and applied
+            // lazily in `try_tx` instead of costing a scheduled event
+            // per packet; an idle channel with work waiting is parked on
+            // exactly this credit, so arm its wake.
+            let bytes = self.arena.get(pkt).bytes;
+            let matures = self.now + self.channels.prop[i];
+            self.channels.push_credit(i, matures, bytes);
+            if self.channels.flags[i] & (F_BUSY | F_CREDIT_WAKE) == 0
+                && !self.channels.queues[i].is_empty()
+                && self.now >= self.channels.available_at[i]
+            {
+                self.channels.set_flag(i, F_CREDIT_WAKE);
+                if self.inst.on(TraceCategory::Credit) {
+                    let needed = self.channels.queues[i]
+                        .front()
+                        .map_or(0, |&p| u64::from(self.arena.get(p).bytes));
+                    let credits = u64::from(self.channels.credits[i]);
+                    self.inst
+                        .tracer()
+                        .credit(self.now.as_ps(), ch.raw(), "block", needed, credits);
+                }
+                self.schedule(matures, Event::CreditWake { channel: ch });
+            }
+        }
+        if do_route {
+            match self.targets[i] {
+                PortTarget::Host(h) => {
+                    debug_assert_eq!(self.arena.get(pkt).dst, h, "misrouted packet");
+                    let packet = self.free_packet(pkt);
+                    self.stats
+                        .record_packet(packet.created, self.now, packet.bytes);
+                    let mi = packet.message.index();
+                    let rec = &mut self.messages[mi];
+                    rec.remaining -= 1;
+                    if rec.remaining == 0 {
+                        self.stats.record_message(rec.offered_at, self.now);
+                        self.free_message(packet.message.raw());
+                    }
+                }
+                PortTarget::Switch { switch, .. } => self.route(switch, pkt),
+            }
         }
     }
 
@@ -930,7 +1127,7 @@ impl<S: TrafficSource> Simulator<S> {
     /// O(topology) reference. Controller tracing forces the sweep:
     /// traced runs emit a per-decision line even for holds, and the
     /// trace stream is part of the byte-identical output contract.
-    fn on_epoch(&mut self) {
+    pub(crate) fn on_epoch(&mut self) {
         let tick_start = Instant::now();
         let sweep =
             self.epoch_mode == EpochMode::Sweep || self.inst.on(TraceCategory::Controller);
@@ -1031,7 +1228,7 @@ impl<S: TrafficSource> Simulator<S> {
         let next = self.now + epoch;
         self.epoch_end = next;
         if next <= self.end {
-            self.queue.schedule(next, Event::EpochTick);
+            self.schedule(next, Event::EpochTick);
         }
         self.stats.epoch_ticks += 1;
         self.inst.profiler.record("controller", tick_start.elapsed());
@@ -1260,7 +1457,7 @@ impl<S: TrafficSource> Simulator<S> {
     // Reporting
     // ------------------------------------------------------------------
 
-    fn finish(mut self) -> SimReport {
+    pub(crate) fn finish(mut self) -> SimReport {
         let finalize_start = Instant::now();
         let end = self.now;
         let mut residency = RateResidency {
@@ -1373,23 +1570,24 @@ mod tests {
         let mut sim = Simulator::new(fabric, config, ReplaySource::new(Vec::new()));
         sim.prime(SimTime::from_ms(1));
         let (a, b) = sim
+            .core
             .fabric
             .link_channels(epnet_topology::LinkId::new(0));
-        sim.channels.set_off(b.index(), SimTime::ZERO, true);
-        assert_eq!(sim.channels.asymmetric_links(), 1);
-        assert_eq!(sim.channels.rate[a.index()], LinkRate::R40);
+        sim.core.channels.set_off(b.index(), SimTime::ZERO, true);
+        assert_eq!(sim.core.channels.asymmetric_links(), 1);
+        assert_eq!(sim.core.channels.rate[a.index()], LinkRate::R40);
         // First tick: the idle survivor halves under HalveDouble even
         // though its peer yields no decision.
         sim.advance_until(epoch + SimTime::from_ns(1));
         assert_eq!(
-            sim.channels.rate[a.index()],
+            sim.core.channels.rate[a.index()],
             LinkRate::R20,
             "the tunable survivor of a half-exempt link must keep tuning"
         );
         // Later ticks walk it all the way down to the floor.
         sim.advance_until(SimTime::from_us(500));
-        assert_eq!(sim.channels.rate[a.index()], min);
-        assert_eq!(sim.channels.asymmetric_links(), 1);
+        assert_eq!(sim.core.channels.rate[a.index()], min);
+        assert_eq!(sim.core.channels.asymmetric_links(), 1);
     }
 
     /// Epoch ticks with no traffic must do O(active) controller work:
@@ -1404,20 +1602,20 @@ mod tests {
             .build();
         let epoch = config.epoch;
         let mut sim = Simulator::new(fabric, config, ReplaySource::new(Vec::new()));
-        if sim.epoch_mode != EpochMode::ActiveSet {
+        if sim.core.epoch_mode != EpochMode::ActiveSet {
             return; // sweep mode intentionally decides O(channels) per tick
         }
         sim.prime(SimTime::from_ms(1));
         // Every channel starts active and takes a handful of ticks to
         // descend R40 → R2.5; give them ten epochs to settle.
         sim.advance_until(epoch.scaled(10) + SimTime::from_ns(1));
-        let settled = sim.stats.controller_decisions;
-        let ticks = sim.stats.epoch_ticks;
+        let settled = sim.core.stats.controller_decisions;
+        let ticks = sim.core.stats.epoch_ticks;
         sim.advance_until(epoch.scaled(20) + SimTime::from_ns(1));
         assert_eq!(
-            sim.stats.controller_decisions, settled,
+            sim.core.stats.controller_decisions, settled,
             "a quiescent network must decide nothing per tick"
         );
-        assert_eq!(sim.stats.epoch_ticks, ticks + 10, "ticks still fire");
+        assert_eq!(sim.core.stats.epoch_ticks, ticks + 10, "ticks still fire");
     }
 }

@@ -1,0 +1,57 @@
+//! Shared parsing for the thread-width environment switches.
+//!
+//! Two runtime switches accept a worker count: `EPNET_THREADS` (the
+//! sweep/campaign job pool from `epnet::exp`) and `EPNET_PAR` (the
+//! sharded parallel engine in this crate). Both use the same grammar,
+//! parsed here exactly once: a positive integer enables the feature at
+//! that width; `off`, `0`, an empty value, or anything unparseable
+//! means "not set".
+
+/// Parses a thread-width environment variable.
+///
+/// Returns `Some(n)` for a positive integer value `n`, and `None` when
+/// the variable is unset, empty, `off`, `0`, or not a number. Callers
+/// that need a machine-derived default (like the sweep worker pool)
+/// layer it on top of the `None` case.
+pub fn env_threads(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    let v = raw.trim();
+    if v.is_empty() || v.eq_ignore_ascii_case("off") {
+        return None;
+    }
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `std::env` is process-global; serialize the twiddling.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn parses_positive_widths_and_rejects_everything_else() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let var = "EPNET_ENV_THREADS_TEST";
+        for (value, expect) in [
+            ("4", Some(4)),
+            ("1", Some(1)),
+            (" 8 ", Some(8)),
+            ("off", None),
+            ("OFF", None),
+            ("0", None),
+            ("", None),
+            ("many", None),
+            ("-2", None),
+        ] {
+            std::env::set_var(var, value);
+            assert_eq!(env_threads(var), expect, "value {value:?}");
+        }
+        std::env::remove_var(var);
+        assert_eq!(env_threads(var), None, "unset");
+    }
+}

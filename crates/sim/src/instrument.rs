@@ -121,6 +121,15 @@ impl Instruments {
         self.tracer = Some(tracer);
     }
 
+    /// Removes and returns the tracer, deliberately leaving the cached
+    /// mask alone so [`Instruments::on`] keeps gating identically. The
+    /// parallel engine swaps the real tracer out for per-core memory
+    /// sinks (installed via [`Instruments::set_tracer`] before any
+    /// `on()`-gated code runs) and restores it at finalization.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
     /// Whether `cat` is traced — the hot-path gate.
     #[inline]
     pub fn on(&self, cat: TraceCategory) -> bool {

@@ -115,6 +115,66 @@ impl PacketArena {
         self.slots[id.index()]
     }
 
+    /// Writes `packet` at an externally-assigned `slot`, growing the
+    /// arena as needed, and returns an id valid for this arena.
+    ///
+    /// This is the mirror-arena entry point of the sharded parallel
+    /// engine: slot numbers are assigned once, globally, at injection
+    /// time (so tie-breaking keys that mix in `PacketId::index` match
+    /// the serial engine bit for bit), and each shard materializes the
+    /// payload at that same global slot when a packet crosses into it.
+    /// Unlike [`alloc`](Self::alloc), no free-list or live-count
+    /// bookkeeping happens — mirrors retire packets with
+    /// [`take`](Self::take) and the coordinator replays frees against
+    /// its own replica arena.
+    pub fn place(&mut self, slot: u32, packet: Packet) -> PacketId {
+        let idx = slot as usize;
+        if idx >= self.slots.len() {
+            // Gap slots hold copies of `packet`; they are dead until a
+            // later `place` overwrites them.
+            self.slots.resize(idx + 1, packet);
+            #[cfg(debug_assertions)]
+            self.generations.resize(idx + 1, 0);
+        }
+        self.slots[idx] = packet;
+        PacketId {
+            slot,
+            #[cfg(debug_assertions)]
+            generation: self.generations[idx],
+        }
+    }
+
+    /// Retires a slot by bare index — the coordinator's replica-arena
+    /// form of [`free`](Self::free). The parallel engine's workers
+    /// record freed slot numbers (their `PacketId` generations are
+    /// shard-local and meaningless here); replaying them through the
+    /// replica in serial event order reproduces the serial engine's
+    /// free list — and therefore its slot assignment and
+    /// `peak_live_packets` — exactly.
+    pub fn free_slot(&mut self, slot: u32) {
+        #[cfg(debug_assertions)]
+        {
+            let g = &mut self.generations[slot as usize];
+            *g = g.wrapping_add(1);
+        }
+        self.live -= 1;
+        self.free.push(slot);
+    }
+
+    /// Retires a mirrored packet: like [`free`](Self::free) it advances
+    /// the slot generation and returns the record, but the slot is not
+    /// pushed onto this arena's free list (mirrors never allocate —
+    /// global slot reuse is the coordinator's job).
+    pub fn take(&mut self, id: PacketId) -> Packet {
+        self.check(id);
+        #[cfg(debug_assertions)]
+        {
+            let g = &mut self.generations[id.slot as usize];
+            *g = g.wrapping_add(1);
+        }
+        self.slots[id.index()]
+    }
+
     /// Immutable access to a live packet.
     #[inline]
     pub fn get(&self, id: PacketId) -> &Packet {
@@ -208,6 +268,23 @@ mod tests {
             arena.alloc(pkt(i));
         }
         assert_eq!(arena.capacity(), 10, "slots recycled");
+    }
+
+    #[test]
+    fn place_and_take_mirror_global_slots() {
+        let mut arena = PacketArena::new();
+        // Out-of-order placement grows the arena to cover the slot.
+        let b = arena.place(3, pkt(300));
+        assert_eq!(b.index(), 3);
+        let a = arena.place(1, pkt(100));
+        assert_eq!(arena.get(a).bytes, 100);
+        assert_eq!(arena.get(b).bytes, 300);
+        // Take retires without feeding the local free list: a fresh
+        // place at the same global slot is valid again.
+        assert_eq!(arena.take(b).bytes, 300);
+        let b2 = arena.place(3, pkt(301));
+        assert_eq!(arena.get(b2).bytes, 301);
+        assert_eq!(arena.live(), 0, "mirrors never count live packets");
     }
 
     #[test]

@@ -1,0 +1,951 @@
+//! The deterministic sharded parallel engine (`EPNET_PAR`).
+//!
+//! `EPNET_PAR=N` partitions the fabric across `N` shards — contiguous
+//! switch-group ranges, each owning its switches' output channels and
+//! the hosts hanging off them (see [`epnet_topology::ShardMap`]) — and
+//! executes shard-local events on worker threads. The hard contract:
+//! the serialized [`SimReport`] (and, when tracing, the trace stream)
+//! is **byte-identical to the serial engine at every width**.
+//!
+//! # How determinism is kept exact
+//!
+//! The coordinator owns the global event order. It holds every pending
+//! event in two [`KeyedQueue`]s keyed by `(time, seq)` — `qlocal` for
+//! shard-dispatchable events (`TxDone`, `Arrive`, `CreditWake`,
+//! `Retry`) and `qcoord` for global ones (`Workload`, `EpochTick`) —
+//! sharing one monotone `next_seq` counter that replicates the serial
+//! event queue's FIFO tie-break exactly.
+//!
+//! The main loop alternates two steps:
+//!
+//! * **Coordinator phase** — when the globally-next event is
+//!   `Workload` or `EpochTick`, it runs on the coordinator (injection
+//!   replays the serial `inject` against a replica arena so global
+//!   packet-slot numbers — and with them the routing tie-break keys —
+//!   match the serial engine bit for bit; the epoch tick gathers all
+//!   channel state onto the master core, runs the serial `on_epoch` in
+//!   sweep mode, and scatters the result back to the owning shards).
+//! * **Window** — otherwise, a batch of shard events strictly before
+//!   `min(first_time + L, next_global_event, horizon)` is popped,
+//!   where the lookahead `L` is the minimum propagation delay over all
+//!   channels: every `Arrive` a shard can generate lands at least `L`
+//!   past its cause, so batch events can only spawn *shard-local*
+//!   events inside the window. Shards execute their slices
+//!   concurrently; a barrier **replay** then re-runs the window's
+//!   event order on the coordinator — without re-executing anything —
+//!   to assign exact serial sequence numbers to every generated event,
+//!   count popped events, apply packet/message frees to the replica
+//!   arena in serial order (reproducing the serial free list, slot
+//!   assignment, and `peak_live_packets`), and emit per-event trace
+//!   slices in serial order.
+//!
+//! A cross-shard `Arrive` (the consuming channel is owned by one
+//! shard, its target switch by another) is split at batch time: the
+//! sender's shard runs the credit half, the receiver's shard runs the
+//! route half against a payload mirrored into its arena at the same
+//! global slot. The serial handler runs credit-before-route, so the
+//! replay advances the sender's execution record first.
+//!
+//! # Exemptions and fallbacks
+//!
+//! * Route-table rebuild trace lines (`category: routes`) carry a
+//!   wall-clock build time and are nondeterministic even between two
+//!   serial runs; under a dynamic link mask each shard also rebuilds
+//!   (and traces) its own table. These lines are exempt from the
+//!   byte-identical trace contract.
+//! * A configuration with a zero minimum propagation delay (no
+//!   lookahead) or a zero reactivation latency (the master's
+//!   epoch-phase `try_tx` must never reach the serialization path,
+//!   which a zero-latency retune would allow) falls back to the serial
+//!   pop loop — same report, no parallelism.
+
+use std::sync::mpsc;
+
+use epnet_telemetry::{MemorySink, Tracer};
+use epnet_topology::{ChannelId, RoutingTopology, ShardMap};
+
+use crate::config::{EpochMode, ReactivationModel, RoutingPolicy};
+use crate::engine::{Core, CoreQueue, MessageRec, Simulator};
+use crate::event::Event;
+use crate::instrument::Instruments;
+use crate::packet::{MessageId, Packet};
+use crate::sched::KeyedQueue;
+use crate::stats::SimReport;
+use crate::time::SimTime;
+use crate::traffic::{Message, TrafficSource};
+
+/// Which halves of an `Arrive` a dispatch runs (see
+/// [`Core::on_arrive`]): the serial engine always runs both; a
+/// cross-shard arrival splits into a credit half on the sender's shard
+/// and a route half on the receiver's.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ArriveHalf {
+    /// Credit bookkeeping and forwarding/delivery (serial behavior).
+    Full,
+    /// Credit bookkeeping only (sending side of a cross-shard arrival).
+    Credit,
+    /// Forwarding/delivery only (receiving side).
+    Route,
+}
+
+/// One entry of a shard's in-window queue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LocalEv {
+    pub(crate) ev: Event,
+    pub(crate) half: ArriveHalf,
+}
+
+/// One generated event, logged in generation order so the barrier
+/// replay can assign it the exact serial sequence number.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GenRec {
+    pub(crate) at: SimTime,
+    pub(crate) ev: Event,
+}
+
+/// Per-dispatch high-water marks of a shard's side-effect logs,
+/// recorded by [`Core::exec_window`]. The barrier replay walks these
+/// in replay order, applying each dispatch's slice of generated
+/// events, frees, timeline entries, and trace bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecRec {
+    /// Simulated time of the dispatch (cross-checked against replay).
+    pub(crate) t: SimTime,
+    pub(crate) gen_end: u32,
+    pub(crate) pkt_free_end: u32,
+    pub(crate) msg_free_end: u32,
+    pub(crate) timeline_end: u32,
+    /// Trace-sink byte length after the dispatch (window-relative).
+    pub(crate) trace_end: u32,
+}
+
+/// A window-mode core's event-capture state (the `Window` arm of
+/// [`CoreQueue`]). During a window, generated events that land before
+/// `window_end` join the shard-local ordered queue under pseudo
+/// sequence numbers; *every* generated event is also logged for the
+/// coordinator. During coordinator phases `window_end` is `ZERO`, so
+/// everything is captured and nothing executes locally.
+#[derive(Debug)]
+pub(crate) struct WindowQueue {
+    /// Shard-local `(time, seq)` heap for the current window.
+    pub(crate) local: KeyedQueue<LocalEv>,
+    /// Next pseudo sequence number. Reset each window to the global
+    /// `next_seq` watermark, which exceeds every batch seq — so, like
+    /// the serial queue, generated events order after pre-existing
+    /// ones at the same time, and among themselves by generation
+    /// order. Replay later assigns true seqs in the same relative
+    /// order, so the shard's execution order is exactly serial.
+    pub(crate) pseudo_seq: u64,
+    /// Exclusive upper bound of the current window (`ZERO` outside).
+    pub(crate) window_end: SimTime,
+    /// Every event generated this window/phase, in generation order.
+    pub(crate) gens: Vec<GenRec>,
+    /// One record per dispatch, in execution order.
+    pub(crate) execs: Vec<ExecRec>,
+    /// Global packet slots freed this window, in free order.
+    pub(crate) freed_packets: Vec<u32>,
+    /// Message slots freed this window, in free order.
+    pub(crate) freed_messages: Vec<u32>,
+}
+
+impl WindowQueue {
+    pub(crate) fn new() -> Self {
+        Self {
+            local: KeyedQueue::new(),
+            pseudo_seq: 0,
+            window_end: SimTime::ZERO,
+            gens: Vec::new(),
+            execs: Vec::new(),
+            freed_packets: Vec::new(),
+            freed_messages: Vec::new(),
+        }
+    }
+
+    /// Captures one generated event — the window-mode body of
+    /// [`Core::schedule`].
+    pub(crate) fn record(&mut self, at: SimTime, ev: Event) {
+        if at < self.window_end {
+            // Only strictly shard-local kinds can land inside a
+            // window: an Arrive is at least one lookahead away, and
+            // Workload/EpochTick are never shard-generated.
+            debug_assert!(
+                matches!(
+                    ev,
+                    Event::TxDone { .. } | Event::CreditWake { .. } | Event::Retry { .. }
+                ),
+                "non-local event generated inside a window"
+            );
+            let seq = self.pseudo_seq;
+            self.pseudo_seq += 1;
+            self.local.push(
+                at,
+                seq,
+                LocalEv {
+                    ev,
+                    half: ArriveHalf::Full,
+                },
+            );
+        }
+        self.gens.push(GenRec { at, ev });
+    }
+
+    /// Opens a window ending (exclusively) at `window_end`, with
+    /// pseudo sequence numbers starting at the global watermark.
+    fn begin_window(&mut self, window_end: SimTime, seq_watermark: u64) {
+        debug_assert!(
+            self.local.is_empty()
+                && self.gens.is_empty()
+                && self.execs.is_empty()
+                && self.freed_packets.is_empty()
+                && self.freed_messages.is_empty(),
+            "window state not drained"
+        );
+        self.window_end = window_end;
+        self.pseudo_seq = seq_watermark;
+    }
+
+    /// Clears window state after the barrier replay consumed it.
+    fn end_window(&mut self) {
+        debug_assert!(self.local.is_empty(), "window left events unexecuted");
+        self.window_end = SimTime::ZERO;
+        self.gens.clear();
+        self.execs.clear();
+        self.freed_packets.clear();
+        self.freed_messages.clear();
+    }
+}
+
+/// One worker shard: a full engine core (mirror arena, full-size
+/// channel state — only the owned ranges are authoritative) plus its
+/// window-local trace sink.
+#[derive(Debug)]
+struct Shard {
+    id: usize,
+    core: Core,
+    sink: Option<MemorySink>,
+}
+
+impl Shard {
+    fn exec(&mut self) {
+        self.core.exec_window(self.sink.as_ref());
+    }
+
+    fn wq(&mut self) -> &mut WindowQueue {
+        match &mut self.core.queue {
+            CoreQueue::Window(w) => w,
+            CoreQueue::Serial(_) => unreachable!("shard core in serial mode"),
+        }
+    }
+}
+
+/// What one batched event touches, for the barrier replay.
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    /// Executed wholly on one shard.
+    Single(usize, Event),
+    /// A cross-shard `Arrive`: credit half on `snd`, route half on
+    /// `rcv` — replayed in that order, matching the serial handler.
+    Cross { snd: usize, rcv: usize, ev: Event },
+}
+
+/// Per-shard replay cursors: how far into the shard's window logs the
+/// replay has advanced.
+#[derive(Debug, Default, Clone, Copy)]
+struct ReplayCursor {
+    exec: usize,
+    gen: u32,
+    pkt: u32,
+    msg: u32,
+    timeline: u32,
+    trace: u32,
+}
+
+/// Pushes one event into the coordinator's global queues under the
+/// next serial sequence number.
+fn push_global(
+    qlocal: &mut KeyedQueue<Event>,
+    qcoord: &mut KeyedQueue<Event>,
+    next_seq: &mut u64,
+    at: SimTime,
+    ev: Event,
+) {
+    let seq = *next_seq;
+    *next_seq += 1;
+    match ev {
+        Event::Workload | Event::EpochTick => qcoord.push(at, seq, ev),
+        _ => qlocal.push(at, seq, ev),
+    }
+}
+
+/// Drains a core's phase capture — events generated while
+/// `window_end == ZERO` — into the global queues in generation order
+/// (which is the serial scheduling order), and forwards any trace
+/// lines to the real tracer.
+fn drain_phase_capture(
+    core: &mut Core,
+    sink: Option<&MemorySink>,
+    real_tracer: &mut Option<Tracer>,
+    qlocal: &mut KeyedQueue<Event>,
+    qcoord: &mut KeyedQueue<Event>,
+    next_seq: &mut u64,
+) {
+    let CoreQueue::Window(w) = &mut core.queue else {
+        unreachable!("phase capture on a serial core")
+    };
+    debug_assert!(w.local.is_empty(), "phase generated an in-window event");
+    debug_assert!(
+        w.execs.is_empty() && w.freed_packets.is_empty() && w.freed_messages.is_empty(),
+        "phase produced window-only side effects"
+    );
+    for g in w.gens.drain(..) {
+        push_global(qlocal, qcoord, next_seq, g.at, g.ev);
+    }
+    if let Some(s) = sink {
+        if !s.is_empty() {
+            let text = s.take_contents();
+            let tr = real_tracer
+                .as_mut()
+                .expect("memory sinks exist only when a real tracer does");
+            for line in text.lines() {
+                tr.write_line(line);
+            }
+        }
+    }
+}
+
+/// Runs a primed simulation to `end` on `width` shards and reports.
+///
+/// Called by [`Simulator::run_until`] after [`Simulator::prime`]; the
+/// report is byte-identical to the serial engine's.
+pub(crate) fn run<S: TrafficSource>(
+    mut sim: Simulator<S>,
+    end: SimTime,
+    width: usize,
+) -> SimReport {
+    // Conservative lookahead: the minimum propagation delay over all
+    // channels. Every Arrive lands at least this far past its cause.
+    let lookahead = (0..sim.core.channels.len())
+        .map(|i| sim.core.channels.prop[i])
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    let reactivation_floor = match sim.core.config.reactivation {
+        ReactivationModel::Uniform(t) => t,
+        ReactivationModel::TransitionAware {
+            cdr_relock,
+            lane_change,
+        } => cdr_relock.min(lane_change),
+    };
+    if lookahead == SimTime::ZERO || reactivation_floor == SimTime::ZERO {
+        // No usable lookahead, or the master's epoch-phase try_tx
+        // could reach the serialization path (see module docs): run
+        // the serial pop loop — the output contract is trivially met.
+        sim.advance_until(end);
+        return sim.finalize();
+    }
+
+    let map = ShardMap::build(&sim.core.fabric, width);
+    let nsh = map.num_shards();
+    let num_channels = sim.core.channels.len();
+    // Events at exactly `end` still execute; the horizon key is the
+    // first key strictly past it.
+    let horizon_key = (SimTime::from_ps(end.as_ps() + 1), 0u64);
+
+    // Re-number the primed serial queue into the coordinator's global
+    // queues. Draining in pop order and re-seeding with seq 0, 1, …
+    // preserves all relative orderings: the drain order *is* the
+    // serial order among current events, and every later event gets a
+    // larger seq under both numbering schemes.
+    let mut next_seq: u64 = 0;
+    let mut qlocal: KeyedQueue<Event> = KeyedQueue::new();
+    let mut qcoord: KeyedQueue<Event> = KeyedQueue::new();
+    while let Some((t, ev)) = sim.core.serial_pop() {
+        push_global(&mut qlocal, &mut qcoord, &mut next_seq, t, ev);
+    }
+    sim.core.queue = CoreQueue::Window(WindowQueue::new());
+    // The master core runs epoch ticks over gathered (all-active)
+    // state; the sweep implementation is the one whose output is
+    // independent of active-set bookkeeping, and the determinism suite
+    // pins sweep ≡ active-set.
+    sim.core.epoch_mode = EpochMode::Sweep;
+
+    // Swap the real tracer out for per-core memory sinks; every line
+    // reaches it in exact serial order via phase drains and the
+    // barrier replay. (The construction-time route-table line already
+    // went to the real tracer, as in the serial engine.)
+    let mut real_tracer = sim.core.inst.take_tracer();
+    let trace_mask = real_tracer.as_ref().map_or(0, Tracer::mask);
+    let master_sink = if trace_mask != 0 {
+        let sink = MemorySink::new();
+        sim.core
+            .inst
+            .set_tracer(Tracer::new(sink.clone(), trace_mask));
+        Some(sink)
+    } else {
+        None
+    };
+
+    let mut shards: Vec<Option<Box<Shard>>> = (0..nsh)
+        .map(|id| {
+            // Tracer-less construction suppresses the per-shard
+            // route-table build line; the sink is installed after.
+            let mut core = Core::build(
+                sim.core.fabric.clone(),
+                sim.core.config.clone(),
+                Instruments::with_tracer(None),
+            );
+            core.queue = CoreQueue::Window(WindowQueue::new());
+            core.end = end;
+            core.controller_active = sim.core.controller_active;
+            core.epoch_end = sim.core.epoch_end;
+            core.stats.timeline_channels = sim.core.stats.timeline_channels;
+            // Mirrors see only their owned slice of each link; the
+            // incremental asymmetry counter is recomputed on gathered
+            // master state at each tick instead.
+            core.channels.disable_asym_tracking();
+            core.mask = sim.core.mask.clone();
+            let sink = if trace_mask != 0 {
+                let s = MemorySink::new();
+                core.inst.set_tracer(Tracer::new(s.clone(), trace_mask));
+                Some(s)
+            } else {
+                None
+            };
+            Some(Box::new(Shard { id, core, sink }))
+        })
+        .collect();
+
+    // Event-kind counters flush into the metrics registry once at the
+    // end, exactly like the serial pop loop's register accumulators.
+    let mut n_workload = 0u64;
+    let mut n_tx_done = 0u64;
+    let mut n_arrive = 0u64;
+    let mut n_credit_wake = 0u64;
+    let mut n_retry = 0u64;
+    let mut n_epoch_tick = 0u64;
+
+    let mut batch: Vec<((SimTime, u64), Tag)> = Vec::new();
+    let mut replay: KeyedQueue<Tag> = KeyedQueue::new();
+    let mut window_trace: Vec<String> = vec![String::new(); nsh];
+    let mut cursors: Vec<ReplayCursor> = vec![ReplayCursor::default(); nsh];
+
+    std::thread::scope(|scope| {
+        // Persistent per-shard workers; shards ping-pong as boxes so a
+        // window's handoff is two pointer sends. Windows with at most
+        // one busy shard execute inline instead.
+        let (res_tx, res_rx) = mpsc::channel::<Box<Shard>>();
+        let mut work_tx: Vec<mpsc::Sender<Box<Shard>>> = Vec::with_capacity(nsh);
+        for _ in 0..nsh {
+            let (tx, rx) = mpsc::channel::<Box<Shard>>();
+            let res = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok(mut shard) = rx.recv() {
+                    shard.exec();
+                    if res.send(shard).is_err() {
+                        break;
+                    }
+                }
+            });
+            work_tx.push(tx);
+        }
+
+        loop {
+            let kl = qlocal.peek_key();
+            let kg = qcoord.peek_key();
+            let next = match (kl, kg) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            if next.0 > end {
+                break;
+            }
+
+            if kg == Some(next) {
+                // ---- coordinator phase ----
+                let ((t, _seq), ev) = qcoord.pop().expect("peeked event vanished");
+                sim.core.now = t;
+                sim.core.stats.events += 1;
+                match ev {
+                    Event::Workload => {
+                        n_workload += 1;
+                        workload_phase(
+                            &mut sim,
+                            &mut shards,
+                            &map,
+                            t,
+                            end,
+                            &mut real_tracer,
+                            &mut qlocal,
+                            &mut qcoord,
+                            &mut next_seq,
+                        );
+                    }
+                    Event::EpochTick => {
+                        n_epoch_tick += 1;
+                        epoch_phase(
+                            &mut sim.core,
+                            &mut shards,
+                            &map,
+                            master_sink.as_ref(),
+                            &mut real_tracer,
+                            &mut qlocal,
+                            &mut qcoord,
+                            &mut next_seq,
+                        );
+                    }
+                    _ => unreachable!("only global events live in qcoord"),
+                }
+                continue;
+            }
+
+            // ---- window ----
+            let mut wkey = (next.0 + lookahead, 0u64);
+            if let Some(g) = kg {
+                if g < wkey {
+                    wkey = g;
+                }
+            }
+            if horizon_key < wkey {
+                wkey = horizon_key;
+            }
+            let wend = wkey.0;
+
+            for slot in shards.iter_mut() {
+                let sh = slot.as_mut().expect("shard checked out past the barrier");
+                sh.wq().begin_window(wend, next_seq);
+            }
+            debug_assert!(batch.is_empty());
+            while let Some(k) = qlocal.peek_key() {
+                if k >= wkey {
+                    break;
+                }
+                let (k, ev) = qlocal.pop().expect("peeked event vanished");
+                match ev {
+                    Event::Arrive { channel, packet } => {
+                        let snd = map.channel_shard(channel);
+                        let rcv = map.target_shard(channel);
+                        if snd == rcv {
+                            let sh = shards[snd].as_mut().expect("shard at barrier");
+                            sh.wq().local.push(
+                                k.0,
+                                k.1,
+                                LocalEv {
+                                    ev,
+                                    half: ArriveHalf::Full,
+                                },
+                            );
+                            batch.push((k, Tag::Single(snd, ev)));
+                        } else {
+                            // Mirror the payload into the receiver's
+                            // arena at the same global slot. Safe to
+                            // read from the sender now: every event
+                            // referencing this slot executes at or
+                            // before the delivery time, and the slot
+                            // cannot be re-injected until a later
+                            // Workload phase.
+                            let payload = *shards[snd]
+                                .as_ref()
+                                .expect("shard at barrier")
+                                .core
+                                .arena
+                                .get(packet);
+                            let rsh = shards[rcv].as_mut().expect("shard at barrier");
+                            let local_id = rsh.core.arena.place(packet.index() as u32, payload);
+                            rsh.wq().local.push(
+                                k.0,
+                                k.1,
+                                LocalEv {
+                                    ev: Event::Arrive {
+                                        channel,
+                                        packet: local_id,
+                                    },
+                                    half: ArriveHalf::Route,
+                                },
+                            );
+                            let ssh = shards[snd].as_mut().expect("shard at barrier");
+                            ssh.wq().local.push(
+                                k.0,
+                                k.1,
+                                LocalEv {
+                                    ev,
+                                    half: ArriveHalf::Credit,
+                                },
+                            );
+                            batch.push((k, Tag::Cross { snd, rcv, ev }));
+                        }
+                    }
+                    Event::TxDone { channel }
+                    | Event::CreditWake { channel }
+                    | Event::Retry { channel } => {
+                        let s = map.channel_shard(channel);
+                        let sh = shards[s].as_mut().expect("shard at barrier");
+                        sh.wq().local.push(
+                            k.0,
+                            k.1,
+                            LocalEv {
+                                ev,
+                                half: ArriveHalf::Full,
+                            },
+                        );
+                        batch.push((k, Tag::Single(s, ev)));
+                    }
+                    Event::Workload | Event::EpochTick => {
+                        unreachable!("global events live in qcoord")
+                    }
+                }
+            }
+
+            // Execute busy shards concurrently (inline when at most
+            // one has work — no handoff cost at width 1).
+            let mut busy = 0usize;
+            let mut only = usize::MAX;
+            for (s, slot) in shards.iter_mut().enumerate() {
+                let sh = slot.as_mut().expect("shard at barrier");
+                if !sh.wq().local.is_empty() {
+                    busy += 1;
+                    only = s;
+                }
+            }
+            if busy == 1 {
+                shards[only].as_mut().expect("shard at barrier").exec();
+            } else if busy > 1 {
+                let mut outstanding = 0usize;
+                for s in 0..nsh {
+                    let has_work = {
+                        let sh = shards[s].as_mut().expect("shard at barrier");
+                        !sh.wq().local.is_empty()
+                    };
+                    if has_work {
+                        let sh = shards[s].take().expect("shard at barrier");
+                        work_tx[s].send(sh).expect("worker thread died");
+                        outstanding += 1;
+                    }
+                }
+                for _ in 0..outstanding {
+                    let sh = res_rx.recv().expect("worker thread died");
+                    let id = sh.id;
+                    shards[id] = Some(sh);
+                }
+            }
+
+            // ---- barrier replay ----
+            for s in 0..nsh {
+                let sh = shards[s].as_mut().expect("shard at barrier");
+                window_trace[s].clear();
+                if let Some(sink) = &sh.sink {
+                    if !sink.is_empty() {
+                        window_trace[s] = sink.take_contents();
+                    }
+                }
+                cursors[s] = ReplayCursor::default();
+            }
+            debug_assert!(replay.is_empty());
+            for (k, tag) in batch.drain(..) {
+                replay.push(k.0, k.1, tag);
+            }
+            while let Some(((t, _seq), tag)) = replay.pop() {
+                sim.core.stats.events += 1;
+                let (parts, ev) = match tag {
+                    Tag::Single(s, ev) => ([Some(s), None], ev),
+                    Tag::Cross { snd, rcv, ev } => ([Some(snd), Some(rcv)], ev),
+                };
+                match ev {
+                    Event::TxDone { .. } => n_tx_done += 1,
+                    Event::Arrive { .. } => n_arrive += 1,
+                    Event::CreditWake { .. } => n_credit_wake += 1,
+                    Event::Retry { .. } => n_retry += 1,
+                    Event::Workload | Event::EpochTick => {
+                        unreachable!("global events never enter a window")
+                    }
+                }
+                for s in parts.into_iter().flatten() {
+                    let cur = &mut cursors[s];
+                    let sh = shards[s].as_ref().expect("shard at barrier");
+                    let CoreQueue::Window(w) = &sh.core.queue else {
+                        unreachable!("shard core in serial mode")
+                    };
+                    let rec = w.execs[cur.exec];
+                    cur.exec += 1;
+                    debug_assert_eq!(rec.t, t, "replay diverged from shard execution");
+                    if rec.trace_end > cur.trace {
+                        let tr = real_tracer
+                            .as_mut()
+                            .expect("trace bytes exist only when tracing");
+                        for line in
+                            window_trace[s][cur.trace as usize..rec.trace_end as usize].lines()
+                        {
+                            tr.write_line(line);
+                        }
+                        cur.trace = rec.trace_end;
+                    }
+                    for i in cur.timeline..rec.timeline_end {
+                        sim.core
+                            .stats
+                            .timeline
+                            .push(sh.core.stats.timeline[i as usize]);
+                    }
+                    cur.timeline = rec.timeline_end;
+                    for i in cur.pkt..rec.pkt_free_end {
+                        sim.core.arena.free_slot(w.freed_packets[i as usize]);
+                    }
+                    cur.pkt = rec.pkt_free_end;
+                    for i in cur.msg..rec.msg_free_end {
+                        sim.core.msg_free.push(w.freed_messages[i as usize]);
+                    }
+                    cur.msg = rec.msg_free_end;
+                    for i in cur.gen..rec.gen_end {
+                        let g = w.gens[i as usize];
+                        let seq = next_seq;
+                        next_seq += 1;
+                        if g.at < wend {
+                            // Generated inside the window: already
+                            // executed locally; replay it here so its
+                            // own side effects land in serial order.
+                            replay.push(g.at, seq, Tag::Single(s, g.ev));
+                        } else {
+                            match g.ev {
+                                Event::Workload | Event::EpochTick => qcoord.push(g.at, seq, g.ev),
+                                _ => qlocal.push(g.at, seq, g.ev),
+                            }
+                        }
+                    }
+                    cur.gen = rec.gen_end;
+                }
+            }
+            for s in 0..nsh {
+                let sh = shards[s].as_mut().expect("shard at barrier");
+                let cur = cursors[s];
+                {
+                    let CoreQueue::Window(w) = &sh.core.queue else {
+                        unreachable!("shard core in serial mode")
+                    };
+                    debug_assert_eq!(cur.exec, w.execs.len(), "unreplayed dispatches");
+                    debug_assert_eq!(cur.gen as usize, w.gens.len(), "undelivered generations");
+                    debug_assert_eq!(cur.pkt as usize, w.freed_packets.len(), "unapplied frees");
+                    debug_assert_eq!(cur.msg as usize, w.freed_messages.len(), "unapplied frees");
+                }
+                debug_assert_eq!(
+                    cur.trace as usize,
+                    window_trace[s].len(),
+                    "undelivered trace bytes"
+                );
+                debug_assert_eq!(cur.timeline as usize, sh.core.stats.timeline.len());
+                sh.core.stats.timeline.clear();
+                sh.wq().end_window();
+            }
+        }
+
+        drop(work_tx);
+    });
+
+    // ---- finalize ----
+    // Gather final channel state so `finish` computes cold residency
+    // (its own `note_interval(i, end)`) over the authoritative copies.
+    for ch in 0..num_channels {
+        let owner = map.channel_shard(ChannelId::new(ch as u32));
+        let sh = shards[owner].as_ref().expect("shard at barrier");
+        sim.core
+            .channels
+            .copy_channel_from(&sh.core.channels, ch, false);
+    }
+    let ids = sim.core.inst.ids;
+    for slot in &mut shards {
+        let sh = slot.take().expect("shard at barrier");
+        sim.core.stats.merge_worker(&sh.core.stats);
+        // Shard registries share the master's registration order;
+        // counters sum, watermarks take the max. (Shard event-kind
+        // counters are zero — pops are counted once, at replay.)
+        sim.core.inst.metrics.merge_from(
+            &sh.core.inst.metrics,
+            &[ids.tx_train_max_packets, ids.epoch_queue_bytes_peak],
+        );
+    }
+    sim.core.inst.metrics.add(ids.ev_workload, n_workload);
+    sim.core.inst.metrics.add(ids.ev_tx_done, n_tx_done);
+    sim.core.inst.metrics.add(ids.ev_arrive, n_arrive);
+    sim.core.inst.metrics.add(ids.ev_credit_wake, n_credit_wake);
+    sim.core.inst.metrics.add(ids.ev_retry, n_retry);
+    sim.core.inst.metrics.add(ids.ev_epoch_tick, n_epoch_tick);
+    if let Some(tr) = real_tracer {
+        if let Some(sink) = &master_sink {
+            debug_assert!(sink.is_empty(), "undrained master trace lines");
+        }
+        // Restore the real tracer so finish() flushes it.
+        sim.core.inst.set_tracer(tr);
+    }
+    sim.finalize()
+}
+
+/// The coordinator's `Workload` phase: the serial `on_workload` with
+/// injection replayed against the master's replica arena (so global
+/// slot numbers match the serial engine) and the enqueue/try_tx side
+/// running on the source host's shard.
+#[allow(clippy::too_many_arguments)]
+fn workload_phase<S: TrafficSource>(
+    sim: &mut Simulator<S>,
+    shards: &mut [Option<Box<Shard>>],
+    map: &ShardMap,
+    t: SimTime,
+    end: SimTime,
+    real_tracer: &mut Option<Tracer>,
+    qlocal: &mut KeyedQueue<Event>,
+    qcoord: &mut KeyedQueue<Event>,
+    next_seq: &mut u64,
+) {
+    while let Some(m) = sim.pending {
+        if m.at > t {
+            break;
+        }
+        inject_one(
+            &mut sim.core,
+            shards,
+            map,
+            m,
+            t,
+            real_tracer,
+            qlocal,
+            qcoord,
+            next_seq,
+        );
+        sim.pending = sim.source.next_message();
+        if let Some(next) = sim.pending {
+            debug_assert!(next.at >= m.at, "traffic source went backwards in time");
+        }
+    }
+    if let Some(m) = sim.pending {
+        if m.at <= end {
+            push_global(qlocal, qcoord, next_seq, m.at, Event::Workload);
+        }
+    }
+}
+
+/// Offers one message — the parallel twin of the serial `inject`. The
+/// master's arena and message table do the authoritative allocation
+/// (reproducing serial slot assignment and `peak_live_packets`); the
+/// source shard mirrors the payloads and runs enqueue + try_tx, whose
+/// generated events and trace lines drain immediately so sequence
+/// numbers interleave exactly as the serial engine's.
+#[allow(clippy::too_many_arguments)]
+fn inject_one(
+    master: &mut Core,
+    shards: &mut [Option<Box<Shard>>],
+    map: &ShardMap,
+    m: Message,
+    t: SimTime,
+    real_tracer: &mut Option<Tracer>,
+    qlocal: &mut KeyedQueue<Event>,
+    qcoord: &mut KeyedQueue<Event>,
+    next_seq: &mut u64,
+) {
+    assert!(
+        m.src.index() < master.fabric.num_hosts() && m.dst.index() < master.fabric.num_hosts(),
+        "message endpoints outside the fabric"
+    );
+    debug_assert_ne!(m.src, m.dst, "self-sends are not meaningful");
+    master.stats.offered_bytes += m.bytes;
+    master.last_offered_at = m.at;
+    let pkt_size = u64::from(master.config.packet_bytes);
+    let full = (m.bytes / pkt_size) as u32;
+    let tail = (m.bytes % pkt_size) as u32;
+    let count = (full + u32::from(tail > 0)).max(1);
+    let rec = MessageRec {
+        remaining: count,
+        offered_at: m.at,
+    };
+    let message = match master.msg_free.pop() {
+        Some(slot) => {
+            master.messages[slot as usize] = rec;
+            MessageId(slot)
+        }
+        None => {
+            let slot = u32::try_from(master.messages.len()).expect("message table overflow");
+            master.messages.push(rec);
+            MessageId(slot)
+        }
+    };
+    // The delivering shard decrements the live record; mirror it there.
+    let dst_shard = map.host_shard(m.dst);
+    {
+        let msgs = &mut shards[dst_shard]
+            .as_mut()
+            .expect("shard at barrier")
+            .core
+            .messages;
+        let idx = message.index();
+        if idx >= msgs.len() {
+            msgs.resize(idx + 1, rec);
+        }
+        msgs[idx] = rec;
+    }
+    let inj = master.fabric.injection_channel(m.src);
+    let budget = match master.config.routing {
+        RoutingPolicy::MinimalAdaptive => 0,
+        RoutingPolicy::Ugal { misroute_budget, .. } => misroute_budget,
+    };
+    let src_shard = map.host_shard(m.src);
+    debug_assert_eq!(src_shard, map.channel_shard(inj));
+    let sh = shards[src_shard].as_mut().expect("shard at barrier");
+    sh.core.now = t;
+    for i in 0..count {
+        let bytes = if i < full { pkt_size as u32 } else { tail.max(1) };
+        let packet = Packet {
+            dst: m.dst,
+            bytes,
+            created: m.at,
+            message,
+            hops: 0,
+            misroutes_left: budget,
+        };
+        let gid = master.arena.alloc(packet);
+        let pid = sh.core.arena.place(gid.index() as u32, packet);
+        sh.core.enqueue(inj, pid, bytes);
+    }
+    sh.core.try_tx(inj);
+    drain_phase_capture(
+        &mut sh.core,
+        sh.sink.as_ref(),
+        real_tracer,
+        qlocal,
+        qcoord,
+        next_seq,
+    );
+}
+
+/// The coordinator's `EpochTick` phase: gather every channel from its
+/// owning shard onto the master core, run the serial epoch handler
+/// there (sweep mode over all-active gathered state, with the
+/// asymmetry counter recounted from scratch), then scatter the mutated
+/// channel state, epoch bound, and link mask back to every shard.
+#[allow(clippy::too_many_arguments)]
+fn epoch_phase(
+    master: &mut Core,
+    shards: &mut [Option<Box<Shard>>],
+    map: &ShardMap,
+    master_sink: Option<&MemorySink>,
+    real_tracer: &mut Option<Tracer>,
+    qlocal: &mut KeyedQueue<Event>,
+    qcoord: &mut KeyedQueue<Event>,
+    next_seq: &mut u64,
+) {
+    let n = master.channels.len();
+    for ch in 0..n {
+        let owner = map.channel_shard(ChannelId::new(ch as u32));
+        let sh = shards[owner].as_ref().expect("shard at barrier");
+        master.channels.copy_channel_from(&sh.core.channels, ch, true);
+    }
+    master.channels.mark_all_active();
+    master.channels.recount_asymmetry();
+    master.on_epoch();
+    drain_phase_capture(master, master_sink, real_tracer, qlocal, qcoord, next_seq);
+    for ch in 0..n {
+        let owner = map.channel_shard(ChannelId::new(ch as u32));
+        let sh = shards[owner].as_mut().expect("shard at barrier");
+        sh.core.channels.copy_channel_from(&master.channels, ch, false);
+    }
+    for slot in shards.iter_mut() {
+        let sh = slot.as_mut().expect("shard at barrier");
+        sh.core.epoch_end = master.epoch_end;
+        sh.core.mask = master.mask.clone();
+    }
+}

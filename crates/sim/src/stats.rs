@@ -50,6 +50,17 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Adds every sample of `other` into this histogram. Buckets are
+    /// position-aligned (both sides are 64-wide log₂ ladders), so the
+    /// merge is exact: the result equals recording both sample streams
+    /// into one histogram in any order.
+    pub(crate) fn merge_from(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+    }
+
     /// Exclusive upper edges of the log₂ buckets, nanoseconds.
     ///
     /// `edges[i]` is the value [`quantile_ns`](Self::quantile_ns)
@@ -154,6 +165,29 @@ impl Stats {
         }
         self.messages += 1;
         self.message_latency_sum_ps += u128::from((completed - created).as_ps());
+    }
+
+    /// Folds a parallel worker's measurement state into this
+    /// (coordinator) one. Delivery-side quantities are disjoint sums
+    /// over shards, `peak_queue_bytes` is a per-channel watermark so
+    /// the maximum of shard maxima equals the serial maximum.
+    /// Coordinator-only quantities — `offered_bytes` (injection),
+    /// `events` (counted once per pop during window replay),
+    /// link-sample and epoch-tick counters, the timeline (merged by
+    /// event key elsewhere) — are deliberately untouched.
+    pub fn merge_worker(&mut self, w: &Stats) {
+        debug_assert_eq!(self.warmup, w.warmup, "workers must share the warmup");
+        self.packets += w.packets;
+        self.packet_latency_sum_ps += w.packet_latency_sum_ps;
+        self.packet_hist.merge_from(&w.packet_hist);
+        self.messages += w.messages;
+        self.message_latency_sum_ps += w.message_latency_sum_ps;
+        self.delivered_bytes += w.delivered_bytes;
+        self.measured_delivered_bytes += w.measured_delivered_bytes;
+        self.busy_ps_total += w.busy_ps_total;
+        self.reconfigurations += w.reconfigurations;
+        self.dropped_for_warmup += w.dropped_for_warmup;
+        self.peak_queue_bytes = self.peak_queue_bytes.max(w.peak_queue_bytes);
     }
 }
 

@@ -75,6 +75,33 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
         self.entries.iter().cloned().collect()
     }
+
+    /// Folds another registry with the *same registration sequence*
+    /// into this one: counters are summed, except the ids listed in
+    /// `max_ids`, which are high-watermark gauges and merge by maximum.
+    ///
+    /// This is the deterministic per-worker metrics merge of the
+    /// parallel simulation engine: every shard registers the identical
+    /// metric set in the identical order, so a positional merge is
+    /// exact. Mismatched registries are a programming error and panic.
+    pub fn merge_from(&mut self, other: &MetricsRegistry, max_ids: &[CounterId]) {
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "merging registries with different metric sets"
+        );
+        for (i, (name, value)) in other.entries.iter().enumerate() {
+            debug_assert_eq!(
+                &self.entries[i].0, name,
+                "metric registration order diverged at index {i}"
+            );
+            if max_ids.iter().any(|id| id.0 as usize == i) {
+                self.observe_max(CounterId(i as u32), *value);
+            } else {
+                self.entries[i].1 += value;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +124,28 @@ mod tests {
         let keys: Vec<&str> = snap.keys().map(String::as_str).collect();
         assert_eq!(keys, vec!["aa_first", "zz_last"]);
         assert_eq!(snap["zz_last"], 5);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_watermarks() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            let c = reg.counter("events");
+            let m = reg.counter("peak");
+            (reg, c, m)
+        };
+        let (mut a, ca, ma) = build();
+        let (mut b, cb, mb) = build();
+        a.add(ca, 10);
+        a.observe_max(ma, 7);
+        b.add(cb, 5);
+        b.observe_max(mb, 3);
+        a.merge_from(&b, &[ma]);
+        assert_eq!(a.get(ca), 15, "counters sum");
+        assert_eq!(a.get(ma), 7, "watermarks take the max");
+        b.observe_max(mb, 99);
+        a.merge_from(&b, &[ma]);
+        assert_eq!(a.get(ma), 99);
     }
 
     #[test]

@@ -158,6 +158,25 @@ impl MemorySink {
     pub fn contents(&self) -> String {
         self.buf.lock().expect("trace buffer lock").clone()
     }
+
+    /// Bytes written so far. The parallel engine samples this after
+    /// every event dispatch to attribute trace records to the dispatch
+    /// that emitted them.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("trace buffer lock").len()
+    }
+
+    /// Whether nothing has been written (or everything was taken).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the buffer, returning everything written since the last
+    /// take. The parallel engine empties each worker's sink at every
+    /// window barrier, so recorded byte offsets are window-relative.
+    pub fn take_contents(&self) -> String {
+        std::mem::take(&mut *self.buf.lock().expect("trace buffer lock"))
+    }
 }
 
 impl TraceSink for MemorySink {
@@ -225,6 +244,17 @@ impl Tracer {
     /// Flushes the underlying sink.
     pub fn flush(&mut self) {
         self.sink.flush();
+    }
+
+    /// Writes one pre-rendered JSONL record straight to the sink,
+    /// bypassing the category filter.
+    ///
+    /// The parallel simulation engine captures each worker's records in
+    /// per-shard [`MemorySink`]s (already filtered at emission time),
+    /// merges them deterministically by event key, and replays the
+    /// merged stream through the user's real tracer with this method.
+    pub fn write_line(&mut self, line: &str) {
+        self.sink.line(line);
     }
 
     fn emit(&mut self, cat: TraceCategory, at_ps: u64, fields: Vec<(String, Value)>) {

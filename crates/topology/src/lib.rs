@@ -46,6 +46,7 @@ mod fabric;
 mod fbfly;
 mod ids;
 mod route_table;
+mod shard;
 mod routes;
 mod subtopology;
 mod twotier;
@@ -59,5 +60,6 @@ pub use twotier::TwoTierClos;
 pub use fbfly::FlattenedButterfly;
 pub use ids::{ChannelId, HostId, LinkId, PortIndex, SwitchId};
 pub use route_table::RouteTable;
+pub use shard::ShardMap;
 pub use routes::HopHistogram;
 pub use subtopology::{LinkMask, SubtopologyKind};

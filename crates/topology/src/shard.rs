@@ -1,0 +1,205 @@
+//! Fabric partitioning for the sharded parallel simulation engine.
+//!
+//! The conservative PDES engine in `epnet-sim` splits a fabric across
+//! worker shards by switch: contiguous switch-id ranges, each shard
+//! owning its switches' output channels and the injection/ejection
+//! channels of the hosts attached to them. Intra-group traffic on a
+//! flattened butterfly (dense switch ids within a group) then stays
+//! shard-local, and only inter-switch channels whose peer switch lives
+//! on another shard cross the boundary.
+//!
+//! The partition is pure bookkeeping: the parallel engine's output is
+//! byte-identical to the serial engine at every width, so the choice of
+//! partition affects wall clock only.
+
+use crate::fabric::{FabricGraph, PortTarget};
+use crate::ids::{ChannelId, HostId, PortIndex, SwitchId};
+use crate::RoutingTopology;
+
+/// A partition of a fabric's switches, hosts and channels into shards.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    num_shards: usize,
+    /// Shard owning each switch (contiguous ranges).
+    switch_shard: Vec<u32>,
+    /// Shard owning each host: its switch's shard.
+    host_shard: Vec<u32>,
+    /// Shard owning each channel: the shard of the switch it leaves
+    /// (for injection channels, the shard of the host's switch).
+    channel_shard: Vec<u32>,
+    /// For switch→switch channels, the shard of the *receiving* switch;
+    /// equals the owning shard for every intra-shard channel and for
+    /// all host channels.
+    target_shard: Vec<u32>,
+    /// Number of channels whose receiving switch is on another shard.
+    cross_channels: usize,
+}
+
+impl ShardMap {
+    /// Partitions `fabric` into at most `width` shards of contiguous
+    /// switch ids. `width` is clamped to `[1, num_switches]`.
+    pub fn build(fabric: &FabricGraph, width: usize) -> Self {
+        let switches = fabric.num_switches();
+        let num_shards = width.clamp(1, switches.max(1));
+        let per = switches.div_ceil(num_shards);
+        let switch_shard: Vec<u32> = (0..switches).map(|s| (s / per) as u32).collect();
+        // Ceil division can leave trailing shards empty (e.g. 5 switches
+        // over 4 shards packs 2+2+1); the effective shard count is
+        // whatever the last switch landed in, plus one.
+        let num_shards = switch_shard.last().map_or(1, |&s| s as usize + 1);
+
+        let host_shard: Vec<u32> = (0..fabric.num_hosts())
+            .map(|h| switch_shard[fabric.host_switch(HostId::new(h as u32)).index()])
+            .collect();
+
+        let mut channel_shard = vec![0u32; fabric.num_channels()];
+        let mut target_shard = vec![0u32; fabric.num_channels()];
+        for (h, &shard) in host_shard.iter().enumerate() {
+            let ch = fabric.injection_channel(HostId::new(h as u32));
+            channel_shard[ch.index()] = shard;
+            target_shard[ch.index()] = shard;
+        }
+        let ports = fabric.ports_per_switch();
+        let mut cross_channels = 0usize;
+        for s in 0..switches {
+            for p in 0..ports {
+                let ch = fabric.output_channel(SwitchId::new(s as u32), PortIndex::new(p as u16));
+                channel_shard[ch.index()] = switch_shard[s];
+                let tgt = match fabric.channel_target(ch) {
+                    PortTarget::Switch { switch, .. } => switch_shard[switch.index()],
+                    // Ejection channels terminate at a host on this
+                    // switch — always shard-local.
+                    PortTarget::Host(_) => switch_shard[s],
+                };
+                target_shard[ch.index()] = tgt;
+                if tgt != switch_shard[s] {
+                    cross_channels += 1;
+                }
+            }
+        }
+
+        Self {
+            num_shards,
+            switch_shard,
+            host_shard,
+            channel_shard,
+            target_shard,
+            cross_channels,
+        }
+    }
+
+    /// Number of (non-empty) shards in the partition.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `switch`.
+    #[inline]
+    pub fn switch_shard(&self, switch: SwitchId) -> usize {
+        self.switch_shard[switch.index()] as usize
+    }
+
+    /// The shard owning `host` (its switch's shard).
+    #[inline]
+    pub fn host_shard(&self, host: HostId) -> usize {
+        self.host_shard[host.index()] as usize
+    }
+
+    /// The shard owning `channel` (the sending side).
+    #[inline]
+    pub fn channel_shard(&self, channel: ChannelId) -> usize {
+        self.channel_shard[channel.index()] as usize
+    }
+
+    /// The shard of the switch (or host) that *receives* from
+    /// `channel`. Differs from [`Self::channel_shard`] exactly on
+    /// cross-shard switch→switch channels.
+    #[inline]
+    pub fn target_shard(&self, channel: ChannelId) -> usize {
+        self.target_shard[channel.index()] as usize
+    }
+
+    /// Whether `channel` delivers into a different shard than it leaves.
+    #[inline]
+    pub fn is_cross_shard(&self, channel: ChannelId) -> bool {
+        self.channel_shard[channel.index()] != self.target_shard[channel.index()]
+    }
+
+    /// Number of cross-shard channels in the partition (diagnostics:
+    /// the fraction of traffic that pays the coordinator round-trip).
+    #[inline]
+    pub fn cross_channels(&self) -> usize {
+        self.cross_channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlattenedButterfly;
+
+    fn fabric() -> FabricGraph {
+        FlattenedButterfly::new(2, 8, 2)
+            .expect("valid shape")
+            .build_fabric()
+    }
+
+    #[test]
+    fn partition_covers_everything_and_respects_ownership() {
+        let f = fabric();
+        for width in [1usize, 2, 4, 8, 64] {
+            let map = ShardMap::build(&f, width);
+            assert!(map.num_shards() >= 1);
+            assert!(map.num_shards() <= width.max(1));
+            assert!(map.num_shards() <= f.num_switches());
+            // Hosts follow their switch.
+            for h in 0..f.num_hosts() {
+                let hid = HostId::new(h as u32);
+                assert_eq!(
+                    map.host_shard(hid),
+                    map.switch_shard(f.host_switch(hid)),
+                    "host {h} must live on its switch's shard"
+                );
+                let inj = f.injection_channel(hid);
+                assert_eq!(map.channel_shard(inj), map.host_shard(hid));
+                assert!(!map.is_cross_shard(inj), "injection is shard-local");
+            }
+            // Every channel is owned, and ejection channels never cross.
+            for s in 0..f.num_switches() {
+                for p in 0..f.ports_per_switch() {
+                    let ch = f.output_channel(SwitchId::new(s as u32), PortIndex::new(p as u16));
+                    assert_eq!(map.channel_shard(ch), map.switch_shard(SwitchId::new(s as u32)));
+                    if let PortTarget::Host(_) = f.channel_target(ch) {
+                        assert!(!map.is_cross_shard(ch), "ejection is shard-local");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_cross_channels() {
+        let f = fabric();
+        let map = ShardMap::build(&f, 1);
+        assert_eq!(map.num_shards(), 1);
+        assert_eq!(map.cross_channels(), 0);
+        for ch in 0..f.num_channels() {
+            assert!(!map.is_cross_shard(ChannelId::new(ch as u32)));
+        }
+    }
+
+    #[test]
+    fn wider_partitions_expose_cross_shard_links() {
+        let f = fabric();
+        let map = ShardMap::build(&f, 4);
+        assert_eq!(map.num_shards(), 4);
+        assert!(map.cross_channels() > 0, "FBFLY groups interconnect");
+        // Cross-shard channels are symmetric in aggregate: each one is
+        // counted once, from the sending side.
+        let counted = (0..f.num_channels())
+            .filter(|&ch| map.is_cross_shard(ChannelId::new(ch as u32)))
+            .count();
+        assert_eq!(counted, map.cross_channels());
+    }
+}

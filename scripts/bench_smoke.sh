@@ -3,8 +3,9 @@
 # (calendar queue vs binary heap at 100k pending events), one small
 # sensitivity sweep at 1 and 4 worker threads, the canonical engine
 # throughput scenario (rewrites BENCH_engine.json at the repo root),
-# one traced run validated against the documented trace schema, and a
-# rustdoc build with warnings denied.
+# one traced run validated against the documented trace schema plus a
+# line-identical EPNET_PAR=4 re-run of it, the scaling sweep with its
+# EPNET_PAR threads axis, and a rustdoc build with warnings denied.
 #
 # Runs only the benchmarks whose names contain "smoke" — the full
 # grids live in `cargo bench -p epnet-bench --bench scheduler` and
@@ -19,12 +20,18 @@ cargo bench --offline -p epnet-bench --bench engine -- smoke
 
 # One traced run of the canonical scenario: every JSONL line must pass
 # the documented schema, with controller and reactivation events
-# present (the bin exits non-zero on drift).
+# present. The bin then re-runs the scenario under EPNET_PAR=4 and
+# exits non-zero unless the merged parallel trace is line-identical to
+# the serial one (the reduced parallel-determinism check; the full
+# width × mode matrix lives in tests/tests/par_modes.rs).
 cargo run --offline --release -p epnet-bench --bin tracesmoke -- target/tracesmoke.jsonl
 
 # Reduced topology-scaling sweep under the counting allocator (rewrites
-# BENCH_scale.json at the repo root). The binary schema-validates its
-# own output; the steady-state allocation bound is re-checked below.
+# BENCH_scale.json at the repo root), plus the EPNET_PAR threads axis
+# on the canonical point — every width's report is asserted
+# byte-identical to serial before its timing is recorded. The binary
+# schema-validates its own output; the steady-state allocation bound
+# and the threads axis are re-checked below.
 cargo run --offline --release -p epnet-bench --bin scalebench -- --reduced
 
 # Reduced offered-load sweep (rewrites BENCH_load.json at the repo
@@ -53,7 +60,7 @@ test -s BENCH_scale.json || { echo "BENCH_scale.json missing" >&2; exit 1; }
 python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_scale.json"))
-assert doc["schema"] == "epnet-bench-scale/v1", doc["schema"]
+assert doc["schema"] == "epnet-bench-scale/v2", doc["schema"]
 assert doc["benches"], "no benches recorded"
 for b in doc["benches"]:
     for field in ("hosts", "channels", "events_per_sec",
@@ -65,6 +72,19 @@ for b in doc["benches"]:
     print(f'{b["name"]}: {b["hosts"]} hosts, '
           f'{b["events_per_sec"]:.3e} events/s, '
           f'{b["allocs_per_event"]:.5f} allocs/event')
+# The EPNET_PAR threads axis: serial baseline plus every width, with
+# honest speedups (no scaling claim is asserted — the container may be
+# single-core, where the axis measures determinism overhead instead).
+axis = doc["threads"]
+runs = axis["runs"]
+assert runs and runs[0]["threads"] == 0, "serial baseline must come first"
+assert len(runs) >= 2, "threads axis needs at least one parallel width"
+for r in runs:
+    assert r["wall_ms"] > 0 and r["speedup_vs_serial"] > 0, r
+    print(f'{axis["point"]} threads={r["threads"]}: '
+          f'{r["events_per_sec"]:.3e} events/s, '
+          f'{r["speedup_vs_serial"]:.2f}x '
+          f'(host has {axis["hardware_threads"]} hw threads)')
 EOF
 
 # And the load sweep artifact: schema, plus the activity-proportional

@@ -1,0 +1,135 @@
+//! `EPNET_PAR` cross-check: the sharded parallel engine is an
+//! execution detail, never a behavior. Every configuration must
+//! serialize a byte-identical `SimReport` whether the run executes on
+//! the serial event loop (`EPNET_PAR` unset / `off`) or on 1, 2, 4, or
+//! 8 coordinator-ordered worker shards — and that identity must hold
+//! composed with every other mode switch (`EPNET_SCHED=heap`,
+//! `EPNET_ROUTES=dynamic`, `EPNET_EPOCH=sweep`), since the parallel
+//! coordinator replays those same code paths per shard.
+//!
+//! The workload is bursty at low offered load with the dynamic-topology
+//! extension on: epoch rate transitions, power-off, and reactivation
+//! all cross the coordinator's window barriers, which is exactly where
+//! a lookahead or replay-ordering bug would diverge the reports.
+
+use epnet::prelude::*;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the env-twiddling tests in this binary — `EPNET_PAR` and
+/// the mode switches are process-global.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Worker widths the matrix proves byte-identical to serial.
+const WIDTHS: [&str; 4] = ["1", "2", "4", "8"];
+
+/// Reference-mode switches composed with the parallel axis. Each entry
+/// is (label, env var, reference value); `None` runs the defaults.
+const MODES: [Option<(&str, &str)>; 4] = [
+    None,
+    Some(("EPNET_SCHED", "heap")),
+    Some(("EPNET_ROUTES", "dynamic")),
+    Some(("EPNET_EPOCH", "sweep")),
+];
+
+/// One run on an FBFLY(c, k, n) with the dynamic-topology extension
+/// on, serialized. Mirrors `epoch_modes.rs` so the two determinism
+/// suites exercise the same reference workload.
+fn run_case(c: u16, k: u16, n: usize, load: f64, seed: u64) -> String {
+    let fabric = FlattenedButterfly::new(c, k, n)
+        .expect("valid shape")
+        .build_fabric();
+    let config = SimConfig::builder().build();
+    let horizon = SimTime::from_ms(1);
+    let src = UniformRandom::builder(fabric.num_hosts() as u32)
+        .offered_load(load)
+        .seed(seed)
+        .horizon(horizon)
+        .build();
+    let mut sim = Simulator::new(fabric.clone(), config, src);
+    sim.enable_dynamic_topology(DynamicTopology::new(
+        &fabric,
+        DynamicTopologyConfig::default(),
+    ));
+    let report = sim.run_until(horizon);
+    serde_json::to_string_pretty(&report).expect("report serializes")
+}
+
+/// Runs `f` serially, then once per worker width, asserting byte
+/// identity against the serial report each time.
+fn assert_widths_agree(label: &str, f: impl Fn() -> String) {
+    std::env::remove_var("EPNET_PAR");
+    let serial = f();
+    for width in WIDTHS {
+        std::env::set_var("EPNET_PAR", width);
+        let parallel = f();
+        std::env::remove_var("EPNET_PAR");
+        assert_eq!(
+            serial, parallel,
+            "serialized report differs between serial and EPNET_PAR={width} for {label}"
+        );
+    }
+}
+
+/// The headline matrix: widths {1, 2, 4, 8} × reference modes
+/// {defaults, sched, routes, epoch} on the canonical FBFLY(2, 8, 2)
+/// bursty run with dynamic topology.
+#[test]
+fn parallel_reports_are_byte_identical_across_widths_and_modes() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for mode in MODES {
+        let label = match mode {
+            Some((var, val)) => {
+                std::env::set_var(var, val);
+                format!("{var}={val}")
+            }
+            None => "defaults".to_string(),
+        };
+        assert_widths_agree(&label, || run_case(2, 8, 2, 0.08, 11));
+        if let Some((var, _)) = mode {
+            std::env::remove_var(var);
+        }
+    }
+}
+
+/// `EPNET_PAR=off` must behave exactly like unset.
+#[test]
+fn par_off_is_the_serial_engine() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("EPNET_PAR");
+    let serial = run_case(2, 4, 2, 0.1, 7);
+    std::env::set_var("EPNET_PAR", "off");
+    let off = run_case(2, 4, 2, 0.1, 7);
+    std::env::remove_var("EPNET_PAR");
+    assert_eq!(serial, off, "EPNET_PAR=off diverged from unset");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random small topologies, seeds, loads, and a random width —
+    /// shapes where shards end up uneven (k not divisible by the
+    /// width) are the interesting ones.
+    #[test]
+    fn parallel_agrees_on_random_topologies(
+        seed in any::<u64>(),
+        load in 0.02f64..0.5,
+        c in 1u16..=3,
+        k in 2u16..=6,
+        n in 2usize..=3,
+        width_pick in 0usize..4,
+    ) {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::remove_var("EPNET_PAR");
+        let serial = run_case(c, k, n, load, seed);
+        let width = WIDTHS[width_pick];
+        std::env::set_var("EPNET_PAR", width);
+        let parallel = run_case(c, k, n, load, seed);
+        std::env::remove_var("EPNET_PAR");
+        prop_assert_eq!(
+            serial, parallel,
+            "reports diverged for fbfly({},{},{}) load={} seed={} width={}",
+            c, k, n, load, seed, width
+        );
+    }
+}
