@@ -129,11 +129,33 @@ fn main() {
             r.threads,
             r.events_per_sec(),
             baseline / r.wall_ms,
-            axis.hardware_threads,
+            axis.hw_threads,
         );
     }
 
-    let doc = scalebench::render(&runs, &axis);
+    // The lookahead probe: pairwise matrix vs the legacy global bound,
+    // byte-identity asserted, window shapes compared. In the full
+    // sweep it runs on the grouped 3-flat, where cross-shard links are
+    // optical and the pairwise bound has real heterogeneity to
+    // exploit.
+    let lookahead = scalebench::measure_lookahead(scalebench::lookahead_point(&points));
+    for m in [&lookahead.pairwise, &lookahead.global] {
+        eprintln!(
+            "{:<14} lookahead={:<8} windows={:<8} {:>8.1} events/window  bound={} ps",
+            lookahead.point,
+            m.mode,
+            m.windows,
+            m.mean_events_per_window(),
+            m.lookahead_ps,
+        );
+    }
+    eprintln!(
+        "{:<14} barrier amortization pairwise/global = {:.2}x",
+        lookahead.point,
+        lookahead.amortization_ratio(),
+    );
+
+    let doc = scalebench::render(&runs, &axis, &lookahead);
     scalebench::validate(&doc).expect("freshly rendered document validates");
     if to_stdout {
         print!("{doc}");

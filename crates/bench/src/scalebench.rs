@@ -23,8 +23,11 @@ use serde_json::Value;
 use std::time::Instant;
 
 /// Schema tag written into `BENCH_scale.json`. `v2` added the
-/// `threads` axis (the `EPNET_PAR` sweep on the canonical point).
-pub const SCHEMA: &str = "epnet-bench-scale/v2";
+/// `threads` axis (the `EPNET_PAR` sweep on the canonical point); `v3`
+/// renamed its `hardware_threads` field to `hw_threads` and added the
+/// `lookahead` probe (window-shape diagnostics comparing the pairwise
+/// lookahead matrix against the legacy global bound).
+pub const SCHEMA: &str = "epnet-bench-scale/v3";
 
 /// Worker widths measured by the threads axis, matching the
 /// determinism matrix in `tests/tests/par_modes.rs`. Width 0 stands
@@ -93,6 +96,12 @@ pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
     ];
     if !reduced {
         points.push(point("fbfly_8x8x2", ScaleTopo::Fbfly { c: 8, k: 8, n: 2 }));
+        // The grouped 3-flat: two switch dimensions, so dimension-1
+        // links are optical while dimension-0 stays electrical — the
+        // link heterogeneity the pairwise lookahead matrix exploits
+        // (contiguous shards cut only the optical dimension). This is
+        // the lookahead probe's point in the full sweep.
+        points.push(point("fbfly_8x4x3", ScaleTopo::Fbfly { c: 8, k: 4, n: 3 }));
         points.push(point("clos_nb8", ScaleTopo::ClosNonBlocking { c: 8 }));
         points.push(point(
             "fbfly_15x15x2",
@@ -100,6 +109,17 @@ pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
         ));
     }
     points
+}
+
+/// The sweep point the lookahead probe runs on: the grouped 3-flat in
+/// the full sweep (where cross-shard links are optical and the
+/// pairwise bound is 6× the global floor), the first point under
+/// `--reduced`.
+pub fn lookahead_point(points: &[ScalePoint]) -> &ScalePoint {
+    points
+        .iter()
+        .find(|p| p.name == "fbfly_8x4x3")
+        .unwrap_or(&points[0])
 }
 
 /// Builds a simulator for one sweep point, reusing the canonical
@@ -255,7 +275,7 @@ pub struct ThreadsAxis {
     /// Hardware threads the host actually offers — the honest context
     /// for the speedup column (a 1-hardware-thread container cannot
     /// speed up, it can only measure determinism overhead).
-    pub hardware_threads: u64,
+    pub hw_threads: u64,
     /// Serial baseline first, then one entry per width.
     pub runs: Vec<ThreadsRun>,
 }
@@ -308,9 +328,164 @@ pub fn measure_threads(point: &ScalePoint) -> ThreadsAxis {
     }
     ThreadsAxis {
         point: point.name.clone(),
-        hardware_threads: std::thread::available_parallelism()
+        hw_threads: std::thread::available_parallelism()
             .map_or(1, |n| n.get() as u64),
         runs,
+    }
+}
+
+/// Window-shape diagnostics of one parallel run under one lookahead
+/// mode, lifted from [`SimReport::diagnostics`].
+///
+/// [`SimReport::diagnostics`]: epnet_sim::SimReport::diagnostics
+#[derive(Debug, Clone)]
+pub struct LookaheadRun {
+    /// `"pairwise"` or `"global"` (the `EPNET_PAR_LOOKAHEAD` value).
+    pub mode: &'static str,
+    /// Coordinator windows executed.
+    pub windows: u64,
+    /// Events executed inside those windows.
+    pub window_events: u64,
+    /// Exec-log records walked by the barrier replay.
+    pub replay_events: u64,
+    /// Per-(sender, receiver) cross-shard mirror batches applied.
+    pub cross_batches: u64,
+    /// Cross-shard events inside those batches.
+    pub cross_events: u64,
+    /// Tightest window bound in effect, in picoseconds (0 = unbounded).
+    pub lookahead_ps: u64,
+    /// Wall-clock duration of the run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl LookaheadRun {
+    /// Mean events executed per window — the barrier-amortization
+    /// figure the pairwise matrix exists to raise.
+    pub fn mean_events_per_window(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.window_events as f64 / self.windows as f64
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("mode".into(), Value::Str(self.mode.into())),
+            ("windows".into(), Value::U64(self.windows)),
+            ("window_events".into(), Value::U64(self.window_events)),
+            (
+                "mean_events_per_window".into(),
+                Value::F64(self.mean_events_per_window()),
+            ),
+            ("replay_events".into(), Value::U64(self.replay_events)),
+            ("cross_batches".into(), Value::U64(self.cross_batches)),
+            ("cross_events".into(), Value::U64(self.cross_events)),
+            ("lookahead_ps".into(), Value::U64(self.lookahead_ps)),
+            ("wall_ms".into(), Value::F64(self.wall_ms)),
+        ])
+    }
+}
+
+/// The lookahead probe: the same point run at a fixed width under the
+/// pairwise matrix (the default) and the legacy global bound, reports
+/// asserted byte-identical, window shapes compared.
+#[derive(Debug, Clone)]
+pub struct LookaheadAxis {
+    /// Name of the sweep point the probe ran on.
+    pub point: String,
+    /// Worker width (`EPNET_PAR`) used for both runs.
+    pub width: u64,
+    /// The pairwise-matrix run (default mode).
+    pub pairwise: LookaheadRun,
+    /// The fabric-wide-minimum run (`EPNET_PAR_LOOKAHEAD=global`).
+    pub global: LookaheadRun,
+}
+
+impl LookaheadAxis {
+    /// How many more events each barrier amortizes under the pairwise
+    /// matrix than under the global bound.
+    pub fn amortization_ratio(&self) -> f64 {
+        let g = self.global.mean_events_per_window();
+        if g == 0.0 {
+            return 0.0;
+        }
+        self.pairwise.mean_events_per_window() / g
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("point".into(), Value::Str(self.point.clone())),
+            ("width".into(), Value::U64(self.width)),
+            (
+                "amortization_ratio".into(),
+                Value::F64(self.amortization_ratio()),
+            ),
+            (
+                "modes".into(),
+                Value::Seq(vec![self.pairwise.to_value(), self.global.to_value()]),
+            ),
+        ])
+    }
+}
+
+/// Worker width the lookahead probe runs at.
+pub const LOOKAHEAD_WIDTH: usize = 4;
+
+/// Measures the lookahead probe on `point` at [`LOOKAHEAD_WIDTH`]
+/// shards: pairwise (default) first, then `EPNET_PAR_LOOKAHEAD=global`.
+/// Prior values of both env vars are restored on return.
+///
+/// # Panics
+///
+/// Panics if the two serialized reports differ — the lookahead mode
+/// must only change window shapes, never bytes.
+pub fn measure_lookahead(point: &ScalePoint) -> LookaheadAxis {
+    let prior_par = std::env::var("EPNET_PAR").ok();
+    let prior_mode = std::env::var("EPNET_PAR_LOOKAHEAD").ok();
+    std::env::set_var("EPNET_PAR", LOOKAHEAD_WIDTH.to_string());
+    let one = |mode: &'static str| -> (LookaheadRun, String) {
+        let sim = simulator_for(point);
+        let start = Instant::now();
+        let report = sim.run_until(point.horizon);
+        let wall = start.elapsed();
+        let doc = serde_json::to_string_pretty(&report).expect("report serializes");
+        let d = |k: &str| *report.diagnostics.get(k).unwrap_or(&0);
+        (
+            LookaheadRun {
+                mode,
+                windows: d("par_windows"),
+                window_events: d("par_window_events"),
+                replay_events: d("par_replay_events"),
+                cross_batches: d("par_cross_batches"),
+                cross_events: d("par_cross_events"),
+                lookahead_ps: d("par_lookahead_ps"),
+                wall_ms: wall.as_secs_f64() * 1e3,
+            },
+            doc,
+        )
+    };
+    std::env::remove_var("EPNET_PAR_LOOKAHEAD");
+    let (pairwise, pairwise_doc) = one("pairwise");
+    std::env::set_var("EPNET_PAR_LOOKAHEAD", "global");
+    let (global, global_doc) = one("global");
+    match prior_par {
+        Some(v) => std::env::set_var("EPNET_PAR", v),
+        None => std::env::remove_var("EPNET_PAR"),
+    }
+    match prior_mode {
+        Some(v) => std::env::set_var("EPNET_PAR_LOOKAHEAD", v),
+        None => std::env::remove_var("EPNET_PAR_LOOKAHEAD"),
+    }
+    assert_eq!(
+        pairwise_doc, global_doc,
+        "{}: lookahead mode changed the serialized report",
+        point.name
+    );
+    LookaheadAxis {
+        point: point.name.clone(),
+        width: LOOKAHEAD_WIDTH as u64,
+        pairwise,
+        global,
     }
 }
 
@@ -319,10 +494,7 @@ impl ThreadsAxis {
         let baseline = self.runs[0].wall_ms;
         Value::Map(vec![
             ("point".into(), Value::Str(self.point.clone())),
-            (
-                "hardware_threads".into(),
-                Value::U64(self.hardware_threads),
-            ),
+            ("hw_threads".into(), Value::U64(self.hw_threads)),
             (
                 "runs".into(),
                 Value::Seq(
@@ -381,9 +553,9 @@ pub fn measure(point: &ScalePoint, meter: &dyn AllocMeter) -> ScaleRun {
     }
 }
 
-/// Renders runs plus the threads axis as the `BENCH_scale.json`
-/// document.
-pub fn render(runs: &[ScaleRun], threads: &ThreadsAxis) -> String {
+/// Renders runs plus the threads and lookahead axes as the
+/// `BENCH_scale.json` document.
+pub fn render(runs: &[ScaleRun], threads: &ThreadsAxis, lookahead: &LookaheadAxis) -> String {
     let doc = Value::Map(vec![
         ("schema".into(), Value::Str(SCHEMA.into())),
         (
@@ -395,6 +567,7 @@ pub fn render(runs: &[ScaleRun], threads: &ThreadsAxis) -> String {
             Value::Seq(runs.iter().map(ScaleRun::to_value).collect()),
         ),
         ("threads".into(), threads.to_value()),
+        ("lookahead".into(), lookahead.to_value()),
     ]);
     let mut out = serde_json::to_string_pretty(&doc).expect("value tree serializes");
     out.push('\n');
@@ -469,9 +642,9 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
         .and_then(Value::as_str)
         .ok_or("threads axis missing 'point'")?;
     let hw = threads
-        .get("hardware_threads")
+        .get("hw_threads")
         .and_then(Value::as_u64)
-        .ok_or("threads axis missing 'hardware_threads'")?;
+        .ok_or("threads axis missing 'hw_threads'")?;
     if hw == 0 {
         return Err("threads axis reports zero hardware threads".into());
     }
@@ -500,6 +673,62 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
             }
         }
     }
+    let lookahead = v.get("lookahead").ok_or("missing 'lookahead' probe")?;
+    lookahead
+        .get("point")
+        .and_then(Value::as_str)
+        .ok_or("lookahead probe missing 'point'")?;
+    match lookahead.get("width").and_then(Value::as_u64) {
+        Some(w) if w >= 1 => {}
+        _ => return Err("lookahead probe needs 'width' >= 1".into()),
+    }
+    let ratio = lookahead
+        .get("amortization_ratio")
+        .and_then(Value::as_f64)
+        .ok_or("lookahead probe missing 'amortization_ratio'")?;
+    if !(ratio.is_finite() && ratio > 0.0) {
+        return Err("lookahead probe has non-positive 'amortization_ratio'".into());
+    }
+    let modes = lookahead
+        .get("modes")
+        .and_then(Value::as_seq)
+        .ok_or("lookahead probe missing 'modes' array")?;
+    let mode_names: Vec<&str> = modes
+        .iter()
+        .map(|m| m.get("mode").and_then(Value::as_str).unwrap_or(""))
+        .collect();
+    if mode_names != ["pairwise", "global"] {
+        return Err(format!(
+            "lookahead probe must record [pairwise, global], got {mode_names:?}"
+        ));
+    }
+    for m in modes {
+        let name = m.get("mode").and_then(Value::as_str).unwrap_or("?");
+        for field in [
+            "windows",
+            "window_events",
+            "replay_events",
+            "cross_batches",
+            "cross_events",
+            "lookahead_ps",
+        ] {
+            if m.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("lookahead mode '{name}' missing '{field}'"));
+            }
+        }
+        if m.get("windows").and_then(Value::as_u64) == Some(0) {
+            return Err(format!("lookahead mode '{name}' executed zero windows"));
+        }
+        for field in ["mean_events_per_window", "wall_ms"] {
+            let x = m
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("lookahead mode '{name}' missing '{field}'"))?;
+            if !(x.is_finite() && x > 0.0) {
+                return Err(format!("lookahead mode '{name}' has non-positive '{field}'"));
+            }
+        }
+    }
     Ok(names)
 }
 
@@ -525,7 +754,7 @@ mod tests {
     fn sample_axis() -> ThreadsAxis {
         ThreadsAxis {
             point: "fbfly_2x8x2".to_string(),
-            hardware_threads: 4,
+            hw_threads: 4,
             runs: vec![
                 ThreadsRun {
                     threads: 0,
@@ -541,10 +770,32 @@ mod tests {
         }
     }
 
+    fn sample_lookahead_run(mode: &'static str, windows: u64) -> LookaheadRun {
+        LookaheadRun {
+            mode,
+            windows,
+            window_events: 1_000,
+            replay_events: 1_100,
+            cross_batches: 40,
+            cross_events: 80,
+            lookahead_ps: 125_000,
+            wall_ms: 5.0,
+        }
+    }
+
+    fn sample_lookahead() -> LookaheadAxis {
+        LookaheadAxis {
+            point: "fbfly_2x8x2".to_string(),
+            width: 4,
+            pairwise: sample_lookahead_run("pairwise", 20),
+            global: sample_lookahead_run("global", 100),
+        }
+    }
+
     #[test]
     fn rendered_document_validates() {
         let runs = vec![sample_run("fbfly_2x8x2"), sample_run("clos_nb4")];
-        let doc = render(&runs, &sample_axis());
+        let doc = render(&runs, &sample_axis(), &sample_lookahead());
         let names = validate(&doc).expect("schema holds");
         assert_eq!(names, vec!["fbfly_2x8x2", "clos_nb4"]);
     }
@@ -552,8 +803,8 @@ mod tests {
     #[test]
     fn validate_requires_the_threads_axis() {
         let runs = vec![sample_run("fbfly_2x8x2")];
-        let doc = render(&runs, &sample_axis());
-        // Strip the threads section: the v2 schema must reject it.
+        let doc = render(&runs, &sample_axis(), &sample_lookahead());
+        // Strip the threads section: the schema must reject it.
         let mut v: Value = serde_json::from_str(&doc).unwrap();
         if let Value::Map(entries) = &mut v {
             entries.retain(|(k, _)| k != "threads");
@@ -564,7 +815,36 @@ mod tests {
         // And a baseline-less axis must be rejected too.
         let mut axis = sample_axis();
         axis.runs.remove(0);
-        assert!(validate(&render(&runs, &axis)).is_err());
+        assert!(validate(&render(&runs, &axis, &sample_lookahead())).is_err());
+    }
+
+    #[test]
+    fn validate_requires_the_lookahead_probe() {
+        let runs = vec![sample_run("fbfly_2x8x2")];
+        let doc = render(&runs, &sample_axis(), &sample_lookahead());
+        assert!(validate(&doc).is_ok());
+
+        // Strip the probe entirely.
+        let mut v: Value = serde_json::from_str(&doc).unwrap();
+        if let Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "lookahead");
+        }
+        let stripped = serde_json::to_string_pretty(&v).unwrap();
+        assert!(validate(&stripped).is_err(), "lookahead probe is required");
+
+        // A v2-style axis keyed `hardware_threads` must be rejected.
+        let renamed = doc.replace("hw_threads", "hardware_threads");
+        assert!(validate(&renamed).is_err(), "v2 field name must fail");
+
+        // Zero windows means the probe never actually ran parallel.
+        let mut dead = sample_lookahead();
+        dead.global = sample_lookahead_run("global", 0);
+        assert!(validate(&render(&runs, &sample_axis(), &dead)).is_err());
+
+        // Mode order is part of the schema (pairwise first).
+        let mut swapped = sample_lookahead();
+        std::mem::swap(&mut swapped.pairwise, &mut swapped.global);
+        assert!(validate(&render(&runs, &sample_axis(), &swapped)).is_err());
     }
 
     #[test]
@@ -598,5 +878,13 @@ mod tests {
         let reduced = sweep(true);
         assert!(reduced.len() < full.len());
         assert!(reduced.iter().all(|p| p.horizon == REDUCED_HORIZON));
+    }
+
+    #[test]
+    fn lookahead_probe_targets_the_grouped_flat() {
+        let full = sweep(false);
+        assert_eq!(lookahead_point(&full).name, "fbfly_8x4x3");
+        let reduced = sweep(true);
+        assert_eq!(lookahead_point(&reduced).name, "fbfly_2x8x2");
     }
 }

@@ -195,6 +195,14 @@ impl Channels {
         self.flags.len()
     }
 
+    /// The smallest propagation delay of any channel — the parallel
+    /// engine's legacy *global* lookahead bound (`EPNET_PAR_LOOKAHEAD=
+    /// global`): no channel can deliver an event sooner than this after
+    /// its cause. `None` on an empty fabric.
+    pub fn min_propagation(&self) -> Option<SimTime> {
+        self.prop.iter().copied().min()
+    }
+
     /// Wires the two channels of a link as peers (both directions).
     /// Called once per link at simulator construction; required for the
     /// incremental asymmetry counter to see real links.

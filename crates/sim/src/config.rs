@@ -345,6 +345,16 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the per-medium propagation delays explicitly (defaults:
+    /// 25 ns electrical, 50 ns optical). Zero is legal — and collapses
+    /// the parallel engine's lookahead in global mode, which falls back
+    /// to the serial loop.
+    pub fn propagation(&mut self, electrical: SimTime, optical: SimTime) -> &mut Self {
+        self.config.electrical_propagation = electrical;
+        self.config.optical_propagation = optical;
+        self
+    }
+
     /// Sets the target channel utilization.
     pub fn target_utilization(&mut self, u: f64) -> &mut Self {
         self.config.target_utilization = u;

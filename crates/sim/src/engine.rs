@@ -376,11 +376,21 @@ impl Core {
             let CoreQueue::Window(w) = &mut self.queue else {
                 unreachable!("exec_window on a serial core")
             };
-            let Some(((t, _seq), le)) = w.local.pop() else {
+            let Some(((t, seq), le)) = w.local.pop() else {
                 break;
             };
             debug_assert!(t >= self.now, "window events went backwards");
             self.now = t;
+            let kind = match le.ev {
+                Event::TxDone { .. } => crate::par::KIND_TX_DONE,
+                Event::Arrive { .. } => crate::par::KIND_ARRIVE,
+                Event::CreditWake { .. } => crate::par::KIND_CREDIT_WAKE,
+                Event::Retry { .. } => crate::par::KIND_RETRY,
+                Event::Workload | Event::EpochTick => {
+                    unreachable!("global events never enter a shard window")
+                }
+            };
+            let half = le.half;
             self.dispatch_local(le.ev, le.half);
             let timeline_end = self.stats.timeline.len() as u32;
             let trace_end = sink.map_or(0, |s| s.len() as u32);
@@ -389,6 +399,9 @@ impl Core {
             };
             w.execs.push(crate::par::ExecRec {
                 t,
+                seq,
+                kind,
+                half,
                 gen_end: w.gens.len() as u32,
                 pkt_free_end: w.freed_packets.len() as u32,
                 msg_free_end: w.freed_messages.len() as u32,
@@ -1510,6 +1523,7 @@ impl Core {
             .metrics
             .set(ids.residency_off_ps, clamp(residency.off_ps));
         let metrics = self.inst.metrics.snapshot();
+        let diagnostics = self.inst.metrics.diagnostics_snapshot();
         self.inst
             .profiler
             .record("finalize", finalize_start.elapsed());
@@ -1541,6 +1555,7 @@ impl Core {
             phases,
             epoch_ticks: s.epoch_ticks,
             controller_decisions: s.controller_decisions,
+            diagnostics,
         }
     }
 }

@@ -54,6 +54,31 @@ pub(crate) struct MetricIds {
     pub residency_ps: [CounterId; 5],
     /// Channel-time powered off, picoseconds.
     pub residency_off_ps: CounterId,
+    // ---- parallel-engine diagnostics ----
+    // Registered as *diagnostic* metrics: they describe how the run
+    // executed (window shapes vary with `EPNET_PAR` width and lookahead
+    // mode), so they live in `SimReport::diagnostics`, never in the
+    // byte-identical serialized metrics snapshot.
+    /// Lookahead windows executed by the parallel engine.
+    pub par_windows: CounterId,
+    /// Events executed inside windows (mean window length in events =
+    /// `par_window_events / par_windows`).
+    pub par_window_events: CounterId,
+    /// Execution records walked by the barrier merge (cross-shard
+    /// events contribute one per half).
+    pub par_replay_events: CounterId,
+    /// Batched cross-shard mirror messages (one per active
+    /// (sender, receiver) shard pair per window).
+    pub par_cross_batches: CounterId,
+    /// Cross-shard arrivals carried by those batches.
+    pub par_cross_events: CounterId,
+    /// Effective window-lookahead floor, picoseconds (pairwise: the
+    /// minimum cross-shard arrival bound; global mode: the minimum
+    /// propagation delay; 0 when a single shard runs unbounded).
+    pub par_lookahead_ps: CounterId,
+    /// 1 when `EPNET_PAR` was requested but the run fell back to the
+    /// serial loop (zero lookahead or zero reactivation latency).
+    pub par_fallback_serial: CounterId,
 }
 
 impl MetricIds {
@@ -81,6 +106,13 @@ impl MetricIds {
                 m.counter("residency_ps_40000mbps"),
             ],
             residency_off_ps: m.counter("residency_ps_off"),
+            par_windows: m.diagnostic("par_windows"),
+            par_window_events: m.diagnostic("par_window_events"),
+            par_replay_events: m.diagnostic("par_replay_events"),
+            par_cross_batches: m.diagnostic("par_cross_batches"),
+            par_cross_events: m.diagnostic("par_cross_events"),
+            par_lookahead_ps: m.diagnostic("par_lookahead_ps"),
+            par_fallback_serial: m.diagnostic("par_fallback_serial"),
         }
     }
 }

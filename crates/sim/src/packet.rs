@@ -144,6 +144,15 @@ impl PacketArena {
         }
     }
 
+    /// Mirrors a live packet from `src` into this arena at the same
+    /// global slot — `place` fed by `get`, fused so the parallel
+    /// engine's batched cross-shard mirror pass reads the sender's
+    /// arena and writes the receiver's in one call per packet.
+    #[inline]
+    pub fn mirror_from(&mut self, src: &PacketArena, id: PacketId) -> PacketId {
+        self.place(id.slot, *src.get(id))
+    }
+
     /// Retires a slot by bare index — the coordinator's replica-arena
     /// form of [`free`](Self::free). The parallel engine's workers
     /// record freed slot numbers (their `PacketId` generations are
@@ -285,6 +294,20 @@ mod tests {
         let b2 = arena.place(3, pkt(301));
         assert_eq!(arena.get(b2).bytes, 301);
         assert_eq!(arena.live(), 0, "mirrors never count live packets");
+    }
+
+    #[test]
+    fn mirror_from_copies_the_payload_at_the_same_slot() {
+        let mut src = PacketArena::new();
+        let mut dst = PacketArena::new();
+        let a = src.alloc(pkt(100));
+        let b = src.alloc(pkt(200));
+        let mb = dst.mirror_from(&src, b);
+        let ma = dst.mirror_from(&src, a);
+        assert_eq!(ma.index(), a.index());
+        assert_eq!(mb.index(), b.index());
+        assert_eq!(dst.get(ma).bytes, 100);
+        assert_eq!(dst.get(mb).bytes, 200);
     }
 
     #[test]

@@ -25,26 +25,50 @@
 //!   match the serial engine bit for bit; the epoch tick gathers all
 //!   channel state onto the master core, runs the serial `on_epoch` in
 //!   sweep mode, and scatters the result back to the owning shards).
-//! * **Window** — otherwise, a batch of shard events strictly before
-//!   `min(first_time + L, next_global_event, horizon)` is popped,
-//!   where the lookahead `L` is the minimum propagation delay over all
-//!   channels: every `Arrive` a shard can generate lands at least `L`
-//!   past its cause, so batch events can only spawn *shard-local*
-//!   events inside the window. Shards execute their slices
-//!   concurrently; a barrier **replay** then re-runs the window's
-//!   event order on the coordinator — without re-executing anything —
-//!   to assign exact serial sequence numbers to every generated event,
-//!   count popped events, apply packet/message frees to the replica
-//!   arena in serial order (reproducing the serial free list, slot
-//!   assignment, and `peak_live_packets`), and emit per-event trace
-//!   slices in serial order.
+//! * **Window** — otherwise, a batch of shard events is popped under a
+//!   *pairwise lookahead* bound: the pop loop greedily tightens the
+//!   window end to `min(t_s + B[s])` over every shard `s` it touches,
+//!   where `t_s` is the first popped time touching `s` and `B[s]` is
+//!   the smallest cross-shard *arrival bound* (propagation delay plus
+//!   the router pipeline) over the cross channels `s` owns — computed
+//!   once from [`ShardMap::for_each_cross_channel`]'s census as an
+//!   `nsh × nsh` matrix reduced per sending shard. Tightening during
+//!   the pop loop is sound because pops ascend: a new constraint
+//!   `t + B[s]` always exceeds every already-popped time. A shard with
+//!   no cross channels contributes no bound at all, so a single-shard
+//!   run executes each coordinator-to-coordinator stretch as **one
+//!   unbounded window** — the width-1 overhead win. Intra-shard events
+//!   generated inside the window (including `Arrive`s on intra-shard
+//!   channels, which the longer pairwise bound now allows) execute
+//!   locally in the same window; cross-shard `Arrive`s provably land
+//!   at or past the window end. `EPNET_PAR_LOOKAHEAD=global` restores
+//!   the legacy bound — the fabric-wide minimum propagation delay,
+//!   applied identically to every shard — as a benchmark baseline.
+//!
+//! Shards execute their slices concurrently; a barrier **merge** then
+//! reproduces the window's serial order on the coordinator — without
+//! re-executing anything — in a single k-way pass over the shards'
+//! execution logs, each pre-sorted by construction. The merge key is
+//! `(time, true_seq, half)`: batch events carry their global sequence
+//! number, events generated in-window carry per-shard pseudo numbers
+//! that the merge resolves to true serial numbers at the moment their
+//! *parent* dispatch merges (the parent always merges first — it
+//! precedes its generations in the same shard's log). One pass assigns
+//! sequence numbers to every generated event, counts popped events,
+//! applies packet/message frees to the replica arena in serial order
+//! (reproducing the serial free list, slot assignment, and
+//! `peak_live_packets`), and emits per-event trace and timeline slices
+//! in serial order.
 //!
 //! A cross-shard `Arrive` (the consuming channel is owned by one
-//! shard, its target switch by another) is split at batch time: the
-//! sender's shard runs the credit half, the receiver's shard runs the
-//! route half against a payload mirrored into its arena at the same
-//! global slot. The serial handler runs credit-before-route, so the
-//! replay advances the sender's execution record first.
+//! shard, its target switch by another) is split at window-build time:
+//! the sender's shard runs the credit half, the receiver's shard runs
+//! the route half against a payload mirrored into its arena at the
+//! same global slot. Splits are buffered during the pop loop and
+//! applied **batched per (sender, receiver) shard pair**, so a
+//! window's mirror copies for a pair land as one grouped pass instead
+//! of interleaved single-packet pokes. The serial handler runs
+//! credit-before-route, so the merge ranks the credit half first.
 //!
 //! # Exemptions and fallbacks
 //!
@@ -57,9 +81,19 @@
 //!   lookahead) or a zero reactivation latency (the master's
 //!   epoch-phase `try_tx` must never reach the serialization path,
 //!   which a zero-latency retune would allow) falls back to the serial
-//!   pop loop — same report, no parallelism.
+//!   pop loop — same report, no parallelism. The fallback is visible
+//!   as `par_fallback_serial = 1` in [`SimReport::diagnostics`].
+//!
+//! # Diagnostics
+//!
+//! Window-shape counters — windows executed, events executed inside
+//! windows, merge records walked, cross-shard batches and the arrivals
+//! they carried, the effective lookahead floor — are registered as
+//! *diagnostic* metrics: they land in [`SimReport::diagnostics`] (and
+//! vary with width and lookahead mode) but never in the serialized,
+//! byte-identical report.
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 use epnet_telemetry::{MemorySink, Tracer};
 use epnet_topology::{ChannelId, RoutingTopology, ShardMap};
@@ -68,7 +102,7 @@ use crate::config::{EpochMode, ReactivationModel, RoutingPolicy};
 use crate::engine::{Core, CoreQueue, MessageRec, Simulator};
 use crate::event::Event;
 use crate::instrument::Instruments;
-use crate::packet::{MessageId, Packet};
+use crate::packet::{MessageId, Packet, PacketId};
 use crate::sched::KeyedQueue;
 use crate::stats::SimReport;
 use crate::time::SimTime;
@@ -87,6 +121,33 @@ pub(crate) enum ArriveHalf {
     /// Forwarding/delivery only (receiving side).
     Route,
 }
+
+impl ArriveHalf {
+    /// Merge rank among the two halves of one cross-shard arrival —
+    /// they share `(time, seq)`, and the serial handler runs credit
+    /// bookkeeping before routing.
+    #[inline]
+    fn rank(self) -> u8 {
+        match self {
+            ArriveHalf::Full | ArriveHalf::Credit => 0,
+            ArriveHalf::Route => 1,
+        }
+    }
+
+    /// Whether this half counts the event (each event is counted once;
+    /// a cross-shard arrival's route half is its second record).
+    #[inline]
+    fn counts(self) -> bool {
+        !matches!(self, ArriveHalf::Route)
+    }
+}
+
+/// Event-kind tags recorded per dispatch so the barrier merge can
+/// maintain the per-kind counters without decoding the event again.
+pub(crate) const KIND_TX_DONE: u8 = 0;
+pub(crate) const KIND_ARRIVE: u8 = 1;
+pub(crate) const KIND_CREDIT_WAKE: u8 = 2;
+pub(crate) const KIND_RETRY: u8 = 3;
 
 /// One entry of a shard's in-window queue.
 #[derive(Debug, Clone, Copy)]
@@ -109,8 +170,19 @@ pub(crate) struct GenRec {
 /// events, frees, timeline entries, and trace bytes.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ExecRec {
-    /// Simulated time of the dispatch (cross-checked against replay).
+    /// Simulated time of the dispatch.
     pub(crate) t: SimTime,
+    /// The popped key's sequence number: the *global* serial number
+    /// for batch events (always below the window's sequence
+    /// watermark), the shard's *pseudo* number for events generated
+    /// and executed inside the window (at or above it). The merge
+    /// resolves pseudo numbers through the per-shard assignment log.
+    pub(crate) seq: u64,
+    /// Event kind (`KIND_*`) for the merge's per-kind counters.
+    pub(crate) kind: u8,
+    /// Which halves this dispatch ran — the merge's tie-break rank
+    /// between the two records of a cross-shard arrival.
+    pub(crate) half: ArriveHalf,
     pub(crate) gen_end: u32,
     pub(crate) pkt_free_end: u32,
     pub(crate) msg_free_end: u32,
@@ -133,11 +205,17 @@ pub(crate) struct WindowQueue {
     /// `next_seq` watermark, which exceeds every batch seq — so, like
     /// the serial queue, generated events order after pre-existing
     /// ones at the same time, and among themselves by generation
-    /// order. Replay later assigns true seqs in the same relative
+    /// order. The merge later assigns true seqs in the same relative
     /// order, so the shard's execution order is exactly serial.
     pub(crate) pseudo_seq: u64,
     /// Exclusive upper bound of the current window (`ZERO` outside).
     pub(crate) window_end: SimTime,
+    /// Which channels cross a shard boundary (shared, read-only):
+    /// [`WindowQueue::record`]'s in-window legality check — an
+    /// `Arrive` may land inside a window only on an intra-shard
+    /// channel. Empty on the master core, whose `window_end` never
+    /// opens.
+    cross: Arc<[bool]>,
     /// Every event generated this window/phase, in generation order.
     pub(crate) gens: Vec<GenRec>,
     /// One record per dispatch, in execution order.
@@ -149,11 +227,20 @@ pub(crate) struct WindowQueue {
 }
 
 impl WindowQueue {
+    /// A capture queue with no cross-channel table — the master core's
+    /// form, which only ever captures (its `window_end` never opens).
     pub(crate) fn new() -> Self {
+        Self::with_cross(Vec::new().into())
+    }
+
+    /// A capture queue for a worker shard, sharing the partition's
+    /// cross-channel bitmap.
+    fn with_cross(cross: Arc<[bool]>) -> Self {
         Self {
             local: KeyedQueue::new(),
             pseudo_seq: 0,
             window_end: SimTime::ZERO,
+            cross,
             gens: Vec::new(),
             execs: Vec::new(),
             freed_packets: Vec::new(),
@@ -165,14 +252,18 @@ impl WindowQueue {
     /// [`Core::schedule`].
     pub(crate) fn record(&mut self, at: SimTime, ev: Event) {
         if at < self.window_end {
-            // Only strictly shard-local kinds can land inside a
-            // window: an Arrive is at least one lookahead away, and
-            // Workload/EpochTick are never shard-generated.
+            // Only events that execute on this same shard can land
+            // inside a window: TxDone/CreditWake/Retry are always
+            // owner-local, and an Arrive only on an intra-shard
+            // channel — a cross-shard arrival bound is part of the
+            // window bound, so one landing inside would mean the
+            // pairwise lookahead was violated.
             debug_assert!(
-                matches!(
-                    ev,
-                    Event::TxDone { .. } | Event::CreditWake { .. } | Event::Retry { .. }
-                ),
+                match ev {
+                    Event::TxDone { .. } | Event::CreditWake { .. } | Event::Retry { .. } => true,
+                    Event::Arrive { channel, .. } => !self.cross[channel.index()],
+                    Event::Workload | Event::EpochTick => false,
+                },
                 "non-local event generated inside a window"
             );
             let seq = self.pseudo_seq;
@@ -189,9 +280,12 @@ impl WindowQueue {
         self.gens.push(GenRec { at, ev });
     }
 
-    /// Opens a window ending (exclusively) at `window_end`, with
-    /// pseudo sequence numbers starting at the global watermark.
-    fn begin_window(&mut self, window_end: SimTime, seq_watermark: u64) {
+    /// Marks this shard touched by the current window: pseudo sequence
+    /// numbers start at the global watermark. The window's end is not
+    /// known yet — the coordinator's pop loop is still tightening it —
+    /// so `window_end` stays closed until [`Shard::open`] sets it just
+    /// before execution.
+    fn begin_window(&mut self, seq_watermark: u64) {
         debug_assert!(
             self.local.is_empty()
                 && self.gens.is_empty()
@@ -200,11 +294,10 @@ impl WindowQueue {
                 && self.freed_messages.is_empty(),
             "window state not drained"
         );
-        self.window_end = window_end;
         self.pseudo_seq = seq_watermark;
     }
 
-    /// Clears window state after the barrier replay consumed it.
+    /// Clears window state after the barrier merge consumed it.
     fn end_window(&mut self) {
         debug_assert!(self.local.is_empty(), "window left events unexecuted");
         self.window_end = SimTime::ZERO;
@@ -236,20 +329,61 @@ impl Shard {
             CoreQueue::Serial(_) => unreachable!("shard core in serial mode"),
         }
     }
+
+    /// Shared view of the window logs (the merge's read side).
+    fn wq_ref(&self) -> &WindowQueue {
+        match &self.core.queue {
+            CoreQueue::Window(w) => w,
+            CoreQueue::Serial(_) => unreachable!("shard core in serial mode"),
+        }
+    }
+
+    /// Opens the (now finally bounded) window for execution.
+    fn open(&mut self, window_end: SimTime) {
+        self.wq().window_end = window_end;
+    }
 }
 
-/// What one batched event touches, for the barrier replay.
+/// One cross-shard arrival, buffered during the window's pop loop and
+/// applied per (sender, receiver) shard pair: a pair's payload mirrors
+/// and half pushes land as one grouped batch instead of interleaved
+/// single-packet copies.
 #[derive(Debug, Clone, Copy)]
-enum Tag {
-    /// Executed wholly on one shard.
-    Single(usize, Event),
-    /// A cross-shard `Arrive`: credit half on `snd`, route half on
-    /// `rcv` — replayed in that order, matching the serial handler.
-    Cross { snd: usize, rcv: usize, ev: Event },
+struct CrossRec {
+    t: SimTime,
+    seq: u64,
+    channel: ChannelId,
+    packet: PacketId,
+    snd: usize,
+    rcv: usize,
 }
 
-/// Per-shard replay cursors: how far into the shard's window logs the
-/// replay has advanced.
+/// Which per-window lookahead bound the engine uses
+/// (`EPNET_PAR_LOOKAHEAD`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LookaheadMode {
+    /// Per-shard-pair arrival bounds from the cross-channel census
+    /// (the default).
+    Pairwise,
+    /// The fabric-wide minimum propagation delay applied to every
+    /// shard — the legacy bound, kept as a benchmark baseline.
+    Global,
+}
+
+impl LookaheadMode {
+    /// `EPNET_PAR_LOOKAHEAD=global` selects the legacy bound; anything
+    /// else (including unset) selects pairwise — mirroring
+    /// `EPNET_ROUTES`' lenient parse.
+    fn from_env() -> Self {
+        match std::env::var("EPNET_PAR_LOOKAHEAD") {
+            Ok(v) if v.eq_ignore_ascii_case("global") => Self::Global,
+            _ => Self::Pairwise,
+        }
+    }
+}
+
+/// Per-shard merge cursors: how far into the shard's window logs the
+/// barrier merge has advanced.
 #[derive(Debug, Default, Clone, Copy)]
 struct ReplayCursor {
     exec: usize,
@@ -322,11 +456,10 @@ pub(crate) fn run<S: TrafficSource>(
     end: SimTime,
     width: usize,
 ) -> SimReport {
-    // Conservative lookahead: the minimum propagation delay over all
-    // channels. Every Arrive lands at least this far past its cause.
-    let lookahead = (0..sim.core.channels.len())
-        .map(|i| sim.core.channels.prop[i])
-        .min()
+    let min_prop = sim
+        .core
+        .channels
+        .min_propagation()
         .unwrap_or(SimTime::ZERO);
     let reactivation_floor = match sim.core.config.reactivation {
         ReactivationModel::Uniform(t) => t,
@@ -335,10 +468,12 @@ pub(crate) fn run<S: TrafficSource>(
             lane_change,
         } => cdr_relock.min(lane_change),
     };
-    if lookahead == SimTime::ZERO || reactivation_floor == SimTime::ZERO {
+    if min_prop == SimTime::ZERO || reactivation_floor == SimTime::ZERO {
         // No usable lookahead, or the master's epoch-phase try_tx
         // could reach the serialization path (see module docs): run
         // the serial pop loop — the output contract is trivially met.
+        let ids = sim.core.inst.ids;
+        sim.core.inst.metrics.set(ids.par_fallback_serial, 1);
         sim.advance_until(end);
         return sim.finalize();
     }
@@ -346,6 +481,39 @@ pub(crate) fn run<S: TrafficSource>(
     let map = ShardMap::build(&sim.core.fabric, width);
     let nsh = map.num_shards();
     let num_channels = sim.core.channels.len();
+
+    // Per-shard window bounds. Pairwise (default): reduce the census's
+    // nsh × nsh matrix of minimum cross-shard *arrival* bounds
+    // (propagation plus the router pipeline — every cross channel
+    // targets a switch, so its Arrives land at least `arrive_extra`
+    // past their cause) to a per-sending-shard row minimum; a shard
+    // with no cross channels (always at width 1) bounds nothing.
+    // Global mode: the fabric-wide minimum propagation delay for every
+    // shard, reproducing the legacy window shape exactly.
+    let row_bound: Vec<Option<SimTime>> = match LookaheadMode::from_env() {
+        LookaheadMode::Global => vec![Some(min_prop); nsh],
+        LookaheadMode::Pairwise => {
+            let mut matrix = vec![None::<SimTime>; nsh * nsh];
+            map.for_each_cross_channel(|ch, snd, rcv| {
+                let bound = sim.core.arrive_extra[ch.index()];
+                let cell = &mut matrix[snd * nsh + rcv];
+                *cell = Some(cell.map_or(bound, |b| b.min(bound)));
+            });
+            (0..nsh)
+                .map(|s| matrix[s * nsh..(s + 1) * nsh].iter().flatten().copied().min())
+                .collect()
+        }
+    };
+    // Effective lookahead floor across shards (0 = unbounded windows).
+    let floor_ps = row_bound
+        .iter()
+        .flatten()
+        .copied()
+        .min()
+        .map_or(0, SimTime::as_ps);
+    let cross_bitmap: Arc<[bool]> = (0..num_channels)
+        .map(|ch| map.is_cross_shard(ChannelId::new(ch as u32)))
+        .collect();
     // Events at exactly `end` still execute; the horizon key is the
     // first key strictly past it.
     let horizon_key = (SimTime::from_ps(end.as_ps() + 1), 0u64);
@@ -393,7 +561,7 @@ pub(crate) fn run<S: TrafficSource>(
                 sim.core.config.clone(),
                 Instruments::with_tracer(None),
             );
-            core.queue = CoreQueue::Window(WindowQueue::new());
+            core.queue = CoreQueue::Window(WindowQueue::with_cross(cross_bitmap.clone()));
             core.end = end;
             core.controller_active = sim.core.controller_active;
             core.epoch_end = sim.core.epoch_end;
@@ -423,10 +591,24 @@ pub(crate) fn run<S: TrafficSource>(
     let mut n_retry = 0u64;
     let mut n_epoch_tick = 0u64;
 
-    let mut batch: Vec<((SimTime, u64), Tag)> = Vec::new();
-    let mut replay: KeyedQueue<Tag> = KeyedQueue::new();
+    // Window-shape diagnostics (SimReport::diagnostics; never in the
+    // serialized report).
+    let mut n_windows = 0u64;
+    let mut n_window_events = 0u64;
+    let mut n_replay_events = 0u64;
+    let mut n_cross_batches = 0u64;
+    let mut n_cross_events = 0u64;
+
+    // All per-window scratch is allocated once and recycled.
+    let mut cross_buf: Vec<CrossRec> = Vec::new();
     let mut window_trace: Vec<String> = vec![String::new(); nsh];
     let mut cursors: Vec<ReplayCursor> = vec![ReplayCursor::default(); nsh];
+    // True serial sequence numbers assigned to each shard's in-window
+    // generations, indexed by `pseudo_seq - watermark`.
+    let mut gen_seqs: Vec<Vec<u64>> = vec![Vec::new(); nsh];
+    // Shards touched by the current window, in touch order.
+    let mut touched: Vec<usize> = Vec::with_capacity(nsh);
+    let mut touched_flag: Vec<bool> = vec![false; nsh];
 
     std::thread::scope(|scope| {
         // Persistent per-shard workers; shards ping-pong as boxes so a
@@ -500,22 +682,42 @@ pub(crate) fn run<S: TrafficSource>(
             }
 
             // ---- window ----
-            let mut wkey = (next.0 + lookahead, 0u64);
+            n_windows += 1;
+            let watermark = next_seq;
+            // The window bound starts at the next coordinator event /
+            // horizon and tightens greedily as the pop loop touches
+            // shards: the first event touching shard `s` at time `t`
+            // caps the window at `t + row_bound[s]` — sound because
+            // pops ascend, so a new cap always exceeds every
+            // already-popped time. An untouched (or unbounded) shard
+            // constrains nothing.
+            let mut wkey = horizon_key;
             if let Some(g) = kg {
                 if g < wkey {
                     wkey = g;
                 }
             }
-            if horizon_key < wkey {
-                wkey = horizon_key;
+            debug_assert!(touched.is_empty() && cross_buf.is_empty());
+            macro_rules! touch {
+                ($s:expr, $t:expr) => {{
+                    let s: usize = $s;
+                    if !touched_flag[s] {
+                        touched_flag[s] = true;
+                        touched.push(s);
+                        shards[s]
+                            .as_mut()
+                            .expect("shard at barrier")
+                            .wq()
+                            .begin_window(watermark);
+                        if let Some(b) = row_bound[s] {
+                            let cap = ($t + b, 0u64);
+                            if cap < wkey {
+                                wkey = cap;
+                            }
+                        }
+                    }
+                }};
             }
-            let wend = wkey.0;
-
-            for slot in shards.iter_mut() {
-                let sh = slot.as_mut().expect("shard checked out past the barrier");
-                sh.wq().begin_window(wend, next_seq);
-            }
-            debug_assert!(batch.is_empty());
             while let Some(k) = qlocal.peek_key() {
                 if k >= wkey {
                     break;
@@ -526,6 +728,7 @@ pub(crate) fn run<S: TrafficSource>(
                         let snd = map.channel_shard(channel);
                         let rcv = map.target_shard(channel);
                         if snd == rcv {
+                            touch!(snd, k.0);
                             let sh = shards[snd].as_mut().expect("shard at barrier");
                             sh.wq().local.push(
                                 k.0,
@@ -535,50 +738,30 @@ pub(crate) fn run<S: TrafficSource>(
                                     half: ArriveHalf::Full,
                                 },
                             );
-                            batch.push((k, Tag::Single(snd, ev)));
                         } else {
-                            // Mirror the payload into the receiver's
-                            // arena at the same global slot. Safe to
-                            // read from the sender now: every event
-                            // referencing this slot executes at or
-                            // before the delivery time, and the slot
-                            // cannot be re-injected until a later
-                            // Workload phase.
-                            let payload = *shards[snd]
-                                .as_ref()
-                                .expect("shard at barrier")
-                                .core
-                                .arena
-                                .get(packet);
-                            let rsh = shards[rcv].as_mut().expect("shard at barrier");
-                            let local_id = rsh.core.arena.place(packet.index() as u32, payload);
-                            rsh.wq().local.push(
-                                k.0,
-                                k.1,
-                                LocalEv {
-                                    ev: Event::Arrive {
-                                        channel,
-                                        packet: local_id,
-                                    },
-                                    half: ArriveHalf::Route,
-                                },
-                            );
-                            let ssh = shards[snd].as_mut().expect("shard at barrier");
-                            ssh.wq().local.push(
-                                k.0,
-                                k.1,
-                                LocalEv {
-                                    ev,
-                                    half: ArriveHalf::Credit,
-                                },
-                            );
-                            batch.push((k, Tag::Cross { snd, rcv, ev }));
+                            // Buffered; the split halves and the
+                            // payload mirror are applied per shard
+                            // pair after the pop loop. The receiver
+                            // is touched too: its route half executes
+                            // this window and can generate cross
+                            // arrivals of its own.
+                            touch!(snd, k.0);
+                            touch!(rcv, k.0);
+                            cross_buf.push(CrossRec {
+                                t: k.0,
+                                seq: k.1,
+                                channel,
+                                packet,
+                                snd,
+                                rcv,
+                            });
                         }
                     }
                     Event::TxDone { channel }
                     | Event::CreditWake { channel }
                     | Event::Retry { channel } => {
                         let s = map.channel_shard(channel);
+                        touch!(s, k.0);
                         let sh = shards[s].as_mut().expect("shard at barrier");
                         sh.wq().local.push(
                             k.0,
@@ -588,139 +771,195 @@ pub(crate) fn run<S: TrafficSource>(
                                 half: ArriveHalf::Full,
                             },
                         );
-                        batch.push((k, Tag::Single(s, ev)));
                     }
                     Event::Workload | Event::EpochTick => {
                         unreachable!("global events live in qcoord")
                     }
                 }
             }
+            let wend = wkey.0;
 
-            // Execute busy shards concurrently (inline when at most
-            // one has work — no handoff cost at width 1).
-            let mut busy = 0usize;
-            let mut only = usize::MAX;
-            for (s, slot) in shards.iter_mut().enumerate() {
-                let sh = slot.as_mut().expect("shard at barrier");
-                if !sh.wq().local.is_empty() {
-                    busy += 1;
-                    only = s;
+            // ---- batched cross-shard mirror traffic ----
+            // Grouping per (sender, receiver) pair turns a window's
+            // mirror copies into one contiguous pass per pair. Safe to
+            // read the sender's arena now: a crossing packet's payload
+            // was last written in an earlier window (its forwarding
+            // hop), and a slot cannot be re-injected until a later
+            // Workload phase. Pushing the halves after the singles is
+            // order-neutral — the shard-local queues order by key.
+            cross_buf.sort_unstable_by_key(|c| (c.snd, c.rcv, c.t, c.seq));
+            let mut i = 0usize;
+            while i < cross_buf.len() {
+                let (snd, rcv) = (cross_buf[i].snd, cross_buf[i].rcv);
+                let mut j = i + 1;
+                while j < cross_buf.len() && cross_buf[j].snd == snd && cross_buf[j].rcv == rcv {
+                    j += 1;
                 }
+                // Take the sender's box out of the slice to read its
+                // arena while the receiver's is borrowed mutably.
+                let ssh = shards[snd].take().expect("shard at barrier");
+                let rsh = shards[rcv].as_mut().expect("shard at barrier");
+                for c in &cross_buf[i..j] {
+                    let local_id = rsh.core.arena.mirror_from(&ssh.core.arena, c.packet);
+                    rsh.wq().local.push(
+                        c.t,
+                        c.seq,
+                        LocalEv {
+                            ev: Event::Arrive {
+                                channel: c.channel,
+                                packet: local_id,
+                            },
+                            half: ArriveHalf::Route,
+                        },
+                    );
+                }
+                shards[snd] = Some(ssh);
+                let ssh = shards[snd].as_mut().expect("shard at barrier");
+                for c in &cross_buf[i..j] {
+                    ssh.wq().local.push(
+                        c.t,
+                        c.seq,
+                        LocalEv {
+                            ev: Event::Arrive {
+                                channel: c.channel,
+                                packet: c.packet,
+                            },
+                            half: ArriveHalf::Credit,
+                        },
+                    );
+                }
+                n_cross_batches += 1;
+                n_cross_events += (j - i) as u64;
+                i = j;
             }
-            if busy == 1 {
-                shards[only].as_mut().expect("shard at barrier").exec();
-            } else if busy > 1 {
-                let mut outstanding = 0usize;
-                for s in 0..nsh {
-                    let has_work = {
-                        let sh = shards[s].as_mut().expect("shard at barrier");
-                        !sh.wq().local.is_empty()
-                    };
-                    if has_work {
-                        let sh = shards[s].take().expect("shard at barrier");
-                        work_tx[s].send(sh).expect("worker thread died");
-                        outstanding += 1;
-                    }
+            cross_buf.clear();
+
+            // Execute touched shards concurrently (inline when only
+            // one was touched — no handoff cost at width 1). Every
+            // touched shard has at least one queued event.
+            for &s in &touched {
+                shards[s].as_mut().expect("shard at barrier").open(wend);
+            }
+            if touched.len() == 1 {
+                shards[touched[0]].as_mut().expect("shard at barrier").exec();
+            } else {
+                for &s in &touched {
+                    let sh = shards[s].take().expect("shard at barrier");
+                    work_tx[s].send(sh).expect("worker thread died");
                 }
-                for _ in 0..outstanding {
+                for _ in 0..touched.len() {
                     let sh = res_rx.recv().expect("worker thread died");
                     let id = sh.id;
                     shards[id] = Some(sh);
                 }
             }
 
-            // ---- barrier replay ----
-            for s in 0..nsh {
+            // ---- barrier merge ----
+            // One k-way pass over the touched shards' execution logs,
+            // each already sorted in (time, seq, half) order by
+            // construction. Batch records carry global sequence
+            // numbers; in-window generations carry per-shard pseudo
+            // numbers resolved through `gen_seqs`, populated when
+            // their parent dispatch merges — the parent always merges
+            // first, since it precedes them in the same shard's log.
+            for &s in &touched {
                 let sh = shards[s].as_mut().expect("shard at barrier");
-                window_trace[s].clear();
                 if let Some(sink) = &sh.sink {
-                    if !sink.is_empty() {
-                        window_trace[s] = sink.take_contents();
-                    }
+                    sink.take_into(&mut window_trace[s]);
                 }
                 cursors[s] = ReplayCursor::default();
+                gen_seqs[s].clear();
             }
-            debug_assert!(replay.is_empty());
-            for (k, tag) in batch.drain(..) {
-                replay.push(k.0, k.1, tag);
-            }
-            while let Some(((t, _seq), tag)) = replay.pop() {
-                sim.core.stats.events += 1;
-                let (parts, ev) = match tag {
-                    Tag::Single(s, ev) => ([Some(s), None], ev),
-                    Tag::Cross { snd, rcv, ev } => ([Some(snd), Some(rcv)], ev),
-                };
-                match ev {
-                    Event::TxDone { .. } => n_tx_done += 1,
-                    Event::Arrive { .. } => n_arrive += 1,
-                    Event::CreditWake { .. } => n_credit_wake += 1,
-                    Event::Retry { .. } => n_retry += 1,
-                    Event::Workload | Event::EpochTick => {
-                        unreachable!("global events never enter a window")
-                    }
-                }
-                for s in parts.into_iter().flatten() {
-                    let cur = &mut cursors[s];
-                    let sh = shards[s].as_ref().expect("shard at barrier");
-                    let CoreQueue::Window(w) = &sh.core.queue else {
-                        unreachable!("shard core in serial mode")
+            let mut prev_key: Option<(SimTime, u64, u8)> = None;
+            loop {
+                // Linear min-scan over at most `touched` stream heads.
+                let mut best: Option<(usize, (SimTime, u64, u8))> = None;
+                for &s in &touched {
+                    let w = shards[s].as_ref().expect("shard at barrier").wq_ref();
+                    let Some(rec) = w.execs.get(cursors[s].exec) else {
+                        continue;
                     };
-                    let rec = w.execs[cur.exec];
-                    cur.exec += 1;
-                    debug_assert_eq!(rec.t, t, "replay diverged from shard execution");
-                    if rec.trace_end > cur.trace {
-                        let tr = real_tracer
-                            .as_mut()
-                            .expect("trace bytes exist only when tracing");
-                        for line in
-                            window_trace[s][cur.trace as usize..rec.trace_end as usize].lines()
-                        {
-                            tr.write_line(line);
-                        }
-                        cur.trace = rec.trace_end;
+                    let true_seq = if rec.seq < watermark {
+                        rec.seq
+                    } else {
+                        gen_seqs[s][(rec.seq - watermark) as usize]
+                    };
+                    let key = (rec.t, true_seq, rec.half.rank());
+                    if best.map_or(true, |(_, bk)| key < bk) {
+                        best = Some((s, key));
                     }
-                    for i in cur.timeline..rec.timeline_end {
-                        sim.core
-                            .stats
-                            .timeline
-                            .push(sh.core.stats.timeline[i as usize]);
-                    }
-                    cur.timeline = rec.timeline_end;
-                    for i in cur.pkt..rec.pkt_free_end {
-                        sim.core.arena.free_slot(w.freed_packets[i as usize]);
-                    }
-                    cur.pkt = rec.pkt_free_end;
-                    for i in cur.msg..rec.msg_free_end {
-                        sim.core.msg_free.push(w.freed_messages[i as usize]);
-                    }
-                    cur.msg = rec.msg_free_end;
-                    for i in cur.gen..rec.gen_end {
-                        let g = w.gens[i as usize];
-                        let seq = next_seq;
-                        next_seq += 1;
-                        if g.at < wend {
-                            // Generated inside the window: already
-                            // executed locally; replay it here so its
-                            // own side effects land in serial order.
-                            replay.push(g.at, seq, Tag::Single(s, g.ev));
-                        } else {
-                            match g.ev {
-                                Event::Workload | Event::EpochTick => qcoord.push(g.at, seq, g.ev),
-                                _ => qlocal.push(g.at, seq, g.ev),
-                            }
-                        }
-                    }
-                    cur.gen = rec.gen_end;
                 }
+                let Some((s, key)) = best else { break };
+                debug_assert!(prev_key.map_or(true, |p| p < key), "merge went backwards");
+                prev_key = Some(key);
+                n_replay_events += 1;
+                let cur = cursors[s];
+                let sh = shards[s].as_ref().expect("shard at barrier");
+                let w = sh.wq_ref();
+                let rec = w.execs[cur.exec];
+                if rec.half.counts() {
+                    sim.core.stats.events += 1;
+                    n_window_events += 1;
+                    match rec.kind {
+                        KIND_TX_DONE => n_tx_done += 1,
+                        KIND_ARRIVE => n_arrive += 1,
+                        KIND_CREDIT_WAKE => n_credit_wake += 1,
+                        _ => n_retry += 1,
+                    }
+                }
+                if rec.trace_end > cur.trace {
+                    let tr = real_tracer
+                        .as_mut()
+                        .expect("trace bytes exist only when tracing");
+                    for line in
+                        window_trace[s][cur.trace as usize..rec.trace_end as usize].lines()
+                    {
+                        tr.write_line(line);
+                    }
+                }
+                for i in cur.timeline..rec.timeline_end {
+                    sim.core
+                        .stats
+                        .timeline
+                        .push(sh.core.stats.timeline[i as usize]);
+                }
+                for i in cur.pkt..rec.pkt_free_end {
+                    sim.core.arena.free_slot(w.freed_packets[i as usize]);
+                }
+                for i in cur.msg..rec.msg_free_end {
+                    sim.core.msg_free.push(w.freed_messages[i as usize]);
+                }
+                for i in cur.gen..rec.gen_end {
+                    let g = w.gens[i as usize];
+                    let seq = next_seq;
+                    next_seq += 1;
+                    if g.at < wend {
+                        // Generated and executed inside the window:
+                        // its own execution record merges later under
+                        // this sequence number.
+                        gen_seqs[s].push(seq);
+                    } else {
+                        match g.ev {
+                            Event::Workload | Event::EpochTick => qcoord.push(g.at, seq, g.ev),
+                            _ => qlocal.push(g.at, seq, g.ev),
+                        }
+                    }
+                }
+                cursors[s] = ReplayCursor {
+                    exec: cur.exec + 1,
+                    gen: rec.gen_end,
+                    pkt: rec.pkt_free_end,
+                    msg: rec.msg_free_end,
+                    timeline: rec.timeline_end,
+                    trace: rec.trace_end,
+                };
             }
-            for s in 0..nsh {
+            for &s in &touched {
                 let sh = shards[s].as_mut().expect("shard at barrier");
                 let cur = cursors[s];
                 {
-                    let CoreQueue::Window(w) = &sh.core.queue else {
-                        unreachable!("shard core in serial mode")
-                    };
-                    debug_assert_eq!(cur.exec, w.execs.len(), "unreplayed dispatches");
+                    let w = sh.wq_ref();
+                    debug_assert_eq!(cur.exec, w.execs.len(), "unmerged dispatches");
                     debug_assert_eq!(cur.gen as usize, w.gens.len(), "undelivered generations");
                     debug_assert_eq!(cur.pkt as usize, w.freed_packets.len(), "unapplied frees");
                     debug_assert_eq!(cur.msg as usize, w.freed_messages.len(), "unapplied frees");
@@ -733,7 +972,9 @@ pub(crate) fn run<S: TrafficSource>(
                 debug_assert_eq!(cur.timeline as usize, sh.core.stats.timeline.len());
                 sh.core.stats.timeline.clear();
                 sh.wq().end_window();
+                touched_flag[s] = false;
             }
+            touched.clear();
         }
 
         drop(work_tx);
@@ -767,6 +1008,13 @@ pub(crate) fn run<S: TrafficSource>(
     sim.core.inst.metrics.add(ids.ev_credit_wake, n_credit_wake);
     sim.core.inst.metrics.add(ids.ev_retry, n_retry);
     sim.core.inst.metrics.add(ids.ev_epoch_tick, n_epoch_tick);
+    // Window-shape diagnostics (never serialized; see module docs).
+    sim.core.inst.metrics.set(ids.par_windows, n_windows);
+    sim.core.inst.metrics.set(ids.par_window_events, n_window_events);
+    sim.core.inst.metrics.set(ids.par_replay_events, n_replay_events);
+    sim.core.inst.metrics.set(ids.par_cross_batches, n_cross_batches);
+    sim.core.inst.metrics.set(ids.par_cross_events, n_cross_events);
+    sim.core.inst.metrics.set(ids.par_lookahead_ps, floor_ps);
     if let Some(tr) = real_tracer {
         if let Some(sink) = &master_sink {
             debug_assert!(sink.is_empty(), "undrained master trace lines");

@@ -321,6 +321,13 @@ pub struct SimReport {
     /// controller-work numerator behind `BENCH_load.json`'s
     /// decisions-per-tick column.
     pub controller_decisions: u64,
+    /// Execution-strategy diagnostics, keyed by metric name — the
+    /// parallel engine's window counters (`par_windows`,
+    /// `par_window_events`, `par_replay_events`, `par_cross_batches`,
+    /// …). These vary with `EPNET_PAR` width and lookahead mode, so —
+    /// like [`phases`](Self::phases) — they are never serialized; the
+    /// serialized report stays byte-identical across engines.
+    pub diagnostics: BTreeMap<String, u64>,
 }
 
 impl Serialize for SimReport {
@@ -423,6 +430,7 @@ impl Deserialize for SimReport {
             phases: Vec::new(),
             epoch_ticks: 0,
             controller_decisions: 0,
+            diagnostics: BTreeMap::new(),
         })
     }
 }
@@ -625,6 +633,7 @@ mod tests {
             phases: Vec::new(),
             epoch_ticks: 0,
             controller_decisions: 0,
+            diagnostics: BTreeMap::new(),
         }
     }
 
@@ -697,6 +706,7 @@ mod tests {
         });
         r.epoch_ticks = 99;
         r.controller_decisions = 1234;
+        r.diagnostics.insert("par_windows".to_string(), 42);
         let v = r.to_value();
         assert!(v.get("metrics").is_some());
         assert!(
@@ -707,11 +717,16 @@ mod tests {
             v.get("epoch_ticks").is_none() && v.get("controller_decisions").is_none(),
             "mode-dependent controller-work counters must never be serialized"
         );
+        assert!(
+            v.get("diagnostics").is_none(),
+            "execution-strategy diagnostics must never be serialized"
+        );
         let back = SimReport::from_value(&v).unwrap();
         assert_eq!(back.metrics.get("events_workload"), Some(&7));
         assert!(back.phases.is_empty());
         assert_eq!(back.epoch_ticks, 0);
         assert_eq!(back.controller_decisions, 0);
+        assert!(back.diagnostics.is_empty());
 
         // Reports written before the metrics registry existed still
         // deserialize, with an empty map.

@@ -4,6 +4,14 @@
 //! dense [`CounterId`] so hot-path updates are a bounds-checked array
 //! add — no hashing, no string comparison. The final snapshot sorts
 //! by name so reports serialize deterministically.
+//!
+//! Metrics come in two visibility classes: regular entries feed the
+//! serialized report surface ([`MetricsRegistry::snapshot`]), while
+//! *diagnostic* entries ([`MetricsRegistry::diagnostic`]) describe how
+//! a run executed rather than what it simulated — e.g. the parallel
+//! engine's window counters, which vary with `EPNET_PAR` width and
+//! would break the byte-identical-report contract if serialized. They
+//! surface separately via [`MetricsRegistry::diagnostics_snapshot`].
 
 use std::collections::BTreeMap;
 
@@ -15,6 +23,8 @@ pub struct CounterId(u32);
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     entries: Vec<(String, u64)>,
+    /// Parallel to `entries`: whether each metric is diagnostic-only.
+    diag: Vec<bool>,
 }
 
 impl MetricsRegistry {
@@ -27,11 +37,23 @@ impl MetricsRegistry {
     /// by humans, so a duplicate registration is a programming error
     /// and panics rather than silently aliasing two call sites.
     pub fn counter(&mut self, name: &str) -> CounterId {
+        self.register(name, false)
+    }
+
+    /// Registers `name` as a diagnostic-only metric: excluded from
+    /// [`MetricsRegistry::snapshot`] (and therefore from serialized
+    /// reports), visible in [`MetricsRegistry::diagnostics_snapshot`].
+    pub fn diagnostic(&mut self, name: &str) -> CounterId {
+        self.register(name, true)
+    }
+
+    fn register(&mut self, name: &str, diagnostic: bool) -> CounterId {
         assert!(
             self.entries.iter().all(|(n, _)| n != name),
             "metric '{name}' registered twice"
         );
         self.entries.push((name.to_owned(), 0));
+        self.diag.push(diagnostic);
         CounterId(self.entries.len() as u32 - 1)
     }
 
@@ -71,9 +93,26 @@ impl MetricsRegistry {
         self.entries.is_empty()
     }
 
-    /// All metrics as a name-sorted map.
+    /// All report-surface metrics as a name-sorted map. Diagnostic
+    /// entries are excluded — they describe the execution strategy,
+    /// not the simulation, and must not reach serialized reports.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.entries.iter().cloned().collect()
+        self.entries
+            .iter()
+            .zip(&self.diag)
+            .filter(|(_, &d)| !d)
+            .map(|(e, _)| e.clone())
+            .collect()
+    }
+
+    /// All diagnostic metrics as a name-sorted map.
+    pub fn diagnostics_snapshot(&self) -> BTreeMap<String, u64> {
+        self.entries
+            .iter()
+            .zip(&self.diag)
+            .filter(|(_, &d)| d)
+            .map(|(e, _)| e.clone())
+            .collect()
     }
 
     /// Folds another registry with the *same registration sequence*
@@ -89,6 +128,10 @@ impl MetricsRegistry {
             self.entries.len(),
             other.entries.len(),
             "merging registries with different metric sets"
+        );
+        debug_assert_eq!(
+            self.diag, other.diag,
+            "merging registries with different diagnostic flags"
         );
         for (i, (name, value)) in other.entries.iter().enumerate() {
             debug_assert_eq!(
@@ -154,5 +197,27 @@ mod tests {
         let mut reg = MetricsRegistry::new();
         reg.counter("events_popped");
         reg.counter("events_popped");
+    }
+
+    #[test]
+    fn diagnostics_split_from_the_report_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("events");
+        let d = reg.diagnostic("par_windows");
+        reg.add(c, 3);
+        reg.set(d, 42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1, "diagnostics stay off the report surface");
+        assert_eq!(snap["events"], 3);
+        let diag = reg.diagnostics_snapshot();
+        assert_eq!(diag.len(), 1);
+        assert_eq!(diag["par_windows"], 42);
+        // Reads and merges treat both classes identically.
+        assert_eq!(reg.get(d), 42);
+        let mut other = MetricsRegistry::new();
+        other.counter("events");
+        other.diagnostic("par_windows");
+        other.merge_from(&reg, &[]);
+        assert_eq!(other.get(d), 42);
     }
 }

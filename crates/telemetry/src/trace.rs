@@ -177,6 +177,14 @@ impl MemorySink {
     pub fn take_contents(&self) -> String {
         std::mem::take(&mut *self.buf.lock().expect("trace buffer lock"))
     }
+
+    /// Drains the buffer into `out`, swapping storage so both the sink
+    /// and the caller's buffer keep their capacity — the allocation-free
+    /// form of [`MemorySink::take_contents`] for per-window draining.
+    pub fn take_into(&self, out: &mut String) {
+        out.clear();
+        std::mem::swap(&mut *self.buf.lock().expect("trace buffer lock"), out);
+    }
 }
 
 impl TraceSink for MemorySink {

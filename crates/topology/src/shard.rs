@@ -132,6 +132,20 @@ impl ShardMap {
     pub fn cross_channels(&self) -> usize {
         self.cross_channels
     }
+
+    /// Visits every cross-shard channel as
+    /// `(channel, sending shard, receiving shard)` — the census the
+    /// parallel engine folds per-channel arrival bounds over to build
+    /// its per-shard-pair lookahead matrix.
+    pub fn for_each_cross_channel(&self, mut f: impl FnMut(ChannelId, usize, usize)) {
+        for ch in 0..self.channel_shard.len() {
+            let snd = self.channel_shard[ch];
+            let rcv = self.target_shard[ch];
+            if snd != rcv {
+                f(ChannelId::new(ch as u32), snd as usize, rcv as usize);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +215,22 @@ mod tests {
             .filter(|&ch| map.is_cross_shard(ChannelId::new(ch as u32)))
             .count();
         assert_eq!(counted, map.cross_channels());
+    }
+
+    #[test]
+    fn cross_channel_census_visits_each_cross_channel_once() {
+        let f = fabric();
+        for width in [1usize, 2, 4, 8] {
+            let map = ShardMap::build(&f, width);
+            let mut visited = 0usize;
+            map.for_each_cross_channel(|ch, snd, rcv| {
+                visited += 1;
+                assert_ne!(snd, rcv);
+                assert_eq!(snd, map.channel_shard(ch));
+                assert_eq!(rcv, map.target_shard(ch));
+                assert!(map.is_cross_shard(ch));
+            });
+            assert_eq!(visited, map.cross_channels());
+        }
     }
 }

@@ -5,7 +5,8 @@
 # throughput scenario (rewrites BENCH_engine.json at the repo root),
 # one traced run validated against the documented trace schema plus a
 # line-identical EPNET_PAR=4 re-run of it, the scaling sweep with its
-# EPNET_PAR threads axis, and a rustdoc build with warnings denied.
+# EPNET_PAR threads axis and lookahead probe, and a rustdoc build with
+# warnings denied.
 #
 # Runs only the benchmarks whose names contain "smoke" — the full
 # grids live in `cargo bench -p epnet-bench --bench scheduler` and
@@ -60,7 +61,7 @@ test -s BENCH_scale.json || { echo "BENCH_scale.json missing" >&2; exit 1; }
 python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_scale.json"))
-assert doc["schema"] == "epnet-bench-scale/v2", doc["schema"]
+assert doc["schema"] == "epnet-bench-scale/v3", doc["schema"]
 assert doc["benches"], "no benches recorded"
 for b in doc["benches"]:
     for field in ("hosts", "channels", "events_per_sec",
@@ -77,6 +78,7 @@ for b in doc["benches"]:
 # single-core, where the axis measures determinism overhead instead).
 axis = doc["threads"]
 runs = axis["runs"]
+assert axis["hw_threads"] >= 1, "threads axis must report hw_threads"
 assert runs and runs[0]["threads"] == 0, "serial baseline must come first"
 assert len(runs) >= 2, "threads axis needs at least one parallel width"
 for r in runs:
@@ -84,7 +86,29 @@ for r in runs:
     print(f'{axis["point"]} threads={r["threads"]}: '
           f'{r["events_per_sec"]:.3e} events/s, '
           f'{r["speedup_vs_serial"]:.2f}x '
-          f'(host has {axis["hardware_threads"]} hw threads)')
+          f'(host has {axis["hw_threads"]} hw threads)')
+# The v3 lookahead probe: pairwise matrix vs the legacy global bound,
+# window-shape diagnostics recorded per mode. The pairwise matrix must
+# amortize each barrier over at least as many events as the global
+# bound (the >= 5x claim is asserted on the full paper-scale sweep in
+# EXPERIMENTS.md; the reduced smoke only checks shape and direction).
+la = doc["lookahead"]
+assert la["width"] >= 1, la
+modes = {m["mode"]: m for m in la["modes"]}
+assert set(modes) == {"pairwise", "global"}, sorted(modes)
+for name, m in modes.items():
+    for field in ("windows", "window_events", "mean_events_per_window",
+                  "replay_events", "cross_batches", "cross_events",
+                  "lookahead_ps"):
+        assert field in m, f'lookahead/{name}: missing {field}'
+    assert m["windows"] > 0, f'lookahead/{name}: zero windows'
+    print(f'{la["point"]} lookahead={name}: '
+          f'{m["mean_events_per_window"]:.1f} events/window, '
+          f'bound {m["lookahead_ps"]} ps')
+assert la["amortization_ratio"] >= 1.0, (
+    f'pairwise lookahead amortizes worse than the global bound: '
+    f'{la["amortization_ratio"]:.2f}x')
+print(f'{la["point"]} barrier amortization: {la["amortization_ratio"]:.2f}x')
 EOF
 
 # And the load sweep artifact: schema, plus the activity-proportional

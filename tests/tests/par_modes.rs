@@ -25,11 +25,15 @@ const WIDTHS: [&str; 4] = ["1", "2", "4", "8"];
 
 /// Reference-mode switches composed with the parallel axis. Each entry
 /// is (label, env var, reference value); `None` runs the defaults.
-const MODES: [Option<(&str, &str)>; 4] = [
+/// `EPNET_PAR_LOOKAHEAD=global` selects the legacy fabric-wide window
+/// bound instead of the pairwise matrix — different window shapes,
+/// same bytes.
+const MODES: [Option<(&str, &str)>; 5] = [
     None,
     Some(("EPNET_SCHED", "heap")),
     Some(("EPNET_ROUTES", "dynamic")),
     Some(("EPNET_EPOCH", "sweep")),
+    Some(("EPNET_PAR_LOOKAHEAD", "global")),
 ];
 
 /// One run on an FBFLY(c, k, n) with the dynamic-topology extension
@@ -72,8 +76,8 @@ fn assert_widths_agree(label: &str, f: impl Fn() -> String) {
 }
 
 /// The headline matrix: widths {1, 2, 4, 8} × reference modes
-/// {defaults, sched, routes, epoch} on the canonical FBFLY(2, 8, 2)
-/// bursty run with dynamic topology.
+/// {defaults, sched, routes, epoch, global lookahead} on the canonical
+/// FBFLY(2, 8, 2) bursty run with dynamic topology.
 #[test]
 fn parallel_reports_are_byte_identical_across_widths_and_modes() {
     let _guard = ENV_LOCK.lock().unwrap();
@@ -102,6 +106,88 @@ fn par_off_is_the_serial_engine() {
     let off = run_case(2, 4, 2, 0.1, 7);
     std::env::remove_var("EPNET_PAR");
     assert_eq!(serial, off, "EPNET_PAR=off diverged from unset");
+}
+
+/// A run with an explicit `SimConfig`, returning the serialized report
+/// plus the in-memory report — whose non-serialized `diagnostics` map
+/// records which engine actually executed the run.
+fn run_fallback_case(config: SimConfig, seed: u64) -> (String, SimReport) {
+    let fabric = FlattenedButterfly::new(2, 4, 2)
+        .expect("valid shape")
+        .build_fabric();
+    let horizon = SimTime::from_us(300);
+    let src = UniformRandom::builder(fabric.num_hosts() as u32)
+        .offered_load(0.1)
+        .seed(seed)
+        .horizon(horizon)
+        .build();
+    let mut sim = Simulator::new(fabric.clone(), config, src);
+    sim.enable_dynamic_topology(DynamicTopology::new(
+        &fabric,
+        DynamicTopologyConfig::default(),
+    ));
+    let report = sim.run_until(horizon);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    (json, report)
+}
+
+/// Asserts that `config` makes the parallel engine fall back to the
+/// serial loop: report bytes equal at every width, and the run is
+/// flagged `par_fallback_serial = 1` in the diagnostics.
+fn assert_falls_back(label: &str, config: &SimConfig) {
+    std::env::remove_var("EPNET_PAR");
+    let (serial, serial_report) = run_fallback_case(config.clone(), 13);
+    assert_eq!(
+        serial_report.diagnostics.get("par_fallback_serial"),
+        Some(&0),
+        "serial run must not set the fallback flag for {label}"
+    );
+    for width in WIDTHS {
+        std::env::set_var("EPNET_PAR", width);
+        let (parallel, parallel_report) = run_fallback_case(config.clone(), 13);
+        std::env::remove_var("EPNET_PAR");
+        assert_eq!(
+            serial, parallel,
+            "fallback report differs from serial at EPNET_PAR={width} for {label}"
+        );
+        assert_eq!(
+            parallel_report.diagnostics.get("par_fallback_serial"),
+            Some(&1),
+            "EPNET_PAR={width} must report the serial fallback for {label}"
+        );
+        assert_eq!(
+            parallel_report.diagnostics.get("par_windows"),
+            Some(&0),
+            "the fallback must not open coordinator windows for {label}"
+        );
+    }
+}
+
+/// Zero propagation delay collapses every lookahead bound to nothing:
+/// no conservative window can make progress, so the engine must run
+/// the serial loop and say so.
+#[test]
+fn zero_lookahead_falls_back_to_serial() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let config = SimConfig::builder()
+        .propagation(SimTime::ZERO, SimTime::ZERO)
+        .build();
+    assert_falls_back("zero propagation", &config);
+}
+
+/// A zero reactivation floor means a power-gated switch can wake
+/// instantaneously, which punctures the window bound the same way —
+/// serial fallback, byte-identical report. The epoch is pinned
+/// explicitly because `reactivation(t)` derives the default epoch from
+/// `t`.
+#[test]
+fn zero_reactivation_floor_falls_back_to_serial() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let config = SimConfig::builder()
+        .reactivation(SimTime::ZERO)
+        .epoch(SimTime::from_us(10))
+        .build();
+    assert_falls_back("zero reactivation floor", &config);
 }
 
 proptest! {
