@@ -17,15 +17,25 @@
 //! `<path>.par4`, and the merged trace stream must be **line-identical**
 //! to the serial trace — the sharded engine's replay step emits every
 //! worker's trace bytes in global event order, so even a one-line
-//! reordering is a coordinator bug. Only `routes` lines are exempt
-//! from the comparison: they carry wall-clock rebuild nanoseconds and
-//! per-shard tables rebuild independently (see `crates/sim/src/par.rs`
-//! module docs). The canonical scenario emits none mid-run, but the
-//! filter keeps the contract precise rather than incidental.
+//! reordering is a coordinator bug. Only the execution-shape categories
+//! are exempt from the comparison: `routes` lines carry wall-clock
+//! rebuild nanoseconds (and per-shard tables rebuild independently),
+//! and `parallel` lines exist only under `EPNET_PAR` (see
+//! `crates/sim/src/par.rs` module docs). The canonical scenario emits
+//! no mid-run routes lines, but the filter keeps the contract precise
+//! rather than incidental.
+//!
+//! Finally the chrome-trace exporter runs over both captures: the full
+//! serial export must be well-formed JSON whose per-category record
+//! counts match the source `TraceStats` (written to `<path>.chrome.json`
+//! for loading into Perfetto), and the behavior-only streams (shape
+//! categories stripped) of the serial and `EPNET_PAR=4` captures must
+//! export to byte-identical JSON.
 
-use epnet_bench::enginebench::{canonical_simulator, HORIZON};
+use epnet_bench::enginebench::{canonical_layout, canonical_simulator, HORIZON};
 use epnet_sim::{TraceCategory, Tracer};
-use epnet_telemetry::{summary, validate_jsonl, FileSink};
+use epnet_telemetry::export::{behavior_records, chrome_trace};
+use epnet_telemetry::{parse_jsonl, summary, validate_jsonl, FileSink};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -120,13 +130,15 @@ fn main() -> ExitCode {
         eprintln!("EPNET_PAR=4 report diverged from serial");
         return ExitCode::FAILURE;
     }
-    fn wallclock_free(t: &str) -> Vec<&str> {
+    fn behavior_lines(t: &str) -> Vec<&str> {
         t.lines()
-            .filter(|l| !l.contains("\"cat\":\"routes\""))
+            .filter(|l| {
+                !l.contains("\"cat\":\"routes\"") && !l.contains("\"cat\":\"parallel\"")
+            })
             .collect()
     }
-    let serial_lines = wallclock_free(&text);
-    let par_lines = wallclock_free(&par_text);
+    let serial_lines = behavior_lines(&text);
+    let par_lines = behavior_lines(&par_text);
     if serial_lines != par_lines {
         let diverge = serial_lines
             .iter()
@@ -145,6 +157,82 @@ fn main() -> ExitCode {
         "{par_path}: EPNET_PAR=4 trace line-identical to serial ({} lines)",
         par_lines.len()
     );
+    // The parallel run must actually exercise the new category — a
+    // silent emitter regression would otherwise pass the filter above.
+    if !par_text.contains("\"cat\":\"parallel\"") {
+        eprintln!("EPNET_PAR=4 run emitted no 'parallel' records — emitter regression?");
+        return ExitCode::FAILURE;
+    }
+
+    // ---- chrome-trace export checks ----
+    // Full serial export: well-formed JSON, and the per-category record
+    // counts embedded by the exporter must match the source TraceStats
+    // exactly — an export that silently drops records fails here.
+    let layout = canonical_layout();
+    let serial_records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let export = chrome_trace(&serial_records, Some(layout));
+    let doc: serde_json::Value = match serde_json::from_str(&export.json) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("chrome-trace export is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n_events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_seq)
+        .map_or(0, Vec::len);
+    if n_events != export.trace_events + export.metadata_events {
+        eprintln!(
+            "chrome-trace export event count mismatch: {} in JSON vs {} + {} reported",
+            n_events, export.trace_events, export.metadata_events
+        );
+        return ExitCode::FAILURE;
+    }
+    for cat in TraceCategory::ALL {
+        let want = stats.count(cat);
+        let got = export.records.get(cat.name()).copied().unwrap_or(0);
+        if want != got {
+            eprintln!(
+                "chrome-trace export consumed {got} '{}' records, TraceStats says {want}",
+                cat.name()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let chrome_path = format!("{path}.chrome.json");
+    if let Err(e) = std::fs::write(&chrome_path, &export.json) {
+        eprintln!("cannot write {chrome_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{chrome_path}: {} trace events + {} metadata events, counts match TraceStats",
+        export.trace_events, export.metadata_events
+    );
+
+    // Behavior-only streams (shape categories stripped) of the serial
+    // and parallel captures must export to byte-identical JSON — the
+    // export-level form of the line-identity contract.
+    let par_records = match parse_jsonl(&par_text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{par_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serial_export = chrome_trace(&behavior_records(&serial_records), Some(layout));
+    let par_export = chrome_trace(&behavior_records(&par_records), Some(layout));
+    if serial_export.json != par_export.json {
+        eprintln!("EPNET_PAR=4 behavior-only chrome-trace export diverged from serial");
+        return ExitCode::FAILURE;
+    }
+    println!("serial and EPNET_PAR=4 behavior-only exports byte-identical");
 
     summary::eprint_summary("tracesmoke", start.elapsed().as_secs_f64());
     ExitCode::SUCCESS

@@ -1,8 +1,11 @@
-//! CSV export of reproduction results, for plotting with external
-//! tools (gnuplot, matplotlib, a spreadsheet).
+//! CSV export of reproduction results and trace analyses, for
+//! plotting with external tools (gnuplot, matplotlib, a spreadsheet).
 
 use epnet::exp::figures::{Figure7, Figure8, Figure9aCell, Figure9bCell};
 use epnet_power::RATE_LADDER;
+use epnet_report::analysis::{
+    ChurnRow, CreditStallRow, OutcomeRow, RateResidency, ReactivationStats,
+};
 use std::fmt::Write as _;
 
 /// Figure 7 as CSV: `speed_gbps,paired,independent`.
@@ -58,6 +61,62 @@ pub fn figure9b_csv(cells: &[Figure9bCell]) -> String {
     s
 }
 
+/// Trace residency as CSV: `rate,fraction`.
+pub fn residency_csv(r: &RateResidency) -> String {
+    let mut s = String::from("rate,fraction\n");
+    for row in &r.rows {
+        let _ = writeln!(s, "{},{:.9}", row.rate, row.fraction);
+    }
+    s
+}
+
+/// Trace churn as CSV:
+/// `channel,decisions,transitions,upshifts,downshifts,reversals`.
+pub fn churn_csv(rows: &[ChurnRow]) -> String {
+    let mut s = String::from("channel,decisions,transitions,upshifts,downshifts,reversals\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{}",
+            r.channel, r.decisions, r.transitions, r.upshifts, r.downshifts, r.reversals
+        );
+    }
+    s
+}
+
+/// Reactivation-latency distribution as CSV (one data row):
+/// `count,unmatched,min_ps,p50_ps,p90_ps,p99_ps,max_ps,mean_ps`.
+pub fn reactivation_csv(s: &ReactivationStats) -> String {
+    format!(
+        "count,unmatched,min_ps,p50_ps,p90_ps,p99_ps,max_ps,mean_ps\n\
+         {},{},{},{},{},{},{},{}\n",
+        s.count, s.unmatched, s.min_ps, s.p50_ps, s.p90_ps, s.p99_ps, s.max_ps, s.mean_ps
+    )
+}
+
+/// Credit-stall attribution as CSV:
+/// `channel,stalls,total_ps,max_ps,unmatched`.
+pub fn credit_csv(rows: &[CreditStallRow]) -> String {
+    let mut s = String::from("channel,stalls,total_ps,max_ps,unmatched\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{}",
+            r.channel, r.stalls, r.total_ps, r.max_ps, r.unmatched
+        );
+    }
+    s
+}
+
+/// Controller outcome breakdown as CSV: `reason,count,share`.
+pub fn outcomes_csv(rows: &[OutcomeRow]) -> String {
+    let mut s = String::from("reason,count,share\n");
+    for r in rows {
+        let _ = writeln!(s, "{},{},{:.9}", r.reason, r.count, r.share);
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +148,66 @@ mod tests {
             added_latency_us: 26.7,
         }];
         assert!(figure9b_csv(&b).contains("Advert,1000,26.700"));
+    }
+
+    #[test]
+    fn analysis_csvs_have_pinned_headers_and_row_shapes() {
+        let res = RateResidency {
+            rows: vec![epnet_report::analysis::ResidencyRow {
+                rate: "40 Gb/s".into(),
+                fraction: 0.25,
+            }],
+            channels: 3,
+            horizon_ps: 1_000,
+        };
+        let csv = residency_csv(&res);
+        assert!(csv.starts_with("rate,fraction\n"));
+        assert!(csv.contains("40 Gb/s,0.250000000"));
+
+        let churn = vec![ChurnRow {
+            channel: 7,
+            decisions: 10,
+            transitions: 4,
+            upshifts: 2,
+            downshifts: 2,
+            reversals: 3,
+        }];
+        let csv = churn_csv(&churn);
+        assert!(csv.starts_with("channel,decisions,transitions,upshifts,downshifts,reversals\n"));
+        assert!(csv.contains("7,10,4,2,2,3"));
+
+        let stats = ReactivationStats {
+            count: 5,
+            unmatched: 1,
+            min_ps: 10,
+            max_ps: 90,
+            mean_ps: 50,
+            p50_ps: 45,
+            p90_ps: 85,
+            p99_ps: 90,
+        };
+        let csv = reactivation_csv(&stats);
+        assert_eq!(csv.lines().count(), 2, "header + one data row");
+        assert!(csv.contains("5,1,10,45,85,90,90,50"));
+
+        let credit = vec![CreditStallRow {
+            channel: 2,
+            stalls: 3,
+            unmatched: 0,
+            total_ps: 600,
+            max_ps: 400,
+        }];
+        let csv = credit_csv(&credit);
+        assert!(csv.starts_with("channel,stalls,total_ps,max_ps,unmatched\n"));
+        assert!(csv.contains("2,3,600,400,0"));
+
+        let out = vec![OutcomeRow {
+            reason: "hold".into(),
+            count: 9,
+            share: 0.9,
+        }];
+        let csv = outcomes_csv(&out);
+        assert!(csv.starts_with("reason,count,share\n"));
+        assert!(csv.contains("hold,9,0.900000000"));
     }
 }

@@ -54,6 +54,17 @@ pub fn canonical_simulator() -> Simulator<CanonicalSource> {
     sim
 }
 
+/// The canonical fabric's positional channel layout, for grouping
+/// chrome-trace channel tracks by switch (FBFLY(2,8,2): 16 host
+/// injection channels, then 9 output channels per switch).
+pub fn canonical_layout() -> epnet_telemetry::TrackLayout {
+    let spec = FlattenedButterfly::new(2, 8, 2).expect("fixed canonical shape");
+    epnet_telemetry::TrackLayout {
+        hosts: spec.num_hosts() as u32,
+        ports_per_switch: u32::from(spec.ports_per_switch()),
+    }
+}
+
 /// One measured run of the canonical scenario.
 #[derive(Debug, Clone)]
 pub struct EngineRun {

@@ -2,11 +2,12 @@
 //!
 //! Everything the hot path needs is condensed into one cached bitmask
 //! check ([`Instruments::on`]) so a run without `EPNET_TRACE` pays a
-//! single predictable branch per potential trace point. The metrics
-//! registry is always on — its counters are plain array adds and feed
-//! `SimReport.metrics` unconditionally — while trace emission and the
-//! wall-clock profiler only spend effort when enabled or at run
-//! granularity.
+//! single predictable branch per potential trace point — including the
+//! parallel engine's per-window `parallel` records, whose emitter is
+//! guarded by the same mask. The metrics registry is always on — its
+//! counters are plain array adds and feed `SimReport.metrics`
+//! unconditionally — while trace emission and the wall-clock profiler
+//! only spend effort when enabled or at run granularity.
 
 use epnet_telemetry::{CounterId, MetricsRegistry, Profiler, TraceCategory, Tracer};
 

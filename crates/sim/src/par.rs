@@ -77,6 +77,12 @@
 //!   serial runs; under a dynamic link mask each shard also rebuilds
 //!   (and traces) its own table. These lines are exempt from the
 //!   byte-identical trace contract.
+//! * Window-shape trace lines (`category: parallel`) — one per
+//!   coordinator window, emitted at the barrier with the window's span
+//!   and event/replay/cross-batch counts — describe *how* the run
+//!   executed, not what the network did: serial runs emit none and the
+//!   records vary with width and lookahead mode, so the category
+//!   shares the `routes` exemption.
 //! * A configuration with a zero minimum propagation delay (no
 //!   lookahead) or a zero reactivation latency (the master's
 //!   epoch-phase `try_tx` must never reach the serialization path,
@@ -683,6 +689,16 @@ pub(crate) fn run<S: TrafficSource>(
 
             // ---- window ----
             n_windows += 1;
+            // Window-start time and counter snapshots for the
+            // per-window `parallel` trace record emitted at the
+            // barrier (deltas of the running totals).
+            let wstart = next.0;
+            let (ev0, rp0, cb0, ce0) = (
+                n_window_events,
+                n_replay_events,
+                n_cross_batches,
+                n_cross_events,
+            );
             let watermark = next_seq;
             // The window bound starts at the next coordinator event /
             // horizon and tightens greedily as the pop loop touches
@@ -973,6 +989,22 @@ pub(crate) fn run<S: TrafficSource>(
                 sh.core.stats.timeline.clear();
                 sh.wq().end_window();
                 touched_flag[s] = false;
+            }
+            // One `parallel` trace record per window, written after
+            // the window's replayed lines (all of which carry times
+            // below `wend`, so the merged trace stays time-monotone).
+            // The emitter's own mask check keeps the masked-out path
+            // one branch; serial runs never reach this code at all.
+            if let Some(tr) = real_tracer.as_mut() {
+                tr.parallel_window(
+                    wend.min(end).as_ps(),
+                    wstart.as_ps(),
+                    touched.len() as u32,
+                    n_window_events - ev0,
+                    n_replay_events - rp0,
+                    n_cross_batches - cb0,
+                    n_cross_events - ce0,
+                );
             }
             touched.clear();
         }

@@ -18,19 +18,23 @@
 //!   finalization.
 //!
 //! [`schema`] validates trace files against the documented per-category
-//! key sets (see DESIGN.md "Observability"), and [`summary`] renders
-//! the one-line end-of-run summary the CLI and bench binaries print to
-//! stderr unless `EPNET_QUIET=1`.
+//! key sets (see DESIGN.md "Observability"), [`export`] converts parsed
+//! traces to the Chrome Trace Event / Perfetto JSON format for
+//! interactive viewing, and [`summary`] renders the one-line end-of-run
+//! summary the CLI and bench binaries print to stderr unless
+//! `EPNET_QUIET=1`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod export;
 pub mod metrics;
 pub mod profile;
 pub mod schema;
 pub mod summary;
 pub mod trace;
 
+pub use export::{chrome_trace, chrome_trace_from_jsonl, ChromeTrace, TrackLayout};
 pub use metrics::{CounterId, MetricsRegistry};
 pub use profile::{Phase, PhaseTimer, Profiler};
 pub use schema::{parse_jsonl, validate_jsonl, TraceRecord, TraceStats};

@@ -132,6 +132,45 @@ mod tests {
     }
 
     #[test]
+    fn wall_ms_is_fractional_milliseconds() {
+        let p = Phase {
+            name: "x",
+            wall_ns: 1_234_567,
+        };
+        assert!((p.wall_ms() - 1.234567).abs() < 1e-12);
+        assert_eq!(
+            Phase {
+                name: "x",
+                wall_ns: 0
+            }
+            .wall_ms(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn accumulation_saturates_instead_of_wrapping() {
+        let mut prof = Profiler::new();
+        // A duration whose nanosecond count exceeds u64 clamps on
+        // entry, and further accumulation pins at the ceiling.
+        prof.record("big", Duration::from_secs(u64::MAX));
+        assert_eq!(prof.phases()[0].wall_ns, u64::MAX);
+        prof.record("big", Duration::from_nanos(1));
+        assert_eq!(prof.phases()[0].wall_ns, u64::MAX);
+    }
+
+    #[test]
+    fn into_phases_yields_first_use_order() {
+        let mut prof = Profiler::new();
+        prof.record("c", Duration::from_nanos(3));
+        prof.record("a", Duration::from_nanos(1));
+        prof.record("b", Duration::from_nanos(2));
+        let phases = prof.into_phases();
+        let names: Vec<&str> = phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["c", "a", "b"], "order is chronology, not sorted");
+    }
+
+    #[test]
     fn formatting_is_stable() {
         let phases = vec![
             Phase {

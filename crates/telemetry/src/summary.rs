@@ -56,7 +56,14 @@ pub fn totals() -> RunTotals {
 
 /// Whether `EPNET_QUIET=1` suppresses the stderr summary.
 pub fn quiet() -> bool {
-    matches!(std::env::var("EPNET_QUIET").ok().as_deref(), Some(v) if !v.is_empty() && v != "0")
+    quiet_value(std::env::var("EPNET_QUIET").ok().as_deref())
+}
+
+/// Pure form of [`quiet`]: any non-empty value other than `0` means
+/// quiet. Split out so the parse is testable without mutating the
+/// process environment.
+fn quiet_value(var: Option<&str>) -> bool {
+    matches!(var, Some(v) if !v.is_empty() && v != "0")
 }
 
 /// Renders the one-line summary.
@@ -129,6 +136,15 @@ mod tests {
     }
 
     #[test]
+    fn quiet_accepts_any_nonzero_nonempty_value() {
+        assert!(!quiet_value(None));
+        assert!(!quiet_value(Some("")));
+        assert!(!quiet_value(Some("0")));
+        assert!(quiet_value(Some("1")));
+        assert!(quiet_value(Some("true")));
+    }
+
+    #[test]
     fn accumulator_merges_runs_and_phases() {
         // Totals are process-global; this is the only test in this
         // crate that touches them, so no lock juggling is needed.
@@ -161,6 +177,12 @@ mod tests {
         assert_eq!(t.events, 30);
         assert_eq!(t.phases.len(), 2);
         assert_eq!(t.phases[0].wall_ns, 12);
+        // Byte/event totals saturate rather than wrap when a sweep
+        // overflows u64.
+        record_run(u64::MAX, u64::MAX, &[]);
+        let t = totals();
+        assert_eq!(t.delivered_bytes, u64::MAX);
+        assert_eq!(t.events, u64::MAX);
         reset();
         assert_eq!(totals().runs, 0);
     }

@@ -33,16 +33,24 @@ pub enum TraceCategory {
     Routes,
     /// Adaptive-routing (UGAL) detours chosen over the minimal path.
     Detour,
+    /// Parallel-engine execution shape (`EPNET_PAR`): one record per
+    /// coordinator lookahead window, carrying the window span and its
+    /// event / replay / cross-shard batch counts. Serial runs emit
+    /// none, and the records vary with the worker width, so — like
+    /// `routes` — the category is exempt from the serial↔parallel
+    /// trace byte-identity contract.
+    Parallel,
 }
 
 impl TraceCategory {
     /// Every category, in mask-bit order.
-    pub const ALL: [TraceCategory; 5] = [
+    pub const ALL: [TraceCategory; 6] = [
         TraceCategory::Controller,
         TraceCategory::Reactivation,
         TraceCategory::Credit,
         TraceCategory::Routes,
         TraceCategory::Detour,
+        TraceCategory::Parallel,
     ];
 
     /// Mask with every category enabled.
@@ -63,6 +71,7 @@ impl TraceCategory {
             TraceCategory::Credit => "credit",
             TraceCategory::Routes => "routes",
             TraceCategory::Detour => "detour",
+            TraceCategory::Parallel => "parallel",
         }
     }
 
@@ -70,29 +79,50 @@ impl TraceCategory {
     pub fn from_name(name: &str) -> Option<TraceCategory> {
         Self::ALL.into_iter().find(|c| c.name() == name)
     }
+
+    /// Every valid category name, comma-separated — the vocabulary
+    /// quoted by [`parse_filter`]'s error message.
+    pub fn name_list() -> String {
+        Self::ALL
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 /// Parses a comma-separated `EPNET_TRACE_FILTER` value into a mask.
 ///
 /// Whitespace around entries is ignored; an empty string (or only
-/// separators) means "everything". Unknown names are reported on
-/// stderr and skipped rather than silently widening or narrowing the
-/// filter.
-pub fn parse_filter(filter: &str) -> u32 {
+/// separators) means "everything".
+///
+/// # Errors
+///
+/// An unknown name is rejected with a message naming the offender and
+/// listing every valid category — a typo must fail loudly rather than
+/// silently narrowing the filter and producing a trace that is missing
+/// the categories the user asked for.
+pub fn parse_filter(filter: &str) -> Result<u32, String> {
     let mut mask = 0u32;
     let mut saw_any = false;
     for part in filter.split(',').map(str::trim).filter(|p| !p.is_empty()) {
         saw_any = true;
         match TraceCategory::from_name(part) {
             Some(cat) => mask |= cat.bit(),
-            None => eprintln!("epnet-telemetry: unknown trace category '{part}' ignored"),
+            None => {
+                return Err(format!(
+                    "unknown trace category '{part}' in EPNET_TRACE_FILTER; \
+                     valid categories: {}",
+                    TraceCategory::name_list()
+                ))
+            }
         }
     }
-    if saw_any {
+    Ok(if saw_any {
         mask
     } else {
         TraceCategory::ALL_MASK
-    }
+    })
 }
 
 /// Destination for rendered trace lines (no trailing newline).
@@ -220,12 +250,20 @@ impl Tracer {
     /// `EPNET_TRACE_FILTER` (category list; absent means all).
     ///
     /// Returns `None` when tracing is not requested; an unwritable
-    /// path is reported on stderr and also yields `None` so a bad
-    /// trace destination never aborts a run.
+    /// path or an unknown filter name is reported on stderr and also
+    /// yields `None` so a bad trace configuration never aborts a run —
+    /// but a bad filter disables tracing entirely instead of silently
+    /// producing a trace missing the asked-for categories.
     pub fn from_env() -> Option<Tracer> {
         let path = std::env::var("EPNET_TRACE").ok().filter(|p| !p.is_empty())?;
         let mask = match std::env::var("EPNET_TRACE_FILTER") {
-            Ok(filter) => parse_filter(&filter),
+            Ok(filter) => match parse_filter(&filter) {
+                Ok(mask) => mask,
+                Err(e) => {
+                    eprintln!("epnet-telemetry: {e}");
+                    return None;
+                }
+            },
             Err(_) => TraceCategory::ALL_MASK,
         };
         match FileSink::create(&path) {
@@ -351,6 +389,38 @@ impl Tracer {
         );
     }
 
+    /// Records one parallel-engine lookahead window, emitted at the
+    /// window's barrier: `at_ps` is the window's (exclusive) close,
+    /// `start_ps` the time of its first event, and the counters cover
+    /// only this window — shards touched, events executed, merge
+    /// records walked, cross-shard batches and the arrivals they
+    /// carried. Emitted at close time so a merged parallel trace stays
+    /// time-monotone.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_window(
+        &mut self,
+        at_ps: u64,
+        start_ps: u64,
+        shards: u32,
+        events: u64,
+        replay_events: u64,
+        cross_batches: u64,
+        cross_events: u64,
+    ) {
+        self.emit(
+            TraceCategory::Parallel,
+            at_ps,
+            vec![
+                ("start_ps".into(), Value::U64(start_ps)),
+                ("shards".into(), Value::U64(shards as u64)),
+                ("events".into(), Value::U64(events)),
+                ("replay_events".into(), Value::U64(replay_events)),
+                ("cross_batches".into(), Value::U64(cross_batches)),
+                ("cross_events".into(), Value::U64(cross_events)),
+            ],
+        );
+    }
+
     /// Records an adaptive-routing detour: the switch where it was
     /// taken, the output port chosen, and the occupancies that tipped
     /// the UGAL comparison.
@@ -381,19 +451,34 @@ mod tests {
 
     #[test]
     fn filter_parsing_covers_names_blanks_and_unknowns() {
-        assert_eq!(parse_filter(""), TraceCategory::ALL_MASK);
-        assert_eq!(parse_filter(" , ,"), TraceCategory::ALL_MASK);
+        assert_eq!(parse_filter(""), Ok(TraceCategory::ALL_MASK));
+        assert_eq!(parse_filter(" , ,"), Ok(TraceCategory::ALL_MASK));
         assert_eq!(
             parse_filter("controller"),
-            TraceCategory::Controller.bit()
+            Ok(TraceCategory::Controller.bit())
         );
         assert_eq!(
             parse_filter("controller, reactivation"),
-            TraceCategory::Controller.bit() | TraceCategory::Reactivation.bit()
+            Ok(TraceCategory::Controller.bit() | TraceCategory::Reactivation.bit())
         );
-        // Unknown names are dropped, not treated as "everything".
-        assert_eq!(parse_filter("bogus,credit"), TraceCategory::Credit.bit());
-        assert_eq!(parse_filter("bogus"), 0);
+        assert_eq!(parse_filter("parallel"), Ok(TraceCategory::Parallel.bit()));
+    }
+
+    /// An unknown name must be rejected with a message naming the
+    /// offender and the full valid vocabulary — pinned exactly so the
+    /// error stays useful.
+    #[test]
+    fn filter_parsing_rejects_unknown_names_listing_the_vocabulary() {
+        let err = parse_filter("bogus").unwrap_err();
+        assert_eq!(
+            err,
+            "unknown trace category 'bogus' in EPNET_TRACE_FILTER; valid categories: \
+             controller, reactivation, credit, routes, detour, parallel"
+        );
+        // Valid names before the offender don't rescue the parse, and
+        // case matters (names are stable lowercase identifiers).
+        assert!(parse_filter("credit,bogus").is_err());
+        assert!(parse_filter("Controller").is_err());
     }
 
     #[test]
@@ -426,8 +511,9 @@ mod tests {
         tracer.credit(3, 7, "block", 2048, 100);
         tracer.routes(4, 2, 1234, 512);
         tracer.detour(5, 3, 1, 4, 9);
+        tracer.parallel_window(6, 2, 3, 40, 44, 2, 5);
         let text = sink.contents();
-        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text.lines().count(), 7);
         for line in text.lines() {
             let v: serde::Value = serde_json::from_str(line).expect("line parses");
             assert!(v.get("at_ps").and_then(serde::Value::as_u64).is_some());

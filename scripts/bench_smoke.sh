@@ -4,9 +4,10 @@
 # sensitivity sweep at 1 and 4 worker threads, the canonical engine
 # throughput scenario (rewrites BENCH_engine.json at the repo root),
 # one traced run validated against the documented trace schema plus a
-# line-identical EPNET_PAR=4 re-run of it, the scaling sweep with its
-# EPNET_PAR threads axis and lookahead probe, and a rustdoc build with
-# warnings denied.
+# line-identical EPNET_PAR=4 re-run of it, a Perfetto export and
+# trace-analysis smoke over that capture (CSV headers pinned), the
+# scaling sweep with its EPNET_PAR threads axis and lookahead probe,
+# and a rustdoc build with warnings denied.
 #
 # Runs only the benchmarks whose names contain "smoke" — the full
 # grids live in `cargo bench -p epnet-bench --bench scheduler` and
@@ -24,8 +25,49 @@ cargo bench --offline -p epnet-bench --bench engine -- smoke
 # present. The bin then re-runs the scenario under EPNET_PAR=4 and
 # exits non-zero unless the merged parallel trace is line-identical to
 # the serial one (the reduced parallel-determinism check; the full
-# width × mode matrix lives in tests/tests/par_modes.rs).
+# width × mode matrix lives in tests/tests/par_modes.rs), and finishes
+# by chrome-trace-exporting both captures: counts must match the
+# TraceStats and the behavior-only exports must be byte-identical.
 cargo run --offline --release -p epnet-bench --bin tracesmoke -- target/tracesmoke.jsonl
+
+# Export + analysis smoke over the trace the canonical run just wrote:
+# convert it to the Perfetto-loadable chrome-trace form with the
+# canonical track layout (FBFLY(2,8,2): 16 hosts, 9 ports/switch), run
+# every analysis command, and pin the CSV headers downstream plots key
+# on. Table forms run too, so a formatter panic fails the smoke.
+cargo run --offline --release -p epnet-bench --bin tracetool -- \
+    export target/tracesmoke.jsonl target/tracesmoke.perfetto.json --layout 16,9
+test -s target/tracesmoke.perfetto.json || { echo "perfetto export missing" >&2; exit 1; }
+for cmd in residency churn reactivation credit outcomes; do
+    cargo run --offline --release -p epnet-bench --bin tracetool -- \
+        "$cmd" target/tracesmoke.jsonl --csv > "target/trace_${cmd}.csv"
+    cargo run --offline --release -p epnet-bench --bin tracetool -- \
+        "$cmd" target/tracesmoke.jsonl > /dev/null
+done
+python3 - <<'EOF'
+import json
+doc = json.load(open("target/tracesmoke.perfetto.json"))
+events = doc["traceEvents"]
+stats = doc["epnet"]
+assert len(events) == stats["trace_events"] + stats["metadata_events"], (
+    len(events), stats)
+assert sum(stats["records"].values()) > 0, "export consumed no records"
+print(f'perfetto export: {len(events)} events from '
+      f'{sum(stats["records"].values())} records '
+      f'({", ".join(f"{k}={v}" for k, v in stats["records"].items())})')
+headers = {
+    "residency": "rate,fraction",
+    "churn": "channel,decisions,transitions,upshifts,downshifts,reversals",
+    "reactivation": "count,unmatched,min_ps,p50_ps,p90_ps,p99_ps,max_ps,mean_ps",
+    "credit": "channel,stalls,total_ps,max_ps,unmatched",
+    "outcomes": "reason,count,share",
+}
+for cmd, header in headers.items():
+    with open(f"target/trace_{cmd}.csv") as f:
+        first = f.readline().strip()
+    assert first == header, f"{cmd}: header {first!r} != {header!r}"
+    print(f"trace_{cmd}.csv: header ok")
+EOF
 
 # Reduced topology-scaling sweep under the counting allocator (rewrites
 # BENCH_scale.json at the repo root), plus the EPNET_PAR threads axis

@@ -9,8 +9,10 @@
 use epnet::exp::sweep::SensitivitySweep;
 use epnet::exp::{EvalScale, WorkloadKind};
 use epnet::sim::{Backend, MemorySink, Scheduler, SimTime, TraceCategory, Tracer};
-use epnet_bench::{enginebench, loadbench};
-use epnet_telemetry::validate_jsonl;
+use epnet_bench::{csv, enginebench, loadbench};
+use epnet_report::analysis;
+use epnet_telemetry::export::chrome_trace;
+use epnet_telemetry::{parse_jsonl, validate_jsonl};
 
 /// SplitMix64, matching the generator in benches/scheduler.rs.
 struct Mix(u64);
@@ -132,6 +134,10 @@ fn load_bench_document_is_well_formed_and_activity_bounded() {
 /// categories this scenario is guaranteed to exercise must be present.
 /// This is the in-process twin of `tracesmoke` in
 /// `scripts/bench_smoke.sh` — it fails on any emitter/validator drift.
+/// It then mirrors the script's export + analysis smoke in-process:
+/// the chrome-trace export must be well-formed JSON whose event and
+/// per-category record counts match the source `TraceStats`, and every
+/// analysis CSV must reproduce its pinned header over the real capture.
 #[test]
 fn traced_canonical_run_matches_documented_schema() {
     let mut sim = enginebench::canonical_simulator();
@@ -140,8 +146,57 @@ fn traced_canonical_run_matches_documented_schema() {
     let report = sim.run_until(enginebench::HORIZON);
     assert!(report.events_processed > 0);
 
-    let stats = validate_jsonl(&sink.contents()).expect("trace matches documented schema");
+    let text = sink.contents();
+    let stats = validate_jsonl(&text).expect("trace matches documented schema");
     assert!(stats.lines > 0);
     assert!(stats.count(TraceCategory::Controller) > 0, "epoch decisions");
     assert!(stats.count(TraceCategory::Reactivation) > 0, "rate changes");
+
+    // Chrome-trace export twin: valid JSON, event count equals the
+    // exporter's own tally, and no record silently dropped per category.
+    let records = parse_jsonl(&text).expect("trace parses into records");
+    let export = chrome_trace(&records, Some(enginebench::canonical_layout()));
+    let doc: serde_json::Value =
+        serde_json::from_str(&export.json).expect("chrome-trace export is valid JSON");
+    let n_events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_seq)
+        .map_or(0, Vec::len);
+    assert_eq!(n_events, export.trace_events + export.metadata_events);
+    for cat in TraceCategory::ALL {
+        assert_eq!(
+            export.records.get(cat.name()).copied().unwrap_or(0),
+            stats.count(cat),
+            "export consumed a different number of '{}' records",
+            cat.name()
+        );
+    }
+
+    // Analysis twin: every CSV form runs over the real capture and
+    // leads with the header the smoke script (and downstream plots)
+    // key on; residency fractions must cover the whole horizon.
+    let residency = analysis::residency(&records);
+    let total: f64 = residency.rows.iter().map(|r| r.fraction).sum();
+    assert!((total - 1.0).abs() < 1e-9, "residency sums to {total}");
+    for (csv_text, header) in [
+        (csv::residency_csv(&residency), "rate,fraction"),
+        (
+            csv::churn_csv(&analysis::churn(&records)),
+            "channel,decisions,transitions,upshifts,downshifts,reversals",
+        ),
+        (
+            csv::reactivation_csv(&analysis::reactivation_latency(&records)),
+            "count,unmatched,min_ps,p50_ps,p90_ps,p99_ps,max_ps,mean_ps",
+        ),
+        (
+            csv::credit_csv(&analysis::credit_stalls(&records)),
+            "channel,stalls,total_ps,max_ps,unmatched",
+        ),
+        (
+            csv::outcomes_csv(&analysis::outcomes(&records)),
+            "reason,count,share",
+        ),
+    ] {
+        assert_eq!(csv_text.lines().next(), Some(header));
+    }
 }

@@ -13,6 +13,8 @@
 //! a lookahead or replay-ordering bug would diverge the reports.
 
 use epnet::prelude::*;
+use epnet::sim::{MemorySink, TraceCategory, Tracer};
+use epnet_telemetry::{parse_jsonl, validate_jsonl, TraceRecord};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -94,6 +96,111 @@ fn parallel_reports_are_byte_identical_across_widths_and_modes() {
             std::env::remove_var(var);
         }
     }
+}
+
+/// The canonical bursty run with a tracer installed under `mask`;
+/// returns the serialized report, the trace text, and the in-memory
+/// report (for its `diagnostics`).
+fn run_traced(mask: u32) -> (String, String, SimReport) {
+    let fabric = FlattenedButterfly::new(2, 8, 2)
+        .expect("valid shape")
+        .build_fabric();
+    let horizon = SimTime::from_ms(1);
+    let src = UniformRandom::builder(fabric.num_hosts() as u32)
+        .offered_load(0.08)
+        .seed(11)
+        .horizon(horizon)
+        .build();
+    let mut sim = Simulator::new(fabric.clone(), SimConfig::builder().build(), src);
+    sim.enable_dynamic_topology(DynamicTopology::new(
+        &fabric,
+        DynamicTopologyConfig::default(),
+    ));
+    let sink = MemorySink::new();
+    sim.set_tracer(Tracer::new(sink.clone(), mask));
+    let report = sim.run_until(horizon);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    (json, sink.contents(), report)
+}
+
+/// Strips the execution-shape categories (`routes`: wall-clock build
+/// times; `parallel`: exists only under `EPNET_PAR`) — the lines the
+/// serial↔parallel byte-identity contract covers.
+fn behavior_lines(trace: &str) -> Vec<&str> {
+    trace
+        .lines()
+        .filter(|l| !l.contains("\"cat\":\"routes\"") && !l.contains("\"cat\":\"parallel\""))
+        .collect()
+}
+
+/// Traced parallel runs: the behavior categories stay line-identical
+/// to serial, `parallel` window records appear iff the category is
+/// masked in, the merged trace stays schema-valid and time-monotone,
+/// and the per-window counters sum to the engine's own diagnostics.
+#[test]
+fn traced_parallel_runs_gate_window_records_behind_the_mask() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("EPNET_PAR");
+    let (serial_json, serial_trace, _) = run_traced(TraceCategory::ALL_MASK);
+    assert!(
+        !serial_trace.contains("\"cat\":\"parallel\""),
+        "the serial engine must not emit parallel records"
+    );
+
+    std::env::set_var("EPNET_PAR", "4");
+    let (par_json, par_trace, par_report) = run_traced(TraceCategory::ALL_MASK);
+    let masked = TraceCategory::ALL_MASK & !TraceCategory::Parallel.bit();
+    let (par_masked_json, par_masked_trace, _) = run_traced(masked);
+    std::env::remove_var("EPNET_PAR");
+
+    // The report contract is untouched by the new category, masked in
+    // or out.
+    assert_eq!(serial_json, par_json);
+    assert_eq!(serial_json, par_masked_json);
+
+    // Behavior categories are line-identical across all three runs;
+    // the masked run writes no parallel lines at all.
+    assert_eq!(behavior_lines(&serial_trace), behavior_lines(&par_trace));
+    assert_eq!(behavior_lines(&serial_trace), behavior_lines(&par_masked_trace));
+    assert!(
+        !par_masked_trace.contains("\"cat\":\"parallel\""),
+        "masked-out category must not be written"
+    );
+
+    // The full parallel trace is schema-valid, time-monotone, and its
+    // window records agree with the engine's diagnostics counters.
+    let stats = validate_jsonl(&par_trace).expect("merged parallel trace is schema-valid");
+    let windows = stats.count(TraceCategory::Parallel) as u64;
+    assert!(windows > 0, "a width-4 traced run must record windows");
+    assert_eq!(par_report.diagnostics.get("par_windows"), Some(&windows));
+    let records = parse_jsonl(&par_trace).expect("parses");
+    let (mut events, mut replays, mut batches, mut crossings) = (0u64, 0u64, 0u64, 0u64);
+    let mut last = 0u64;
+    for r in &records {
+        assert!(r.at_ps() >= last, "merged trace went backwards in time");
+        last = r.at_ps();
+        if let TraceRecord::Parallel {
+            at_ps,
+            start_ps,
+            shards,
+            events: ev,
+            replay_events,
+            cross_batches,
+            cross_events,
+        } = r
+        {
+            assert!(start_ps <= at_ps, "window closes after it opens");
+            assert!((1..=4).contains(shards), "touched shards within width");
+            events += ev;
+            replays += replay_events;
+            batches += cross_batches;
+            crossings += cross_events;
+        }
+    }
+    assert_eq!(par_report.diagnostics.get("par_window_events"), Some(&events));
+    assert_eq!(par_report.diagnostics.get("par_replay_events"), Some(&replays));
+    assert_eq!(par_report.diagnostics.get("par_cross_batches"), Some(&batches));
+    assert_eq!(par_report.diagnostics.get("par_cross_events"), Some(&crossings));
 }
 
 /// `EPNET_PAR=off` must behave exactly like unset.

@@ -231,3 +231,33 @@ fn epnet_trace_env_var_writes_a_valid_file() {
     assert_eq!(stats.count(TraceCategory::Credit), 0, "filtered out");
     assert_eq!(stats.count(TraceCategory::Detour), 0, "filtered out");
 }
+
+/// A typo in `EPNET_TRACE_FILTER` must disable tracing entirely (with
+/// a stderr complaint) rather than silently narrowing the filter: the
+/// trace file is never created, and the run itself proceeds.
+#[test]
+fn unknown_trace_filter_name_disables_tracing() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "epnet_trace_badfilter_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    std::env::set_var("EPNET_TRACE", &path);
+    std::env::set_var("EPNET_TRACE_FILTER", "controller,bogus");
+    let scale = tiny();
+    let fabric = scale.fabric();
+    let sim = Simulator::new(
+        fabric,
+        SimConfig::default(),
+        WorkloadKind::Search.source(scale.hosts() as u32, scale.seed, scale.duration),
+    );
+    let report = sim.run_until(scale.duration);
+    std::env::remove_var("EPNET_TRACE");
+    std::env::remove_var("EPNET_TRACE_FILTER");
+    assert!(report.events_processed > 0, "the run itself proceeds");
+    assert!(
+        !path.exists(),
+        "a rejected filter must not create a trace file"
+    );
+}
