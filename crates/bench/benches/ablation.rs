@@ -32,7 +32,13 @@ fn ablation_heuristics(c: &mut Criterion) {
     for (name, policy) in [
         ("halve_double", RatePolicy::HalveDouble),
         ("jump_to_extremes", RatePolicy::JumpToExtremes),
-        ("hysteresis", RatePolicy::Hysteresis { low: 0.2, high: 0.8 }),
+        (
+            "hysteresis",
+            RatePolicy::Hysteresis {
+                low: 0.2,
+                high: 0.8,
+            },
+        ),
         ("lane_aware", RatePolicy::LaneAware),
     ] {
         g.bench_function(format!("heuristic/{name}"), |b| {
@@ -77,12 +83,15 @@ fn ablation_dynamic_topology(c: &mut Criterion) {
     let mut g = tune(c);
     let s = scale();
     for with_dt in [false, true] {
-        let name = if with_dt { "rate_plus_poweroff" } else { "rate_only" };
+        let name = if with_dt {
+            "rate_plus_poweroff"
+        } else {
+            "rate_only"
+        };
         g.bench_function(format!("dynamic_topology/{name}"), |b| {
             b.iter(|| {
                 let fabric = s.fabric();
-                let source =
-                    WorkloadKind::Advert.source(s.hosts() as u32, s.seed, s.duration);
+                let source = WorkloadKind::Advert.source(s.hosts() as u32, s.seed, s.duration);
                 let mut sim = Simulator::new(fabric.clone(), SimConfig::default(), source);
                 if with_dt {
                     sim.enable_dynamic_topology(DynamicTopology::new(
@@ -93,7 +102,11 @@ fn ablation_dynamic_topology(c: &mut Criterion) {
                 let report = sim.run_until(s.duration);
                 // A 1 ms window can cut off a large in-flight chunk of
                 // the bursty trace; only guard against collapse.
-                assert!(report.delivery_ratio() > 0.6, "ratio {}", report.delivery_ratio());
+                assert!(
+                    report.delivery_ratio() > 0.6,
+                    "ratio {}",
+                    report.delivery_ratio()
+                );
                 black_box(report.relative_power(&LinkPowerProfile::Measured))
             })
         });
@@ -105,7 +118,10 @@ fn ablation_dynamic_topology(c: &mut Criterion) {
 fn ablation_reactivation_strategy(c: &mut Criterion) {
     let mut g = tune(c);
     for (name, strategy) in [
-        ("route_around", epnet::sim::ReactivationStrategy::RouteAround),
+        (
+            "route_around",
+            epnet::sim::ReactivationStrategy::RouteAround,
+        ),
         ("drain_first", epnet::sim::ReactivationStrategy::DrainFirst),
     ] {
         g.bench_function(format!("reactivation/{name}"), |b| {

@@ -115,7 +115,13 @@ fn engine_json_smoke(c: &mut Criterion) {
         std::fs::write(enginebench::output_path(), &doc).expect("write BENCH_engine.json");
         let wall_secs = runs.iter().map(|r| r.wall_ms).sum::<f64>() / 1e3;
         epnet_telemetry::summary::eprint_summary("smoke_engine", wall_secs);
-        b.iter(|| black_box(enginebench::validate(&doc).expect("rendered schema holds").len()))
+        b.iter(|| {
+            black_box(
+                enginebench::validate(&doc)
+                    .expect("rendered schema holds")
+                    .len(),
+            )
+        })
     });
     g.finish();
 }

@@ -23,10 +23,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let reduced = args.iter().any(|a| a == "--reduced");
     let to_stdout = args.iter().any(|a| a == "--stdout");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| *a != "--reduced" && *a != "--stdout")
-    {
+    if let Some(bad) = args.iter().find(|a| *a != "--reduced" && *a != "--stdout") {
         eprintln!("unknown argument '{bad}' (expected --reduced and/or --stdout)");
         std::process::exit(2);
     }

@@ -75,9 +75,7 @@ fn main() -> ExitCode {
             .collect();
     }
 
-    println!(
-        "# Energy Proportional Datacenter Networks (ISCA 2010) reproduction",
-    );
+    println!("# Energy Proportional Datacenter Networks (ISCA 2010) reproduction",);
     println!(
         "# scale: {} hosts ({}-ary {}-flat, c={}), {} per run\n",
         scale.hosts(),
@@ -199,7 +197,9 @@ fn run_target(target: &str, scale: EvalScale, csv_dir: Option<&str>) -> Option<s
                     "Figure 9(a): added mean latency vs target utilization (1 us reactivation)",
                     "us",
                     [25, 50, 75].iter().map(|t| format!("{t}%")),
-                    cells.iter().map(|c| (c.workload.as_str(), c.added_latency_us)),
+                    cells
+                        .iter()
+                        .map(|c| (c.workload.as_str(), c.added_latency_us)),
                 )
             );
             json(serde_json::to_value(&cells).ok()?)
@@ -212,8 +212,12 @@ fn run_target(target: &str, scale: EvalScale, csv_dir: Option<&str>) -> Option<s
                 figures::figure9_table(
                     "Figure 9(b): added mean latency vs reactivation time (50% target)",
                     "us",
-                    ["100ns", "1us", "10us", "100us"].iter().map(|s| (*s).to_owned()),
-                    cells.iter().map(|c| (c.workload.as_str(), c.added_latency_us)),
+                    ["100ns", "1us", "10us", "100us"]
+                        .iter()
+                        .map(|s| (*s).to_owned()),
+                    cells
+                        .iter()
+                        .map(|c| (c.workload.as_str(), c.added_latency_us)),
                 )
             );
             json(serde_json::to_value(&cells).ok()?)

@@ -87,10 +87,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let reduced = args.iter().any(|a| a == "--reduced");
     let to_stdout = args.iter().any(|a| a == "--stdout");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| *a != "--reduced" && *a != "--stdout")
-    {
+    if let Some(bad) = args.iter().find(|a| *a != "--reduced" && *a != "--stdout") {
         eprintln!("unknown argument '{bad}' (expected --reduced and/or --stdout)");
         std::process::exit(2);
     }
@@ -113,12 +110,13 @@ fn main() {
     // The threads axis: serial baseline then every `EPNET_PAR` width,
     // each report asserted byte-identical to serial before its timing
     // counts. The full sweep measures the paper-scale 15-ary 2-flat
-    // (the fabric the parallel engine exists for); the reduced smoke
-    // uses the canonical point to stay seconds-long.
+    // (the fabric the parallel engine exists for) — the last *packet*
+    // point, since the hybrid tail falls back to the serial engine;
+    // the reduced smoke uses the canonical point to stay seconds-long.
     let axis_point = if reduced {
         &points[0]
     } else {
-        points.last().expect("sweep is non-empty")
+        scalebench::axis_point(&points)
     };
     let axis = scalebench::measure_threads(axis_point);
     let baseline = axis.runs[0].wall_ms;
@@ -155,7 +153,22 @@ fn main() {
         lookahead.amortization_ratio(),
     );
 
-    let doc = scalebench::render(&runs, &axis, &lookahead);
+    // The models axis: every packet point re-run under both models at
+    // the reduced horizon, hybrid-vs-packet agreement asserted within
+    // the documented tolerance before anything is written.
+    let models = scalebench::measure_models(&points);
+    for r in &models.runs {
+        eprintln!(
+            "{:<14} models: bytes_err={:.4} power_err={:.4} wall packet={:.0}ms hybrid={:.0}ms",
+            r.point,
+            r.bytes_rel_err(),
+            r.power_abs_err(),
+            r.packet_wall_ms,
+            r.hybrid_wall_ms,
+        );
+    }
+
+    let doc = scalebench::render(&runs, &axis, &lookahead, &models);
     scalebench::validate(&doc).expect("freshly rendered document validates");
     if to_stdout {
         print!("{doc}");

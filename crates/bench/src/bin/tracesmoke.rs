@@ -132,9 +132,7 @@ fn main() -> ExitCode {
     }
     fn behavior_lines(t: &str) -> Vec<&str> {
         t.lines()
-            .filter(|l| {
-                !l.contains("\"cat\":\"routes\"") && !l.contains("\"cat\":\"parallel\"")
-            })
+            .filter(|l| !l.contains("\"cat\":\"routes\"") && !l.contains("\"cat\":\"parallel\""))
             .collect()
     }
     let serial_lines = behavior_lines(&text);

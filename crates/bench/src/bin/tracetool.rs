@@ -55,8 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         let layout = parse_layout(opts)?;
         let records = load(trace_path)?;
         let out = chrome_trace(&records, layout);
-        std::fs::write(out_path, &out.json)
-            .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        std::fs::write(out_path, &out.json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
         eprintln!(
             "wrote {out_path}: {} trace events + {} metadata events from {} records",
             out.trace_events,
@@ -155,7 +154,9 @@ fn parse_flags(opts: &[String]) -> Result<(bool, usize), String> {
             "--csv" => want_csv = true,
             "--top" => {
                 let n = it.next().ok_or("--top wants a count")?;
-                top = n.parse().map_err(|_| format!("--top wants a count, got '{n}'"))?;
+                top = n
+                    .parse()
+                    .map_err(|_| format!("--top wants a count, got '{n}'"))?;
             }
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }

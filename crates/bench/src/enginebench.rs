@@ -192,11 +192,7 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
             .get("name")
             .and_then(Value::as_str)
             .ok_or("bench missing 'name'")?;
-        for field in [
-            "events_per_sec",
-            "delivered_bytes_per_sec",
-            "wall_ms",
-        ] {
+        for field in ["events_per_sec", "delivered_bytes_per_sec", "wall_ms"] {
             let rate = b
                 .get(field)
                 .and_then(Value::as_f64)

@@ -382,7 +382,10 @@ mod tests {
 
     #[test]
     fn rendered_document_validates() {
-        let runs = vec![sample_run("fbfly_2x8x2@2.5%"), sample_run("fbfly_2x8x2@25%")];
+        let runs = vec![
+            sample_run("fbfly_2x8x2@2.5%"),
+            sample_run("fbfly_2x8x2@25%"),
+        ];
         let doc = render(&runs);
         let names = validate(&doc).expect("schema holds");
         assert_eq!(names, vec!["fbfly_2x8x2@2.5%", "fbfly_2x8x2@25%"]);

@@ -16,7 +16,8 @@
 //! figure and the smoke suite schema-validates it.
 
 use crate::enginebench::CanonicalSource;
-use epnet_sim::{MergedSource, SimConfig, SimTime, Simulator};
+use epnet_power::LinkPowerProfile;
+use epnet_sim::{MergedSource, Message, SimConfig, SimModel, SimTime, Simulator, TrafficSource};
 use epnet_topology::{FlattenedButterfly, RoutingTopology, TwoTierClos};
 use epnet_workloads::{ServiceTrace, ServiceTraceConfig, UniformRandom};
 use serde_json::Value;
@@ -26,8 +27,12 @@ use std::time::Instant;
 /// `threads` axis (the `EPNET_PAR` sweep on the canonical point); `v3`
 /// renamed its `hardware_threads` field to `hw_threads` and added the
 /// `lookahead` probe (window-shape diagnostics comparing the pairwise
-/// lookahead matrix against the legacy global bound).
-pub const SCHEMA: &str = "epnet-bench-scale/v3";
+/// lookahead matrix against the legacy global bound); `v4` added the
+/// hybrid flow/packet model: a `model` field on every bench, hybrid
+/// sweep points at Solnushkin scale (10^5+ hosts), and the `models`
+/// validation axis comparing delivered bytes and relative power
+/// between the two models on every small packet-mode point.
+pub const SCHEMA: &str = "epnet-bench-scale/v4";
 
 /// Worker widths measured by the threads axis, matching the
 /// determinism matrix in `tests/tests/par_modes.rs`. Width 0 stands
@@ -45,6 +50,17 @@ pub const FULL_HORIZON: SimTime = SimTime::from_ms(10);
 /// or so.
 pub const REDUCED_HORIZON: SimTime = SimTime::from_ms(2);
 
+/// Message size of the [`Recipe::BulkFlows`] workload: well past the
+/// engine's 64 KiB absorption threshold, so the hybrid model carries
+/// essentially all of the traffic as fluid flows.
+pub const BULK_MESSAGE_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Offered load of the [`Recipe::BulkFlows`] workload, as a fraction
+/// of the 40 Gb/s host line rate. Low enough that the Solnushkin-scale
+/// points stay uncongested (no packet demotions), high enough that the
+/// epoch controller sees real utilization.
+pub const BULK_LOAD: f64 = 0.05;
+
 /// One topology in the sweep.
 #[derive(Debug, Clone, Copy)]
 pub enum ScaleTopo {
@@ -57,14 +73,47 @@ pub enum ScaleTopo {
         /// Flat dimension count.
         n: usize,
     },
+    /// `FlattenedButterfly::grouped(c, k, n)` — the Solnushkin-style
+    /// scale targets (same construction, named for intent: grouped
+    /// racks at 10^3–10^5 hosts).
+    FbflyGrouped {
+        /// Concentration (hosts per switch).
+        c: u16,
+        /// Radix of each dimension.
+        k: u16,
+        /// Flat dimension count.
+        n: usize,
+    },
     /// `TwoTierClos::non_blocking(c)`.
     ClosNonBlocking {
         /// Concentration (hosts per leaf).
         c: u16,
     },
+    /// `TwoTierClos::multi_pod(c, pods)` — the multi-pod datacenter
+    /// Clos scale target.
+    ClosMultiPod {
+        /// Concentration (hosts per leaf).
+        c: u16,
+        /// Pod count (each pod is `c` leaves).
+        pods: u32,
+    },
 }
 
-/// One point of the sweep: a topology plus its simulated horizon.
+/// Traffic recipe of a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recipe {
+    /// The canonical mix: 30% uniform-random merged with search-like
+    /// bursts — every packet-mode point runs this.
+    Canonical,
+    /// Bulk steady flows: uniform-random [`BULK_MESSAGE_BYTES`]
+    /// messages at [`BULK_LOAD`] load — the Solnushkin-scale recipe
+    /// whose long transfers the hybrid model aggregates into fluid
+    /// flow state.
+    BulkFlows,
+}
+
+/// One point of the sweep: a topology plus its simulated horizon,
+/// traffic recipe, and simulation model.
 #[derive(Debug, Clone)]
 pub struct ScalePoint {
     /// Stable point name used in `BENCH_scale.json`.
@@ -73,11 +122,29 @@ pub struct ScalePoint {
     pub topo: ScaleTopo,
     /// Simulated end time.
     pub horizon: SimTime,
+    /// Traffic recipe to run.
+    pub recipe: Recipe,
+    /// Simulation model ([`SimModel::Packet`] or [`SimModel::Hybrid`]).
+    pub model: SimModel,
+}
+
+/// Stable lowercase name of a model, as written into
+/// `BENCH_scale.json` (matches the `EPNET_MODEL` values).
+pub fn model_name(model: SimModel) -> &'static str {
+    match model {
+        SimModel::Packet => "packet",
+        SimModel::Hybrid => "hybrid",
+    }
 }
 
 /// The sweep: canonical toy up to the paper-scale 15-ary 2-flat, plus
-/// the non-blocking two-tier Clos. `reduced` trims it to the smallest
-/// points at a 1 ms horizon for the smoke suite.
+/// the non-blocking two-tier Clos, followed by the hybrid-model
+/// Solnushkin-scale points (appended last so every packet point keeps
+/// its historical position). `reduced` trims the packet points to the
+/// smallest three at a 2 ms horizon for the smoke suite but keeps the
+/// ≥10^5-host hybrid point — reaching that scale is the hybrid
+/// model's acceptance criterion, and only the flow abstraction makes
+/// it affordable.
 pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
     let horizon = if reduced {
         REDUCED_HORIZON
@@ -88,6 +155,18 @@ pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
         name: name.to_string(),
         topo,
         horizon,
+        recipe: Recipe::Canonical,
+        model: SimModel::Packet,
+    };
+    let hybrid = |name: &str, topo| ScalePoint {
+        name: name.to_string(),
+        topo,
+        // Hybrid points always run the reduced horizon: the fluid
+        // regime reaches steady state within a few hundred epochs, and
+        // the point of these entries is scale, not duration.
+        horizon: REDUCED_HORIZON,
+        recipe: Recipe::BulkFlows,
+        model: SimModel::Hybrid,
     };
     let mut points = vec![
         point("fbfly_2x8x2", ScaleTopo::Fbfly { c: 2, k: 8, n: 2 }),
@@ -108,7 +187,41 @@ pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
             ScaleTopo::Fbfly { c: 15, k: 15, n: 2 },
         ));
     }
+    // Hybrid-model scale points, smallest first: the 960-host grouped
+    // 3-flat (cheap enough for the in-process smoke twin), the 4,096-
+    // host multi-pod Clos (full sweep only), and the 131,072-host
+    // grouped 4-flat — past the 10^5-host Solnushkin threshold that a
+    // packet simulation cannot reach.
+    points.push(hybrid(
+        "hybrid_fbfly_15x8x3",
+        ScaleTopo::FbflyGrouped { c: 15, k: 8, n: 3 },
+    ));
+    if !reduced {
+        points.push(hybrid(
+            "hybrid_clos_16p16",
+            ScaleTopo::ClosMultiPod { c: 16, pods: 16 },
+        ));
+    }
+    points.push(hybrid(
+        "hybrid_fbfly_32x16x4",
+        ScaleTopo::FbflyGrouped { c: 32, k: 16, n: 4 },
+    ));
     points
+}
+
+/// The sweep point the threads and lookahead axes run on: the last
+/// *packet-model* point (the hybrid points always fall back to the
+/// serial engine, so they would measure nothing).
+///
+/// # Panics
+///
+/// Panics if the sweep has no packet-model point.
+pub fn axis_point(points: &[ScalePoint]) -> &ScalePoint {
+    points
+        .iter()
+        .rev()
+        .find(|p| p.model == SimModel::Packet)
+        .expect("sweep always has packet points")
 }
 
 /// The sweep point the lookahead probe runs on: the grouped 3-flat in
@@ -122,29 +235,62 @@ pub fn lookahead_point(points: &[ScalePoint]) -> &ScalePoint {
         .unwrap_or(&points[0])
 }
 
-/// Builds a simulator for one sweep point, reusing the canonical
-/// traffic recipe (30% uniform-random merged with search-like bursts)
-/// scaled to the point's host count.
-pub fn simulator_for(point: &ScalePoint) -> Simulator<CanonicalSource> {
+/// A sweep point's traffic source: one variant per [`Recipe`].
+#[derive(Debug)]
+pub enum ScaleSource {
+    /// [`Recipe::Canonical`] — the merged uniform + search mix
+    /// (boxed: the merged generator dwarfs the bulk variant).
+    Canonical(Box<CanonicalSource>),
+    /// [`Recipe::BulkFlows`] — bulk uniform-random transfers.
+    Bulk(UniformRandom),
+}
+
+impl TrafficSource for ScaleSource {
+    fn next_message(&mut self) -> Option<Message> {
+        match self {
+            ScaleSource::Canonical(s) => s.next_message(),
+            ScaleSource::Bulk(s) => s.next_message(),
+        }
+    }
+}
+
+/// Builds a simulator for one sweep point: the point's topology,
+/// recipe (scaled to its host count), and simulation model.
+pub fn simulator_for(point: &ScalePoint) -> Simulator<ScaleSource> {
     let fabric = match point.topo {
         ScaleTopo::Fbfly { c, k, n } => FlattenedButterfly::new(c, k, n)
+            .expect("sweep shapes are valid")
+            .build_fabric(),
+        ScaleTopo::FbflyGrouped { c, k, n } => FlattenedButterfly::grouped(c, k, n)
             .expect("sweep shapes are valid")
             .build_fabric(),
         ScaleTopo::ClosNonBlocking { c } => TwoTierClos::non_blocking(c)
             .expect("sweep shapes are valid")
             .build_fabric(),
+        ScaleTopo::ClosMultiPod { c, pods } => TwoTierClos::multi_pod(c, pods)
+            .expect("sweep shapes are valid")
+            .build_fabric(),
     };
     let hosts = fabric.num_hosts() as u32;
-    let source = MergedSource::new(
-        UniformRandom::builder(hosts)
-            .offered_load(0.3)
-            .horizon(point.horizon)
-            .build(),
-        ServiceTrace::builder(hosts, ServiceTraceConfig::search_like())
-            .horizon(point.horizon)
-            .build(),
-    );
-    Simulator::new(fabric, SimConfig::default(), source)
+    let source = match point.recipe {
+        Recipe::Canonical => ScaleSource::Canonical(Box::new(MergedSource::new(
+            UniformRandom::builder(hosts)
+                .offered_load(0.3)
+                .horizon(point.horizon)
+                .build(),
+            ServiceTrace::builder(hosts, ServiceTraceConfig::search_like())
+                .horizon(point.horizon)
+                .build(),
+        ))),
+        Recipe::BulkFlows => ScaleSource::Bulk(
+            UniformRandom::builder(hosts)
+                .message_bytes(BULK_MESSAGE_BYTES)
+                .offered_load(BULK_LOAD)
+                .horizon(point.horizon)
+                .build(),
+        ),
+    };
+    Simulator::with_model(fabric, SimConfig::default(), source, point.model)
 }
 
 /// Heap-allocation counts over a measurement window.
@@ -183,6 +329,8 @@ impl AllocMeter for NoopMeter {
 pub struct ScaleRun {
     /// Point name.
     pub name: String,
+    /// Simulation model the point ran under.
+    pub model: SimModel,
     /// Host count of the fabric.
     pub hosts: u64,
     /// Channel count of the fabric.
@@ -225,6 +373,7 @@ impl ScaleRun {
     fn to_value(&self) -> Value {
         Value::Map(vec![
             ("name".into(), Value::Str(self.name.clone())),
+            ("model".into(), Value::Str(model_name(self.model).into())),
             ("hosts".into(), Value::U64(self.hosts)),
             ("channels".into(), Value::U64(self.channels)),
             ("events_per_sec".into(), Value::F64(self.events_per_sec())),
@@ -232,7 +381,10 @@ impl ScaleRun {
                 "delivered_bytes_per_sec".into(),
                 Value::F64(self.delivered_bytes_per_sec()),
             ),
-            ("allocs_per_event".into(), Value::F64(self.allocs_per_event())),
+            (
+                "allocs_per_event".into(),
+                Value::F64(self.allocs_per_event()),
+            ),
             ("peak_alloc_bytes".into(), Value::U64(self.peak_alloc_bytes)),
             ("measured_events".into(), Value::U64(self.measured_events)),
             ("measured_allocs".into(), Value::U64(self.measured_allocs)),
@@ -328,8 +480,7 @@ pub fn measure_threads(point: &ScalePoint) -> ThreadsAxis {
     }
     ThreadsAxis {
         point: point.name.clone(),
-        hw_threads: std::thread::available_parallelism()
-            .map_or(1, |n| n.get() as u64),
+        hw_threads: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
         runs,
     }
 }
@@ -504,14 +655,8 @@ impl ThreadsAxis {
                             Value::Map(vec![
                                 ("threads".into(), Value::U64(r.threads)),
                                 ("wall_ms".into(), Value::F64(r.wall_ms)),
-                                (
-                                    "events_per_sec".into(),
-                                    Value::F64(r.events_per_sec()),
-                                ),
-                                (
-                                    "speedup_vs_serial".into(),
-                                    Value::F64(baseline / r.wall_ms),
-                                ),
+                                ("events_per_sec".into(), Value::F64(r.events_per_sec())),
+                                ("speedup_vs_serial".into(), Value::F64(baseline / r.wall_ms)),
                             ])
                         })
                         .collect(),
@@ -541,6 +686,7 @@ pub fn measure(point: &ScalePoint, meter: &dyn AllocMeter) -> ScaleRun {
     let wall = start.elapsed();
     ScaleRun {
         name: point.name.clone(),
+        model: point.model,
         hosts,
         channels,
         wall_ms: wall.as_secs_f64() * 1e3,
@@ -553,14 +699,195 @@ pub fn measure(point: &ScalePoint, meter: &dyn AllocMeter) -> ScaleRun {
     }
 }
 
-/// Renders runs plus the threads and lookahead axes as the
+/// Documented agreement tolerance between the hybrid and packet models
+/// on the small validation points: delivered-bytes relative error and
+/// relative-power absolute error must both stay under this bound.
+///
+/// The residual disagreement is structural, not noise: the fluid
+/// regime delivers a flow's bytes at the path fair share with no
+/// queueing, serialization, or adaptive detours, while the packet
+/// regime pays all three. Measured on the reduced sweep's canonical
+/// recipe the errors sit near 1% (bytes ≤ 1.2%, relative power
+/// ≤ 1.6%); the bound leaves ~3× headroom for workload drift. See
+/// DESIGN.md ("Hybrid flow/packet model") for the methodology.
+pub const HYBRID_TOLERANCE: f64 = 0.05;
+
+/// One point of the models axis: the same fabric and traffic run under
+/// both simulation models.
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    /// Name of the sweep point both models ran.
+    pub point: String,
+    /// Host count of the fabric.
+    pub hosts: u64,
+    /// End-to-end bytes delivered by the packet model.
+    pub packet_delivered_bytes: u64,
+    /// End-to-end bytes delivered by the hybrid model.
+    pub hybrid_delivered_bytes: u64,
+    /// Network power relative to baseline under the packet model
+    /// (measured profile).
+    pub packet_relative_power: f64,
+    /// Network power relative to baseline under the hybrid model.
+    pub hybrid_relative_power: f64,
+    /// Wall-clock duration of the packet run, milliseconds.
+    pub packet_wall_ms: f64,
+    /// Wall-clock duration of the hybrid run, milliseconds.
+    pub hybrid_wall_ms: f64,
+}
+
+impl ModelRun {
+    /// Relative delivered-bytes error of the hybrid model against the
+    /// packet baseline.
+    pub fn bytes_rel_err(&self) -> f64 {
+        if self.packet_delivered_bytes == 0 {
+            return if self.hybrid_delivered_bytes == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        (self.hybrid_delivered_bytes as f64 - self.packet_delivered_bytes as f64).abs()
+            / self.packet_delivered_bytes as f64
+    }
+
+    /// Absolute relative-power error of the hybrid model against the
+    /// packet baseline (both are already normalized to [0, 1]).
+    pub fn power_abs_err(&self) -> f64 {
+        (self.hybrid_relative_power - self.packet_relative_power).abs()
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("point".into(), Value::Str(self.point.clone())),
+            ("hosts".into(), Value::U64(self.hosts)),
+            (
+                "packet_delivered_bytes".into(),
+                Value::U64(self.packet_delivered_bytes),
+            ),
+            (
+                "hybrid_delivered_bytes".into(),
+                Value::U64(self.hybrid_delivered_bytes),
+            ),
+            ("bytes_rel_err".into(), Value::F64(self.bytes_rel_err())),
+            (
+                "packet_relative_power".into(),
+                Value::F64(self.packet_relative_power),
+            ),
+            (
+                "hybrid_relative_power".into(),
+                Value::F64(self.hybrid_relative_power),
+            ),
+            ("power_abs_err".into(), Value::F64(self.power_abs_err())),
+            ("packet_wall_ms".into(), Value::F64(self.packet_wall_ms)),
+            ("hybrid_wall_ms".into(), Value::F64(self.hybrid_wall_ms)),
+        ])
+    }
+}
+
+/// The models validation axis: every small packet-mode sweep point
+/// re-run under both models, with the agreement errors and the
+/// documented tolerance they were checked against.
+#[derive(Debug, Clone)]
+pub struct ModelAxis {
+    /// The tolerance the errors were asserted under
+    /// ([`HYBRID_TOLERANCE`]).
+    pub tolerance: f64,
+    /// One entry per validation point.
+    pub runs: Vec<ModelRun>,
+}
+
+impl ModelAxis {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("tolerance".into(), Value::F64(self.tolerance)),
+            (
+                "runs".into(),
+                Value::Seq(self.runs.iter().map(ModelRun::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+/// Measures the models axis: every packet-model point of the sweep is
+/// run under both models — same fabric, same traffic — and the
+/// delivered-bytes and relative-power agreement is recorded.
+/// Validation always runs at [`REDUCED_HORIZON`]: agreement is a
+/// property of the models, not the horizon, and the packet runs
+/// dominate the sweep's wall-clock cost.
+///
+/// # Panics
+///
+/// Panics if any point's delivered-bytes relative error or
+/// relative-power absolute error exceeds [`HYBRID_TOLERANCE`] — a
+/// hybrid model that drifts from packet ground truth never makes it
+/// into `BENCH_scale.json`.
+pub fn measure_models(points: &[ScalePoint]) -> ModelAxis {
+    let mut runs = Vec::new();
+    for point in points.iter().filter(|p| p.model == SimModel::Packet) {
+        let one = |model: SimModel| {
+            let p = ScalePoint {
+                horizon: REDUCED_HORIZON,
+                model,
+                ..point.clone()
+            };
+            let sim = simulator_for(&p);
+            let hosts = sim.fabric().num_hosts() as u64;
+            let start = Instant::now();
+            let report = sim.run_until(p.horizon);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            (hosts, report, wall_ms)
+        };
+        let (hosts, packet, packet_wall_ms) = one(SimModel::Packet);
+        let (_, hybrid, hybrid_wall_ms) = one(SimModel::Hybrid);
+        let run = ModelRun {
+            point: point.name.clone(),
+            hosts,
+            packet_delivered_bytes: packet.delivered_bytes,
+            hybrid_delivered_bytes: hybrid.delivered_bytes,
+            packet_relative_power: packet.relative_power(&LinkPowerProfile::Measured),
+            hybrid_relative_power: hybrid.relative_power(&LinkPowerProfile::Measured),
+            packet_wall_ms,
+            hybrid_wall_ms,
+        };
+        assert!(
+            run.bytes_rel_err() <= HYBRID_TOLERANCE,
+            "{}: hybrid delivered-bytes error {:.4} exceeds tolerance {}",
+            point.name,
+            run.bytes_rel_err(),
+            HYBRID_TOLERANCE
+        );
+        assert!(
+            run.power_abs_err() <= HYBRID_TOLERANCE,
+            "{}: hybrid relative-power error {:.4} exceeds tolerance {}",
+            point.name,
+            run.power_abs_err(),
+            HYBRID_TOLERANCE
+        );
+        runs.push(run);
+    }
+    ModelAxis {
+        tolerance: HYBRID_TOLERANCE,
+        runs,
+    }
+}
+
+/// Renders runs plus the threads, lookahead, and models axes as the
 /// `BENCH_scale.json` document.
-pub fn render(runs: &[ScaleRun], threads: &ThreadsAxis, lookahead: &LookaheadAxis) -> String {
+pub fn render(
+    runs: &[ScaleRun],
+    threads: &ThreadsAxis,
+    lookahead: &LookaheadAxis,
+    models: &ModelAxis,
+) -> String {
     let doc = Value::Map(vec![
         ("schema".into(), Value::Str(SCHEMA.into())),
         (
             "scenario".into(),
-            Value::Str("uniform30+search sweep, steady-state alloc meter".into()),
+            Value::Str(
+                "uniform30+search sweep + hybrid bulk-flow scale points, \
+                 steady-state alloc meter"
+                    .into(),
+            ),
         ),
         (
             "benches".into(),
@@ -568,6 +895,7 @@ pub fn render(runs: &[ScaleRun], threads: &ThreadsAxis, lookahead: &LookaheadAxi
         ),
         ("threads".into(), threads.to_value()),
         ("lookahead".into(), lookahead.to_value()),
+        ("models".into(), models.to_value()),
     ]);
     let mut out = serde_json::to_string_pretty(&doc).expect("value tree serializes");
     out.push('\n');
@@ -604,6 +932,13 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
             .get("name")
             .and_then(Value::as_str)
             .ok_or("bench missing 'name'")?;
+        match b.get("model").and_then(Value::as_str) {
+            Some("packet") | Some("hybrid") => {}
+            Some(other) => {
+                return Err(format!("bench '{name}' has unknown model '{other}'"));
+            }
+            None => return Err(format!("bench '{name}' missing 'model'")),
+        }
         for field in ["events_per_sec", "delivered_bytes_per_sec", "wall_ms"] {
             let rate = b
                 .get(field)
@@ -725,7 +1060,63 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
                 .and_then(Value::as_f64)
                 .ok_or_else(|| format!("lookahead mode '{name}' missing '{field}'"))?;
             if !(x.is_finite() && x > 0.0) {
-                return Err(format!("lookahead mode '{name}' has non-positive '{field}'"));
+                return Err(format!(
+                    "lookahead mode '{name}' has non-positive '{field}'"
+                ));
+            }
+        }
+    }
+    let models = v.get("models").ok_or("missing 'models' axis")?;
+    let tolerance = models
+        .get("tolerance")
+        .and_then(Value::as_f64)
+        .ok_or("models axis missing 'tolerance'")?;
+    if !(tolerance.is_finite() && tolerance > 0.0) {
+        return Err("models axis has non-positive 'tolerance'".into());
+    }
+    let mruns = models
+        .get("runs")
+        .and_then(Value::as_seq)
+        .ok_or("models axis missing 'runs' array")?;
+    if mruns.is_empty() {
+        return Err("models axis has no validation points".into());
+    }
+    for r in mruns {
+        let point = r
+            .get("point")
+            .and_then(Value::as_str)
+            .ok_or("models run missing 'point'")?;
+        for field in ["hosts", "packet_delivered_bytes", "hybrid_delivered_bytes"] {
+            if r.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("models run '{point}' missing '{field}'"));
+            }
+        }
+        for field in [
+            "packet_relative_power",
+            "hybrid_relative_power",
+            "packet_wall_ms",
+            "hybrid_wall_ms",
+        ] {
+            let x = r
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("models run '{point}' missing '{field}'"))?;
+            if !(x.is_finite() && x >= 0.0) {
+                return Err(format!("models run '{point}' has invalid '{field}'"));
+            }
+        }
+        for field in ["bytes_rel_err", "power_abs_err"] {
+            let err = r
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("models run '{point}' missing '{field}'"))?;
+            if !(err.is_finite() && err >= 0.0) {
+                return Err(format!("models run '{point}' has invalid '{field}'"));
+            }
+            if err > tolerance {
+                return Err(format!(
+                    "models run '{point}': '{field}' {err} exceeds tolerance {tolerance}"
+                ));
             }
         }
     }
@@ -739,6 +1130,7 @@ mod tests {
     fn sample_run(name: &str) -> ScaleRun {
         ScaleRun {
             name: name.to_string(),
+            model: SimModel::Packet,
             hosts: 16,
             channels: 88,
             wall_ms: 10.0,
@@ -792,10 +1184,30 @@ mod tests {
         }
     }
 
+    fn sample_model_run(point: &str) -> ModelRun {
+        ModelRun {
+            point: point.to_string(),
+            hosts: 16,
+            packet_delivered_bytes: 64_000,
+            hybrid_delivered_bytes: 63_000,
+            packet_relative_power: 0.6,
+            hybrid_relative_power: 0.58,
+            packet_wall_ms: 10.0,
+            hybrid_wall_ms: 2.0,
+        }
+    }
+
+    fn sample_models() -> ModelAxis {
+        ModelAxis {
+            tolerance: HYBRID_TOLERANCE,
+            runs: vec![sample_model_run("fbfly_2x8x2")],
+        }
+    }
+
     #[test]
     fn rendered_document_validates() {
         let runs = vec![sample_run("fbfly_2x8x2"), sample_run("clos_nb4")];
-        let doc = render(&runs, &sample_axis(), &sample_lookahead());
+        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
         let names = validate(&doc).expect("schema holds");
         assert_eq!(names, vec!["fbfly_2x8x2", "clos_nb4"]);
     }
@@ -803,7 +1215,7 @@ mod tests {
     #[test]
     fn validate_requires_the_threads_axis() {
         let runs = vec![sample_run("fbfly_2x8x2")];
-        let doc = render(&runs, &sample_axis(), &sample_lookahead());
+        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
         // Strip the threads section: the schema must reject it.
         let mut v: Value = serde_json::from_str(&doc).unwrap();
         if let Value::Map(entries) = &mut v {
@@ -815,13 +1227,13 @@ mod tests {
         // And a baseline-less axis must be rejected too.
         let mut axis = sample_axis();
         axis.runs.remove(0);
-        assert!(validate(&render(&runs, &axis, &sample_lookahead())).is_err());
+        assert!(validate(&render(&runs, &axis, &sample_lookahead(), &sample_models())).is_err());
     }
 
     #[test]
     fn validate_requires_the_lookahead_probe() {
         let runs = vec![sample_run("fbfly_2x8x2")];
-        let doc = render(&runs, &sample_axis(), &sample_lookahead());
+        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
         assert!(validate(&doc).is_ok());
 
         // Strip the probe entirely.
@@ -839,12 +1251,50 @@ mod tests {
         // Zero windows means the probe never actually ran parallel.
         let mut dead = sample_lookahead();
         dead.global = sample_lookahead_run("global", 0);
-        assert!(validate(&render(&runs, &sample_axis(), &dead)).is_err());
+        assert!(validate(&render(&runs, &sample_axis(), &dead, &sample_models())).is_err());
 
         // Mode order is part of the schema (pairwise first).
         let mut swapped = sample_lookahead();
         std::mem::swap(&mut swapped.pairwise, &mut swapped.global);
-        assert!(validate(&render(&runs, &sample_axis(), &swapped)).is_err());
+        assert!(validate(&render(&runs, &sample_axis(), &swapped, &sample_models())).is_err());
+    }
+
+    #[test]
+    fn validate_requires_the_models_axis() {
+        let runs = vec![sample_run("fbfly_2x8x2")];
+        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
+        assert!(validate(&doc).is_ok());
+
+        // Strip the models axis entirely.
+        let mut v: Value = serde_json::from_str(&doc).unwrap();
+        if let Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "models");
+        }
+        let stripped = serde_json::to_string_pretty(&v).unwrap();
+        assert!(validate(&stripped).is_err(), "models axis is required");
+
+        // An empty validation set must be rejected.
+        let empty = ModelAxis {
+            tolerance: HYBRID_TOLERANCE,
+            runs: Vec::new(),
+        };
+        assert!(validate(&render(&runs, &sample_axis(), &sample_lookahead(), &empty)).is_err());
+
+        // An out-of-tolerance point must be rejected even if the
+        // producer forgot to assert.
+        let mut drifted = sample_models();
+        drifted.runs[0].hybrid_delivered_bytes = 1;
+        assert!(validate(&render(
+            &runs,
+            &sample_axis(),
+            &sample_lookahead(),
+            &drifted
+        ))
+        .is_err());
+
+        // Benches without a model tag are pre-v4 documents.
+        let untagged = doc.replace("\"model\": \"packet\",", "");
+        assert!(validate(&untagged).is_err(), "model tag is required");
     }
 
     #[test]
@@ -878,6 +1328,52 @@ mod tests {
         let reduced = sweep(true);
         assert!(reduced.len() < full.len());
         assert!(reduced.iter().all(|p| p.horizon == REDUCED_HORIZON));
+    }
+
+    #[test]
+    fn sweep_reaches_solnushkin_scale_under_the_hybrid_model() {
+        for reduced in [false, true] {
+            let points = sweep(reduced);
+            // Every hybrid point runs the bulk-flow recipe; every
+            // packet point runs the canonical mix.
+            for p in &points {
+                let expect = match p.model {
+                    SimModel::Packet => Recipe::Canonical,
+                    SimModel::Hybrid => Recipe::BulkFlows,
+                };
+                assert_eq!(p.recipe, expect, "{}", p.name);
+                assert_eq!(p.name.starts_with("hybrid_"), p.model == SimModel::Hybrid);
+            }
+            // The acceptance point: a >= 10^5-host fabric, present even
+            // under --reduced (only the hybrid model makes it cheap).
+            let big = points
+                .iter()
+                .find(|p| p.name == "hybrid_fbfly_32x16x4")
+                .expect("scale point present");
+            assert_eq!(big.model, SimModel::Hybrid);
+            let hosts = simulator_for_hosts(big);
+            assert!(hosts >= 100_000, "{hosts} hosts");
+        }
+    }
+
+    /// Host count of a point's fabric without running it.
+    fn simulator_for_hosts(point: &ScalePoint) -> u64 {
+        match point.topo {
+            ScaleTopo::Fbfly { c, k, n } | ScaleTopo::FbflyGrouped { c, k, n } => {
+                let switches = (k as u64).pow(n as u32 - 1);
+                c as u64 * switches
+            }
+            ScaleTopo::ClosNonBlocking { c } => 2 * (c as u64) * (c as u64),
+            ScaleTopo::ClosMultiPod { c, pods } => pods as u64 * (c as u64) * (c as u64),
+        }
+    }
+
+    #[test]
+    fn axis_point_skips_the_hybrid_tail() {
+        let full = sweep(false);
+        assert_eq!(axis_point(&full).name, "fbfly_15x15x2");
+        let reduced = sweep(true);
+        assert_eq!(axis_point(&reduced).name, "clos_nb4");
     }
 
     #[test]

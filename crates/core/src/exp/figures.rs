@@ -117,7 +117,13 @@ impl Figure5 {
         let mut s =
             String::from("Figure 5: normalized power per InfiniBand mode (measured profile)\n");
         let _ = writeln!(s, "{:<10} {:>8} {:>8}", "Mode", "Copper", "Optical");
-        let _ = writeln!(s, "{:<10} {:>8.3} {:>8.3}", "IDLE", self.idle * 0.75, self.idle);
+        let _ = writeln!(
+            s,
+            "{:<10} {:>8.3} {:>8.3}",
+            "IDLE",
+            self.idle * 0.75,
+            self.idle
+        );
         for ((name, c), (_, o)) in self.copper.iter().zip(&self.optical) {
             let _ = writeln!(s, "{:<10} {:>8.3} {:>8.3}", name, c, o);
         }
@@ -138,8 +144,7 @@ pub fn cost_summary() -> CostSummary {
     CostSummary {
         topology_savings_dollars: cost.lifetime_cost_dollars(t1.savings_watts()),
         baseline_fbfly_cost_dollars: cost.lifetime_cost_dollars(fbfly_w),
-        ep_network_at_15pct_dollars: cost
-            .lifetime_cost_dollars(t1.clos.total_power_watts * 0.85),
+        ep_network_at_15pct_dollars: cost.lifetime_cost_dollars(t1.clos.total_power_watts * 0.85),
         six_x_reduction_dollars: cost.lifetime_savings_dollars(fbfly_w, fbfly_w / 6.0),
         six_point_six_x_reduction_dollars: cost.lifetime_savings_dollars(fbfly_w, fbfly_w / 6.6),
     }
@@ -165,11 +170,31 @@ impl CostSummary {
     pub fn to_table(&self) -> String {
         let mut s = String::from("Four-year cost model ($0.07/kWh, PUE 1.6)\n");
         let rows = [
-            ("FBFLY vs folded-Clos topology savings", self.topology_savings_dollars, 1.6),
-            ("Baseline FBFLY energy cost", self.baseline_fbfly_cost_dollars, 2.89),
-            ("EP network at 15% load, savings", self.ep_network_at_15pct_dollars, 3.8),
-            ("6.0x dynamic-range reduction, savings", self.six_x_reduction_dollars, 2.4),
-            ("6.6x dynamic-range reduction, savings", self.six_point_six_x_reduction_dollars, 2.5),
+            (
+                "FBFLY vs folded-Clos topology savings",
+                self.topology_savings_dollars,
+                1.6,
+            ),
+            (
+                "Baseline FBFLY energy cost",
+                self.baseline_fbfly_cost_dollars,
+                2.89,
+            ),
+            (
+                "EP network at 15% load, savings",
+                self.ep_network_at_15pct_dollars,
+                3.8,
+            ),
+            (
+                "6.0x dynamic-range reduction, savings",
+                self.six_x_reduction_dollars,
+                2.4,
+            ),
+            (
+                "6.6x dynamic-range reduction, savings",
+                self.six_point_six_x_reduction_dollars,
+                2.5,
+            ),
         ];
         let _ = writeln!(s, "{:<42} {:>10} {:>10}", "Quantity", "Measured", "Paper");
         for (label, v, paper) in rows {
@@ -318,8 +343,14 @@ impl Figure8 {
     pub fn to_table(&self) -> String {
         let mut s = String::new();
         for (title, rows) in [
-            ("Figure 8(a): % of baseline power, measured channels", &self.measured),
-            ("Figure 8(b): % of baseline power, ideal channels", &self.ideal),
+            (
+                "Figure 8(a): % of baseline power, measured channels",
+                &self.measured,
+            ),
+            (
+                "Figure 8(b): % of baseline power, ideal channels",
+                &self.ideal,
+            ),
         ] {
             let _ = writeln!(s, "{title}");
             let _ = writeln!(
@@ -442,8 +473,14 @@ pub fn simulated_topology_comparison(scale: EvalScale) -> TopologySimComparison 
         Box::new(move || run(clos.build_fabric(), true)),
     ];
     let mut reports = run_parallel(jobs).into_iter();
-    let (fb_base, fb_ep) = (reports.next().expect("4 jobs"), reports.next().expect("4 jobs"));
-    let (cl_base, cl_ep) = (reports.next().expect("4 jobs"), reports.next().expect("4 jobs"));
+    let (fb_base, fb_ep) = (
+        reports.next().expect("4 jobs"),
+        reports.next().expect("4 jobs"),
+    );
+    let (cl_base, cl_ep) = (
+        reports.next().expect("4 jobs"),
+        reports.next().expect("4 jobs"),
+    );
 
     let fb_energy = NetworkEnergyModel::for_fbfly(&fbfly, fbfly_power);
     let cl_energy = NetworkEnergyModel::for_two_tier(&clos, clos_power);
@@ -658,7 +695,12 @@ mod tests {
 
     #[test]
     fn figure9_table_renders() {
-        let cells = vec![("Uniform", 1.0), ("Uniform", 2.0), ("Search", 3.0), ("Search", 4.0)];
+        let cells = vec![
+            ("Uniform", 1.0),
+            ("Uniform", 2.0),
+            ("Search", 3.0),
+            ("Search", 4.0),
+        ];
         let s = figure9_table(
             "t",
             "us",

@@ -253,12 +253,7 @@ pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T>
     slots.resize_with(jobs.len(), || None);
     // Jobs are popped from the back; reverse so workers claim them in
     // input order (first jobs start first, helping the long tail).
-    let queue = std::sync::Mutex::new(
-        jobs.into_iter()
-            .enumerate()
-            .rev()
-            .collect::<Vec<_>>(),
-    );
+    let queue = std::sync::Mutex::new(jobs.into_iter().enumerate().rev().collect::<Vec<_>>());
     let slots_mtx = std::sync::Mutex::new(&mut slots);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -304,7 +299,11 @@ mod tests {
     fn workload_names_and_sources() {
         for kind in WorkloadKind::ALL {
             let mut src = kind.source(64, 1, SimTime::from_ms(1));
-            assert!(src.next_message().is_some(), "{} must generate", kind.name());
+            assert!(
+                src.next_message().is_some(),
+                "{} must generate",
+                kind.name()
+            );
         }
         assert_eq!(WorkloadKind::Uniform.name(), "Uniform");
     }

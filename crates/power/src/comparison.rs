@@ -54,11 +54,7 @@ impl TopologyPowerRow {
     /// Builds the row for a flattened butterfly.
     pub fn from_fbfly(f: &FlattenedButterfly, model: &SwitchPowerModel, link_gbps: f64) -> Self {
         Self {
-            name: format!(
-                "FBFLY ({}-ary {}-flat)",
-                f.radix(),
-                f.flat_n()
-            ),
+            name: format!("FBFLY ({}-ary {}-flat)", f.radix(), f.flat_n()),
             hosts: f.num_hosts() as u64,
             bisection_gbps: f.bisection_gbps(link_gbps),
             electrical_links: f.link_count(Medium::Electrical) as u64,
@@ -259,12 +255,8 @@ mod tests {
         use epnet_topology::{ChassisSpec, FoldedClos};
         let fbfly = FlattenedButterfly::new(8, 8, 4).unwrap(); // 4096 hosts
         let clos = FoldedClos::new(4_096, ChassisSpec::paper_324_port()).unwrap();
-        let t = TopologyPowerComparison::new(
-            &clos,
-            &fbfly,
-            &SwitchPowerModel::paper_default(),
-            40.0,
-        );
+        let t =
+            TopologyPowerComparison::new(&clos, &fbfly, &SwitchPowerModel::paper_default(), 40.0);
         assert!(t.savings_watts() > 0.0);
         assert!(t.fbfly.watts_per_gbps() < t.clos.watts_per_gbps());
     }

@@ -139,7 +139,9 @@ mod tests {
         let w = 100_000.0;
         assert!(lean.lifetime_cost_dollars(w) < model().lifetime_cost_dollars(w));
         assert!(model().lifetime_cost_dollars(w) < epa.lifetime_cost_dollars(w));
-        assert!((epa.lifetime_cost_dollars(w) / lean.lifetime_cost_dollars(w) - 2.0 / 1.2).abs() < 1e-9);
+        assert!(
+            (epa.lifetime_cost_dollars(w) / lean.lifetime_cost_dollars(w) - 2.0 / 1.2).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -91,8 +91,16 @@ impl DatacenterPowerModel {
             (0.0..=1.0).contains(&utilization),
             "utilization must be within [0, 1]"
         );
-        let server_scale = if servers_proportional { utilization } else { 1.0 };
-        let network_scale = if network_proportional { utilization } else { 1.0 };
+        let server_scale = if servers_proportional {
+            utilization
+        } else {
+            1.0
+        };
+        let network_scale = if network_proportional {
+            utilization
+        } else {
+            1.0
+        };
         DatacenterScenario {
             utilization,
             server_watts: self.server_peak_watts() * server_scale,

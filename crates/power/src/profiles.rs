@@ -399,10 +399,7 @@ mod tests {
     #[test]
     fn performance_dynamic_range_is_16x() {
         // §3.1: "16X in terms of performance".
-        assert_eq!(
-            LinkRate::MAX.mbps() / LinkRate::MIN.mbps(),
-            16,
-        );
+        assert_eq!(LinkRate::MAX.mbps() / LinkRate::MIN.mbps(), 16,);
     }
 
     #[test]

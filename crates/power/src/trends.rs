@@ -82,7 +82,11 @@ mod tests {
         // pin counts, so per-pin signaling (and power) must rise.
         let t = itrs_trends();
         let years = f64::from(t.last().unwrap().year - t[0].year);
-        let bw = cagr(t[0].io_bandwidth_tbps, t.last().unwrap().io_bandwidth_tbps, years);
+        let bw = cagr(
+            t[0].io_bandwidth_tbps,
+            t.last().unwrap().io_bandwidth_tbps,
+            years,
+        );
         let pins = cagr(
             t[0].package_pins_thousands,
             t.last().unwrap().package_pins_thousands,

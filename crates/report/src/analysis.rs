@@ -124,7 +124,11 @@ pub fn churn(records: &[TraceRecord]) -> Vec<ChurnRow> {
         acc.last_dir = Some(up);
     }
     let mut rows: Vec<ChurnRow> = per_channel.into_values().map(|a| a.row).collect();
-    rows.sort_by(|a, b| b.transitions.cmp(&a.transitions).then(a.channel.cmp(&b.channel)));
+    rows.sort_by(|a, b| {
+        b.transitions
+            .cmp(&a.transitions)
+            .then(a.channel.cmp(&b.channel))
+    });
     rows
 }
 
@@ -371,7 +375,11 @@ pub fn format_residency(r: &RateResidency) -> String {
 
 /// Churn as a printable table (top `limit` rows; 0 means all).
 pub fn format_churn(rows: &[ChurnRow], limit: usize) -> String {
-    let shown = if limit == 0 { rows.len() } else { limit.min(rows.len()) };
+    let shown = if limit == 0 {
+        rows.len()
+    } else {
+        limit.min(rows.len())
+    };
     let mut out = format!(
         "Transition churn per channel ({} channels, showing {})\n",
         rows.len(),
@@ -391,7 +399,14 @@ pub fn format_churn(rows: &[ChurnRow], limit: usize) -> String {
         })
         .collect();
     out.push_str(&table(
-        &["channel", "decisions", "transitions", "up", "down", "reversals"],
+        &[
+            "channel",
+            "decisions",
+            "transitions",
+            "up",
+            "down",
+            "reversals",
+        ],
         &body,
     ));
     out
@@ -422,7 +437,11 @@ pub fn format_reactivation(s: &ReactivationStats) -> String {
 /// Credit-stall attribution as a printable table (top `limit` rows;
 /// 0 means all).
 pub fn format_credit(rows: &[CreditStallRow], limit: usize) -> String {
-    let shown = if limit == 0 { rows.len() } else { limit.min(rows.len()) };
+    let shown = if limit == 0 {
+        rows.len()
+    } else {
+        limit.min(rows.len())
+    };
     let mut out = format!(
         "Credit-stall attribution ({} channels, showing {})\n",
         rows.len(),
@@ -514,7 +533,10 @@ mod tests {
         // Same bits, not merely close: both sides call derive().
         for (row, rate) in r.rows.iter().zip(RATE_LADDER.iter().rev()) {
             assert_eq!(row.rate, rate.to_string());
-            assert_eq!(row.fraction.to_bits(), d.residency_fraction[rate.index()].to_bits());
+            assert_eq!(
+                row.fraction.to_bits(),
+                d.residency_fraction[rate.index()].to_bits()
+            );
         }
     }
 

@@ -41,7 +41,14 @@ pub fn grouped_bars(
     svg.text(width / 2.0, 20.0, Anchor::Middle, 13.0, title);
     // Axes and y grid.
     svg.line(LEFT, TOP, LEFT, TOP + plot_h, "#333333", 1.0);
-    svg.line(LEFT, TOP + plot_h, LEFT + plot_w, TOP + plot_h, "#333333", 1.0);
+    svg.line(
+        LEFT,
+        TOP + plot_h,
+        LEFT + plot_w,
+        TOP + plot_h,
+        "#333333",
+        1.0,
+    );
     for i in 0..=5 {
         let v = y_max * f64::from(i) / 5.0;
         let y = y_of(v);
@@ -108,7 +115,14 @@ pub fn lines(
 
     svg.text(width / 2.0, 20.0, Anchor::Middle, 13.0, title);
     svg.line(LEFT, TOP, LEFT, TOP + plot_h, "#333333", 1.0);
-    svg.line(LEFT, TOP + plot_h, LEFT + plot_w, TOP + plot_h, "#333333", 1.0);
+    svg.line(
+        LEFT,
+        TOP + plot_h,
+        LEFT + plot_w,
+        TOP + plot_h,
+        "#333333",
+        1.0,
+    );
     for i in 0..=5 {
         let v = y_max * f64::from(i) / 5.0;
         let y = y_of(v);
@@ -118,22 +132,10 @@ pub fn lines(
     for &x in x_values {
         let px = x_of(x);
         svg.line(px, TOP + plot_h, px, TOP + plot_h + 4.0, "#333333", 1.0);
-        svg.text(
-            px,
-            TOP + plot_h + 16.0,
-            Anchor::Middle,
-            10.0,
-            &format_x(x),
-        );
+        svg.text(px, TOP + plot_h + 16.0, Anchor::Middle, 10.0, &format_x(x));
     }
     svg.text(14.0, TOP - 12.0, Anchor::Start, 10.0, y_label);
-    svg.text(
-        width / 2.0,
-        height - 30.0,
-        Anchor::Middle,
-        10.0,
-        x_label,
-    );
+    svg.text(width / 2.0, height - 30.0, Anchor::Middle, 10.0, x_label);
 
     for (si, s) in series.iter().enumerate() {
         let color = PALETTE[si % PALETTE.len()];

@@ -28,11 +28,7 @@ use epnet::power::{LinkRate, RATE_LADDER};
 
 /// Figure 7 as a grouped bar chart (fraction of time per link speed).
 pub fn render_figure7(f: &Figure7) -> String {
-    let categories: Vec<String> = RATE_LADDER
-        .iter()
-        .rev()
-        .map(|r| r.to_string())
-        .collect();
+    let categories: Vec<String> = RATE_LADDER.iter().rev().map(|r| r.to_string()).collect();
     let pick = |vals: &[f64; 5]| -> Vec<f64> {
         RATE_LADDER
             .iter()
@@ -95,7 +91,12 @@ pub fn render_figure9a(cells: &[Figure9aCell]) -> String {
     let mut targets: Vec<f64> = cells.iter().map(|c| c.target).collect();
     targets.sort_by(f64::total_cmp);
     targets.dedup();
-    let series = by_workload(cells.iter().map(|c| (c.workload.as_str(), c.target, c.added_latency_us)), &targets);
+    let series = by_workload(
+        cells
+            .iter()
+            .map(|c| (c.workload.as_str(), c.target, c.added_latency_us)),
+        &targets,
+    );
     charts::lines(
         "Figure 9(a): added latency vs target utilization",
         "added latency (us)",
@@ -112,9 +113,13 @@ pub fn render_figure9b(cells: &[Figure9bCell]) -> String {
     xs.sort_by(f64::total_cmp);
     xs.dedup();
     let series = by_workload(
-        cells
-            .iter()
-            .map(|c| (c.workload.as_str(), c.reactivation_ns as f64, c.added_latency_us)),
+        cells.iter().map(|c| {
+            (
+                c.workload.as_str(),
+                c.reactivation_ns as f64,
+                c.added_latency_us,
+            )
+        }),
         &xs,
     );
     charts::lines(
@@ -137,7 +142,10 @@ pub fn render_timeline(
     duration: epnet::sim::SimTime,
 ) -> String {
     use svg::{Anchor, Svg};
-    assert!(!events.is_empty(), "timeline is empty — enable timeline_channels");
+    assert!(
+        !events.is_empty(),
+        "timeline is empty — enable timeline_channels"
+    );
     let channels = events.iter().map(|e| e.channel).max().expect("non-empty") + 1;
     let row_h = 14.0;
     let left = 56.0;
@@ -167,7 +175,13 @@ pub fn render_timeline(
     // Per channel, draw segments between consecutive events.
     for ch in 0..channels {
         let y = top + row_h * ch as f64;
-        svg.text(left - 6.0, y + row_h - 4.0, Anchor::End, 9.0, &format!("ch{ch}"));
+        svg.text(
+            left - 6.0,
+            y + row_h - 4.0,
+            Anchor::End,
+            9.0,
+            &format!("ch{ch}"),
+        );
         let mut evs: Vec<&epnet::sim::TimelineEvent> =
             events.iter().filter(|e| e.channel == ch).collect();
         evs.sort_by_key(|e| e.at);
@@ -178,7 +192,13 @@ pub fn render_timeline(
             } else {
                 left + plot_w
             };
-            svg.rect(x0, y + 1.0, (x1 - x0).max(0.3), row_h - 2.0, color_of(e.rate));
+            svg.rect(
+                x0,
+                y + 1.0,
+                (x1 - x0).max(0.3),
+                row_h - 2.0,
+                color_of(e.rate),
+            );
         }
     }
     // Rate legend.
@@ -261,10 +281,26 @@ mod tests {
     fn timeline_renders_segments_and_legend() {
         use epnet::sim::{SimTime, TimelineEvent};
         let events = vec![
-            TimelineEvent { at: SimTime::ZERO, channel: 0, rate: Some(LinkRate::R40) },
-            TimelineEvent { at: SimTime::from_us(10), channel: 0, rate: Some(LinkRate::R20) },
-            TimelineEvent { at: SimTime::ZERO, channel: 1, rate: Some(LinkRate::R40) },
-            TimelineEvent { at: SimTime::from_us(20), channel: 1, rate: None },
+            TimelineEvent {
+                at: SimTime::ZERO,
+                channel: 0,
+                rate: Some(LinkRate::R40),
+            },
+            TimelineEvent {
+                at: SimTime::from_us(10),
+                channel: 0,
+                rate: Some(LinkRate::R20),
+            },
+            TimelineEvent {
+                at: SimTime::ZERO,
+                channel: 1,
+                rate: Some(LinkRate::R40),
+            },
+            TimelineEvent {
+                at: SimTime::from_us(20),
+                channel: 1,
+                rate: None,
+            },
         ];
         let svg = render_timeline(&events, SimTime::from_us(100));
         assert!(svg.contains("ch0"));

@@ -63,7 +63,10 @@ impl Svg {
 
     /// A polyline through the given points.
     pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
-        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
         let _ = writeln!(
             self.body,
             r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.1}"/>"#,

@@ -674,7 +674,10 @@ mod tests {
         c.occupancy[0] = 0;
         c.busy_ps_epoch[0] = 10;
         c.retire_resting(LinkRate::MIN, true);
-        assert!(c.is_active(0), "pre-charged overhang pins the channel active");
+        assert!(
+            c.is_active(0),
+            "pre-charged overhang pins the channel active"
+        );
         c.busy_ps_epoch[0] = 0;
         c.set_pending_rate(0, Some(LinkRate::MIN));
         c.retire_resting(LinkRate::MIN, true);

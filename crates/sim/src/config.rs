@@ -446,7 +446,10 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let c = SimConfig::default();
-        assert_eq!(c.reactivation, ReactivationModel::Uniform(SimTime::from_us(1)));
+        assert_eq!(
+            c.reactivation,
+            ReactivationModel::Uniform(SimTime::from_us(1))
+        );
         assert_eq!(c.epoch, SimTime::from_us(10));
         assert_eq!(c.target_utilization, 0.5);
         assert_eq!(c.control, ControlMode::PairedLink);

@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn hysteresis_holds_in_the_dead_band() {
-        let p = RatePolicy::Hysteresis { low: 0.25, high: 0.75 };
+        let p = RatePolicy::Hysteresis {
+            low: 0.25,
+            high: 0.75,
+        };
         assert_eq!(desired_rate(p, R20, 0.5, 0.5, MIN, MAX), R20);
         assert_eq!(desired_rate(p, R20, 0.1, 0.5, MIN, MAX), R10);
         assert_eq!(desired_rate(p, R20, 0.9, 0.5, MIN, MAX), R40);
@@ -162,7 +165,10 @@ mod tests {
                     "{p:?} must hold {current} at exactly the target"
                 );
             }
-            let h = RatePolicy::Hysteresis { low: 0.25, high: 0.75 };
+            let h = RatePolicy::Hysteresis {
+                low: 0.25,
+                high: 0.75,
+            };
             // Exactly on either band edge is *inside* the dead band.
             assert_eq!(desired_rate(h, current, 0.25, target, MIN, MAX), current);
             assert_eq!(desired_rate(h, current, 0.75, target, MIN, MAX), current);
@@ -188,7 +194,10 @@ mod tests {
             RatePolicy::HalveDouble,
             RatePolicy::JumpToExtremes,
             RatePolicy::LaneAware,
-            RatePolicy::Hysteresis { low: 0.25, high: 0.75 },
+            RatePolicy::Hysteresis {
+                low: 0.25,
+                high: 0.75,
+            },
         ];
         for p in policies {
             assert_eq!(desired_rate(p, MIN, 0.0, 0.5, MIN, MAX), MIN);
@@ -222,13 +231,7 @@ mod tests {
         use proptest::prelude::*;
 
         fn any_rate() -> impl Strategy<Value = LinkRate> {
-            prop_oneof![
-                Just(R2_5),
-                Just(R5),
-                Just(R10),
-                Just(R20),
-                Just(R40),
-            ]
+            prop_oneof![Just(R2_5), Just(R5), Just(R10), Just(R20), Just(R40),]
         }
 
         fn any_policy() -> impl Strategy<Value = RatePolicy> {

@@ -197,16 +197,31 @@ impl DynamicTopology {
             if count[ring] == 0 {
                 continue;
             }
-            let util =
-                busy[ring] as f64 / (count[ring] as u128 * u128::from(epoch.as_ps())) as f64;
+            let util = busy[ring] as f64 / (count[ring] as u128 * u128::from(epoch.as_ps())) as f64;
             let tier = self.ring_tier[ring];
             if util > self.config.on_threshold && tier < 2 {
                 self.set_ring_tier(
-                    ring, tier + 1, now, fabric, channels, mask, config, stats, inst,
+                    ring,
+                    tier + 1,
+                    now,
+                    fabric,
+                    channels,
+                    mask,
+                    config,
+                    stats,
+                    inst,
                 );
             } else if util < self.config.off_threshold && tier > 0 {
                 self.set_ring_tier(
-                    ring, tier - 1, now, fabric, channels, mask, config, stats, inst,
+                    ring,
+                    tier - 1,
+                    now,
+                    fabric,
+                    channels,
+                    mask,
+                    config,
+                    stats,
+                    inst,
                 );
             }
         }

@@ -37,7 +37,9 @@ use crate::channels::{Channels, F_BUSY, F_CREDIT_WAKE, F_DRAINING, F_OFF, F_RETR
 use crate::config::{ControlMode, EpochMode, RoutingPolicy, SimConfig};
 use crate::controller::desired_rate;
 use crate::dyntopo::DynamicTopology;
+use crate::env::SimModel;
 use crate::event::{Event, EventQueue};
+use crate::flows::FlowTable;
 use crate::instrument::Instruments;
 use crate::packet::{MessageId, Packet, PacketArena, PacketId};
 use crate::stats::{RateResidency, SimReport, Stats};
@@ -196,16 +198,35 @@ pub(crate) struct Core {
     /// bounds transmission trains at the epoch so no rate or mask
     /// change can land mid-train.
     pub(crate) controller_active: bool,
+    /// Which simulation regime this core runs (`EPNET_MODEL`).
+    pub(crate) model: SimModel,
+    /// Fluid per-flow state (hybrid model; empty in packet mode).
+    pub(crate) flows: FlowTable,
+    /// Pod of each host, for the hierarchical delivered-bytes rollup
+    /// (hybrid model only; empty in packet mode).
+    pub(crate) pod_of_host: Vec<u32>,
+    /// Delivered bytes per pod (hybrid model only; empty in packet
+    /// mode, which keeps packet-mode reports byte-identical).
+    pub(crate) pod_bytes: Vec<u64>,
     /// Telemetry: tracer, metrics registry, phase profiler.
     pub(crate) inst: Instruments,
 }
 
 impl<S: TrafficSource> Simulator<S> {
-    /// Creates a simulator over `fabric` driven by `source`.
+    /// Creates a simulator over `fabric` driven by `source`, with the
+    /// simulation model taken from `EPNET_MODEL` (packet by default).
     pub fn new(fabric: FabricGraph, config: SimConfig, source: S) -> Self {
+        Self::with_model(fabric, config, source, crate::env::env_model())
+    }
+
+    /// Creates a simulator with an explicit simulation model, ignoring
+    /// `EPNET_MODEL` — the programmatic twin of the environment switch,
+    /// used by benches and validation tests comparing regimes within
+    /// one process (environment twiddling would race across threads).
+    pub fn with_model(fabric: FabricGraph, config: SimConfig, source: S, model: SimModel) -> Self {
         let inst = Instruments::from_env();
         Self {
-            core: Core::build(fabric, config, inst),
+            core: Core::build(fabric, config, inst, model),
             source,
             pending: None,
             primed: false,
@@ -219,7 +240,12 @@ impl Core {
     /// Builds an engine core over `fabric`, reporting through `inst`.
     /// Shared by [`Simulator::new`] and the parallel engine's per-shard
     /// core construction.
-    pub(crate) fn build(fabric: FabricGraph, config: SimConfig, mut inst: Instruments) -> Self {
+    pub(crate) fn build(
+        fabric: FabricGraph,
+        config: SimConfig,
+        mut inst: Instruments,
+        model: SimModel,
+    ) -> Self {
         config.validate();
         let n = fabric.num_channels();
         let mut channels = Channels::with_capacity(n);
@@ -263,29 +289,65 @@ impl Core {
         }
         let warmup = config.warmup;
         let first_epoch_end = config.epoch;
-        let routes = match std::env::var("EPNET_ROUTES") {
-            Ok(v) if v.eq_ignore_ascii_case("dynamic") => RouteMode::Dynamic {
+        // Pods partition the switch range into at most 64 contiguous
+        // groups, so the rollup stays bounded however large the fabric
+        // grows; built only for the hybrid model, whose per-pod vector
+        // is the only report field that scales with topology size.
+        let (pod_of_host, pod_bytes) = if model == SimModel::Hybrid {
+            let ns = fabric.num_switches().max(1);
+            let pods = ns.min(64);
+            let of = host_switch
+                .iter()
+                .map(|sw| (sw.index() * pods / ns) as u32)
+                .collect();
+            (of, vec![0u64; pods])
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let routes = if model == SimModel::Hybrid {
+            // A precomputed route table is O(switch-pairs) memory —
+            // prohibitive at the hybrid model's 10^5-host targets —
+            // and hybrid routes only the demoted packet residue, so
+            // the reference per-hop computation is forced regardless
+            // of `EPNET_ROUTES`. Route mode never changes output.
+            RouteMode::Dynamic {
                 scratch: Vec::new(),
-            },
-            _ => {
-                let start = Instant::now();
-                let table = RouteTable::build(&fabric, None);
-                let wall = start.elapsed();
-                inst.profiler.record("route_table_build", wall);
-                if inst.on(TraceCategory::Routes) {
-                    let build_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
-                    inst.tracer().routes(
-                        0,
-                        table.generation(),
-                        build_ns,
-                        table.num_port_entries() as u64,
-                    );
+            }
+        } else {
+            match std::env::var("EPNET_ROUTES") {
+                Ok(v) if v.eq_ignore_ascii_case("dynamic") => RouteMode::Dynamic {
+                    scratch: Vec::new(),
+                },
+                _ => {
+                    let start = Instant::now();
+                    let table = RouteTable::build(&fabric, None);
+                    let wall = start.elapsed();
+                    inst.profiler.record("route_table_build", wall);
+                    if inst.on(TraceCategory::Routes) {
+                        let build_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+                        inst.tracer().routes(
+                            0,
+                            table.generation(),
+                            build_ns,
+                            table.num_port_entries() as u64,
+                        );
+                    }
+                    RouteMode::Table(table)
                 }
-                RouteMode::Table(table)
             }
         };
+        // The queue hint reflects expected *pending events*, not fabric
+        // size: a packet run keeps one or two events in flight per busy
+        // channel, but the hybrid fluid regime has no per-packet events
+        // at all — just the next workload pull and the epoch tick — so
+        // a channel-count-sized calendar would scatter its sparse
+        // events over cold buckets (one first-touch allocation each).
+        let queue_hint = match model {
+            SimModel::Hybrid => 0,
+            SimModel::Packet => n,
+        };
         Self {
-            queue: CoreQueue::Serial(EventQueue::with_hint(n)),
+            queue: CoreQueue::Serial(EventQueue::with_hint(queue_hint)),
             fabric,
             config,
             now: SimTime::ZERO,
@@ -308,6 +370,10 @@ impl Core {
             last_offered_at: SimTime::ZERO,
             epoch_end: first_epoch_end,
             controller_active: false,
+            model,
+            flows: FlowTable::new(if model == SimModel::Hybrid { n } else { 0 }),
+            pod_of_host,
+            pod_bytes,
             inst,
         }
     }
@@ -410,7 +476,6 @@ impl Core {
             });
         }
     }
-
 }
 
 impl<S: TrafficSource> Simulator<S> {
@@ -462,8 +527,17 @@ impl<S: TrafficSource> Simulator<S> {
     /// runs serially.
     pub fn run_until(mut self, end: SimTime) -> SimReport {
         if let Some(width) = crate::env::env_threads("EPNET_PAR") {
-            self.prime(end);
-            return crate::par::run(self, end, width);
+            if self.core.model == SimModel::Hybrid {
+                // Fluid flow state is global — it advances at epoch
+                // ticks across every shard's channels — so hybrid runs
+                // stay on the serial loop, recorded like the other
+                // parallel-engine fallbacks.
+                let ids = self.core.inst.ids;
+                self.core.inst.metrics.set(ids.par_fallback_serial, 1);
+            } else {
+                self.prime(end);
+                return crate::par::run(self, end, width);
+            }
         }
         self.prime(end);
         self.advance_until(end);
@@ -491,7 +565,8 @@ impl<S: TrafficSource> Simulator<S> {
             self.core.schedule(m.at, Event::Workload);
         }
         self.core.controller_active = self.core.config.control != ControlMode::AlwaysFull
-            || self.core.dyntopo.is_some();
+            || self.core.dyntopo.is_some()
+            || self.core.model == SimModel::Hybrid;
         if self.core.controller_active {
             let epoch = self.core.config.epoch;
             self.core.schedule(epoch, Event::EpochTick);
@@ -575,7 +650,10 @@ impl<S: TrafficSource> Simulator<S> {
         self.core.inst.metrics.add(ids.ev_workload, n_workload);
         self.core.inst.metrics.add(ids.ev_tx_done, n_tx_done);
         self.core.inst.metrics.add(ids.ev_arrive, n_arrive);
-        self.core.inst.metrics.add(ids.ev_credit_wake, n_credit_wake);
+        self.core
+            .inst
+            .metrics
+            .add(ids.ev_credit_wake, n_credit_wake);
         self.core.inst.metrics.add(ids.ev_retry, n_retry);
         self.core.inst.metrics.add(ids.ev_epoch_tick, n_epoch_tick);
     }
@@ -586,7 +664,11 @@ impl<S: TrafficSource> Simulator<S> {
     pub fn finalize(mut self) -> SimReport {
         assert!(self.primed, "finalize() before prime()");
         self.core.inst.profiler.record(
-            if self.in_warmup { "warmup" } else { "measurement" },
+            if self.in_warmup {
+                "warmup"
+            } else {
+                "measurement"
+            },
             self.phase_start.elapsed(),
         );
         self.core.now = self.core.end;
@@ -628,14 +710,36 @@ impl Core {
         debug_assert_ne!(m.src, m.dst, "self-sends are not meaningful");
         self.stats.offered_bytes += m.bytes;
         self.last_offered_at = m.at;
+        if self.model == SimModel::Hybrid
+            && m.bytes >= crate::flows::FLOW_MIN_BYTES
+            && self.try_absorb_flow(&m)
+        {
+            return;
+        }
+        let inj = self.fabric.injection_channel(m.src);
+        self.inject_packets(inj, m.dst, m.bytes, m.at);
+    }
+
+    /// Segments `bytes` into packets on injection channel `inj` and
+    /// starts transmission — the tail of [`Core::inject`], shared with
+    /// the hybrid model's flow demotion, which re-injects a flow's
+    /// remaining bytes with the original offer time so warmup gating
+    /// and latency accounting match a message that was always packets.
+    pub(crate) fn inject_packets(
+        &mut self,
+        inj: ChannelId,
+        dst: epnet_topology::HostId,
+        bytes: u64,
+        offered_at: SimTime,
+    ) {
         let pkt_size = u64::from(self.config.packet_bytes);
-        let full = (m.bytes / pkt_size) as u32;
-        let tail = (m.bytes % pkt_size) as u32;
+        let full = (bytes / pkt_size) as u32;
+        let tail = (bytes % pkt_size) as u32;
         // A zero-byte message still travels as a single minimal packet.
         let count = (full + u32::from(tail > 0)).max(1);
         let rec = MessageRec {
             remaining: count,
-            offered_at: m.at,
+            offered_at,
         };
         let message = match self.msg_free.pop() {
             Some(slot) => {
@@ -648,17 +752,22 @@ impl Core {
                 MessageId(slot)
             }
         };
-        let inj = self.fabric.injection_channel(m.src);
         let budget = match self.config.routing {
             RoutingPolicy::MinimalAdaptive => 0,
-            RoutingPolicy::Ugal { misroute_budget, .. } => misroute_budget,
+            RoutingPolicy::Ugal {
+                misroute_budget, ..
+            } => misroute_budget,
         };
         for i in 0..count {
-            let bytes = if i < full { pkt_size as u32 } else { tail.max(1) };
+            let bytes = if i < full {
+                pkt_size as u32
+            } else {
+                tail.max(1)
+            };
             let id = self.arena.alloc(Packet {
-                dst: m.dst,
+                dst,
                 bytes,
-                created: m.at,
+                created: offered_at,
                 message,
                 hops: 0,
                 misroutes_left: budget,
@@ -895,7 +1004,13 @@ impl Core {
     /// the receiving side. The serial engine always runs both; the
     /// parallel engine splits a cross-shard arrival into a credit half
     /// on the sender's shard and a route half on the receiver's.
-    pub(crate) fn on_arrive(&mut self, ch: ChannelId, pkt: PacketId, do_credit: bool, do_route: bool) {
+    pub(crate) fn on_arrive(
+        &mut self,
+        ch: ChannelId,
+        pkt: PacketId,
+        do_credit: bool,
+        do_route: bool,
+    ) {
         let i = ch.index();
         if do_credit {
             // Credits travel back once the packet has cleared the input
@@ -931,6 +1046,10 @@ impl Core {
                     let packet = self.free_packet(pkt);
                     self.stats
                         .record_packet(packet.created, self.now, packet.bytes);
+                    if !self.pod_bytes.is_empty() {
+                        self.pod_bytes[self.pod_of_host[h.index()] as usize] +=
+                            u64::from(packet.bytes);
+                    }
                     let mi = packet.message.index();
                     let rec = &mut self.messages[mi];
                     rec.remaining -= 1;
@@ -1142,8 +1261,14 @@ impl Core {
     /// trace stream is part of the byte-identical output contract.
     pub(crate) fn on_epoch(&mut self) {
         let tick_start = Instant::now();
-        let sweep =
-            self.epoch_mode == EpochMode::Sweep || self.inst.on(TraceCategory::Controller);
+        // Fluid flows advance before the controller reads per-channel
+        // utilization: the epoch's busy picoseconds then include fluid
+        // movement exactly as they would packet serialization, keeping
+        // rate decisions regime-independent.
+        if self.model == SimModel::Hybrid {
+            self.advance_flows();
+        }
+        let sweep = self.epoch_mode == EpochMode::Sweep || self.inst.on(TraceCategory::Controller);
         let decisions_enabled = self.config.control != ControlMode::AlwaysFull;
         match self.config.control {
             ControlMode::AlwaysFull => {}
@@ -1244,7 +1369,9 @@ impl Core {
             self.schedule(next, Event::EpochTick);
         }
         self.stats.epoch_ticks += 1;
-        self.inst.profiler.record("controller", tick_start.elapsed());
+        self.inst
+            .profiler
+            .record("controller", tick_start.elapsed());
     }
 
     fn retune_independent(&mut self) {
@@ -1472,6 +1599,11 @@ impl Core {
 
     pub(crate) fn finish(mut self) -> SimReport {
         let finalize_start = Instant::now();
+        if self.model == SimModel::Hybrid {
+            // Close the partial window between the last epoch tick and
+            // the horizon so fluid movement covers the full duration.
+            self.advance_flows();
+        }
         let end = self.now;
         let mut residency = RateResidency {
             at_rate_ps: [0; LinkRate::COUNT],
@@ -1515,9 +1647,10 @@ impl Core {
         let ids = self.inst.ids;
         let clamp = |ps: u128| u64::try_from(ps).unwrap_or(u64::MAX);
         for r in RATE_LADDER {
-            self.inst
-                .metrics
-                .set(ids.residency_ps[r.index()], clamp(residency.at_rate_ps[r.index()]));
+            self.inst.metrics.set(
+                ids.residency_ps[r.index()],
+                clamp(residency.at_rate_ps[r.index()]),
+            );
         }
         self.inst
             .metrics
@@ -1556,6 +1689,7 @@ impl Core {
             epoch_ticks: s.epoch_ticks,
             controller_decisions: s.controller_decisions,
             diagnostics,
+            pod_delivered_bytes: self.pod_bytes,
         }
     }
 }

@@ -20,7 +20,10 @@ pub(crate) enum Event {
     /// A channel finished serializing its current packet.
     TxDone { channel: ChannelId },
     /// A packet's tail reached the far end of a channel.
-    Arrive { channel: ChannelId, packet: PacketId },
+    Arrive {
+        channel: ChannelId,
+        packet: PacketId,
+    },
     /// A credit-blocked channel's next pending credit return matures.
     ///
     /// Credit returns themselves are bookkept per channel at arrival
@@ -107,7 +110,9 @@ mod tests {
         q.schedule(SimTime::from_ns(30), Event::EpochTick);
         q.schedule(SimTime::from_ns(10), Event::Workload);
         q.schedule(SimTime::from_ns(20), Event::EpochTick);
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ns()).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_ns())
+            .collect();
         assert_eq!(times, vec![10, 20, 30]);
     }
 
@@ -115,9 +120,24 @@ mod tests {
     fn simultaneous_events_are_fifo() {
         let mut q = EventQueue::new();
         let t = SimTime::from_ns(5);
-        q.schedule(t, Event::TxDone { channel: ChannelId::new(1) });
-        q.schedule(t, Event::TxDone { channel: ChannelId::new(2) });
-        q.schedule(t, Event::TxDone { channel: ChannelId::new(3) });
+        q.schedule(
+            t,
+            Event::TxDone {
+                channel: ChannelId::new(1),
+            },
+        );
+        q.schedule(
+            t,
+            Event::TxDone {
+                channel: ChannelId::new(2),
+            },
+        );
+        q.schedule(
+            t,
+            Event::TxDone {
+                channel: ChannelId::new(3),
+            },
+        );
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::TxDone { channel } => channel.raw(),

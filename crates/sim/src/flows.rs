@@ -1,0 +1,424 @@
+//! Fluid per-flow state for the hybrid simulation model
+//! (`EPNET_MODEL=hybrid`; see DESIGN.md "Hybrid flow/packet model").
+//!
+//! The packet engine's cost is proportional to *bytes moved*: a 4 MiB
+//! transfer at the paper's scale is two thousand packet events before
+//! it even contends. The hybrid model absorbs large messages whose path
+//! is currently *steady* — no channel powered off, draining, or
+//! congested — into a compact struct-of-arrays table and advances them
+//! analytically once per controller epoch: each flow moves
+//! `min_over_path(window / (serialize_ps_per_byte · sharers))` bytes,
+//! the max-min fair share of the slowest channel on its fixed path.
+//! The busy picoseconds that movement implies are charged to each
+//! channel's epoch accumulator *before* the controller reads
+//! utilization, so the §3.3 rate controller, the power model, and
+//! telemetry run unmodified on top of either regime.
+//!
+//! Regime boundaries are explicit and conservative:
+//!
+//! * **Absorb** (promotion to fluid) happens at injection, only for
+//!   messages of at least [`FLOW_MIN_BYTES`] whose greedy minimal path
+//!   (at most [`MAX_FLOW_HOPS`] channels) is steady. Everything else —
+//!   small messages, paths through transitioning or congested channels
+//!   — takes the packet path unchanged.
+//! * **Reactivation windows** do not demote: a channel unavailable
+//!   until `available_at` simply contributes a shorter capacity window
+//!   (`now − max(last_advance, available_at)`), which is exactly the
+//!   §3.2 cost a packet stream would pay waiting out the relock.
+//! * **Demote** (back to packets) happens when a path channel powers
+//!   off / starts draining, or develops a standing queue above the
+//!   congestion threshold — the dynamics the packet model must own.
+//!   The flow's remaining bytes re-enter the injection queue as
+//!   ordinary packets carrying the original offer time, so latency and
+//!   warmup accounting match a message that had always been packets.
+
+use crate::channels::{F_DRAINING, F_OFF};
+use crate::engine::Core;
+use crate::traffic::Message;
+use crate::SimTime;
+use epnet_topology::{ChannelId, HostId, PortIndex, PortTarget};
+
+/// Smallest message the hybrid model will absorb as a fluid flow.
+/// Below this, per-packet dynamics dominate and aggregation saves
+/// little; 64 KiB is 32 packets at the default 2 KiB packet size.
+pub(crate) const FLOW_MIN_BYTES: u64 = 64 * 1024;
+
+/// Longest absorbable path, in channels (injection + switch hops +
+/// ejection). Both simulated families are diameter-2 fabrics (≤ 5
+/// channels); 8 leaves headroom without widening the SoA row.
+pub(crate) const MAX_FLOW_HOPS: usize = 8;
+
+/// A flow's path channel occupancy beyond this many packet payloads
+/// counts as congestion onset and forces the packet regime.
+const CONGESTION_PACKETS: u64 = 4;
+
+/// Struct-of-arrays store of live fluid flows, recycled through a free
+/// list like the engine's message table. Columns grow by amortized
+/// doubling up to the high-water mark of concurrently live flows and
+/// are never shrunk, so a warmed-up run allocates only when that mark
+/// moves.
+#[derive(Debug, Default)]
+pub(crate) struct FlowTable {
+    /// Bytes still to deliver.
+    remaining: Vec<u64>,
+    /// Original workload offer time (warmup gating, message latency).
+    offered_at: Vec<SimTime>,
+    /// Destination host (raw id).
+    dst: Vec<u32>,
+    /// Simulated time up to which this flow has been advanced.
+    last_advance: Vec<SimTime>,
+    /// Channels used, `path[..path_len]` (raw channel ids).
+    path: Vec<[u32; MAX_FLOW_HOPS]>,
+    path_len: Vec<u8>,
+    /// Retired slots awaiting reuse.
+    free: Vec<u32>,
+    /// Slots currently live, iterated each advancement.
+    live: Vec<u32>,
+    /// Scratch: flows sharing each channel (indexed by channel, sized
+    /// at construction in hybrid mode; empty in packet mode).
+    per_channel: Vec<u32>,
+    /// Scratch: channels with a non-zero `per_channel` entry, so
+    /// clearing between advancements is O(touched), not O(channels).
+    touched: Vec<u32>,
+    /// Scratch for the absorb-time greedy path walk.
+    path_scratch: Vec<PortIndex>,
+}
+
+impl FlowTable {
+    /// An empty table whose fair-share scratch covers `num_channels`
+    /// (pass 0 in packet mode — the table is never consulted there).
+    pub(crate) fn new(num_channels: usize) -> Self {
+        Self {
+            per_channel: vec![0; num_channels],
+            ..Self::default()
+        }
+    }
+
+    /// Flows currently in the fluid regime (test observability).
+    #[cfg(test)]
+    pub(crate) fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    fn alloc(
+        &mut self,
+        remaining: u64,
+        offered_at: SimTime,
+        dst: u32,
+        path: [u32; MAX_FLOW_HOPS],
+        path_len: u8,
+    ) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let f = s as usize;
+                self.remaining[f] = remaining;
+                self.offered_at[f] = offered_at;
+                self.dst[f] = dst;
+                self.last_advance[f] = offered_at;
+                self.path[f] = path;
+                self.path_len[f] = path_len;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.remaining.len()).expect("flow table overflow");
+                self.remaining.push(remaining);
+                self.offered_at.push(offered_at);
+                self.dst.push(dst);
+                self.last_advance.push(offered_at);
+                self.path.push(path);
+                self.path_len.push(path_len);
+                s
+            }
+        };
+        self.live.push(slot);
+    }
+
+    fn release(&mut self, live_idx: usize) {
+        let slot = self.live.swap_remove(live_idx);
+        self.free.push(slot);
+    }
+}
+
+impl Core {
+    /// Standing-queue bytes beyond which a channel is "congestion
+    /// onset" for regime decisions.
+    fn flow_congestion_limit(&self) -> u64 {
+        CONGESTION_PACKETS * u64::from(self.config.packet_bytes)
+    }
+
+    /// Attempts to absorb `m` into the fluid regime. Returns `false` —
+    /// send it down the packet path — when the greedy minimal path
+    /// exceeds [`MAX_FLOW_HOPS`] or crosses a channel that is powered
+    /// off, draining, or congested. Caller has already gated on the
+    /// hybrid model and [`FLOW_MIN_BYTES`].
+    pub(crate) fn try_absorb_flow(&mut self, m: &Message) -> bool {
+        let dst_switch = self.host_switch[m.dst.index()];
+        let mut path = [0u32; MAX_FLOW_HOPS];
+        path[0] = self.fabric.injection_channel(m.src).raw();
+        let mut len = 1usize;
+        let mut at = self.host_switch[m.src.index()];
+        let mut scratch = std::mem::take(&mut self.flows.path_scratch);
+        let mut routable = true;
+        while at != dst_switch {
+            // The ejection channel still needs a slot after this walk.
+            if len + 1 >= MAX_FLOW_HOPS {
+                routable = false;
+                break;
+            }
+            self.fabric
+                .candidate_ports_masked(at, m.dst, self.mask.as_ref(), &mut scratch);
+            let Some(&port) = scratch.first() else {
+                routable = false;
+                break;
+            };
+            let ch = self.fabric.output_channel(at, port);
+            path[len] = ch.raw();
+            len += 1;
+            match self.targets[ch.index()] {
+                PortTarget::Switch { switch, .. } => at = switch,
+                PortTarget::Host(_) => {
+                    routable = false;
+                    break;
+                }
+            }
+        }
+        self.flows.path_scratch = scratch;
+        if !routable {
+            return false;
+        }
+        path[len] = self.eject_channel[m.dst.index()].raw();
+        len += 1;
+        // Steadiness gate: any interesting dynamics on the path keep
+        // the message at packet fidelity.
+        let limit = self.flow_congestion_limit();
+        for &c in &path[..len] {
+            let i = c as usize;
+            if self.channels.flags[i] & (F_OFF | F_DRAINING) != 0
+                || self.channels.occupancy[i] > limit
+            {
+                return false;
+            }
+        }
+        self.flows
+            .alloc(m.bytes, m.at, m.dst.raw(), path, len as u8);
+        self.inst.metrics.add(self.inst.ids.flows_absorbed, 1);
+        true
+    }
+
+    /// Advances every live flow to `self.now` — called at the top of
+    /// each epoch tick (before the controller reads per-channel
+    /// utilization) and once more at finish for the partial window up
+    /// to the horizon.
+    ///
+    /// Each flow moves the max-min fair share of its slowest path
+    /// channel: `min_over_path(capacity_window / (ps_per_byte ·
+    /// sharers))`, where a channel mid-reactivation contributes only
+    /// the window after `available_at`. The implied busy picoseconds
+    /// are charged per channel exactly as packet serialization would
+    /// be, so `epoch_utilization` is regime-independent.
+    pub(crate) fn advance_flows(&mut self) {
+        if self.flows.live.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let ids = self.inst.ids;
+        let limit = self.flow_congestion_limit();
+        // Snapshot of fair-share counts at this advancement.
+        for &c in &self.flows.touched {
+            self.flows.per_channel[c as usize] = 0;
+        }
+        self.flows.touched.clear();
+        for k in 0..self.flows.live.len() {
+            let f = self.flows.live[k] as usize;
+            let path = self.flows.path[f];
+            for &c in &path[..self.flows.path_len[f] as usize] {
+                let i = c as usize;
+                if self.flows.per_channel[i] == 0 {
+                    self.flows.touched.push(c);
+                }
+                self.flows.per_channel[i] += 1;
+            }
+        }
+        let mut k = 0usize;
+        while k < self.flows.live.len() {
+            let f = self.flows.live[k] as usize;
+            let path = self.flows.path[f];
+            let len = self.flows.path_len[f] as usize;
+            let mut demote = false;
+            for &c in &path[..len] {
+                let i = c as usize;
+                if self.channels.flags[i] & (F_OFF | F_DRAINING) != 0
+                    || self.channels.occupancy[i] > limit
+                {
+                    demote = true;
+                    break;
+                }
+            }
+            if demote {
+                let remaining = self.flows.remaining[f];
+                let offered_at = self.flows.offered_at[f];
+                let dst = HostId::new(self.flows.dst[f]);
+                self.flows.release(k);
+                // `swap_remove` moved the tail flow into index k; do
+                // not advance k.
+                self.inject_packets(ChannelId::new(path[0]), dst, remaining, offered_at);
+                self.inst.metrics.add(ids.flows_demoted, 1);
+                continue;
+            }
+            let last = self.flows.last_advance[f];
+            let mut budget = self.flows.remaining[f];
+            for &c in &path[..len] {
+                let i = c as usize;
+                let from = last.max(self.channels.available_at[i]).min(now);
+                let window_ps = (now - from).as_ps();
+                let ppb = self.channels.rate[i].serialize_ps(1);
+                let share = u64::from(self.flows.per_channel[i]);
+                budget = budget.min(window_ps / (ppb * share));
+                if budget == 0 {
+                    break;
+                }
+            }
+            if budget > 0 {
+                for &c in &path[..len] {
+                    let i = c as usize;
+                    let busy = budget * self.channels.rate[i].serialize_ps(1);
+                    self.channels.busy_ps_epoch[i] += busy;
+                    self.channels.mark_active(i);
+                    self.stats.busy_ps_total += u128::from(busy);
+                }
+                let offered_at = self.flows.offered_at[f];
+                self.flows.remaining[f] -= budget;
+                self.stats.record_flow_bytes(offered_at, budget);
+                self.inst.metrics.add(ids.flow_fluid_bytes, budget);
+                if !self.pod_bytes.is_empty() {
+                    let dst = self.flows.dst[f] as usize;
+                    self.pod_bytes[self.pod_of_host[dst] as usize] += budget;
+                }
+            }
+            self.flows.last_advance[f] = now;
+            if self.flows.remaining[f] == 0 {
+                self.stats.record_message(self.flows.offered_at[f], now);
+                self.inst.metrics.add(ids.flows_completed, 1);
+                self.flows.release(k);
+                continue;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::env::SimModel;
+    use crate::traffic::ReplaySource;
+    use crate::Simulator;
+    use epnet_topology::FlattenedButterfly;
+
+    fn hybrid_sim(messages: Vec<Message>) -> Simulator<ReplaySource> {
+        let fabric = FlattenedButterfly::new(2, 4, 2).unwrap().build_fabric();
+        Simulator::with_model(
+            fabric,
+            SimConfig::default(),
+            ReplaySource::new(messages),
+            SimModel::Hybrid,
+        )
+    }
+
+    #[test]
+    fn large_steady_message_is_absorbed_and_delivered_as_fluid() {
+        let m = Message {
+            at: SimTime::from_us(60),
+            src: HostId::new(0),
+            dst: HostId::new(7),
+            bytes: 512 * 1024,
+        };
+        let report = hybrid_sim(vec![m]).run_until(SimTime::from_ms(2));
+        assert_eq!(report.delivered_bytes, 512 * 1024);
+        assert_eq!(report.messages_delivered, 1);
+        // Fluid delivery produces no packet-latency samples.
+        assert_eq!(report.packets_delivered, 0);
+        assert_eq!(report.diagnostics["flows_absorbed"], 1);
+        assert_eq!(report.diagnostics["flows_completed"], 1);
+        assert_eq!(report.diagnostics["flows_demoted"], 0);
+        assert_eq!(report.diagnostics["flow_fluid_bytes"], 512 * 1024);
+        // Per-pod rollups account for every delivered byte.
+        assert_eq!(
+            report.pod_delivered_bytes.iter().sum::<u64>(),
+            report.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn small_messages_keep_packet_fidelity() {
+        let m = Message {
+            at: SimTime::from_us(60),
+            src: HostId::new(0),
+            dst: HostId::new(7),
+            bytes: FLOW_MIN_BYTES - 1,
+        };
+        let report = hybrid_sim(vec![m]).run_until(SimTime::from_ms(1));
+        assert_eq!(report.delivered_bytes, FLOW_MIN_BYTES - 1);
+        assert!(
+            report.packets_delivered > 0,
+            "below-threshold stays packets"
+        );
+        assert_eq!(report.diagnostics["flows_absorbed"], 0);
+    }
+
+    #[test]
+    fn fluid_utilization_drives_the_controller_like_packets_would() {
+        // A single long-lived flow must keep its path channels busy in
+        // the controller's eyes: utilization-driven retuning (and hence
+        // residency/power) has to see fluid movement. Saturate one
+        // host pair for the whole horizon and check the fabric does not
+        // collapse to the floor rate everywhere.
+        let m = Message {
+            at: SimTime::ZERO,
+            src: HostId::new(0),
+            dst: HostId::new(7),
+            bytes: 100 * 1024 * 1024, // far more than the horizon can move
+        };
+        let report = hybrid_sim(vec![m]).run_until(SimTime::from_ms(1));
+        assert!(report.delivered_bytes > 0);
+        assert!(
+            report.avg_channel_utilization > 0.0,
+            "fluid busy time must reach the utilization rollup"
+        );
+        // The flow's channels ride above the floor while idle channels
+        // still detune — the energy-proportional shape survives.
+        assert!(report.reconfigurations > 0);
+    }
+
+    #[test]
+    fn draining_path_channel_demotes_the_flow_to_packets() {
+        // Offered after the 50 µs warmup so the demoted packets land in
+        // the measured window.
+        let m = Message {
+            at: SimTime::from_us(60),
+            src: HostId::new(0),
+            dst: HostId::new(7),
+            bytes: 256 * 1024,
+        };
+        let mut sim = hybrid_sim(vec![m]);
+        sim.prime(SimTime::from_ms(2));
+        // Deliver the workload pull, then force the flow's injection
+        // channel into a draining state before the next epoch tick.
+        sim.advance_until(SimTime::from_us(61));
+        assert_eq!(sim.core.flows.live_count(), 1);
+        let inj = sim.core.fabric.injection_channel(HostId::new(0));
+        sim.core.channels.set_flag(inj.index(), F_DRAINING);
+        sim.advance_until(SimTime::from_us(75));
+        assert_eq!(sim.core.flows.live_count(), 0, "flow must demote");
+        sim.core.channels.clear_flag(inj.index(), F_DRAINING);
+        sim.advance_until(SimTime::from_ms(2));
+        let report = sim.finalize();
+        assert_eq!(report.delivered_bytes, 256 * 1024);
+        assert_eq!(report.diagnostics["flows_demoted"], 1);
+        assert!(
+            report.packets_delivered > 0,
+            "demoted bytes travel as packets"
+        );
+    }
+}

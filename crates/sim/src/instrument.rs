@@ -80,6 +80,18 @@ pub(crate) struct MetricIds {
     /// 1 when `EPNET_PAR` was requested but the run fell back to the
     /// serial loop (zero lookahead or zero reactivation latency).
     pub par_fallback_serial: CounterId,
+    // ---- hybrid-model diagnostics ----
+    // Also diagnostic: they are zero in packet mode, and a new *counter*
+    // would change the serialized metrics map and break packet-mode
+    // byte-identity with pre-hybrid reports.
+    /// Messages absorbed into the fluid regime (hybrid model).
+    pub flows_absorbed: CounterId,
+    /// Flows demoted back to packets at a regime boundary.
+    pub flows_demoted: CounterId,
+    /// Flows that completed entirely in the fluid regime.
+    pub flows_completed: CounterId,
+    /// Bytes delivered by fluid flow advancement.
+    pub flow_fluid_bytes: CounterId,
 }
 
 impl MetricIds {
@@ -114,6 +126,10 @@ impl MetricIds {
             par_cross_events: m.diagnostic("par_cross_events"),
             par_lookahead_ps: m.diagnostic("par_lookahead_ps"),
             par_fallback_serial: m.diagnostic("par_fallback_serial"),
+            flows_absorbed: m.diagnostic("flows_absorbed"),
+            flows_demoted: m.diagnostic("flows_demoted"),
+            flows_completed: m.diagnostic("flows_completed"),
+            flow_fluid_bytes: m.diagnostic("flow_fluid_bytes"),
         }
     }
 }

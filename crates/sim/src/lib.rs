@@ -72,6 +72,7 @@ mod dyntopo;
 mod engine;
 pub mod env;
 mod event;
+mod flows;
 mod instrument;
 mod packet;
 mod par;
@@ -86,7 +87,7 @@ pub use config::{
 };
 pub use dyntopo::{DynamicTopology, DynamicTopologyConfig};
 pub use engine::Simulator;
-pub use env::env_threads;
+pub use env::{env_model, env_threads, parse_model, SimModel};
 pub use packet::MessageId;
 pub use sched::{Backend, Scheduler};
 pub use stats::{LatencyHistogram, RateResidency, SimReport, TimelineEvent};

@@ -462,11 +462,7 @@ pub(crate) fn run<S: TrafficSource>(
     end: SimTime,
     width: usize,
 ) -> SimReport {
-    let min_prop = sim
-        .core
-        .channels
-        .min_propagation()
-        .unwrap_or(SimTime::ZERO);
+    let min_prop = sim.core.channels.min_propagation().unwrap_or(SimTime::ZERO);
     let reactivation_floor = match sim.core.config.reactivation {
         ReactivationModel::Uniform(t) => t,
         ReactivationModel::TransitionAware {
@@ -506,7 +502,13 @@ pub(crate) fn run<S: TrafficSource>(
                 *cell = Some(cell.map_or(bound, |b| b.min(bound)));
             });
             (0..nsh)
-                .map(|s| matrix[s * nsh..(s + 1) * nsh].iter().flatten().copied().min())
+                .map(|s| {
+                    matrix[s * nsh..(s + 1) * nsh]
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .min()
+                })
                 .collect()
         }
     };
@@ -566,6 +568,9 @@ pub(crate) fn run<S: TrafficSource>(
                 sim.core.fabric.clone(),
                 sim.core.config.clone(),
                 Instruments::with_tracer(None),
+                // Hybrid never reaches the parallel engine (it falls
+                // back to the serial loop); shard cores are packet.
+                crate::env::SimModel::Packet,
             );
             core.queue = CoreQueue::Window(WindowQueue::with_cross(cross_bitmap.clone()));
             core.end = end;
@@ -857,7 +862,10 @@ pub(crate) fn run<S: TrafficSource>(
                 shards[s].as_mut().expect("shard at barrier").open(wend);
             }
             if touched.len() == 1 {
-                shards[touched[0]].as_mut().expect("shard at barrier").exec();
+                shards[touched[0]]
+                    .as_mut()
+                    .expect("shard at barrier")
+                    .exec();
             } else {
                 for &s in &touched {
                     let sh = shards[s].take().expect("shard at barrier");
@@ -927,8 +935,7 @@ pub(crate) fn run<S: TrafficSource>(
                     let tr = real_tracer
                         .as_mut()
                         .expect("trace bytes exist only when tracing");
-                    for line in
-                        window_trace[s][cur.trace as usize..rec.trace_end as usize].lines()
+                    for line in window_trace[s][cur.trace as usize..rec.trace_end as usize].lines()
                     {
                         tr.write_line(line);
                     }
@@ -1042,10 +1049,22 @@ pub(crate) fn run<S: TrafficSource>(
     sim.core.inst.metrics.add(ids.ev_epoch_tick, n_epoch_tick);
     // Window-shape diagnostics (never serialized; see module docs).
     sim.core.inst.metrics.set(ids.par_windows, n_windows);
-    sim.core.inst.metrics.set(ids.par_window_events, n_window_events);
-    sim.core.inst.metrics.set(ids.par_replay_events, n_replay_events);
-    sim.core.inst.metrics.set(ids.par_cross_batches, n_cross_batches);
-    sim.core.inst.metrics.set(ids.par_cross_events, n_cross_events);
+    sim.core
+        .inst
+        .metrics
+        .set(ids.par_window_events, n_window_events);
+    sim.core
+        .inst
+        .metrics
+        .set(ids.par_replay_events, n_replay_events);
+    sim.core
+        .inst
+        .metrics
+        .set(ids.par_cross_batches, n_cross_batches);
+    sim.core
+        .inst
+        .metrics
+        .set(ids.par_cross_events, n_cross_events);
     sim.core.inst.metrics.set(ids.par_lookahead_ps, floor_ps);
     if let Some(tr) = real_tracer {
         if let Some(sink) = &master_sink {
@@ -1161,14 +1180,20 @@ fn inject_one(
     let inj = master.fabric.injection_channel(m.src);
     let budget = match master.config.routing {
         RoutingPolicy::MinimalAdaptive => 0,
-        RoutingPolicy::Ugal { misroute_budget, .. } => misroute_budget,
+        RoutingPolicy::Ugal {
+            misroute_budget, ..
+        } => misroute_budget,
     };
     let src_shard = map.host_shard(m.src);
     debug_assert_eq!(src_shard, map.channel_shard(inj));
     let sh = shards[src_shard].as_mut().expect("shard at barrier");
     sh.core.now = t;
     for i in 0..count {
-        let bytes = if i < full { pkt_size as u32 } else { tail.max(1) };
+        let bytes = if i < full {
+            pkt_size as u32
+        } else {
+            tail.max(1)
+        };
         let packet = Packet {
             dst: m.dst,
             bytes,
@@ -1212,7 +1237,9 @@ fn epoch_phase(
     for ch in 0..n {
         let owner = map.channel_shard(ChannelId::new(ch as u32));
         let sh = shards[owner].as_ref().expect("shard at barrier");
-        master.channels.copy_channel_from(&sh.core.channels, ch, true);
+        master
+            .channels
+            .copy_channel_from(&sh.core.channels, ch, true);
     }
     master.channels.mark_all_active();
     master.channels.recount_asymmetry();
@@ -1221,7 +1248,9 @@ fn epoch_phase(
     for ch in 0..n {
         let owner = map.channel_shard(ChannelId::new(ch as u32));
         let sh = shards[owner].as_mut().expect("shard at barrier");
-        sh.core.channels.copy_channel_from(&master.channels, ch, false);
+        sh.core
+            .channels
+            .copy_channel_from(&master.channels, ch, false);
     }
     for slot in shards.iter_mut() {
         let sh = slot.as_mut().expect("shard at barrier");

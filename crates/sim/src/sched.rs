@@ -394,7 +394,10 @@ impl<T> CalendarQueue<T> {
         // One lap of candidate (non-empty) buckets in cyclic order from
         // the cursor. Empty buckets can hold no due entry, so skipping
         // them never skips a day the old day-by-day walk would hit.
-        let mut ranges = [(start, nbuckets, 0u64), (0, start, nbuckets as u64 - start as u64)];
+        let mut ranges = [
+            (start, nbuckets, 0u64),
+            (0, start, nbuckets as u64 - start as u64),
+        ];
         if start == 0 {
             ranges[1] = (0, 0, 0); // no wrap segment
         }
@@ -470,7 +473,8 @@ impl<T> CalendarQueue<T> {
             self.spare_buckets.push(spare);
         }
         while self.buckets.len() < nbuckets {
-            self.buckets.push(self.spare_buckets.pop().unwrap_or_default());
+            self.buckets
+                .push(self.spare_buckets.pop().unwrap_or_default());
         }
         self.occupied.truncate(nbuckets.div_ceil(64));
         self.occupied.resize(nbuckets.div_ceil(64), 0);
@@ -523,7 +527,9 @@ struct KeyedEntry<T> {
 
 impl<T> std::fmt::Debug for KeyedEntry<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KeyedEntry").field("key", &self.key).finish()
+        f.debug_struct("KeyedEntry")
+            .field("key", &self.key)
+            .finish()
     }
 }
 
@@ -620,7 +626,9 @@ mod tests {
             q.schedule(SimTime::from_ns(30), 0);
             q.schedule(SimTime::from_ns(10), 1);
             q.schedule(SimTime::from_ns(20), 2);
-            let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ns()).collect();
+            let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(t, _)| t.as_ns())
+                .collect();
             assert_eq!(times, vec![10, 20, 30]);
         }
     }

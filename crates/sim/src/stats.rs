@@ -159,6 +159,19 @@ impl Stats {
         self.packet_hist.record_ns(lat.as_ns());
     }
 
+    /// Records bytes delivered by the hybrid model's fluid flow
+    /// advancement: they count toward delivery totals (and the
+    /// measurement window when the flow was offered after warmup)
+    /// without packet-latency samples — fluid flows carry no
+    /// per-packet timing. Flow completion goes through
+    /// [`Stats::record_message`] like any other message.
+    pub fn record_flow_bytes(&mut self, offered_at: SimTime, bytes: u64) {
+        self.delivered_bytes += bytes;
+        if offered_at >= self.warmup {
+            self.measured_delivered_bytes += bytes;
+        }
+    }
+
     pub fn record_message(&mut self, created: SimTime, completed: SimTime) {
         if created < self.warmup {
             return;
@@ -328,6 +341,12 @@ pub struct SimReport {
     /// like [`phases`](Self::phases) — they are never serialized; the
     /// serialized report stays byte-identical across engines.
     pub diagnostics: BTreeMap<String, u64>,
+    /// Delivered bytes rolled up per pod (contiguous switch groups, at
+    /// most 64) — the hybrid model's bounded-memory substitute for
+    /// per-entity telemetry at 10^5-host scale. Empty in packet mode,
+    /// and serialized only when non-empty, so packet-mode reports stay
+    /// byte-identical to pre-hybrid ones.
+    pub pod_delivered_bytes: Vec<u64>,
 }
 
 impl Serialize for SimReport {
@@ -335,7 +354,7 @@ impl Serialize for SimReport {
         // `phases` is deliberately absent: wall-clock times differ
         // across hosts and runs, and the determinism suite compares
         // serialized reports byte for byte.
-        Value::Map(vec![
+        let mut fields = vec![
             ("duration".to_string(), self.duration.to_value()),
             ("num_channels".to_string(), self.num_channels.to_value()),
             (
@@ -390,7 +409,16 @@ impl Serialize for SimReport {
             ),
             ("timeline".to_string(), self.timeline.to_value()),
             ("metrics".to_string(), self.metrics.to_value()),
-        ])
+        ];
+        // Appended last, and only when present (hybrid runs), so the
+        // packet-mode byte stream is unchanged from pre-hybrid reports.
+        if !self.pod_delivered_bytes.is_empty() {
+            fields.push((
+                "pod_delivered_bytes".to_string(),
+                self.pod_delivered_bytes.to_value(),
+            ));
+        }
+        Value::Map(fields)
     }
 }
 
@@ -424,6 +452,11 @@ impl Deserialize for SimReport {
             metrics: match v.get("metrics") {
                 Some(m) => Deserialize::from_value(m)?,
                 None => BTreeMap::new(),
+            },
+            // Absent in packet-mode and pre-hybrid reports.
+            pod_delivered_bytes: match v.get("pod_delivered_bytes") {
+                Some(p) => Deserialize::from_value(p)?,
+                None => Vec::new(),
             },
             // Wall-clock and mode-dependent diagnostics are never
             // serialized.
@@ -634,6 +667,7 @@ mod tests {
             epoch_ticks: 0,
             controller_decisions: 0,
             diagnostics: BTreeMap::new(),
+            pod_delivered_bytes: Vec::new(),
         }
     }
 
@@ -641,7 +675,10 @@ mod tests {
     fn relative_power_all_full_is_one() {
         let mut at = [0u128; LinkRate::COUNT];
         at[LinkRate::R40.index()] = 1_000;
-        let r = report_with(RateResidency { at_rate_ps: at, off_ps: 0 });
+        let r = report_with(RateResidency {
+            at_rate_ps: at,
+            off_ps: 0,
+        });
         assert!((r.relative_power(&LinkPowerProfile::Measured) - 1.0).abs() < 1e-12);
         assert!((r.relative_power(&LinkPowerProfile::Ideal) - 1.0).abs() < 1e-12);
     }
@@ -650,7 +687,10 @@ mod tests {
     fn relative_power_all_slow_matches_profiles() {
         let mut at = [0u128; LinkRate::COUNT];
         at[LinkRate::R2_5.index()] = 1_000;
-        let r = report_with(RateResidency { at_rate_ps: at, off_ps: 0 });
+        let r = report_with(RateResidency {
+            at_rate_ps: at,
+            off_ps: 0,
+        });
         // §4.2.1: all-slowest consumes 42% (measured) or 6.25% (ideal).
         assert!((r.relative_power(&LinkPowerProfile::Measured) - 0.42).abs() < 1e-12);
         assert!((r.relative_power(&LinkPowerProfile::Ideal) - 0.0625).abs() < 1e-12);
@@ -682,7 +722,10 @@ mod tests {
         let mut at = [0u128; LinkRate::COUNT];
         at[LinkRate::R2_5.index()] = 750;
         at[LinkRate::R40.index()] = 250;
-        let mut r = report_with(RateResidency { at_rate_ps: at, off_ps: 0 });
+        let mut r = report_with(RateResidency {
+            at_rate_ps: at,
+            off_ps: 0,
+        });
         r.packets_delivered = 42;
         r.offered_bytes = 1000;
         r.delivered_bytes = 1000;
@@ -710,6 +753,11 @@ mod tests {
         let v = r.to_value();
         assert!(v.get("metrics").is_some());
         assert!(
+            v.get("pod_delivered_bytes").is_none(),
+            "an empty pod rollup must not appear — packet-mode reports \
+             stay byte-identical to pre-hybrid ones"
+        );
+        assert!(
             v.get("phases").is_none(),
             "wall-clock phases must never be serialized"
         );
@@ -736,6 +784,15 @@ mod tests {
         fields.retain(|(k, _)| k != "metrics");
         let old = SimReport::from_value(&Value::Map(fields)).unwrap();
         assert!(old.metrics.is_empty());
+        assert!(old.pod_delivered_bytes.is_empty());
+
+        // A hybrid report's pod rollup round-trips, appended after the
+        // stable packet-mode field tail.
+        r.pod_delivered_bytes = vec![3, 5];
+        let v = r.to_value();
+        assert!(v.get("pod_delivered_bytes").is_some());
+        let back = SimReport::from_value(&v).unwrap();
+        assert_eq!(back.pod_delivered_bytes, vec![3, 5]);
     }
 
     #[test]

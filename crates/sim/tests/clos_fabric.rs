@@ -70,7 +70,10 @@ fn energy_proportional_control_works_on_clos_too() {
         .run_until(SimTime::from_ms(6));
     assert!(report.reconfigurations > 0);
     let p = report.relative_power(&LinkPowerProfile::Ideal);
-    assert!(p < 0.4, "EP control should save power on a Clos, got {p:.3}");
+    assert!(
+        p < 0.4,
+        "EP control should save power on a Clos, got {p:.3}"
+    );
     let fr = report.time_at_speed_fractions();
     assert!(fr[LinkRate::R2_5.index()] > 0.5);
 }

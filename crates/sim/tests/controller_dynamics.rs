@@ -161,7 +161,11 @@ fn quiet_network_reconfiguration_count_is_exact() {
 /// 42% floor from above, never below.
 #[test]
 fn power_converges_to_floor_from_above() {
-    let horizons = [SimTime::from_us(200), SimTime::from_ms(1), SimTime::from_ms(5)];
+    let horizons = [
+        SimTime::from_us(200),
+        SimTime::from_ms(1),
+        SimTime::from_ms(5),
+    ];
     let mut last = f64::MAX;
     for h in horizons {
         let report = Simulator::new(

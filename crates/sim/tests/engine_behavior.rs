@@ -3,9 +3,7 @@
 //! reactivation-latency effects.
 
 use epnet_power::{LinkPowerProfile, LinkRate};
-use epnet_sim::{
-    ControlMode, Message, RatePolicy, ReplaySource, SimConfig, SimTime, Simulator,
-};
+use epnet_sim::{ControlMode, Message, RatePolicy, ReplaySource, SimConfig, SimTime, Simulator};
 use epnet_topology::{FlattenedButterfly, HostId, RoutingTopology};
 
 fn fabric(c: u16, k: u16, n: usize) -> epnet_topology::FabricGraph {
@@ -75,10 +73,7 @@ fn idle_network_detunes_to_the_floor() {
     )
     .run_until(SimTime::from_ms(5));
     let fr = report.time_at_speed_fractions();
-    assert!(
-        fr[LinkRate::R2_5.index()] > 0.95,
-        "slow fraction {fr:?}"
-    );
+    assert!(fr[LinkRate::R2_5.index()] > 0.95, "slow fraction {fr:?}");
     // Measured profile approaches the paper's 42% floor (§4.2.1).
     let p = report.relative_power(&LinkPowerProfile::Measured);
     assert!((0.42..0.45).contains(&p), "measured power {p}");
@@ -109,7 +104,11 @@ fn busy_network_stays_fast() {
     let fr = report.time_at_speed_fractions();
     // The loaded path's channels stay fast; idle ones sink. At minimum,
     // delivery must keep up.
-    assert!(report.delivery_ratio() > 0.95, "ratio {}", report.delivery_ratio());
+    assert!(
+        report.delivery_ratio() > 0.95,
+        "ratio {}",
+        report.delivery_ratio()
+    );
     assert!(fr[LinkRate::R40.index()] > 0.05);
 }
 
@@ -192,8 +191,12 @@ fn jump_to_extremes_reaches_floor_faster() {
     let run = |policy: RatePolicy| {
         let mut cfg = SimConfig::builder();
         cfg.policy(policy);
-        Simulator::new(fabric(2, 4, 2), cfg.build(), ReplaySource::new(traffic.clone()))
-            .run_until(SimTime::from_us(200))
+        Simulator::new(
+            fabric(2, 4, 2),
+            cfg.build(),
+            ReplaySource::new(traffic.clone()),
+        )
+        .run_until(SimTime::from_us(200))
     };
     let hd = run(RatePolicy::HalveDouble);
     let jte = run(RatePolicy::JumpToExtremes);
@@ -211,11 +214,18 @@ fn hysteresis_reconfigures_less_than_halve_double() {
     let run = |policy: RatePolicy| {
         let mut cfg = SimConfig::builder();
         cfg.policy(policy);
-        Simulator::new(fabric(2, 8, 2), cfg.build(), ReplaySource::new(traffic.clone()))
-            .run_until(SimTime::from_ms(5))
+        Simulator::new(
+            fabric(2, 8, 2),
+            cfg.build(),
+            ReplaySource::new(traffic.clone()),
+        )
+        .run_until(SimTime::from_ms(5))
     };
     let hd = run(RatePolicy::HalveDouble);
-    let hy = run(RatePolicy::Hysteresis { low: 0.15, high: 0.75 });
+    let hy = run(RatePolicy::Hysteresis {
+        low: 0.15,
+        high: 0.75,
+    });
     assert!(
         hy.reconfigurations < hd.reconfigurations,
         "hysteresis ({}) should reconfigure less than halve/double ({})",
@@ -293,7 +303,10 @@ fn warmup_excludes_early_packets_from_latency() {
     )
     .run_until(SimTime::from_ms(1));
     assert_eq!(report.packets_delivered, 1, "warm-up packet excluded");
-    assert_eq!(report.delivered_bytes, 4096, "but still counted as delivered");
+    assert_eq!(
+        report.delivered_bytes, 4096,
+        "but still counted as delivered"
+    );
 }
 
 #[test]

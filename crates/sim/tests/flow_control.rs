@@ -87,12 +87,8 @@ fn credit_conservation_under_churn() {
     let offered: u64 = msgs.iter().map(|m| m.bytes).sum();
     let mut cfg = SimConfig::builder();
     cfg.packet_bytes(1024).input_buffer_bytes(2048);
-    let report = Simulator::new(
-        two_switch_fabric(),
-        cfg.build(),
-        ReplaySource::new(msgs),
-    )
-    .run_until(SimTime::from_ms(40));
+    let report = Simulator::new(two_switch_fabric(), cfg.build(), ReplaySource::new(msgs))
+        .run_until(SimTime::from_ms(40));
     assert_eq!(report.delivered_bytes, offered);
 }
 
@@ -110,6 +106,12 @@ fn zero_byte_messages_still_complete() {
     )
     .run_until(SimTime::from_ms(1));
     assert_eq!(report.messages_delivered, 1);
-    assert_eq!(report.packets_delivered, 1, "empty messages ride a minimal packet");
-    assert_eq!(report.delivered_bytes, 1, "the minimal packet carries one wire byte");
+    assert_eq!(
+        report.packets_delivered, 1,
+        "empty messages ride a minimal packet"
+    );
+    assert_eq!(
+        report.delivered_bytes, 1,
+        "the minimal packet carries one wire byte"
+    );
 }

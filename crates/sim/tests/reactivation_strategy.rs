@@ -30,13 +30,15 @@ fn run(strategy: ReactivationStrategy) -> SimReport {
     let mut cfg = SimConfig::builder();
     cfg.reactivation(SimTime::from_us(50))
         .reactivation_strategy(strategy);
-    Simulator::new(fabric, cfg.build(), ReplaySource::new(bursty()))
-        .run_until(SimTime::from_ms(7))
+    Simulator::new(fabric, cfg.build(), ReplaySource::new(bursty())).run_until(SimTime::from_ms(7))
 }
 
 #[test]
 fn both_strategies_deliver_everything() {
-    for strategy in [ReactivationStrategy::RouteAround, ReactivationStrategy::DrainFirst] {
+    for strategy in [
+        ReactivationStrategy::RouteAround,
+        ReactivationStrategy::DrainFirst,
+    ] {
         let r = run(strategy);
         assert!(
             r.delivery_ratio() > 0.999,

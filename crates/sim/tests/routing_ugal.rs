@@ -51,8 +51,7 @@ fn ugal_sustains_adversarial_permutations_minimal_cannot() {
         ReplaySource::new(traffic.clone()),
     )
     .run_until(end);
-    let ugal = Simulator::new(fabric(), ugal_config(), ReplaySource::new(traffic))
-        .run_until(end);
+    let ugal = Simulator::new(fabric(), ugal_config(), ReplaySource::new(traffic)).run_until(end);
     assert!(
         minimal.delivery_ratio() < 0.8,
         "minimal routing should saturate, got {}",
@@ -87,8 +86,7 @@ fn ugal_stays_minimal_on_benign_traffic() {
         ReplaySource::new(msgs.clone()),
     )
     .run_until(end);
-    let ugal =
-        Simulator::new(fabric(), ugal_config(), ReplaySource::new(msgs)).run_until(end);
+    let ugal = Simulator::new(fabric(), ugal_config(), ReplaySource::new(msgs)).run_until(end);
     assert_eq!(minimal.packets_delivered, ugal.packets_delivered);
     let d = ugal
         .mean_packet_latency
@@ -120,6 +118,10 @@ fn ugal_composes_with_rate_tuning() {
     }
     let end = SimTime::from_ms(6);
     let report = Simulator::new(fabric(), cfg, ReplaySource::new(msgs)).run_until(end);
-    assert!(report.delivery_ratio() > 0.999, "ratio {}", report.delivery_ratio());
+    assert!(
+        report.delivery_ratio() > 0.999,
+        "ratio {}",
+        report.delivery_ratio()
+    );
     assert!(report.reconfigurations > 0);
 }

@@ -4,9 +4,7 @@
 //! the difference in link resynchronization latency".
 
 use epnet_power::LinkRate;
-use epnet_sim::{
-    Message, ReactivationModel, ReplaySource, SimConfig, SimTime, Simulator,
-};
+use epnet_sim::{Message, ReactivationModel, ReplaySource, SimConfig, SimTime, Simulator};
 use epnet_topology::{FlattenedButterfly, HostId};
 
 #[test]
@@ -16,13 +14,22 @@ fn model_charges_by_transition_kind() {
         lane_change: SimTime::from_us(3),
     };
     // Within the 4-lane family: fast.
-    assert_eq!(m.latency(LinkRate::R40, LinkRate::R20), SimTime::from_ns(100));
-    assert_eq!(m.latency(LinkRate::R20, LinkRate::R10), SimTime::from_ns(100));
+    assert_eq!(
+        m.latency(LinkRate::R40, LinkRate::R20),
+        SimTime::from_ns(100)
+    );
+    assert_eq!(
+        m.latency(LinkRate::R20, LinkRate::R10),
+        SimTime::from_ns(100)
+    );
     // Crossing into the 1-lane family: slow.
     assert_eq!(m.latency(LinkRate::R10, LinkRate::R5), SimTime::from_us(3));
     assert_eq!(m.latency(LinkRate::R5, LinkRate::R10), SimTime::from_us(3));
     // Within the 1-lane family: fast again.
-    assert_eq!(m.latency(LinkRate::R5, LinkRate::R2_5), SimTime::from_ns(100));
+    assert_eq!(
+        m.latency(LinkRate::R5, LinkRate::R2_5),
+        SimTime::from_ns(100)
+    );
     assert_eq!(m.worst_case(), SimTime::from_us(3));
     assert_eq!(
         ReactivationModel::Uniform(SimTime::from_us(1)).worst_case(),
@@ -53,12 +60,8 @@ fn transition_aware_beats_uniform_worst_case_latency() {
     // the same slow value but fast CDR relocks: most ladder steps are
     // same-width, so the aware model pays far less reactivation.
     let fabric = || FlattenedButterfly::new(2, 8, 2).unwrap().build_fabric();
-    let baseline = Simulator::new(
-        fabric(),
-        SimConfig::baseline(),
-        ReplaySource::new(bursty()),
-    )
-    .run_until(SimTime::from_ms(7));
+    let baseline = Simulator::new(fabric(), SimConfig::baseline(), ReplaySource::new(bursty()))
+        .run_until(SimTime::from_ms(7));
 
     let mut uni = SimConfig::builder();
     uni.reactivation(SimTime::from_us(5));
@@ -69,8 +72,8 @@ fn transition_aware_beats_uniform_worst_case_latency() {
     aware.transition_aware_reactivation(SimTime::from_ns(100), SimTime::from_us(5));
     let cfg = aware.build();
     assert_eq!(cfg.epoch, SimTime::from_us(50), "epoch sized by worst case");
-    let transition = Simulator::new(fabric(), cfg, ReplaySource::new(bursty()))
-        .run_until(SimTime::from_ms(7));
+    let transition =
+        Simulator::new(fabric(), cfg, ReplaySource::new(bursty())).run_until(SimTime::from_ms(7));
 
     let d_uniform = uniform.added_latency_vs(&baseline);
     let d_aware = transition.added_latency_vs(&baseline);
@@ -89,12 +92,8 @@ fn lane_aware_policy_pays_fewer_lane_changes_than_halve_double() {
     // latency on bursty traffic by avoiding repeated boundary
     // crossings.
     let fabric = || FlattenedButterfly::new(2, 8, 2).unwrap().build_fabric();
-    let baseline = Simulator::new(
-        fabric(),
-        SimConfig::baseline(),
-        ReplaySource::new(bursty()),
-    )
-    .run_until(SimTime::from_ms(7));
+    let baseline = Simulator::new(fabric(), SimConfig::baseline(), ReplaySource::new(bursty()))
+        .run_until(SimTime::from_ms(7));
     let run = |policy: epnet_sim::RatePolicy| {
         let mut cfg = SimConfig::builder();
         cfg.transition_aware_reactivation(SimTime::from_ns(100), SimTime::from_us(5))

@@ -663,7 +663,12 @@ mod tests {
         );
         assert_eq!(
             layout.channel_home(9),
-            (PID_SWITCH_BASE + 1, 3, "switch 1".into(), "ch9 port2".into())
+            (
+                PID_SWITCH_BASE + 1,
+                3,
+                "switch 1".into(),
+                "ch9 port2".into()
+            )
         );
         assert_eq!(
             layout.switch_markers(3),
@@ -677,7 +682,11 @@ mod tests {
         let process_names: Vec<&str> = events
             .iter()
             .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
-            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(Value::as_str))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+            })
             .collect();
         assert!(process_names.contains(&"hosts"), "{process_names:?}");
         assert!(process_names.contains(&"switch 3"), "{process_names:?}");
@@ -707,11 +716,7 @@ mod tests {
         let events = doc.get("traceEvents").and_then(Value::as_seq).unwrap();
         let truncated: Vec<&Value> = events
             .iter()
-            .filter(|e| {
-                e.get("args")
-                    .and_then(|a| a.get("truncated"))
-                    .is_some()
-            })
+            .filter(|e| e.get("args").and_then(|a| a.get("truncated")).is_some())
             .collect();
         assert_eq!(truncated.len(), 2, "both open windows flushed");
         // The reactivation uses its scheduled end: 100→600 ps.
@@ -727,9 +732,7 @@ mod tests {
         let records = sample_records();
         let kept = behavior_records(&records);
         assert_eq!(kept.len(), records.len() - 2, "routes + parallel dropped");
-        assert!(kept
-            .iter()
-            .all(|r| !is_execution_shape(r.category())));
+        assert!(kept.iter().all(|r| !is_execution_shape(r.category())));
         // Identical behavior streams export to identical bytes even
         // when the shape records differ — the serial↔parallel export
         // contract.

@@ -167,7 +167,11 @@ mod tests {
         prof.record("b", Duration::from_nanos(2));
         let phases = prof.into_phases();
         let names: Vec<&str> = phases.iter().map(|p| p.name).collect();
-        assert_eq!(names, vec!["c", "a", "b"], "order is chronology, not sorted");
+        assert_eq!(
+            names,
+            vec!["c", "a", "b"],
+            "order is chronology, not sorted"
+        );
     }
 
     #[test]

@@ -255,7 +255,9 @@ impl Tracer {
     /// but a bad filter disables tracing entirely instead of silently
     /// producing a trace missing the asked-for categories.
     pub fn from_env() -> Option<Tracer> {
-        let path = std::env::var("EPNET_TRACE").ok().filter(|p| !p.is_empty())?;
+        let path = std::env::var("EPNET_TRACE")
+            .ok()
+            .filter(|p| !p.is_empty())?;
         let mask = match std::env::var("EPNET_TRACE_FILTER") {
             Ok(filter) => match parse_filter(&filter) {
                 Ok(mask) => mask,

@@ -136,7 +136,8 @@ impl FoldedClos {
 
     /// Stage-2 (edge) chassis count: each serves `P/2` hosts downward.
     pub fn stage2_chassis(&self) -> u64 {
-        self.hosts.div_ceil(u64::from(self.chassis.chassis_ports) / 2)
+        self.hosts
+            .div_ceil(u64::from(self.chassis.chassis_ports) / 2)
     }
 
     /// Stage-3 (core) chassis count: `⌈N/P⌉`.

@@ -54,7 +54,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "a k-ary n-flat requires n >= 2, got n={n}")
             }
             Self::TooManyDimensions { dims, max } => {
-                write!(f, "{dims} dimensions requested but at most {max} are supported")
+                write!(
+                    f,
+                    "{dims} dimensions requested but at most {max} are supported"
+                )
             }
             Self::ZeroConcentration => write!(f, "concentration c must be at least 1"),
             Self::TooLarge { what } => write!(f, "topology too large: {what} exceeds u32 range"),

@@ -1,8 +1,6 @@
 //! Port-level fabric graph consumed by the event-driven simulator.
 
-use crate::{
-    ChannelId, Coord, FlattenedButterfly, HostId, LinkId, LinkMask, PortIndex, SwitchId,
-};
+use crate::{ChannelId, Coord, FlattenedButterfly, HostId, LinkId, LinkMask, PortIndex, SwitchId};
 use serde::{Deserialize, Serialize};
 
 /// Physical medium of a link, which determines its cabling cost and (for
@@ -362,7 +360,9 @@ impl FabricGraph {
     #[inline]
     pub fn output_channel(&self, switch: SwitchId, port: PortIndex) -> ChannelId {
         ChannelId::new(
-            self.num_hosts + switch.raw() * u32::from(self.ports_per_switch) + u32::from(port.raw()),
+            self.num_hosts
+                + switch.raw() * u32::from(self.ports_per_switch)
+                + u32::from(port.raw()),
         )
     }
 
@@ -372,10 +372,7 @@ impl FabricGraph {
     pub fn channel_source(&self, channel: ChannelId) -> Option<(SwitchId, PortIndex)> {
         let c = channel.raw().checked_sub(self.num_hosts)?;
         let ports = u32::from(self.ports_per_switch);
-        Some((
-            SwitchId::new(c / ports),
-            PortIndex::new((c % ports) as u16),
-        ))
+        Some((SwitchId::new(c / ports), PortIndex::new((c % ports) as u16)))
     }
 
     /// Where a channel delivers: the receiving endpoint.

@@ -1,8 +1,6 @@
 //! The flattened butterfly (FBFLY) *k*-ary *n*-flat topology (§2.1).
 
-use crate::{
-    Coord, FabricGraph, HostId, Medium, PortIndex, SwitchId, TopologyError,
-};
+use crate::{Coord, FabricGraph, HostId, Medium, PortIndex, SwitchId, TopologyError};
 use serde::{Deserialize, Serialize};
 
 /// A flattened butterfly *k*-ary *n*-flat with concentration *c*, written
@@ -88,6 +86,25 @@ impl FlattenedButterfly {
     /// (3,375 hosts on 225 switches, §4.1).
     pub fn paper_evaluation() -> Self {
         Self::new(15, 15, 3).expect("paper evaluation config is valid")
+    }
+
+    /// A *grouped* `(c, k, n)` flat: the concentration is chosen
+    /// independently of the radix, the way Solnushkin's automated
+    /// design-space configurations size real machines — pick the port
+    /// split that hits a host-count target instead of forcing `c = k`.
+    ///
+    /// Semantically this is just [`FlattenedButterfly::new`]; the
+    /// constructor exists to name the sweep targets the scale bench
+    /// uses: `grouped(15, 8, 3)` is a 960-host 15-ary 3-flat on
+    /// 29-port switches, and `grouped(32, 16, 4)` reaches 131,072
+    /// hosts on 4,096 switches of 77 ports — the 10^5-host point of
+    /// the hybrid-model sweep.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`FlattenedButterfly::new`].
+    pub fn grouped(concentration: u16, radix: u16, flat_n: usize) -> Result<Self, TopologyError> {
+        Self::new(concentration, radix, flat_n)
     }
 
     /// The paper's 32k-host comparison network: an 8-ary 5-flat with
@@ -325,6 +342,38 @@ mod tests {
         assert_eq!(f3.num_hosts(), 512);
         assert_eq!(f3.num_switches(), 64);
         assert_eq!(f3.ports_per_switch(), 22);
+    }
+
+    #[test]
+    fn grouped_scale_targets_have_documented_boms() {
+        // The reduced hybrid validation point: 15-ary 3-flat with c=8.
+        let f = FlattenedButterfly::grouped(15, 8, 3).unwrap();
+        assert_eq!(f.num_hosts(), 960);
+        assert_eq!(f.num_switches(), 64);
+        assert_eq!(f.ports_per_switch(), 29);
+        assert_eq!(f.link_count(Medium::Electrical), 960 + 64 * 7 / 2);
+        assert_eq!(f.link_count(Medium::Optical), 64 * 7 / 2);
+        assert_eq!(
+            f.total_links(),
+            f.link_count(Medium::Electrical) + f.link_count(Medium::Optical)
+        );
+
+        // The 10^5-host hybrid sweep point.
+        let big = FlattenedButterfly::grouped(32, 16, 4).unwrap();
+        assert_eq!(big.num_hosts(), 131_072);
+        assert_eq!(big.num_switches(), 4_096);
+        assert_eq!(big.ports_per_switch(), 77);
+        assert_eq!(big.oversubscription(), 2.0);
+
+        // grouped() is new() under a design-space name.
+        assert_eq!(
+            FlattenedButterfly::grouped(15, 15, 3).unwrap(),
+            FlattenedButterfly::paper_evaluation()
+        );
+        assert!(matches!(
+            FlattenedButterfly::grouped(0, 8, 3),
+            Err(TopologyError::ZeroConcentration)
+        ));
     }
 
     #[test]

@@ -46,8 +46,8 @@ mod fabric;
 mod fbfly;
 mod ids;
 mod route_table;
-mod shard;
 mod routes;
+mod shard;
 mod subtopology;
 mod twotier;
 
@@ -56,10 +56,10 @@ pub use clos::{ChassisSpec, FoldedClos};
 pub use coord::Coord;
 pub use error::TopologyError;
 pub use fabric::{FabricGraph, FabricKind, Medium, PortTarget, RoutingTopology};
-pub use twotier::TwoTierClos;
 pub use fbfly::FlattenedButterfly;
 pub use ids::{ChannelId, HostId, LinkId, PortIndex, SwitchId};
 pub use route_table::RouteTable;
-pub use shard::ShardMap;
 pub use routes::HopHistogram;
+pub use shard::ShardMap;
 pub use subtopology::{LinkMask, SubtopologyKind};
+pub use twotier::TwoTierClos;

@@ -123,8 +123,7 @@ impl RouteTable {
     #[inline]
     pub fn detours(&self, at: SwitchId, dst_switch: SwitchId) -> &[PortIndex] {
         let row = at.index() * self.num_switches + dst_switch.index();
-        &self.detour_ports
-            [self.detour_offsets[row] as usize..self.detour_offsets[row + 1] as usize]
+        &self.detour_ports[self.detour_offsets[row] as usize..self.detour_offsets[row + 1] as usize]
     }
 
     /// Number of switches the table covers.

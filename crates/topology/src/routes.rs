@@ -31,10 +31,7 @@ impl HopHistogram {
 
     /// Network diameter in inter-switch hops.
     pub fn diameter(&self) -> usize {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 }
 
@@ -129,10 +126,8 @@ mod tests {
                 if a == b {
                     continue;
                 }
-                let d = f.hop_distance(
-                    g.host_switch(HostId::new(a)),
-                    g.host_switch(HostId::new(b)),
-                );
+                let d =
+                    f.hop_distance(g.host_switch(HostId::new(a)), g.host_switch(HostId::new(b)));
                 counts[d] += 1;
             }
         }

@@ -183,7 +183,10 @@ mod tests {
             for s in 0..f.num_switches() {
                 for p in 0..f.ports_per_switch() {
                     let ch = f.output_channel(SwitchId::new(s as u32), PortIndex::new(p as u16));
-                    assert_eq!(map.channel_shard(ch), map.switch_shard(SwitchId::new(s as u32)));
+                    assert_eq!(
+                        map.channel_shard(ch),
+                        map.switch_shard(SwitchId::new(s as u32))
+                    );
                     if let PortTarget::Host(_) = f.channel_target(ch) {
                         assert!(!map.is_cross_shard(ch), "ejection is shard-local");
                     }

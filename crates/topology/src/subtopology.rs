@@ -233,7 +233,10 @@ mod tests {
                 };
                 at = switch;
                 steps += 1;
-                assert!(steps <= g.switch_dims() * g.radix() as usize, "routing loop");
+                assert!(
+                    steps <= g.switch_dims() * g.radix() as usize,
+                    "routing loop"
+                );
             }
         }
     }

@@ -53,8 +53,7 @@ impl TwoTierClos {
             });
         }
         let hosts = u64::from(leaves) * u64::from(concentration);
-        let channels = hosts
-            + (u64::from(leaves) + u64::from(spines)) * u64::from(leaves);
+        let channels = hosts + (u64::from(leaves) + u64::from(spines)) * u64::from(leaves);
         if hosts > u32::MAX as u64 || channels > u32::MAX as u64 {
             return Err(TopologyError::TooLarge { what: "hosts" });
         }
@@ -78,6 +77,28 @@ impl TwoTierClos {
             u32::from(concentration),
             2 * u32::from(concentration),
         )
+    }
+
+    /// A multi-pod Clos: `pods` pods of `c` leaves each, every leaf
+    /// carrying `c` hosts, i.e. `pods·c` leaves over `c·(pods − 1)`
+    /// spines. The shape follows Solnushkin's automated fat-tree
+    /// configurations, which grow host count by adding pods of a fixed
+    /// leaf design; the uniform-radix constraint holds for every pod
+    /// count because `pods·c = c + c·(pods − 1)`.
+    ///
+    /// `multi_pod(c, 2)` is exactly [`TwoTierClos::non_blocking`]`(c)`;
+    /// larger pod counts scale hosts as `pods·c²` while widening the
+    /// spine tier, so the fabric stays non-blocking at every size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation of [`TwoTierClos::new`] (at least two
+    /// pods, counts within `u32`).
+    pub fn multi_pod(concentration: u16, pods: u32) -> Result<Self, TopologyError> {
+        let c = u32::from(concentration);
+        let spines = c.saturating_mul(pods.saturating_sub(1));
+        let leaves = pods.saturating_mul(c);
+        Self::new(concentration, spines, leaves)
     }
 
     /// Hosts per leaf.
@@ -165,6 +186,39 @@ mod tests {
     }
 
     #[test]
+    fn multi_pod_shapes_and_boms() {
+        // Two pods are the non-blocking base case.
+        assert_eq!(
+            TwoTierClos::multi_pod(8, 2).unwrap(),
+            TwoTierClos::non_blocking(8).unwrap()
+        );
+
+        // Four pods of c = 8: 32 leaves over 24 spines, 256 hosts.
+        let c = TwoTierClos::multi_pod(8, 4).unwrap();
+        assert_eq!(c.leaves(), 32);
+        assert_eq!(c.spines(), 24);
+        assert_eq!(c.num_hosts(), 256);
+        assert_eq!(c.num_switches(), 56);
+        assert_eq!(c.ports_per_switch(), 32);
+        assert_eq!(c.link_count(Medium::Electrical), 256);
+        assert_eq!(c.link_count(Medium::Optical), 32 * 24);
+        assert_eq!(c.total_links(), 256 + 32 * 24);
+        // The uniform-radix identity holds for every pod count.
+        for pods in 2..10 {
+            let t = TwoTierClos::multi_pod(6, pods).unwrap();
+            assert_eq!(
+                u64::from(t.leaves()),
+                u64::from(t.concentration()) + u64::from(t.spines()),
+                "pods = {pods}"
+            );
+            assert_eq!(t.num_hosts(), pods as usize * 36);
+        }
+        // Fewer than two pods has no spine tier.
+        assert!(TwoTierClos::multi_pod(8, 1).is_err());
+        assert!(TwoTierClos::multi_pod(8, 0).is_err());
+    }
+
+    #[test]
     fn invalid_parameters_rejected() {
         assert!(TwoTierClos::new(0, 8, 8).is_err());
         assert!(TwoTierClos::new(8, 0, 8).is_err());
@@ -175,7 +229,13 @@ mod tests {
     fn fabric_counts_match() {
         let c = TwoTierClos::non_blocking(4).unwrap();
         let g = c.build_fabric();
-        assert_eq!(g.kind(), FabricKind::TwoTierClos { leaves: 8, spines: 4 });
+        assert_eq!(
+            g.kind(),
+            FabricKind::TwoTierClos {
+                leaves: 8,
+                spines: 4
+            }
+        );
         assert_eq!(g.num_hosts(), c.num_hosts());
         assert_eq!(g.num_switches(), c.num_switches());
         assert_eq!(g.num_links(), c.total_links());
@@ -188,11 +248,18 @@ mod tests {
         // Leaf 3's uplink port to spine 1 must point back.
         let leaf = SwitchId::new(3);
         let up = crate::PortIndex::new(4 + 1);
-        let PortTarget::Switch { switch: spine, port: down } = g.port_target(leaf, up) else {
+        let PortTarget::Switch {
+            switch: spine,
+            port: down,
+        } = g.port_target(leaf, up)
+        else {
             panic!("expected spine");
         };
         assert_eq!(spine, SwitchId::new(8 + 1));
-        let PortTarget::Switch { switch: back, port: back_port } = g.port_target(spine, down)
+        let PortTarget::Switch {
+            switch: back,
+            port: back_port,
+        } = g.port_target(spine, down)
         else {
             panic!("expected leaf");
         };

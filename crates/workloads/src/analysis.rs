@@ -91,11 +91,7 @@ impl TraceAnalyzer {
             if mean == 0.0 {
                 return 0.0;
             }
-            let var = bins
-                .iter()
-                .map(|&b| (b as f64 - mean).powi(2))
-                .sum::<f64>()
-                / n;
+            let var = bins.iter().map(|&b| (b as f64 - mean).powi(2)).sum::<f64>() / n;
             var.sqrt() / mean
         };
         let burstiness = self
@@ -105,9 +101,8 @@ impl TraceAnalyzer {
             .map(|(t, b)| (*t, cov(b)))
             .collect();
         let hosts = self.injected.len() as f64;
-        let offered = self.bytes as f64 * 8.0
-            / self.horizon.as_secs_f64()
-            / (hosts * LINE_RATE_GBPS * 1e9);
+        let offered =
+            self.bytes as f64 * 8.0 / self.horizon.as_secs_f64() / (hosts * LINE_RATE_GBPS * 1e9);
         TraceAnalysis {
             messages: self.messages,
             bytes: self.bytes,
@@ -197,7 +192,10 @@ mod tests {
     #[test]
     fn offered_load_matches_generator_target() {
         let horizon = SimTime::from_ms(50);
-        let w = UniformRandom::builder(64).offered_load(0.25).seed(3).build();
+        let w = UniformRandom::builder(64)
+            .offered_load(0.25)
+            .seed(3)
+            .build();
         let a = TraceAnalyzer::analyze(w, 64, horizon);
         assert!(
             (a.offered_load_fraction - 0.25).abs() < 0.05,
@@ -217,11 +215,8 @@ mod tests {
         let servers: Vec<HostId> = trace.servers().to_vec();
         let a = TraceAnalyzer::analyze(trace, 64, horizon);
         // Read-heavy servers inject more than they receive.
-        let mean_server_ratio: f64 = servers
-            .iter()
-            .map(|&s| a.asymmetry_ratio(s))
-            .sum::<f64>()
-            / servers.len() as f64;
+        let mean_server_ratio: f64 =
+            servers.iter().map(|&s| a.asymmetry_ratio(s)).sum::<f64>() / servers.len() as f64;
         assert!(mean_server_ratio > 1.5, "ratio {mean_server_ratio}");
         // And a visible slice of the fleet is skewed 2x either way.
         assert!(a.asymmetric_host_fraction(2.0) > 0.1);

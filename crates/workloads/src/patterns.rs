@@ -38,7 +38,9 @@ impl Permutation {
     pub fn shift(hosts: u32, shift: u32, message_bytes: u64, load: f64) -> Self {
         assert!(hosts >= 2, "need at least two hosts");
         assert!(shift % hosts != 0, "shift must move every host");
-        let dest = (0..hosts).map(|i| HostId::new((i + shift) % hosts)).collect();
+        let dest = (0..hosts)
+            .map(|i| HostId::new((i + shift) % hosts))
+            .collect();
         Self::from_destinations(dest, message_bytes, load)
     }
 
@@ -170,8 +172,8 @@ impl TrafficSource for Incast {
             self.round_start += self.period;
             self.emitted_in_round = 0;
         }
-        let jittered = self.round_start
-            + SimTime::from_ps(exp_ps(&mut self.rng, self.jitter_ps.max(1.0)));
+        let jittered =
+            self.round_start + SimTime::from_ps(exp_ps(&mut self.rng, self.jitter_ps.max(1.0)));
         // Keep the stream monotone even though jitter is random.
         let at = jittered.max(self.last_at);
         self.last_at = at;
@@ -225,7 +227,9 @@ mod tests {
     #[test]
     fn permutation_load_is_calibrated() {
         let mut p = Permutation::shift(4, 1, 64 * 1024, 0.25).with_horizon(SimTime::from_ms(20));
-        let bytes: u64 = std::iter::from_fn(|| p.next_message()).map(|m| m.bytes).sum();
+        let bytes: u64 = std::iter::from_fn(|| p.next_message())
+            .map(|m| m.bytes)
+            .sum();
         let load = bytes as f64 * 8.0 / 0.02 / (4.0 * 40e9);
         assert!((load - 0.25).abs() < 0.03, "load {load}");
     }

@@ -20,8 +20,8 @@
 //! Placement is randomized across the cluster, as the paper did to
 //! "capture emerging trends such as cluster virtualization".
 
-use crate::scheduler::{bounded_pareto, bounded_pareto_mean, exp_ps, FutureList, Item};
 use crate::load_to_bytes_per_sec;
+use crate::scheduler::{bounded_pareto, bounded_pareto_mean, exp_ps, FutureList, Item};
 use epnet_sim::{Message, SimTime, TrafficSource};
 use epnet_topology::HostId;
 use rand::rngs::SmallRng;
@@ -139,8 +139,7 @@ impl ServiceTraceConfig {
             self.chunk_max_bytes as f64,
         );
         let read = self.request_bytes as f64 + chunk_mean;
-        let write =
-            chunk_mean * (1.0 + f64::from(self.write_replicas)) + self.request_bytes as f64;
+        let write = chunk_mean * (1.0 + f64::from(self.write_replicas)) + self.request_bytes as f64;
         self.read_fraction * read
             + (1.0 - self.read_fraction) * write
             + self.rpc_probability * self.rpc_bytes as f64
@@ -148,8 +147,11 @@ impl ServiceTraceConfig {
 
     /// Duty cycle of the ON/OFF process.
     fn duty_cycle(&self) -> f64 {
-        let off_mean =
-            bounded_pareto_mean(self.off_alpha, self.off_min.as_ps() as f64, self.off_max.as_ps() as f64);
+        let off_mean = bounded_pareto_mean(
+            self.off_alpha,
+            self.off_min.as_ps() as f64,
+            self.off_max.as_ps() as f64,
+        );
         self.on_mean.as_ps() as f64 / (self.on_mean.as_ps() as f64 + off_mean)
     }
 }
@@ -245,8 +247,7 @@ impl ServiceTrace {
         if c.peak_multiplier <= 1.0 {
             return 1.0;
         }
-        let off_mean =
-            c.peak_mean.as_ps() as f64 * (1.0 - c.peak_fraction) / c.peak_fraction;
+        let off_mean = c.peak_mean.as_ps() as f64 * (1.0 - c.peak_fraction) / c.peak_fraction;
         while t > self.peak_until {
             self.peak = !self.peak;
             let mean = if self.peak {
@@ -344,15 +345,12 @@ impl ServiceTrace {
         let c = self.clients[idx as usize];
         match c.phase {
             ClientPhase::StartCycle => {
-                let on = SimTime::from_ps(exp_ps(
-                    &mut self.rng,
-                    self.config.on_mean.as_ps() as f64,
-                ));
+                let on =
+                    SimTime::from_ps(exp_ps(&mut self.rng, self.config.on_mean.as_ps() as f64));
                 self.clients[idx as usize].on_until = t + on;
                 self.clients[idx as usize].phase = ClientPhase::Op;
                 let intensity = self.intensity_at(t);
-                let think =
-                    SimTime::from_ps(exp_ps(&mut self.rng, self.think_mean_ps / intensity));
+                let think = SimTime::from_ps(exp_ps(&mut self.rng, self.think_mean_ps / intensity));
                 self.schedule_wake(idx, t + think);
                 None
             }
@@ -539,7 +537,12 @@ mod tests {
     }
 
     /// Coefficient of variation of per-bin byte counts.
-    fn cov(msgs: &[Message], horizon: SimTime, bin: SimTime, filter: impl Fn(&Message) -> bool) -> f64 {
+    fn cov(
+        msgs: &[Message],
+        horizon: SimTime,
+        bin: SimTime,
+        filter: impl Fn(&Message) -> bool,
+    ) -> f64 {
         let nbins = (horizon.as_ps() / bin.as_ps()) as usize;
         let mut bins = vec![0f64; nbins];
         for m in msgs.iter().filter(|m| filter(m)) {
@@ -565,7 +568,10 @@ mod tests {
         let msgs = drain(trace, horizon);
         let host = msgs[0].src;
         let c = cov(&msgs, horizon, SimTime::from_us(100), |m| m.src == host);
-        assert!(c > 1.5, "per-host coefficient of variation {c:.2} too smooth");
+        assert!(
+            c > 1.5,
+            "per-host coefficient of variation {c:.2} too smooth"
+        );
     }
 
     #[test]
@@ -579,7 +585,10 @@ mod tests {
             .build();
         let msgs = drain(trace, horizon);
         let c = cov(&msgs, horizon, SimTime::from_ms(2), |_| true);
-        assert!(c > 0.35, "aggregate coefficient of variation {c:.2} too smooth");
+        assert!(
+            c > 0.35,
+            "aggregate coefficient of variation {c:.2} too smooth"
+        );
     }
 
     #[test]
@@ -588,8 +597,7 @@ mod tests {
         let trace = ServiceTrace::builder(64, ServiceTraceConfig::search_like())
             .seed(4)
             .build();
-        let servers: std::collections::HashSet<HostId> =
-            trace.servers().iter().copied().collect();
+        let servers: std::collections::HashSet<HostId> = trace.servers().iter().copied().collect();
         let msgs = drain(trace, horizon);
         let mut injected = 0u64;
         let mut received = 0u64;

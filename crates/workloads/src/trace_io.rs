@@ -107,8 +107,10 @@ pub fn read_trace(path: &Path) -> Result<ReplaySource, TraceError> {
         if line.trim().is_empty() {
             continue;
         }
-        let m: Message =
-            serde_json::from_str(&line).map_err(|source| TraceError::Parse { line: i + 1, source })?;
+        let m: Message = serde_json::from_str(&line).map_err(|source| TraceError::Parse {
+            line: i + 1,
+            source,
+        })?;
         messages.push(m);
     }
     Ok(ReplaySource::new(messages))

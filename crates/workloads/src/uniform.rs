@@ -1,8 +1,8 @@
 //! The paper's *Uniform* workload (§4.1): "each host repeatedly sends a
 //! 512k message to a new random destination."
 
-use crate::scheduler::{exp_ps, FutureList, Item};
 use crate::load_to_bytes_per_sec;
+use crate::scheduler::{exp_ps, FutureList, Item};
 use epnet_sim::{Message, SimTime, TrafficSource};
 use epnet_topology::HostId;
 use rand::rngs::SmallRng;
@@ -182,7 +182,10 @@ mod tests {
 
     #[test]
     fn offered_load_is_calibrated() {
-        let mut w = UniformRandom::builder(32).offered_load(0.25).seed(3).build();
+        let mut w = UniformRandom::builder(32)
+            .offered_load(0.25)
+            .seed(3)
+            .build();
         let horizon = SimTime::from_ms(20);
         let bytes: u64 = drain_until(&mut w, horizon).iter().map(|m| m.bytes).sum();
         let rate_gbps = bytes as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
@@ -229,7 +232,9 @@ mod tests {
     fn seeds_reproduce_and_differ() {
         let take = |seed: u64| {
             let mut w = UniformRandom::builder(8).seed(seed).build();
-            (0..20).map(|_| w.next_message().unwrap()).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| w.next_message().unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(take(5), take(5));
         assert_ne!(take(5), take(6));
@@ -237,9 +242,7 @@ mod tests {
 
     #[test]
     fn start_offsets_first_message() {
-        let mut w = UniformRandom::builder(4)
-            .start(SimTime::from_ms(1))
-            .build();
+        let mut w = UniformRandom::builder(4).start(SimTime::from_ms(1)).build();
         assert!(w.next_message().unwrap().at > SimTime::from_ms(1));
     }
 

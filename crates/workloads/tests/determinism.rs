@@ -1,0 +1,76 @@
+//! Generator determinism across `EPNET_THREADS` widths.
+//!
+//! The hybrid flow/packet engine injects whole messages as fluid flows,
+//! so any width-dependent drift in a generator's message stream would
+//! silently change which flows exist — not just their packet timing.
+//! The generators must therefore be pure functions of their builder
+//! parameters: the worker-pool width (`EPNET_THREADS`, read by the
+//! `epnet` sweep runner) and every other runtime switch must leave the
+//! stream byte-identical.
+//!
+//! One `#[test]` covers every width: the environment is process-global,
+//! and this file is its own integration-test binary, so no other test
+//! can race the variable.
+
+use epnet_sim::{SimTime, TrafficSource};
+use epnet_workloads::{ServiceTrace, ServiceTraceConfig, UniformRandom};
+
+/// Drains a source to its horizon, formatting each message compactly.
+fn stream(mut source: impl TrafficSource) -> Vec<String> {
+    let mut out = Vec::new();
+    while let Some(m) = source.next_message() {
+        out.push(format!(
+            "{} {}->{} {}B",
+            m.at.as_ps(),
+            m.src.index(),
+            m.dst.index(),
+            m.bytes
+        ));
+    }
+    out
+}
+
+/// The three generator shapes the scale sweep injects: bulk flows
+/// (the hybrid model's absorption-heavy recipe), search-like bursts,
+/// and advert-like bursts.
+fn streams() -> [Vec<String>; 3] {
+    let horizon = SimTime::from_us(500);
+    // Flow-granularity messages: above the hybrid engine's 64 KiB
+    // absorption threshold, small enough that every host emits several
+    // within the horizon.
+    let bulk = UniformRandom::builder(64)
+        .message_bytes(128 * 1024)
+        .offered_load(0.25)
+        .horizon(horizon)
+        .build();
+    let search = ServiceTrace::builder(64, ServiceTraceConfig::search_like())
+        .horizon(horizon)
+        .build();
+    let advert = ServiceTrace::builder(64, ServiceTraceConfig::advert_like())
+        .horizon(horizon)
+        .build();
+    [stream(bulk), stream(search), stream(advert)]
+}
+
+#[test]
+fn message_streams_are_identical_at_every_thread_width() {
+    let prior = std::env::var("EPNET_THREADS").ok();
+    std::env::remove_var("EPNET_THREADS");
+    let baseline = streams();
+    assert!(
+        baseline.iter().all(|s| s.len() > 50),
+        "horizon too short to exercise the generators"
+    );
+    for width in ["1", "2", "4", "8"] {
+        std::env::set_var("EPNET_THREADS", width);
+        assert_eq!(
+            streams(),
+            baseline,
+            "EPNET_THREADS={width} changed a generator stream"
+        );
+    }
+    match prior {
+        Some(v) => std::env::set_var("EPNET_THREADS", v),
+        None => std::env::remove_var("EPNET_THREADS"),
+    }
+}

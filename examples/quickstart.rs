@@ -54,6 +54,10 @@ fn main() {
     let fr = report.time_at_speed_fractions();
     println!("time at each link speed:");
     for rate in RATE_LADDER {
-        println!("  {:>9}: {:>5.1}%", rate.to_string(), fr[rate.index()] * 100.0);
+        println!(
+            "  {:>9}: {:>5.1}%",
+            rate.to_string(),
+            fr[rate.index()] * 100.0
+        );
     }
 }

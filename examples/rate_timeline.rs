@@ -21,8 +21,7 @@ fn main() {
         .seed(scale.seed)
         .horizon(scale.duration)
         .build();
-    let report =
-        Simulator::new(fabric, cfg.build(), source).run_until(scale.duration);
+    let report = Simulator::new(fabric, cfg.build(), source).run_until(scale.duration);
 
     println!(
         "{} rate changes across {} recorded channels in {}",

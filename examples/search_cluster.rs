@@ -14,7 +14,11 @@ use epnet::prelude::*;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let scale = if quick { EvalScale::tiny() } else { EvalScale::quick() };
+    let scale = if quick {
+        EvalScale::tiny()
+    } else {
+        EvalScale::quick()
+    };
     println!(
         "simulating a {}-host search cluster for {} per run...",
         scale.hosts(),
@@ -26,10 +30,7 @@ fn main() {
 
     let mut paired_cfg = SimConfig::builder();
     paired_cfg.control(ControlMode::PairedLink);
-    let paired = experiment
-        .clone()
-        .with_config(paired_cfg.build())
-        .run_ep();
+    let paired = experiment.clone().with_config(paired_cfg.build()).run_ep();
 
     let mut indep_cfg = SimConfig::builder();
     indep_cfg.control(ControlMode::IndependentChannel);

@@ -7,8 +7,8 @@
 //! cargo run --release -p epnet-examples --bin topology_planner [HOSTS]
 //! ```
 
-use epnet::prelude::*;
 use epnet::power::TopologyPowerRow;
+use epnet::prelude::*;
 use epnet::topology::ChassisSpec;
 
 fn main() {

@@ -72,9 +72,12 @@ EOF
 # Reduced topology-scaling sweep under the counting allocator (rewrites
 # BENCH_scale.json at the repo root), plus the EPNET_PAR threads axis
 # on the canonical point — every width's report is asserted
-# byte-identical to serial before its timing is recorded. The binary
-# schema-validates its own output; the steady-state allocation bound
-# and the threads axis are re-checked below.
+# byte-identical to serial before its timing is recorded — and the v4
+# hybrid-model additions: bulk-flow points up to 131,072 hosts under
+# EPNET_MODEL-style hybrid simulation, and the models axis asserting
+# hybrid-vs-packet delivered-bytes and relative-power agreement. The
+# binary schema-validates its own output; the steady-state allocation
+# bound, the hybrid memory bound, and both axes are re-checked below.
 cargo run --offline --release -p epnet-bench --bin scalebench -- --reduced
 
 # Reduced offered-load sweep (rewrites BENCH_load.json at the repo
@@ -98,23 +101,54 @@ for b in doc["benches"]:
 EOF
 
 # Same treatment for the scaling sweep artifact: schema plus the
-# steady-state allocation bound every point must satisfy.
+# steady-state allocation bound every point must satisfy. Hybrid-model
+# points get a looser ratio (their event count is ~10^3 smaller — one
+# event per message plus epoch ticks, no per-packet events — so flow
+# bookkeeping isn't amortized the way packet free-lists are) and a
+# peak-memory bound instead: million-host scale only works if per-host
+# state stays a few KiB.
 test -s BENCH_scale.json || { echo "BENCH_scale.json missing" >&2; exit 1; }
 python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_scale.json"))
-assert doc["schema"] == "epnet-bench-scale/v3", doc["schema"]
+assert doc["schema"] == "epnet-bench-scale/v4", doc["schema"]
 assert doc["benches"], "no benches recorded"
 for b in doc["benches"]:
-    for field in ("hosts", "channels", "events_per_sec",
+    for field in ("model", "hosts", "channels", "events_per_sec",
                   "delivered_bytes_per_sec", "allocs_per_event",
                   "peak_alloc_bytes", "measured_events", "measured_allocs"):
         assert field in b, f'{b["name"]}: missing {field}'
-    assert b["allocs_per_event"] < 0.01, (
-        f'{b["name"]}: {b["allocs_per_event"]:.4f} allocs/event (>= 0.01)')
-    print(f'{b["name"]}: {b["hosts"]} hosts, '
+    limit = 0.1 if b["model"] == "hybrid" else 0.01
+    assert b["allocs_per_event"] < limit, (
+        f'{b["name"]}: {b["allocs_per_event"]:.4f} allocs/event '
+        f'(>= {limit})')
+    if b["model"] == "hybrid":
+        per_host = b["peak_alloc_bytes"] / b["hosts"]
+        assert per_host < 4096, (
+            f'{b["name"]}: {per_host:.0f} peak bytes/host (>= 4096)')
+    print(f'{b["name"]} [{b["model"]}]: {b["hosts"]} hosts, '
           f'{b["events_per_sec"]:.3e} events/s, '
           f'{b["allocs_per_event"]:.5f} allocs/event')
+# The hybrid model's reason to exist: a sweep point past 10^5 hosts
+# that actually completed its horizon.
+big = [b for b in doc["benches"]
+       if b["model"] == "hybrid" and b["hosts"] >= 100_000]
+assert big, "no hybrid point at >= 1e5 hosts"
+for b in big:
+    assert b["sim_delivered_bytes"] > 0, f'{b["name"]}: delivered nothing'
+    print(f'{b["name"]}: {b["hosts"]} hosts at '
+          f'{b["peak_alloc_bytes"] / b["hosts"]:.0f} peak B/host')
+# The models axis: every packet point re-run under both models, with
+# agreement errors inside the documented tolerance.
+models = doc["models"]
+assert models["runs"], "models axis recorded no validation points"
+for r in models["runs"]:
+    for field in ("bytes_rel_err", "power_abs_err"):
+        assert r[field] <= models["tolerance"], (
+            f'{r["point"]}: {field} {r[field]:.4f} exceeds '
+            f'{models["tolerance"]}')
+    print(f'{r["point"]} models: bytes_err={r["bytes_rel_err"]:.4f} '
+          f'power_err={r["power_abs_err"]:.4f}')
 # The EPNET_PAR threads axis: serial baseline plus every width, with
 # honest speedups (no scaling claim is asserted — the container may be
 # single-core, where the axis measures determinism overhead instead).

@@ -15,12 +15,7 @@ pub fn tiny_search() -> Experiment {
 
 /// Builds a deterministic all-pairs message list for conservation
 /// checks.
-pub fn round_robin_messages(
-    hosts: u32,
-    rounds: u64,
-    gap_us: u64,
-    bytes: u64,
-) -> Vec<Message> {
+pub fn round_robin_messages(hosts: u32, rounds: u64, gap_us: u64, bytes: u64) -> Vec<Message> {
     let mut v = Vec::new();
     for r in 0..rounds {
         for h in 0..hosts {

@@ -8,8 +8,8 @@
 
 use epnet::exp::sweep::SensitivitySweep;
 use epnet::exp::{EvalScale, WorkloadKind};
-use epnet::sim::{Backend, MemorySink, Scheduler, SimTime, TraceCategory, Tracer};
-use epnet_bench::{csv, enginebench, loadbench};
+use epnet::sim::{Backend, MemorySink, Scheduler, SimModel, SimTime, TraceCategory, Tracer};
+use epnet_bench::{csv, enginebench, loadbench, scalebench};
 use epnet_report::analysis;
 use epnet_telemetry::export::chrome_trace;
 use epnet_telemetry::{parse_jsonl, validate_jsonl};
@@ -129,6 +129,84 @@ fn load_bench_document_is_well_formed_and_activity_bounded() {
     assert_eq!(names.len(), 1);
 }
 
+/// In-process twin of the scalebench v4 hybrid additions: the reduced
+/// sweep must carry a >= 1e5-host hybrid point, the cheap 960-host
+/// hybrid point must complete its horizon fluid-only (no packets, all
+/// bytes via flows), and the models axis measured on the smallest
+/// packet point must sit inside the documented tolerance and render
+/// into a schema-valid v4 document. The 131k-host point itself runs in
+/// `scripts/bench_smoke.sh`, not here — it is seconds-long in release
+/// and minutes-long under the test profile.
+#[test]
+fn hybrid_scale_twin_completes_and_models_agree() {
+    let points = scalebench::sweep(true);
+    let big = points
+        .iter()
+        .find(|p| p.name == "hybrid_fbfly_32x16x4")
+        .expect("reduced sweep keeps the Solnushkin-scale point");
+    assert_eq!(big.model, SimModel::Hybrid);
+
+    let cheap = points
+        .iter()
+        .find(|p| p.name == "hybrid_fbfly_15x8x3")
+        .expect("reduced sweep keeps the cheap hybrid point");
+    let run = scalebench::measure(cheap, &scalebench::NoopMeter);
+    assert_eq!(run.model, SimModel::Hybrid);
+    assert_eq!(run.hosts, 960);
+    assert_eq!(run.sim_packets, 0, "bulk flows must stay fluid");
+    assert!(run.sim_delivered_bytes > 0, "fluid flows delivered nothing");
+    assert!(run.sim_events > 0);
+
+    // The models axis on the smallest packet point: `measure_models`
+    // asserts both agreement errors against HYBRID_TOLERANCE itself.
+    let small = [points[0].clone()];
+    assert_eq!(small[0].name, "fbfly_2x8x2");
+    let models = scalebench::measure_models(&small);
+    assert_eq!(models.runs.len(), 1);
+
+    // Render a full v4 document around the measured pieces (synthetic
+    // threads/lookahead axes — those have their own smoke paths) and
+    // hold it to the schema.
+    let threads = scalebench::ThreadsAxis {
+        point: small[0].name.clone(),
+        hw_threads: 1,
+        runs: vec![
+            scalebench::ThreadsRun {
+                threads: 0,
+                wall_ms: 1.0,
+                sim_events: run.sim_events,
+            },
+            scalebench::ThreadsRun {
+                threads: 2,
+                wall_ms: 1.0,
+                sim_events: run.sim_events,
+            },
+        ],
+    };
+    let lookahead = scalebench::LookaheadAxis {
+        point: small[0].name.clone(),
+        width: 4,
+        pairwise: synthetic_lookahead_run("pairwise"),
+        global: synthetic_lookahead_run("global"),
+    };
+    let doc = scalebench::render(&[run], &threads, &lookahead, &models);
+    let names = scalebench::validate(&doc).expect("v4 document validates");
+    assert_eq!(names, vec!["hybrid_fbfly_15x8x3"]);
+}
+
+fn synthetic_lookahead_run(mode: &'static str) -> scalebench::LookaheadRun {
+    scalebench::LookaheadRun {
+        mode,
+        windows: 10,
+        window_events: 100,
+        replay_events: 110,
+        cross_batches: 4,
+        cross_events: 8,
+        lookahead_ps: 125_000,
+        wall_ms: 1.0,
+    }
+}
+
 /// The canonical scenario, traced: every emitted JSONL line must pass
 /// the documented schema (DESIGN.md "Observability"), and the two
 /// categories this scenario is guaranteed to exercise must be present.
@@ -149,7 +227,10 @@ fn traced_canonical_run_matches_documented_schema() {
     let text = sink.contents();
     let stats = validate_jsonl(&text).expect("trace matches documented schema");
     assert!(stats.lines > 0);
-    assert!(stats.count(TraceCategory::Controller) > 0, "epoch decisions");
+    assert!(
+        stats.count(TraceCategory::Controller) > 0,
+        "epoch decisions"
+    );
     assert!(stats.count(TraceCategory::Reactivation) > 0, "rate changes");
 
     // Chrome-trace export twin: valid JSON, event count equals the

@@ -53,7 +53,9 @@ fn run_serialized(
         .expect("valid shape")
         .build_fabric();
     let mut b = SimConfig::builder();
-    b.control(control).policy(policy).reactivation_strategy(strategy);
+    b.control(control)
+        .policy(policy)
+        .reactivation_strategy(strategy);
     let config = b.build();
     let horizon = SimTime::from_ms(1);
     let src = UniformRandom::builder(fabric.num_hosts() as u32)

@@ -1,0 +1,143 @@
+//! The hybrid flow/packet model's acceptance contract.
+//!
+//! Two promises hold simultaneously:
+//!
+//! * **Packet mode is untouched.** `EPNET_MODEL` unset (or `packet`)
+//!   serializes a byte-identical `SimReport` to a pre-hybrid build —
+//!   asserted here by comparing `Simulator::new` against the explicit
+//!   `with_model(Packet)` constructor, and transitively by the golden
+//!   fixture in `golden_report.rs`.
+//! * **Hybrid mode agrees with packet ground truth.** On small
+//!   validation fabrics the fluid abstraction must reproduce the
+//!   packet model's delivered bytes and relative network power within
+//!   [`scalebench::HYBRID_TOLERANCE`] — the same documented bound the
+//!   `BENCH_scale.json` models axis is held to.
+
+use epnet::power::LinkPowerProfile;
+use epnet::sim::{MergedSource, SimConfig, SimModel, SimTime, Simulator};
+use epnet::topology::{FlattenedButterfly, TwoTierClos};
+use epnet::workloads::{ServiceTrace, ServiceTraceConfig, UniformRandom};
+use epnet_bench::scalebench;
+use std::sync::Mutex;
+
+/// Serializes the env-twiddling test in this binary — `EPNET_MODEL` is
+/// process-global and `Simulator::new` reads it at construction.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+const HORIZON: SimTime = SimTime::from_ms(2);
+
+/// The canonical validation recipe: 30% uniform-random (512 KiB
+/// messages, above the flow absorption threshold) merged with
+/// search-like bursts (mostly below it) — both regimes exercised.
+fn canonical_source(hosts: u32) -> MergedSource<UniformRandom, ServiceTrace> {
+    MergedSource::new(
+        UniformRandom::builder(hosts)
+            .offered_load(0.3)
+            .horizon(HORIZON)
+            .build(),
+        ServiceTrace::builder(hosts, ServiceTraceConfig::search_like())
+            .horizon(HORIZON)
+            .build(),
+    )
+}
+
+#[test]
+fn packet_mode_report_is_byte_identical_to_the_default_constructor() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("EPNET_MODEL");
+    let fabric = || {
+        FlattenedButterfly::new(2, 8, 2)
+            .expect("toy fbfly")
+            .build_fabric()
+    };
+    let default_report =
+        Simulator::new(fabric(), SimConfig::default(), canonical_source(16)).run_until(HORIZON);
+    let explicit_report = Simulator::with_model(
+        fabric(),
+        SimConfig::default(),
+        canonical_source(16),
+        SimModel::Packet,
+    )
+    .run_until(HORIZON);
+    assert_eq!(
+        serde_json::to_string_pretty(&default_report).unwrap(),
+        serde_json::to_string_pretty(&explicit_report).unwrap(),
+        "explicit packet model must be the default, byte for byte"
+    );
+    assert!(default_report.pod_delivered_bytes.is_empty());
+    assert_eq!(default_report.diagnostics["flows_absorbed"], 0);
+}
+
+#[test]
+fn hybrid_agrees_with_packet_within_the_documented_tolerance() {
+    let run = |model: SimModel| {
+        Simulator::with_model(
+            TwoTierClos::non_blocking(4)
+                .expect("toy clos")
+                .build_fabric(),
+            SimConfig::default(),
+            canonical_source(32),
+            model,
+        )
+        .run_until(HORIZON)
+    };
+    let packet = run(SimModel::Packet);
+    let hybrid = run(SimModel::Hybrid);
+
+    assert!(hybrid.diagnostics["flows_absorbed"] > 0, "nothing absorbed");
+    assert!(
+        hybrid.packets_delivered < packet.packets_delivered,
+        "absorption must shrink the packet population"
+    );
+
+    let bytes_err = (hybrid.delivered_bytes as f64 - packet.delivered_bytes as f64).abs()
+        / packet.delivered_bytes as f64;
+    assert!(
+        bytes_err <= scalebench::HYBRID_TOLERANCE,
+        "delivered-bytes error {bytes_err:.4} exceeds tolerance {}",
+        scalebench::HYBRID_TOLERANCE
+    );
+    let profile = LinkPowerProfile::Measured;
+    let power_err = (hybrid.relative_power(&profile) - packet.relative_power(&profile)).abs();
+    assert!(
+        power_err <= scalebench::HYBRID_TOLERANCE,
+        "relative-power error {power_err:.4} exceeds tolerance {}",
+        scalebench::HYBRID_TOLERANCE
+    );
+
+    // The per-pod rollup: bounded (<= 64 pods), non-empty in hybrid
+    // mode, and accounting real bytes.
+    assert!(!hybrid.pod_delivered_bytes.is_empty());
+    assert!(hybrid.pod_delivered_bytes.len() <= 64);
+    assert!(hybrid.pod_delivered_bytes.iter().sum::<u64>() > 0);
+}
+
+#[test]
+fn env_model_selects_the_hybrid_engine() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let bulk = || {
+        UniformRandom::builder(16)
+            .message_bytes(512 * 1024)
+            .offered_load(0.2)
+            .horizon(SimTime::from_us(500))
+            .build()
+    };
+    let fabric = || {
+        FlattenedButterfly::new(2, 8, 2)
+            .expect("toy fbfly")
+            .build_fabric()
+    };
+    std::env::set_var("EPNET_MODEL", "hybrid");
+    let hybrid =
+        Simulator::new(fabric(), SimConfig::default(), bulk()).run_until(SimTime::from_us(500));
+    std::env::remove_var("EPNET_MODEL");
+    let packet =
+        Simulator::new(fabric(), SimConfig::default(), bulk()).run_until(SimTime::from_us(500));
+    assert!(
+        hybrid.diagnostics["flows_absorbed"] > 0,
+        "EPNET_MODEL=hybrid must reach the flow table"
+    );
+    assert_eq!(packet.diagnostics["flows_absorbed"], 0);
+    assert!(!hybrid.pod_delivered_bytes.is_empty());
+    assert!(packet.pod_delivered_bytes.is_empty());
+}

@@ -92,5 +92,8 @@ fn energy_proportional_control_on_oversubscribed_fabric() {
     .run_until(SimTime::from_ms(6));
     assert!(report.delivery_ratio() > 0.999);
     let p = report.relative_power(&LinkPowerProfile::Ideal);
-    assert!(p < 0.3, "light load on over-subscribed fabric saves power, got {p:.3}");
+    assert!(
+        p < 0.3,
+        "light load on over-subscribed fabric saves power, got {p:.3}"
+    );
 }

@@ -46,7 +46,10 @@ fn slowest_mode_network_power_is_42_percent() {
     // power (or 6.1% assuming ideal channels)."
     let profile = LinkPowerProfile::Measured;
     assert_eq!(profile.relative_power(LinkRate::R2_5), 0.42);
-    assert_eq!(LinkPowerProfile::Ideal.relative_power(LinkRate::R2_5), 0.0625);
+    assert_eq!(
+        LinkPowerProfile::Ideal.relative_power(LinkRate::R2_5),
+        0.0625
+    );
 }
 
 #[test]

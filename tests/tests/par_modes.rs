@@ -161,7 +161,10 @@ fn traced_parallel_runs_gate_window_records_behind_the_mask() {
     // Behavior categories are line-identical across all three runs;
     // the masked run writes no parallel lines at all.
     assert_eq!(behavior_lines(&serial_trace), behavior_lines(&par_trace));
-    assert_eq!(behavior_lines(&serial_trace), behavior_lines(&par_masked_trace));
+    assert_eq!(
+        behavior_lines(&serial_trace),
+        behavior_lines(&par_masked_trace)
+    );
     assert!(
         !par_masked_trace.contains("\"cat\":\"parallel\""),
         "masked-out category must not be written"
@@ -197,10 +200,22 @@ fn traced_parallel_runs_gate_window_records_behind_the_mask() {
             crossings += cross_events;
         }
     }
-    assert_eq!(par_report.diagnostics.get("par_window_events"), Some(&events));
-    assert_eq!(par_report.diagnostics.get("par_replay_events"), Some(&replays));
-    assert_eq!(par_report.diagnostics.get("par_cross_batches"), Some(&batches));
-    assert_eq!(par_report.diagnostics.get("par_cross_events"), Some(&crossings));
+    assert_eq!(
+        par_report.diagnostics.get("par_window_events"),
+        Some(&events)
+    );
+    assert_eq!(
+        par_report.diagnostics.get("par_replay_events"),
+        Some(&replays)
+    );
+    assert_eq!(
+        par_report.diagnostics.get("par_cross_batches"),
+        Some(&batches)
+    );
+    assert_eq!(
+        par_report.diagnostics.get("par_cross_events"),
+        Some(&crossings)
+    );
 }
 
 /// `EPNET_PAR=off` must behave exactly like unset.

@@ -41,8 +41,7 @@ fn sweep_and_campaign_are_byte_identical_across_thread_counts() {
     let mut campaign_tables = Vec::new();
     for threads in ["1", "4"] {
         std::env::set_var("EPNET_THREADS", threads);
-        sweep_json
-            .push(serde_json::to_string_pretty(&sweep.run()).expect("sweep cells serialize"));
+        sweep_json.push(serde_json::to_string_pretty(&sweep.run()).expect("sweep cells serialize"));
         campaign_tables.push(campaign.run().to_table());
     }
     std::env::remove_var("EPNET_THREADS");

@@ -35,7 +35,10 @@ fn recorded_trace_replays_identically() {
 
     assert_eq!(from_live.packets_delivered, from_replay.packets_delivered);
     assert_eq!(from_live.delivered_bytes, from_replay.delivered_bytes);
-    assert_eq!(from_live.mean_packet_latency, from_replay.mean_packet_latency);
+    assert_eq!(
+        from_live.mean_packet_latency,
+        from_replay.mean_packet_latency
+    );
     assert_eq!(from_live.reconfigurations, from_replay.reconfigurations);
     assert_eq!(
         from_live.residency.at_rate_ps,
@@ -66,15 +69,11 @@ fn simulation_is_deterministic() {
 fn merged_sources_simulate_like_their_union() {
     let a = round_robin_messages(16, 10, 50, 8_192);
     let b = round_robin_messages(16, 10, 73, 4_096);
-    let merged = MergedSource::new(
-        ReplaySource::new(a.clone()),
-        ReplaySource::new(b.clone()),
-    );
+    let merged = MergedSource::new(ReplaySource::new(a.clone()), ReplaySource::new(b.clone()));
     let mut union = a;
     union.extend(b);
     let end = SimTime::from_ms(5);
-    let from_merged =
-        Simulator::new(fabric(), SimConfig::baseline(), merged).run_until(end);
+    let from_merged = Simulator::new(fabric(), SimConfig::baseline(), merged).run_until(end);
     let from_union =
         Simulator::new(fabric(), SimConfig::baseline(), ReplaySource::new(union)).run_until(end);
     assert_eq!(from_merged.delivered_bytes, from_union.delivered_bytes);
@@ -101,7 +100,11 @@ fn dynamic_topology_powers_links_off_under_low_load() {
         report.residency.off_fraction()
     );
     // Traffic still flows (a small tail may be in flight at the cutoff).
-    assert!(report.delivery_ratio() > 0.95, "ratio {}", report.delivery_ratio());
+    assert!(
+        report.delivery_ratio() > 0.95,
+        "ratio {}",
+        report.delivery_ratio()
+    );
 }
 
 #[test]
@@ -124,12 +127,20 @@ fn dynamic_topology_powers_links_back_on_under_load() {
         }
     }
     let end = SimTime::from_ms(5);
-    let mut sim = Simulator::new(g.clone(), SimConfig::default(), ReplaySource::new(msgs.clone()));
+    let mut sim = Simulator::new(
+        g.clone(),
+        SimConfig::default(),
+        ReplaySource::new(msgs.clone()),
+    );
     sim.enable_dynamic_topology(DynamicTopology::new(&g, DynamicTopologyConfig::default()));
     let with_dt = sim.run_until(end);
     // Heavy phase is deliverable: compare against plain rate tuning.
     let plain = Simulator::new(g, SimConfig::default(), ReplaySource::new(msgs)).run_until(end);
-    assert!(with_dt.delivery_ratio() > 0.97, "ratio {}", with_dt.delivery_ratio());
+    assert!(
+        with_dt.delivery_ratio() > 0.97,
+        "ratio {}",
+        with_dt.delivery_ratio()
+    );
     // The latency overhead of the detour phase stays bounded (links were
     // re-enabled rather than strangling the burst).
     assert!(
@@ -157,6 +168,10 @@ fn subtopology_masks_compose_with_simulation() {
         },
     ));
     let report = sim.run_until(SimTime::from_ms(5));
-    assert!(report.delivery_ratio() > 0.99, "ratio {}", report.delivery_ratio());
+    assert!(
+        report.delivery_ratio() > 0.99,
+        "ratio {}",
+        report.delivery_ratio()
+    );
     assert!(report.residency.off_fraction() > 0.05);
 }

@@ -48,7 +48,10 @@ fn sim_report_serde_round_trip() {
     let outcome = Experiment::new(tiny(), WorkloadKind::Advert).run();
     let json = serde_json::to_string(&outcome).unwrap();
     let back: epnet::exp::ExperimentOutcome = serde_json::from_str(&json).unwrap();
-    assert_eq!(back.report.packets_delivered, outcome.report.packets_delivered);
+    assert_eq!(
+        back.report.packets_delivered,
+        outcome.report.packets_delivered
+    );
     assert_eq!(back.report.duration, outcome.report.duration);
     assert_eq!(
         back.report.residency.at_rate_ps,

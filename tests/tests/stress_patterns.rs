@@ -12,11 +12,9 @@ fn fabric() -> FabricGraph {
 fn random_permutation_saturates_minimal_but_not_ugal() {
     // 60% load on a fixed random permutation: minimal routing pins each
     // flow to its single minimal path while UGAL spreads.
-    let traffic = || {
-        Permutation::random(64, 11, 64 * 1024, 0.6).with_horizon(SimTime::from_ms(4))
-    };
-    let minimal = Simulator::new(fabric(), SimConfig::baseline(), traffic())
-        .run_until(SimTime::from_ms(6));
+    let traffic = || Permutation::random(64, 11, 64 * 1024, 0.6).with_horizon(SimTime::from_ms(4));
+    let minimal =
+        Simulator::new(fabric(), SimConfig::baseline(), traffic()).run_until(SimTime::from_ms(6));
     let mut cfg = SimConfig::builder();
     cfg.ugal().control(ControlMode::AlwaysFull);
     let ugal = Simulator::new(fabric(), cfg.build(), traffic()).run_until(SimTime::from_ms(6));
@@ -26,7 +24,11 @@ fn random_permutation_saturates_minimal_but_not_ugal() {
         ugal.delivery_ratio(),
         minimal.delivery_ratio()
     );
-    assert!(ugal.delivery_ratio() > 0.9, "got {:.3}", ugal.delivery_ratio());
+    assert!(
+        ugal.delivery_ratio() > 0.9,
+        "got {:.3}",
+        ugal.delivery_ratio()
+    );
 }
 
 #[test]
@@ -39,19 +41,22 @@ fn incast_congests_only_the_sink_ejection() {
     // each round still slams the ejection queue.
     let incast = Incast::new(64, HostId::new(0), 16, 256 * 1024, SimTime::from_us(1200))
         .with_horizon(SimTime::from_ms(4));
-    let background = || {
-        Permutation::shift(64, 21, 16 * 1024, 0.05).with_horizon(SimTime::from_ms(4))
-    };
+    let background =
+        || Permutation::shift(64, 21, 16 * 1024, 0.05).with_horizon(SimTime::from_ms(4));
     let merged = MergedSource::new(incast, background());
-    let combined = Simulator::new(fabric(), SimConfig::baseline(), merged)
-        .run_until(SimTime::from_ms(6));
+    let combined =
+        Simulator::new(fabric(), SimConfig::baseline(), merged).run_until(SimTime::from_ms(6));
     let alone = Simulator::new(fabric(), SimConfig::baseline(), background())
         .run_until(SimTime::from_ms(6));
     // The background permutation avoids host 0's ejection (21-shift),
     // so its own latency barely moves even while the incast hammers the
     // sink. We can't separate flows in the merged report, so instead
     // check the incast run still delivers the background's share.
-    assert!(combined.delivery_ratio() > 0.9, "got {}", combined.delivery_ratio());
+    assert!(
+        combined.delivery_ratio() > 0.9,
+        "got {}",
+        combined.delivery_ratio()
+    );
     assert!(alone.delivery_ratio() > 0.999);
     // The sink hotspot shows up as deep queues.
     assert!(
@@ -68,7 +73,11 @@ fn ep_control_rides_through_an_incast_storm() {
         .with_horizon(SimTime::from_ms(4));
     let report =
         Simulator::new(fabric(), SimConfig::default(), incast).run_until(SimTime::from_ms(6));
-    assert!(report.delivery_ratio() > 0.95, "got {}", report.delivery_ratio());
+    assert!(
+        report.delivery_ratio() > 0.95,
+        "got {}",
+        report.delivery_ratio()
+    );
     // Most of the fabric is idle; power savings persist during incast.
     assert!(report.relative_power(&LinkPowerProfile::Ideal) < 0.4);
 }

@@ -204,7 +204,10 @@ fn epoch_queue_samples_count_every_channel_in_both_epoch_modes() {
         snapshots.push((samples, report.metrics["epoch_queue_bytes_sum"]));
     }
     std::env::remove_var("EPNET_EPOCH");
-    assert_eq!(snapshots[0], snapshots[1], "queue metrics are mode-independent");
+    assert_eq!(
+        snapshots[0], snapshots[1],
+        "queue metrics are mode-independent"
+    );
 }
 
 #[test]

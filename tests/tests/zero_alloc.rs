@@ -8,7 +8,7 @@
 //! tests would pollute the counters (cargo runs tests in parallel
 //! threads within one binary).
 
-use epnet::sim::SimTime;
+use epnet::sim::{SimModel, SimTime};
 use epnet_bench::scalebench::{self, AllocMeter, AllocWindow, ScalePoint, ScaleTopo};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -81,6 +81,8 @@ fn burst_heavy_run_allocates_nothing_per_event_after_warmup() {
         name: "fbfly_2x8x2_zero_alloc".to_string(),
         topo: ScaleTopo::Fbfly { c: 2, k: 8, n: 2 },
         horizon: SimTime::from_ms(4),
+        recipe: scalebench::Recipe::Canonical,
+        model: SimModel::Packet,
     };
     let run = scalebench::measure(&point, &Meter);
     assert!(
