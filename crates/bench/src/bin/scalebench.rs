@@ -111,8 +111,8 @@ fn main() {
     // each report asserted byte-identical to serial before its timing
     // counts. The full sweep measures the paper-scale 15-ary 2-flat
     // (the fabric the parallel engine exists for) — the last *packet*
-    // point, since the hybrid tail falls back to the serial engine;
-    // the reduced smoke uses the canonical point to stay seconds-long.
+    // point, since the hybrid tail has its own axis below; the reduced
+    // smoke uses the canonical point to stay seconds-long.
     let axis_point = if reduced {
         &points[0]
     } else {
@@ -128,6 +128,25 @@ fn main() {
             r.events_per_sec(),
             baseline / r.wall_ms,
             axis.hw_threads,
+        );
+    }
+
+    // The hybrid threads axis: the million-host hybrid point re-run
+    // serially and at widths {1, 2, 4}, byte-identity asserted at each
+    // width before its timing is recorded.
+    let hybrid_axis = scalebench::measure_threads_over(
+        scalebench::hybrid_axis_point(&points),
+        &scalebench::HYBRID_THREAD_WIDTHS,
+    );
+    let hybrid_baseline = hybrid_axis.runs[0].wall_ms;
+    for r in &hybrid_axis.runs {
+        eprintln!(
+            "{:<14} threads={:<2} {:>10.0} events/s  speedup={:.2}x (of {} hw threads)",
+            hybrid_axis.point,
+            r.threads,
+            r.events_per_sec(),
+            hybrid_baseline / r.wall_ms,
+            hybrid_axis.hw_threads,
         );
     }
 
@@ -168,7 +187,7 @@ fn main() {
         );
     }
 
-    let doc = scalebench::render(&runs, &axis, &lookahead, &models);
+    let doc = scalebench::render(&runs, &axis, &hybrid_axis, &lookahead, &models);
     scalebench::validate(&doc).expect("freshly rendered document validates");
     if to_stdout {
         print!("{doc}");

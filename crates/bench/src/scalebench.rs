@@ -31,14 +31,44 @@ use std::time::Instant;
 /// hybrid flow/packet model: a `model` field on every bench, hybrid
 /// sweep points at Solnushkin scale (10^5+ hosts), and the `models`
 /// validation axis comparing delivered bytes and relative power
-/// between the two models on every small packet-mode point.
-pub const SCHEMA: &str = "epnet-bench-scale/v4";
+/// between the two models on every small packet-mode point; `v5` added
+/// the parallel hybrid engine: the [`MILLION_HOSTS`]
+/// `hybrid_fbfly_32x32x4` sweep point (with pinned peak-heap-per-host
+/// and wall-clock budgets) and the `hybrid_threads` axis — the
+/// `EPNET_PAR` sweep on that million-host point, byte-identity
+/// asserted at every width.
+pub const SCHEMA: &str = "epnet-bench-scale/v5";
 
 /// Worker widths measured by the threads axis, matching the
 /// determinism matrix in `tests/tests/par_modes.rs`. Width 0 stands
 /// for the serial engine (`EPNET_PAR` unset) and is always measured
 /// first as the speedup baseline.
 pub const THREAD_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Worker widths measured by the `hybrid_threads` axis. Narrower than
+/// [`THREAD_WIDTHS`]: every run simulates the [`MILLION_HOSTS`] fabric
+/// end to end, and width 8 adds no information a 1–4 sweep does not
+/// already give about the coordinator's per-width overhead.
+pub const HYBRID_THREAD_WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// Host count of the `hybrid_fbfly_32x32x4` sweep point — the first
+/// true 10^6-host measured point (`FlattenedButterfly::grouped(32, 32,
+/// 4)`: 2^20 hosts on 32,768 switches).
+pub const MILLION_HOSTS: u64 = 1 << 20;
+
+/// Peak live heap per host the hybrid benches must stay under, in
+/// bytes. The million-host point measures 1,203 B/host (the channel
+/// state dominates: ~4.9 channels/host at ~230 B each); the bound
+/// leaves ~3.4× headroom for state growth without letting per-host
+/// memory drift back toward packet-simulation territory.
+pub const HYBRID_PEAK_HEAP_PER_HOST: u64 = 4096;
+
+/// Wall-clock budget of the million-host hybrid bench, milliseconds.
+/// The measured serial run completes its full 2 ms horizon in ~25 s on
+/// the reference container; the budget leaves ~5× headroom for slower
+/// hardware while still catching a complexity regression (a packet
+/// simulation of the same point would be hours, not minutes).
+pub const MILLION_HOST_WALL_BUDGET_MS: f64 = 120_000.0;
 
 /// Simulated horizon of the full sweep (matches the canonical bench).
 pub const FULL_HORIZON: SimTime = SimTime::from_ms(10);
@@ -189,9 +219,10 @@ pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
     }
     // Hybrid-model scale points, smallest first: the 960-host grouped
     // 3-flat (cheap enough for the in-process smoke twin), the 4,096-
-    // host multi-pod Clos (full sweep only), and the 131,072-host
-    // grouped 4-flat — past the 10^5-host Solnushkin threshold that a
-    // packet simulation cannot reach.
+    // host multi-pod Clos (full sweep only), the 131,072-host grouped
+    // 4-flat — past the 10^5-host Solnushkin threshold that a packet
+    // simulation cannot reach — and the 2^20-host grouped 4-flat, the
+    // first true million-host measured point.
     points.push(hybrid(
         "hybrid_fbfly_15x8x3",
         ScaleTopo::FbflyGrouped { c: 15, k: 8, n: 3 },
@@ -206,12 +237,17 @@ pub fn sweep(reduced: bool) -> Vec<ScalePoint> {
         "hybrid_fbfly_32x16x4",
         ScaleTopo::FbflyGrouped { c: 32, k: 16, n: 4 },
     ));
+    points.push(hybrid(
+        "hybrid_fbfly_32x32x4",
+        ScaleTopo::FbflyGrouped { c: 32, k: 32, n: 4 },
+    ));
     points
 }
 
-/// The sweep point the threads and lookahead axes run on: the last
-/// *packet-model* point (the hybrid points always fall back to the
-/// serial engine, so they would measure nothing).
+/// The sweep point the packet-model threads axis and the lookahead
+/// probe run on: the last *packet-model* point. The hybrid tail has
+/// its own axis ([`hybrid_axis_point`]) — mixing models here would
+/// make the two speedup columns incomparable across schema versions.
 ///
 /// # Panics
 ///
@@ -222,6 +258,21 @@ pub fn axis_point(points: &[ScalePoint]) -> &ScalePoint {
         .rev()
         .find(|p| p.model == SimModel::Packet)
         .expect("sweep always has packet points")
+}
+
+/// The sweep point the `hybrid_threads` axis runs on: the last hybrid
+/// point — the million-host grouped flat in both the full and reduced
+/// sweeps.
+///
+/// # Panics
+///
+/// Panics if the sweep has no hybrid-model point.
+pub fn hybrid_axis_point(points: &[ScalePoint]) -> &ScalePoint {
+    points
+        .iter()
+        .rev()
+        .find(|p| p.model == SimModel::Hybrid)
+        .expect("sweep always has hybrid points")
 }
 
 /// The sweep point the lookahead probe runs on: the grouped 3-flat in
@@ -432,9 +483,15 @@ pub struct ThreadsAxis {
     pub runs: Vec<ThreadsRun>,
 }
 
-/// Measures the threads axis on `point`: the serial engine first, then
-/// `EPNET_PAR={1,2,4,8}`, each a fresh full run of the identical
-/// scenario.
+/// Measures the threads axis on `point` at [`THREAD_WIDTHS`]; see
+/// [`measure_threads_over`].
+pub fn measure_threads(point: &ScalePoint) -> ThreadsAxis {
+    measure_threads_over(point, &THREAD_WIDTHS)
+}
+
+/// Measures a threads axis on `point`: the serial engine first, then
+/// `EPNET_PAR` at each of `widths`, each a fresh full run of the
+/// identical scenario.
 ///
 /// Every parallel report is asserted **byte-identical** to the serial
 /// one before its timing is recorded — a wrong-but-fast engine never
@@ -444,7 +501,7 @@ pub struct ThreadsAxis {
 /// # Panics
 ///
 /// Panics if any width's serialized report differs from serial.
-pub fn measure_threads(point: &ScalePoint) -> ThreadsAxis {
+pub fn measure_threads_over(point: &ScalePoint, widths: &[usize]) -> ThreadsAxis {
     let prior = std::env::var("EPNET_PAR").ok();
     std::env::remove_var("EPNET_PAR");
     let one = |threads: u64| -> (ThreadsRun, String) {
@@ -464,7 +521,7 @@ pub fn measure_threads(point: &ScalePoint) -> ThreadsAxis {
     };
     let (serial, serial_doc) = one(0);
     let mut runs = vec![serial];
-    for width in THREAD_WIDTHS {
+    for &width in widths {
         std::env::set_var("EPNET_PAR", width.to_string());
         let (run, doc) = one(width as u64);
         assert_eq!(
@@ -871,11 +928,12 @@ pub fn measure_models(points: &[ScalePoint]) -> ModelAxis {
     }
 }
 
-/// Renders runs plus the threads, lookahead, and models axes as the
-/// `BENCH_scale.json` document.
+/// Renders runs plus the threads, hybrid-threads, lookahead, and
+/// models axes as the `BENCH_scale.json` document.
 pub fn render(
     runs: &[ScaleRun],
     threads: &ThreadsAxis,
+    hybrid_threads: &ThreadsAxis,
     lookahead: &LookaheadAxis,
     models: &ModelAxis,
 ) -> String {
@@ -894,6 +952,7 @@ pub fn render(
             Value::Seq(runs.iter().map(ScaleRun::to_value).collect()),
         ),
         ("threads".into(), threads.to_value()),
+        ("hybrid_threads".into(), hybrid_threads.to_value()),
         ("lookahead".into(), lookahead.to_value()),
         ("models".into(), models.to_value()),
     ]);
@@ -905,6 +964,54 @@ pub fn render(
 /// Path of `BENCH_scale.json` at the repository root.
 pub fn output_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
+}
+
+/// Validates one threads-shaped axis (`threads` or `hybrid_threads`)
+/// of a `BENCH_scale.json` document: present, serial baseline first,
+/// positive timings at every width.
+fn check_threads_axis(v: &Value, key: &str) -> Result<(), String> {
+    let threads = v.get(key).ok_or_else(|| format!("missing '{key}' axis"))?;
+    threads
+        .get("point")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{key} axis missing 'point'"))?;
+    let hw = threads
+        .get("hw_threads")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{key} axis missing 'hw_threads'"))?;
+    if hw == 0 {
+        return Err(format!("{key} axis reports zero hardware threads"));
+    }
+    let truns = threads
+        .get("runs")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| format!("{key} axis missing 'runs' array"))?;
+    if truns.len() < 2 {
+        return Err(format!(
+            "{key} axis needs the serial baseline plus at least one width"
+        ));
+    }
+    for (i, r) in truns.iter().enumerate() {
+        let t = r
+            .get("threads")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{key} run missing 'threads'"))?;
+        if i == 0 && t != 0 {
+            return Err(format!(
+                "first {key} run must be the serial baseline (threads=0)"
+            ));
+        }
+        for field in ["wall_ms", "events_per_sec", "speedup_vs_serial"] {
+            let x = r
+                .get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{key} run {t} missing '{field}'"))?;
+            if !(x.is_finite() && x > 0.0) {
+                return Err(format!("{key} run {t} has non-positive '{field}'"));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validates a `BENCH_scale.json` document; returns its bench names.
@@ -927,18 +1034,20 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
         return Err("'benches' is empty".into());
     }
     let mut names = Vec::new();
+    let mut million_point = false;
     for b in benches {
         let name = b
             .get("name")
             .and_then(Value::as_str)
             .ok_or("bench missing 'name'")?;
-        match b.get("model").and_then(Value::as_str) {
-            Some("packet") | Some("hybrid") => {}
+        let model = match b.get("model").and_then(Value::as_str) {
+            Some(m @ ("packet" | "hybrid")) => m,
             Some(other) => {
                 return Err(format!("bench '{name}' has unknown model '{other}'"));
             }
             None => return Err(format!("bench '{name}' missing 'model'")),
-        }
+        };
+        let mut wall_ms = 0.0;
         for field in ["events_per_sec", "delivered_bytes_per_sec", "wall_ms"] {
             let rate = b
                 .get(field)
@@ -946,6 +1055,9 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
                 .ok_or_else(|| format!("bench '{name}' missing '{field}'"))?;
             if !(rate.is_finite() && rate > 0.0) {
                 return Err(format!("bench '{name}' has non-positive '{field}'"));
+            }
+            if field == "wall_ms" {
+                wall_ms = rate;
             }
         }
         let ape = b
@@ -969,45 +1081,35 @@ pub fn validate(doc: &str) -> Result<Vec<String>, String> {
                 return Err(format!("bench '{name}' missing '{field}'"));
             }
         }
-        names.push(name.to_string());
-    }
-    let threads = v.get("threads").ok_or("missing 'threads' axis")?;
-    threads
-        .get("point")
-        .and_then(Value::as_str)
-        .ok_or("threads axis missing 'point'")?;
-    let hw = threads
-        .get("hw_threads")
-        .and_then(Value::as_u64)
-        .ok_or("threads axis missing 'hw_threads'")?;
-    if hw == 0 {
-        return Err("threads axis reports zero hardware threads".into());
-    }
-    let truns = threads
-        .get("runs")
-        .and_then(Value::as_seq)
-        .ok_or("threads axis missing 'runs' array")?;
-    if truns.len() < 2 {
-        return Err("threads axis needs the serial baseline plus at least one width".into());
-    }
-    for (i, r) in truns.iter().enumerate() {
-        let t = r
-            .get("threads")
-            .and_then(Value::as_u64)
-            .ok_or("threads run missing 'threads'")?;
-        if i == 0 && t != 0 {
-            return Err("first threads run must be the serial baseline (threads=0)".into());
-        }
-        for field in ["wall_ms", "events_per_sec", "speedup_vs_serial"] {
-            let x = r
-                .get(field)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| format!("threads run {t} missing '{field}'"))?;
-            if !(x.is_finite() && x > 0.0) {
-                return Err(format!("threads run {t} has non-positive '{field}'"));
+        if model == "hybrid" {
+            let hosts = b.get("hosts").and_then(Value::as_u64).unwrap_or(0).max(1);
+            let peak = b.get("peak_alloc_bytes").and_then(Value::as_u64).unwrap_or(0);
+            if peak > hosts.saturating_mul(HYBRID_PEAK_HEAP_PER_HOST) {
+                return Err(format!(
+                    "bench '{name}': peak heap {} B/host exceeds the {} B/host bound",
+                    peak / hosts,
+                    HYBRID_PEAK_HEAP_PER_HOST
+                ));
+            }
+            if hosts >= MILLION_HOSTS {
+                million_point = true;
+                if wall_ms > MILLION_HOST_WALL_BUDGET_MS {
+                    return Err(format!(
+                        "bench '{name}': wall {wall_ms:.0} ms exceeds the million-host \
+                         budget of {MILLION_HOST_WALL_BUDGET_MS:.0} ms"
+                    ));
+                }
             }
         }
+        names.push(name.to_string());
     }
+    if !million_point {
+        return Err(format!(
+            "no hybrid bench at >= {MILLION_HOSTS} hosts (v5 requires the million-host point)"
+        ));
+    }
+    check_threads_axis(&v, "threads")?;
+    check_threads_axis(&v, "hybrid_threads")?;
     let lookahead = v.get("lookahead").ok_or("missing 'lookahead' probe")?;
     lookahead
         .get("point")
@@ -1143,6 +1245,24 @@ mod tests {
         }
     }
 
+    /// A hybrid bench at [`MILLION_HOSTS`] inside both pinned budgets;
+    /// v5 documents are invalid without one.
+    fn sample_million_run() -> ScaleRun {
+        ScaleRun {
+            name: "hybrid_fbfly_32x32x4".to_string(),
+            model: SimModel::Hybrid,
+            hosts: MILLION_HOSTS,
+            channels: 5_144_576,
+            wall_ms: 20_000.0,
+            sim_events: 1_000_000,
+            sim_packets: 0,
+            sim_delivered_bytes: 1 << 40,
+            measured_events: 500_000,
+            measured_allocs: 0,
+            peak_alloc_bytes: MILLION_HOSTS * 1200,
+        }
+    }
+
     fn sample_axis() -> ThreadsAxis {
         ThreadsAxis {
             point: "fbfly_2x8x2".to_string(),
@@ -1157,6 +1277,25 @@ mod tests {
                     threads: 2,
                     wall_ms: 8.0,
                     sim_events: 1_000,
+                },
+            ],
+        }
+    }
+
+    fn sample_hybrid_axis() -> ThreadsAxis {
+        ThreadsAxis {
+            point: "hybrid_fbfly_32x32x4".to_string(),
+            hw_threads: 4,
+            runs: vec![
+                ThreadsRun {
+                    threads: 0,
+                    wall_ms: 20_000.0,
+                    sim_events: 1_000_000,
+                },
+                ThreadsRun {
+                    threads: 2,
+                    wall_ms: 25_000.0,
+                    sim_events: 1_000_000,
                 },
             ],
         }
@@ -1204,36 +1343,85 @@ mod tests {
         }
     }
 
-    #[test]
-    fn rendered_document_validates() {
-        let runs = vec![sample_run("fbfly_2x8x2"), sample_run("clos_nb4")];
-        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
-        let names = validate(&doc).expect("schema holds");
-        assert_eq!(names, vec!["fbfly_2x8x2", "clos_nb4"]);
+    /// Renders `runs` with the full set of sample axes.
+    fn render_sample(runs: &[ScaleRun]) -> String {
+        render(
+            runs,
+            &sample_axis(),
+            &sample_hybrid_axis(),
+            &sample_lookahead(),
+            &sample_models(),
+        )
     }
 
     #[test]
-    fn validate_requires_the_threads_axis() {
-        let runs = vec![sample_run("fbfly_2x8x2")];
-        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
-        // Strip the threads section: the schema must reject it.
-        let mut v: Value = serde_json::from_str(&doc).unwrap();
-        if let Value::Map(entries) = &mut v {
-            entries.retain(|(k, _)| k != "threads");
+    fn rendered_document_validates() {
+        let runs = vec![
+            sample_run("fbfly_2x8x2"),
+            sample_run("clos_nb4"),
+            sample_million_run(),
+        ];
+        let doc = render_sample(&runs);
+        let names = validate(&doc).expect("schema holds");
+        assert_eq!(names, vec!["fbfly_2x8x2", "clos_nb4", "hybrid_fbfly_32x32x4"]);
+    }
+
+    #[test]
+    fn validate_requires_the_threads_axes() {
+        let runs = vec![sample_run("fbfly_2x8x2"), sample_million_run()];
+        let doc = render_sample(&runs);
+        // Strip each threads-shaped section: the schema must reject it.
+        for key in ["threads", "hybrid_threads"] {
+            let mut v: Value = serde_json::from_str(&doc).unwrap();
+            if let Value::Map(entries) = &mut v {
+                entries.retain(|(k, _)| k != key);
+            }
+            let stripped = serde_json::to_string_pretty(&v).unwrap();
+            assert!(validate(&stripped).is_err(), "{key} axis is required");
         }
-        let stripped = serde_json::to_string_pretty(&v).unwrap();
-        assert!(validate(&stripped).is_err(), "threads axis is required");
 
         // And a baseline-less axis must be rejected too.
         let mut axis = sample_axis();
         axis.runs.remove(0);
-        assert!(validate(&render(&runs, &axis, &sample_lookahead(), &sample_models())).is_err());
+        let doc = render(
+            &runs,
+            &axis,
+            &sample_hybrid_axis(),
+            &sample_lookahead(),
+            &sample_models(),
+        );
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn validate_enforces_the_million_host_budgets() {
+        // A document whose only hybrid bench is below 2^20 hosts is a
+        // v4-shaped sweep and must be rejected.
+        let small_only = vec![sample_run("fbfly_2x8x2")];
+        assert!(
+            validate(&render_sample(&small_only))
+                .unwrap_err()
+                .contains("million-host"),
+            "the million-host point is required"
+        );
+
+        // Per-host peak heap over the pinned bound.
+        let mut fat = sample_million_run();
+        fat.peak_alloc_bytes = MILLION_HOSTS * (HYBRID_PEAK_HEAP_PER_HOST + 1);
+        let err = validate(&render_sample(&[sample_run("fbfly_2x8x2"), fat])).unwrap_err();
+        assert!(err.contains("B/host"), "{err}");
+
+        // Wall clock over the pinned budget.
+        let mut slow = sample_million_run();
+        slow.wall_ms = MILLION_HOST_WALL_BUDGET_MS * 2.0;
+        let err = validate(&render_sample(&[sample_run("fbfly_2x8x2"), slow])).unwrap_err();
+        assert!(err.contains("budget"), "{err}");
     }
 
     #[test]
     fn validate_requires_the_lookahead_probe() {
-        let runs = vec![sample_run("fbfly_2x8x2")];
-        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
+        let runs = vec![sample_run("fbfly_2x8x2"), sample_million_run()];
+        let doc = render_sample(&runs);
         assert!(validate(&doc).is_ok());
 
         // Strip the probe entirely.
@@ -1251,18 +1439,32 @@ mod tests {
         // Zero windows means the probe never actually ran parallel.
         let mut dead = sample_lookahead();
         dead.global = sample_lookahead_run("global", 0);
-        assert!(validate(&render(&runs, &sample_axis(), &dead, &sample_models())).is_err());
+        let doc = render(
+            &runs,
+            &sample_axis(),
+            &sample_hybrid_axis(),
+            &dead,
+            &sample_models(),
+        );
+        assert!(validate(&doc).is_err());
 
         // Mode order is part of the schema (pairwise first).
         let mut swapped = sample_lookahead();
         std::mem::swap(&mut swapped.pairwise, &mut swapped.global);
-        assert!(validate(&render(&runs, &sample_axis(), &swapped, &sample_models())).is_err());
+        let doc = render(
+            &runs,
+            &sample_axis(),
+            &sample_hybrid_axis(),
+            &swapped,
+            &sample_models(),
+        );
+        assert!(validate(&doc).is_err());
     }
 
     #[test]
     fn validate_requires_the_models_axis() {
-        let runs = vec![sample_run("fbfly_2x8x2")];
-        let doc = render(&runs, &sample_axis(), &sample_lookahead(), &sample_models());
+        let runs = vec![sample_run("fbfly_2x8x2"), sample_million_run()];
+        let doc = render_sample(&runs);
         assert!(validate(&doc).is_ok());
 
         // Strip the models axis entirely.
@@ -1278,19 +1480,27 @@ mod tests {
             tolerance: HYBRID_TOLERANCE,
             runs: Vec::new(),
         };
-        assert!(validate(&render(&runs, &sample_axis(), &sample_lookahead(), &empty)).is_err());
+        let doc_empty = render(
+            &runs,
+            &sample_axis(),
+            &sample_hybrid_axis(),
+            &sample_lookahead(),
+            &empty,
+        );
+        assert!(validate(&doc_empty).is_err());
 
         // An out-of-tolerance point must be rejected even if the
         // producer forgot to assert.
         let mut drifted = sample_models();
         drifted.runs[0].hybrid_delivered_bytes = 1;
-        assert!(validate(&render(
+        let doc_drifted = render(
             &runs,
             &sample_axis(),
+            &sample_hybrid_axis(),
             &sample_lookahead(),
-            &drifted
-        ))
-        .is_err());
+            &drifted,
+        );
+        assert!(validate(&doc_drifted).is_err());
 
         // Benches without a model tag are pre-v4 documents.
         let untagged = doc.replace("\"model\": \"packet\",", "");
@@ -1353,6 +1563,14 @@ mod tests {
             assert_eq!(big.model, SimModel::Hybrid);
             let hosts = simulator_for_hosts(big);
             assert!(hosts >= 100_000, "{hosts} hosts");
+            // The v5 acceptance point: a true 2^20-host fabric, present
+            // even under --reduced.
+            let million = points
+                .iter()
+                .find(|p| p.name == "hybrid_fbfly_32x32x4")
+                .expect("million-host point present");
+            assert_eq!(million.model, SimModel::Hybrid);
+            assert_eq!(simulator_for_hosts(million), MILLION_HOSTS);
         }
     }
 
@@ -1374,6 +1592,14 @@ mod tests {
         assert_eq!(axis_point(&full).name, "fbfly_15x15x2");
         let reduced = sweep(true);
         assert_eq!(axis_point(&reduced).name, "clos_nb4");
+    }
+
+    #[test]
+    fn hybrid_axis_point_is_the_million_host_flat() {
+        for reduced in [false, true] {
+            let points = sweep(reduced);
+            assert_eq!(hybrid_axis_point(&points).name, "hybrid_fbfly_32x32x4");
+        }
     }
 
     #[test]

@@ -322,8 +322,11 @@ impl Channels {
 
     /// Copies channel `i`'s mutable state from `src` (hot fields plus
     /// the cold residency record, optionally the output queue). Static
-    /// topology fields (`prop`, `peer`) and owner-only bookkeeping
-    /// (pending credit returns, active-set membership) are left alone.
+    /// topology fields (`prop`, `peer`), active-set membership, and the
+    /// pending credit-return ring are left alone — the ring travels
+    /// separately via [`Channels::copy_pending_credits_from`] on the
+    /// hybrid paths that need the coordinator's `try_tx` to apply
+    /// matured credits exactly as the owning shard would.
     ///
     /// This is the gather/scatter primitive of the parallel engine's
     /// epoch-tick barrier: shard-authoritative channel ranges are
@@ -344,6 +347,21 @@ impl Channels {
             self.queues[i].clear();
             self.queues[i].extend(src.queues[i].iter().copied());
         }
+    }
+
+    /// Replaces channel `i`'s pending credit-return ring with `src`'s.
+    ///
+    /// Under the hybrid model a flow demotion during the coordinator's
+    /// epoch phase re-enters the packet path *on the master*, whose
+    /// `try_tx` then applies matured credits and arms `CreditWake`
+    /// timers; the ring is gathered alongside the queue so those
+    /// decisions match the owning shard's state bit for bit, and the
+    /// consumed ring is scattered back to demoted channels. The credit
+    /// *pool* (buffer reuse) is deliberately not transferred — it only
+    /// affects allocation recycling, never simulated behavior.
+    pub fn copy_pending_credits_from(&mut self, src: &Channels, i: usize) {
+        self.pending_credits[i].clear();
+        self.pending_credits[i].extend(src.pending_credits[i].iter().copied());
     }
 
     /// Sets the configured rate of channel `i`, maintaining the

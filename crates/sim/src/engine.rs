@@ -527,17 +527,8 @@ impl<S: TrafficSource> Simulator<S> {
     /// runs serially.
     pub fn run_until(mut self, end: SimTime) -> SimReport {
         if let Some(width) = crate::env::env_threads("EPNET_PAR") {
-            if self.core.model == SimModel::Hybrid {
-                // Fluid flow state is global — it advances at epoch
-                // ticks across every shard's channels — so hybrid runs
-                // stay on the serial loop, recorded like the other
-                // parallel-engine fallbacks.
-                let ids = self.core.inst.ids;
-                self.core.inst.metrics.set(ids.par_fallback_serial, 1);
-            } else {
-                self.prime(end);
-                return crate::par::run(self, end, width);
-            }
+            self.prime(end);
+            return crate::par::run(self, end, width);
         }
         self.prime(end);
         self.advance_until(end);
@@ -752,6 +743,14 @@ impl Core {
                 MessageId(slot)
             }
         };
+        // In window mode this core is the parallel coordinator's master
+        // and the caller is a flow demotion inside an epoch phase (shard
+        // cores never inject). Log what was created so the coordinator
+        // can mirror the message record, the packet payloads, and the
+        // mutated queue out to the owning shards after `on_epoch`.
+        if let CoreQueue::Window(w) = &mut self.queue {
+            w.demoted_msgs.push((message.raw(), dst.raw()));
+        }
         let budget = match self.config.routing {
             RoutingPolicy::MinimalAdaptive => 0,
             RoutingPolicy::Ugal {
@@ -772,6 +771,9 @@ impl Core {
                 hops: 0,
                 misroutes_left: budget,
             });
+            if let CoreQueue::Window(w) = &mut self.queue {
+                w.demoted_packets.push((inj.raw(), id));
+            }
             self.enqueue(inj, id, bytes);
         }
         self.try_tx(inj);
@@ -1655,6 +1657,14 @@ impl Core {
         self.inst
             .metrics
             .set(ids.residency_off_ps, clamp(residency.off_ps));
+        // Flow-table high-water diagnostics (hybrid model; zero in
+        // packet mode, where the table is never consulted).
+        self.inst
+            .metrics
+            .set(ids.flow_table_peak, self.flows.peak_live() as u64);
+        self.inst
+            .metrics
+            .set(ids.flow_table_capacity, self.flows.capacity() as u64);
         let metrics = self.inst.metrics.snapshot();
         let diagnostics = self.inst.metrics.diagnostics_snapshot();
         self.inst

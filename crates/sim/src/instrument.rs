@@ -92,6 +92,11 @@ pub(crate) struct MetricIds {
     pub flows_completed: CounterId,
     /// Bytes delivered by fluid flow advancement.
     pub flow_fluid_bytes: CounterId,
+    /// High-water mark of concurrently live fluid flows.
+    pub flow_table_peak: CounterId,
+    /// Flow-table column capacity (slots ever allocated); equals the
+    /// peak because the free list recycles released slots.
+    pub flow_table_capacity: CounterId,
 }
 
 impl MetricIds {
@@ -130,6 +135,8 @@ impl MetricIds {
             flows_demoted: m.diagnostic("flows_demoted"),
             flows_completed: m.diagnostic("flows_completed"),
             flow_fluid_bytes: m.diagnostic("flow_fluid_bytes"),
+            flow_table_peak: m.diagnostic("flow_table_peak"),
+            flow_table_capacity: m.diagnostic("flow_table_capacity"),
         }
     }
 }

@@ -153,6 +153,23 @@ impl PacketArena {
         self.place(id.slot, *src.get(id))
     }
 
+    /// Re-mints an id for `slot` under this arena's current generation.
+    ///
+    /// Queue contents travel between the parallel engine's shard cores
+    /// and the coordinator's replica as raw slot numbers (the epoch
+    /// barrier copies `VecDeque<PacketId>` wholesale), but each arena
+    /// counts generations independently, so a transferred id must be
+    /// adopted before the receiving arena dereferences it. In release
+    /// builds an id *is* its slot and this is the identity function.
+    #[inline]
+    pub fn adopt(&self, slot: u32) -> PacketId {
+        PacketId {
+            slot,
+            #[cfg(debug_assertions)]
+            generation: self.generations[slot as usize],
+        }
+    }
+
     /// Retires a slot by bare index — the coordinator's replica-arena
     /// form of [`free`](Self::free). The parallel engine's workers
     /// record freed slot numbers (their `PacketId` generations are

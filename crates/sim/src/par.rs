@@ -84,11 +84,36 @@
 //!   records vary with width and lookahead mode, so the category
 //!   shares the `routes` exemption.
 //! * A configuration with a zero minimum propagation delay (no
-//!   lookahead) or a zero reactivation latency (the master's
-//!   epoch-phase `try_tx` must never reach the serialization path,
-//!   which a zero-latency retune would allow) falls back to the serial
-//!   pop loop — same report, no parallelism. The fallback is visible
-//!   as `par_fallback_serial = 1` in [`SimReport::diagnostics`].
+//!   lookahead) or a zero reactivation latency (a zero-latency retune
+//!   would let the epoch phase's `try_tx` reach the serialization path
+//!   on master state whose credit-return rings are only gathered for
+//!   the hybrid demotion path) falls back to the serial pop loop —
+//!   same report, no parallelism. The fallback is visible as
+//!   `par_fallback_serial = 1` in [`SimReport::diagnostics`].
+//!
+//! # Hybrid model composition
+//!
+//! `EPNET_MODEL=hybrid` composes with `EPNET_PAR`: the flow table
+//! lives on the coordinator's master core, and every regime decision
+//! happens at a coordinator phase — where, all prior events having
+//! merged, shard channel state *is* the serial state. Absorption runs
+//! in the Workload phase: the greedy path walk on the master (it reads
+//! only the fabric and the dyntopo mask), the steadiness gate against
+//! the owning shards' channel copies, and the allocation on the
+//! master-resident table — so the flow free list, flow ids, and the
+//! high-water diagnostics reproduce the serial engine bit for bit.
+//! Flows advance inside the epoch phase's `on_epoch` over the gathered
+//! all-channel state, so per-channel fluid busy picoseconds land in
+//! the same gathered accumulators the controller reads and scatter
+//! back with the rest of the channel state. A demotion re-enters the
+//! packet path *on the master*: its `inject_packets` → `try_tx` runs
+//! against the gathered queues plus (hybrid-only) the gathered pending
+//! credit-return rings, making the serialization decision exact; the
+//! created message record, packet payloads, and mutated queue then
+//! mirror out to the owning shards (the injection channel of a flow's
+//! source host is always shard-local), and the demotion's generated
+//! events drain through the ordinary phase capture under exact serial
+//! sequence numbers.
 //!
 //! # Diagnostics
 //!
@@ -102,7 +127,7 @@
 use std::sync::{mpsc, Arc};
 
 use epnet_telemetry::{MemorySink, Tracer};
-use epnet_topology::{ChannelId, RoutingTopology, ShardMap};
+use epnet_topology::{ChannelId, HostId, RoutingTopology, ShardMap};
 
 use crate::config::{EpochMode, ReactivationModel, RoutingPolicy};
 use crate::engine::{Core, CoreQueue, MessageRec, Simulator};
@@ -230,6 +255,16 @@ pub(crate) struct WindowQueue {
     pub(crate) freed_packets: Vec<u32>,
     /// Message slots freed this window, in free order.
     pub(crate) freed_messages: Vec<u32>,
+    /// Packets created by a hybrid flow demotion during a coordinator
+    /// epoch phase, as `(channel, id)` — logged by the master's
+    /// `inject_packets` so the phase can place the payloads into the
+    /// owning shard's arena and scatter the mutated queue back. Always
+    /// empty on worker shards (they never inject).
+    pub(crate) demoted_packets: Vec<(u32, PacketId)>,
+    /// Message records created by those demotions, as
+    /// `(message slot, destination host)` — mirrored to the delivering
+    /// shard like a Workload-phase injection.
+    pub(crate) demoted_msgs: Vec<(u32, u32)>,
 }
 
 impl WindowQueue {
@@ -251,6 +286,8 @@ impl WindowQueue {
             execs: Vec::new(),
             freed_packets: Vec::new(),
             freed_messages: Vec::new(),
+            demoted_packets: Vec::new(),
+            demoted_msgs: Vec::new(),
         }
     }
 
@@ -297,7 +334,9 @@ impl WindowQueue {
                 && self.gens.is_empty()
                 && self.execs.is_empty()
                 && self.freed_packets.is_empty()
-                && self.freed_messages.is_empty(),
+                && self.freed_messages.is_empty()
+                && self.demoted_packets.is_empty()
+                && self.demoted_msgs.is_empty(),
             "window state not drained"
         );
         self.pseudo_seq = seq_watermark;
@@ -437,6 +476,10 @@ fn drain_phase_capture(
         w.execs.is_empty() && w.freed_packets.is_empty() && w.freed_messages.is_empty(),
         "phase produced window-only side effects"
     );
+    debug_assert!(
+        w.demoted_packets.is_empty() && w.demoted_msgs.is_empty(),
+        "demotion log must be reconciled before the phase drain"
+    );
     for g in w.gens.drain(..) {
         push_global(qlocal, qcoord, next_seq, g.at, g.ev);
     }
@@ -568,10 +611,15 @@ pub(crate) fn run<S: TrafficSource>(
                 sim.core.fabric.clone(),
                 sim.core.config.clone(),
                 Instruments::with_tracer(None),
-                // Hybrid never reaches the parallel engine (it falls
-                // back to the serial loop); shard cores are packet.
-                crate::env::SimModel::Packet,
+                // Shards inherit the model: hybrid shards route
+                // dynamically and keep the pod rollup (demoted packets
+                // deliver on shards), exactly like the serial core.
+                sim.core.model,
             );
+            // The flow table itself lives only on the master — flows
+            // absorb and advance at coordinator phases — so drop the
+            // per-channel fair-share scratch a hybrid build sizes.
+            core.flows = crate::flows::FlowTable::new(0);
             core.queue = CoreQueue::Window(WindowQueue::with_cross(cross_bitmap.clone()));
             core.end = end;
             core.controller_active = sim.core.controller_active;
@@ -751,11 +799,16 @@ pub(crate) fn run<S: TrafficSource>(
                         if snd == rcv {
                             touch!(snd, k.0);
                             let sh = shards[snd].as_mut().expect("shard at barrier");
+                            // Re-mint under the shard's generation: a
+                            // hybrid demotion's Arrive was minted by
+                            // the master (the identity for ids the
+                            // shard minted itself).
+                            let packet = sh.core.arena.adopt(packet.index() as u32);
                             sh.wq().local.push(
                                 k.0,
                                 k.1,
                                 LocalEv {
-                                    ev,
+                                    ev: Event::Arrive { channel, packet },
                                     half: ArriveHalf::Full,
                                 },
                             );
@@ -1022,17 +1075,42 @@ pub(crate) fn run<S: TrafficSource>(
     // ---- finalize ----
     // Gather final channel state so `finish` computes cold residency
     // (its own `note_interval(i, end)`) over the authoritative copies.
+    // Under hybrid the queues and credit rings come too: `finish` runs
+    // one last `advance_flows` at the horizon, which can demote — its
+    // enqueue/try_tx must see the exact serial queue state.
+    let hybrid = sim.core.model == crate::env::SimModel::Hybrid;
     for ch in 0..num_channels {
         let owner = map.channel_shard(ChannelId::new(ch as u32));
         let sh = shards[owner].as_ref().expect("shard at barrier");
         sim.core
             .channels
-            .copy_channel_from(&sh.core.channels, ch, false);
+            .copy_channel_from(&sh.core.channels, ch, hybrid);
+        if hybrid {
+            sim.core
+                .channels
+                .copy_pending_credits_from(&sh.core.channels, ch);
+        }
+    }
+    #[cfg(debug_assertions)]
+    if hybrid {
+        // Gathered queue ids carry shard generations; adopt them into
+        // the replica arena before finish() dereferences queue heads.
+        let Core { arena, channels, .. } = &mut sim.core;
+        for ch in 0..num_channels {
+            for id in channels.queues[ch].iter_mut() {
+                *id = arena.adopt(id.index() as u32);
+            }
+        }
     }
     let ids = sim.core.inst.ids;
     for slot in &mut shards {
         let sh = slot.take().expect("shard at barrier");
         sim.core.stats.merge_worker(&sh.core.stats);
+        // Pod rollups accrue on shards for packet deliveries and on
+        // the master for fluid advancement; element-wise sum = serial.
+        for (dst, src) in sim.core.pod_bytes.iter_mut().zip(&sh.core.pod_bytes) {
+            *dst += src;
+        }
         // Shard registries share the master's registration order;
         // counters sum, watermarks take the max. (Shard event-kind
         // counters are zero — pops are counted once, at replay.)
@@ -1144,6 +1222,29 @@ fn inject_one(
     debug_assert_ne!(m.src, m.dst, "self-sends are not meaningful");
     master.stats.offered_bytes += m.bytes;
     master.last_offered_at = m.at;
+    // Hybrid absorption — the parallel twin of the serial `inject`'s
+    // gate. The path walk runs on the master (it reads only the fabric
+    // and the dyntopo mask, both master-authoritative); the steadiness
+    // gate reads each path channel from its owning shard, whose state
+    // at a coordinator phase is exactly the serial state. The table
+    // allocation itself is master-only, so flow ids and the free list
+    // reproduce the serial order bit for bit.
+    if master.model == crate::env::SimModel::Hybrid && m.bytes >= crate::flows::FLOW_MIN_BYTES {
+        if let Some((path, len)) = master.flow_path(&m) {
+            let limit = master.flow_congestion_limit();
+            let steady = path[..len as usize].iter().all(|&c| {
+                let owner = map.channel_shard(ChannelId::new(c));
+                let ch = &shards[owner].as_ref().expect("shard at barrier").core.channels;
+                let i = c as usize;
+                ch.flags[i] & (crate::channels::F_OFF | crate::channels::F_DRAINING) == 0
+                    && ch.occupancy[i] <= limit
+            });
+            if steady {
+                master.absorb_flow(&m, path, len);
+                return;
+            }
+        }
+    }
     let pkt_size = u64::from(master.config.packet_bytes);
     let full = (m.bytes / pkt_size) as u32;
     let tail = (m.bytes % pkt_size) as u32;
@@ -1234,23 +1335,101 @@ fn epoch_phase(
     next_seq: &mut u64,
 ) {
     let n = master.channels.len();
+    let hybrid = master.model == crate::env::SimModel::Hybrid;
     for ch in 0..n {
         let owner = map.channel_shard(ChannelId::new(ch as u32));
         let sh = shards[owner].as_ref().expect("shard at barrier");
         master
             .channels
             .copy_channel_from(&sh.core.channels, ch, true);
+        if hybrid {
+            // A flow demotion re-enters the packet path through the
+            // master's try_tx, which applies matured credit returns —
+            // the ring must match the owning shard's exactly.
+            master
+                .channels
+                .copy_pending_credits_from(&sh.core.channels, ch);
+        }
+    }
+    #[cfg(debug_assertions)]
+    if hybrid {
+        // Gathered queue ids carry shard generations; adopt them into
+        // the replica arena before a demotion's try_tx dereferences
+        // queue heads (ids are bare slots in release builds).
+        let Core { arena, channels, .. } = &mut *master;
+        for ch in 0..n {
+            for id in channels.queues[ch].iter_mut() {
+                *id = arena.adopt(id.index() as u32);
+            }
+        }
     }
     master.channels.mark_all_active();
     master.channels.recount_asymmetry();
     master.on_epoch();
+    // ---- hybrid demotion reconciliation ----
+    // `advance_flows` (first thing in `on_epoch`) may have demoted
+    // flows, whose remaining bytes were re-injected on the master.
+    // Mirror what that created out to the owners: the message record
+    // to the delivering shard, the packet payloads into the source
+    // shard's arena at the master-assigned global slots, and — below,
+    // via the queue=true scatter — the mutated injection queues plus
+    // their consumed credit rings.
+    let (demoted_pkts, demoted_msgs) = {
+        let CoreQueue::Window(w) = &mut master.queue else {
+            unreachable!("master core in serial mode")
+        };
+        (
+            std::mem::take(&mut w.demoted_packets),
+            std::mem::take(&mut w.demoted_msgs),
+        )
+    };
+    for &(mid, dst) in &demoted_msgs {
+        let rec = master.messages[mid as usize];
+        let msgs = &mut shards[map.host_shard(HostId::new(dst))]
+            .as_mut()
+            .expect("shard at barrier")
+            .core
+            .messages;
+        let idx = mid as usize;
+        if idx >= msgs.len() {
+            msgs.resize(idx + 1, rec);
+        }
+        msgs[idx] = rec;
+    }
+    let mut demoted_channels: Vec<u32> = Vec::with_capacity(demoted_pkts.len());
+    for &(ch, pid) in &demoted_pkts {
+        let owner = map.channel_shard(ChannelId::new(ch));
+        let payload = *master.arena.get(pid);
+        shards[owner]
+            .as_mut()
+            .expect("shard at barrier")
+            .core
+            .arena
+            .place(pid.index() as u32, payload);
+        demoted_channels.push(ch);
+    }
+    demoted_channels.sort_unstable();
+    demoted_channels.dedup();
     drain_phase_capture(master, master_sink, real_tracer, qlocal, qcoord, next_seq);
     for ch in 0..n {
         let owner = map.channel_shard(ChannelId::new(ch as u32));
         let sh = shards[owner].as_mut().expect("shard at barrier");
+        let demoted = demoted_channels.binary_search(&(ch as u32)).is_ok();
         sh.core
             .channels
-            .copy_channel_from(&master.channels, ch, false);
+            .copy_channel_from(&master.channels, ch, demoted);
+        if demoted {
+            sh.core
+                .channels
+                .copy_pending_credits_from(&master.channels, ch);
+            #[cfg(debug_assertions)]
+            {
+                let Core { arena, channels, .. } = &mut sh.core;
+                for id in channels.queues[ch].iter_mut() {
+                    *id = arena.adopt(id.index() as u32);
+                }
+            }
+        }
     }
     for slot in shards.iter_mut() {
         let sh = slot.as_mut().expect("shard at barrier");

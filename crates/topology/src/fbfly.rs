@@ -96,9 +96,10 @@ impl FlattenedButterfly {
     /// Semantically this is just [`FlattenedButterfly::new`]; the
     /// constructor exists to name the sweep targets the scale bench
     /// uses: `grouped(15, 8, 3)` is a 960-host 15-ary 3-flat on
-    /// 29-port switches, and `grouped(32, 16, 4)` reaches 131,072
-    /// hosts on 4,096 switches of 77 ports — the 10^5-host point of
-    /// the hybrid-model sweep.
+    /// 29-port switches, `grouped(32, 16, 4)` reaches 131,072 hosts on
+    /// 4,096 switches of 77 ports — the 10^5-host point of the
+    /// hybrid-model sweep — and `grouped(32, 32, 4)` is the
+    /// 2^20 = 1,048,576-host point on 32,768 switches of 125 ports.
     ///
     /// # Errors
     ///
@@ -364,6 +365,13 @@ mod tests {
         assert_eq!(big.num_switches(), 4_096);
         assert_eq!(big.ports_per_switch(), 77);
         assert_eq!(big.oversubscription(), 2.0);
+
+        // The 10^6-host hybrid sweep point: a true million-host flat.
+        let million = FlattenedButterfly::grouped(32, 32, 4).unwrap();
+        assert_eq!(million.num_hosts(), 1 << 20);
+        assert_eq!(million.num_switches(), 32_768);
+        assert_eq!(million.ports_per_switch(), 32 + 3 * 31);
+        assert_eq!(million.oversubscription(), 1.0);
 
         // grouped() is new() under a design-space name.
         assert_eq!(

@@ -6,7 +6,8 @@
 # one traced run validated against the documented trace schema plus a
 # line-identical EPNET_PAR=4 re-run of it, a Perfetto export and
 # trace-analysis smoke over that capture (CSV headers pinned), the
-# scaling sweep with its EPNET_PAR threads axis and lookahead probe,
+# scaling sweep with its EPNET_PAR threads, hybrid-threads, and
+# lookahead axes (the hybrid-threads axis runs the 2^20-host flat),
 # and a rustdoc build with warnings denied.
 #
 # Runs only the benchmarks whose names contain "smoke" — the full
@@ -72,12 +73,14 @@ EOF
 # Reduced topology-scaling sweep under the counting allocator (rewrites
 # BENCH_scale.json at the repo root), plus the EPNET_PAR threads axis
 # on the canonical point — every width's report is asserted
-# byte-identical to serial before its timing is recorded — and the v4
-# hybrid-model additions: bulk-flow points up to 131,072 hosts under
-# EPNET_MODEL-style hybrid simulation, and the models axis asserting
-# hybrid-vs-packet delivered-bytes and relative-power agreement. The
-# binary schema-validates its own output; the steady-state allocation
-# bound, the hybrid memory bound, and both axes are re-checked below.
+# byte-identical to serial before its timing is recorded — the v4
+# hybrid-model additions (bulk-flow points, the models axis asserting
+# hybrid-vs-packet delivered-bytes and relative-power agreement), and
+# the v5 additions: a true 2^20-host hybrid point and its own
+# hybrid_threads axis running that million-host flat under EPNET_PAR.
+# The binary schema-validates its own output; the steady-state
+# allocation bound, the hybrid memory bound, the million-host budgets,
+# and all the axes are re-checked below.
 cargo run --offline --release -p epnet-bench --bin scalebench -- --reduced
 
 # Reduced offered-load sweep (rewrites BENCH_load.json at the repo
@@ -111,7 +114,7 @@ test -s BENCH_scale.json || { echo "BENCH_scale.json missing" >&2; exit 1; }
 python3 - <<'EOF'
 import json
 doc = json.load(open("BENCH_scale.json"))
-assert doc["schema"] == "epnet-bench-scale/v4", doc["schema"]
+assert doc["schema"] == "epnet-bench-scale/v5", doc["schema"]
 assert doc["benches"], "no benches recorded"
 for b in doc["benches"]:
     for field in ("model", "hosts", "channels", "events_per_sec",
@@ -138,6 +141,15 @@ for b in big:
     assert b["sim_delivered_bytes"] > 0, f'{b["name"]}: delivered nothing'
     print(f'{b["name"]}: {b["hosts"]} hosts at '
           f'{b["peak_alloc_bytes"] / b["hosts"]:.0f} peak B/host')
+# The v5 headline: a true 2^20-host hybrid point that completed the
+# full horizon inside the pinned wall budget (mirrors validate()).
+million = [b for b in big if b["hosts"] >= 1_048_576]
+assert million, "no hybrid point at >= 2^20 hosts"
+for b in million:
+    assert b["wall_ms"] <= 120_000.0, (
+        f'{b["name"]}: {b["wall_ms"]:.0f} ms exceeds the million-host '
+        f'wall budget')
+    print(f'{b["name"]}: million-host point in {b["wall_ms"]:.0f} ms')
 # The models axis: every packet point re-run under both models, with
 # agreement errors inside the documented tolerance.
 models = doc["models"]
@@ -163,6 +175,16 @@ for r in runs:
           f'{r["events_per_sec"]:.3e} events/s, '
           f'{r["speedup_vs_serial"]:.2f}x '
           f'(host has {axis["hw_threads"]} hw threads)')
+# The v5 hybrid-threads axis: the million-host flat re-run under
+# EPNET_PAR, byte-identity asserted by the binary before timing.
+haxis = doc["hybrid_threads"]
+hruns = haxis["runs"]
+assert hruns and hruns[0]["threads"] == 0, "hybrid serial baseline first"
+assert len(hruns) >= 2, "hybrid threads axis needs a parallel width"
+for r in hruns:
+    assert r["wall_ms"] > 0 and r["speedup_vs_serial"] > 0, r
+    print(f'{haxis["point"]} hybrid threads={r["threads"]}: '
+          f'{r["wall_ms"]:.0f} ms, {r["speedup_vs_serial"]:.2f}x')
 # The v3 lookahead probe: pairwise matrix vs the legacy global bound,
 # window-shape diagnostics recorded per mode. The pairwise matrix must
 # amortize each barrier over at least as many events as the global

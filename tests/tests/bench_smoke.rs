@@ -129,14 +129,17 @@ fn load_bench_document_is_well_formed_and_activity_bounded() {
     assert_eq!(names.len(), 1);
 }
 
-/// In-process twin of the scalebench v4 hybrid additions: the reduced
-/// sweep must carry a >= 1e5-host hybrid point, the cheap 960-host
-/// hybrid point must complete its horizon fluid-only (no packets, all
-/// bytes via flows), and the models axis measured on the smallest
-/// packet point must sit inside the documented tolerance and render
-/// into a schema-valid v4 document. The 131k-host point itself runs in
-/// `scripts/bench_smoke.sh`, not here — it is seconds-long in release
-/// and minutes-long under the test profile.
+/// In-process twin of the scalebench v5 hybrid additions: the reduced
+/// sweep must carry the 10^5- and 2^20-host hybrid points, the cheap
+/// 960-host hybrid point must complete its horizon fluid-only (no
+/// packets, all bytes via flows) and byte-identically under
+/// `EPNET_PAR=2` (the reduced twin of the `hybrid_threads` axis), the
+/// models axis measured on the smallest packet point must sit inside
+/// the documented tolerance, the committed `BENCH_scale.json` must
+/// pass the v5 schema, and a freshly rendered document must too. The
+/// big points themselves run in `scripts/bench_smoke.sh` and the
+/// release binary, not here — the million-host point is seconds-long
+/// in release and unaffordable under the test profile.
 #[test]
 fn hybrid_scale_twin_completes_and_models_agree() {
     let points = scalebench::sweep(true);
@@ -145,6 +148,8 @@ fn hybrid_scale_twin_completes_and_models_agree() {
         .find(|p| p.name == "hybrid_fbfly_32x16x4")
         .expect("reduced sweep keeps the Solnushkin-scale point");
     assert_eq!(big.model, SimModel::Hybrid);
+    let million = scalebench::hybrid_axis_point(&points);
+    assert_eq!(million.name, "hybrid_fbfly_32x32x4");
 
     let cheap = points
         .iter()
@@ -157,6 +162,36 @@ fn hybrid_scale_twin_completes_and_models_agree() {
     assert!(run.sim_delivered_bytes > 0, "fluid flows delivered nothing");
     assert!(run.sim_events > 0);
 
+    // The parallel hybrid engine on the same point: `EPNET_PAR=2` must
+    // reproduce the serial report byte for byte. Safe without an env
+    // lock for the same reason the variable exists: it selects an
+    // execution detail whose output is asserted identical.
+    std::env::remove_var("EPNET_PAR");
+    let serial = serde_json::to_string_pretty(
+        &scalebench::simulator_for(cheap).run_until(cheap.horizon),
+    )
+    .expect("report serializes");
+    std::env::set_var("EPNET_PAR", "2");
+    let parallel = serde_json::to_string_pretty(
+        &scalebench::simulator_for(cheap).run_until(cheap.horizon),
+    )
+    .expect("report serializes");
+    std::env::remove_var("EPNET_PAR");
+    assert_eq!(
+        serial, parallel,
+        "EPNET_PAR=2 diverged from serial on the hybrid bench point"
+    );
+
+    // The committed document must already be schema v5 — million-host
+    // point present, per-host heap and wall budgets inside bounds.
+    let committed = std::fs::read_to_string(scalebench::output_path())
+        .expect("BENCH_scale.json present at the repository root");
+    let committed_names = scalebench::validate(&committed).expect("committed document validates");
+    assert!(
+        committed_names.iter().any(|n| n == "hybrid_fbfly_32x32x4"),
+        "committed sweep records the million-host point"
+    );
+
     // The models axis on the smallest packet point: `measure_models`
     // asserts both agreement errors against HYBRID_TOLERANCE itself.
     let small = [points[0].clone()];
@@ -164,11 +199,28 @@ fn hybrid_scale_twin_completes_and_models_agree() {
     let models = scalebench::measure_models(&small);
     assert_eq!(models.runs.len(), 1);
 
-    // Render a full v4 document around the measured pieces (synthetic
-    // threads/lookahead axes — those have their own smoke paths) and
-    // hold it to the schema.
+    // Render a full v5 document around the measured pieces (synthetic
+    // threads/lookahead axes and million-host bench — the real ones
+    // are measured by the release binary and validated above via the
+    // committed document) and hold it to the schema.
     let threads = scalebench::ThreadsAxis {
         point: small[0].name.clone(),
+        hw_threads: 1,
+        runs: vec![
+            scalebench::ThreadsRun {
+                threads: 0,
+                wall_ms: 1.0,
+                sim_events: run.sim_events,
+            },
+            scalebench::ThreadsRun {
+                threads: 2,
+                wall_ms: 1.0,
+                sim_events: run.sim_events,
+            },
+        ],
+    };
+    let hybrid_threads = scalebench::ThreadsAxis {
+        point: million.name.clone(),
         hw_threads: 1,
         runs: vec![
             scalebench::ThreadsRun {
@@ -189,9 +241,28 @@ fn hybrid_scale_twin_completes_and_models_agree() {
         pairwise: synthetic_lookahead_run("pairwise"),
         global: synthetic_lookahead_run("global"),
     };
-    let doc = scalebench::render(&[run], &threads, &lookahead, &models);
-    let names = scalebench::validate(&doc).expect("v4 document validates");
-    assert_eq!(names, vec!["hybrid_fbfly_15x8x3"]);
+    let million_run = scalebench::ScaleRun {
+        name: million.name.clone(),
+        model: SimModel::Hybrid,
+        hosts: scalebench::MILLION_HOSTS,
+        channels: 5_144_576,
+        wall_ms: 1.0,
+        sim_events: 1,
+        sim_packets: 0,
+        sim_delivered_bytes: 1,
+        measured_events: 1,
+        measured_allocs: 0,
+        peak_alloc_bytes: 0,
+    };
+    let doc = scalebench::render(
+        &[run, million_run],
+        &threads,
+        &hybrid_threads,
+        &lookahead,
+        &models,
+    );
+    let names = scalebench::validate(&doc).expect("v5 document validates");
+    assert_eq!(names, vec!["hybrid_fbfly_15x8x3", "hybrid_fbfly_32x32x4"]);
 }
 
 fn synthetic_lookahead_run(mode: &'static str) -> scalebench::LookaheadRun {

@@ -11,6 +11,11 @@
 //! extension on: epoch rate transitions, power-off, and reactivation
 //! all cross the coordinator's window barriers, which is exactly where
 //! a lookahead or replay-ordering bug would diverge the reports.
+//!
+//! The simulation model is its own axis (`EPNET_MODEL=hybrid` composed
+//! with every mode and width): the coordinator makes all flow regime
+//! decisions at phase barriers over gathered shard state, so the
+//! hybrid engine owes the same byte-identity the packet engine does.
 
 use epnet::prelude::*;
 use epnet::sim::{MemorySink, TraceCategory, Tracer};
@@ -96,6 +101,98 @@ fn parallel_reports_are_byte_identical_across_widths_and_modes() {
             std::env::remove_var(var);
         }
     }
+}
+
+/// Simulation models composed with the parallel axis. `hybrid` makes
+/// the coordinator absorb large messages into fluid flows at workload
+/// phases and advance/demote them at epoch barriers — the regime
+/// decisions all read gathered shard state, so the reports must stay
+/// byte-identical to the serial hybrid engine.
+const MODELS: [&str; 2] = ["packet", "hybrid"];
+
+/// Flow-heavy variant of the canonical run: 256 KiB messages (4× the
+/// hybrid absorption threshold) on the same FBFLY dynamic topology, so
+/// `EPNET_MODEL=hybrid` absorbs flows at coordinator workload phases,
+/// advances them at epoch ticks, and demotes them back into the packet
+/// path when dynamic-topology drains puncture their steadiness gate.
+fn run_flow_case(c: u16, k: u16, n: usize, load: f64, seed: u64) -> (String, SimReport) {
+    let fabric = FlattenedButterfly::new(c, k, n)
+        .expect("valid shape")
+        .build_fabric();
+    let config = SimConfig::builder().build();
+    let horizon = SimTime::from_ms(1);
+    let src = UniformRandom::builder(fabric.num_hosts() as u32)
+        .offered_load(load)
+        .message_bytes(256 * 1024)
+        .seed(seed)
+        .horizon(horizon)
+        .build();
+    let mut sim = Simulator::new(fabric.clone(), config, src);
+    sim.enable_dynamic_topology(DynamicTopology::new(
+        &fabric,
+        DynamicTopologyConfig::default(),
+    ));
+    let report = sim.run_until(horizon);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    (json, report)
+}
+
+/// The model axis: {packet, hybrid} × widths {1, 2, 4, 8} × reference
+/// modes on the flow-heavy FBFLY(2, 8, 2) run. The hybrid serial
+/// reference must actually exercise the fluid regime (absorptions and
+/// demotions both nonzero) or the axis would vacuously pass.
+#[test]
+fn model_axis_reports_are_byte_identical_across_widths_and_modes() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    for model in MODELS {
+        std::env::set_var("EPNET_MODEL", model);
+        for mode in MODES {
+            let label = match mode {
+                Some((var, val)) => {
+                    std::env::set_var(var, val);
+                    format!("EPNET_MODEL={model} {var}={val}")
+                }
+                None => format!("EPNET_MODEL={model}"),
+            };
+            std::env::remove_var("EPNET_PAR");
+            let (serial, serial_report) = run_flow_case(2, 8, 2, 0.3, 17);
+            if model == "hybrid" {
+                let absorbed = serial_report.diagnostics.get("flows_absorbed");
+                assert!(
+                    absorbed.is_some_and(|&a| a > 0),
+                    "flow-heavy hybrid reference absorbed no flows for {label}"
+                );
+                let demoted = serial_report.diagnostics.get("flows_demoted");
+                assert!(
+                    demoted.is_some_and(|&d| d > 0),
+                    "flow-heavy hybrid reference demoted no flows for {label}"
+                );
+            }
+            for width in WIDTHS {
+                std::env::set_var("EPNET_PAR", width);
+                let (parallel, parallel_report) = run_flow_case(2, 8, 2, 0.3, 17);
+                std::env::remove_var("EPNET_PAR");
+                assert_eq!(
+                    serial, parallel,
+                    "serialized report differs between serial and EPNET_PAR={width} for {label}"
+                );
+                assert_eq!(
+                    serial_report.diagnostics.get("flows_absorbed"),
+                    parallel_report.diagnostics.get("flows_absorbed"),
+                    "flow absorption diverged at EPNET_PAR={width} for {label}"
+                );
+                assert_eq!(
+                    serial_report.diagnostics.get("flows_demoted"),
+                    parallel_report.diagnostics.get("flows_demoted"),
+                    "flow demotion diverged at EPNET_PAR={width} for {label}"
+                );
+            }
+            if let Some((var, _)) = mode {
+                std::env::remove_var(var);
+            }
+        }
+    }
+    std::env::remove_var("EPNET_MODEL");
 }
 
 /// The canonical bursty run with a tracer installed under `mask`;
@@ -337,6 +434,35 @@ proptest! {
         prop_assert_eq!(
             serial, parallel,
             "reports diverged for fbfly({},{},{}) load={} seed={} width={}",
+            c, k, n, load, seed, width
+        );
+    }
+
+    /// The same random sweep under the hybrid model with flow-heavy
+    /// loads: 256 KiB messages put nearly every injection through the
+    /// absorb gate, and dynamic-topology churn forces demotions through
+    /// the coordinator's mirrored-slot reconciliation.
+    #[test]
+    fn hybrid_parallel_agrees_on_flow_heavy_loads(
+        seed in any::<u64>(),
+        load in 0.05f64..0.4,
+        c in 1u16..=3,
+        k in 2u16..=6,
+        n in 2usize..=3,
+        width_pick in 0usize..4,
+    ) {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("EPNET_MODEL", "hybrid");
+        std::env::remove_var("EPNET_PAR");
+        let (serial, _) = run_flow_case(c, k, n, load, seed);
+        let width = WIDTHS[width_pick];
+        std::env::set_var("EPNET_PAR", width);
+        let (parallel, _) = run_flow_case(c, k, n, load, seed);
+        std::env::remove_var("EPNET_PAR");
+        std::env::remove_var("EPNET_MODEL");
+        prop_assert_eq!(
+            serial, parallel,
+            "hybrid reports diverged for fbfly({},{},{}) load={} seed={} width={}",
             c, k, n, load, seed, width
         );
     }
